@@ -1,0 +1,79 @@
+"""E9 — the completion procedure on Cholesky (paper §6): a single
+partial row yields left-looking Cholesky, verified end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_code
+from repro.completion import complete_transformation
+from repro.instance import Layout
+from repro.interp import ArrayStore, check_equivalence, execute
+from repro.ir import program_to_str
+from repro.legality import check_legality
+
+
+def test_e9_complete_left_looking(benchmark, chol, chol_layout, chol_deps):
+    partial = [[0, 0, 0, 0, 0, 1, 0]]  # new outer = old L coordinate
+
+    res = benchmark(
+        complete_transformation, chol, partial, chol_deps, layout=chol_layout
+    )
+    print("\n[E9] completed matrix (paper §6's C, our coordinate convention):")
+    print(res.matrix)
+    print(f"[E9] child reordering at the K loop: {res.child_order[(0,)]}"
+          " (update subtree first = left-looking)")
+    assert res.child_order[(0,)][0] == 2
+    assert check_legality(chol_layout, res.matrix, chol_deps).legal
+
+
+def test_e9_generated_left_looking_code(benchmark, chol, chol_layout, chol_deps):
+    res = complete_transformation(
+        chol, [[0, 0, 0, 0, 0, 1, 0]], chol_deps, layout=chol_layout
+    )
+
+    g = benchmark(generate_code, chol, res.matrix, chol_deps)
+    print("\n[E9] generated left-looking Cholesky (paper §6 final code):")
+    print(program_to_str(g.program, header=False))
+    assert [s.label for s in g.program.statements()][0] == "S3"
+
+    base = ArrayStore(chol, {"N": 8}).snapshot()
+    store, _ = execute(g.program, {"N": 8}, arrays=base)
+    ref = np.linalg.cholesky(base["A"])
+    assert np.allclose(np.tril(store.arrays["A"]), ref, rtol=1e-8)
+
+
+def test_e9_lead_partition(benchmark, chol, chol_layout, chol_deps):
+    """Which coordinates can lead the transformed nest: K and L only
+    (the right-looking and left-looking families)."""
+    from repro.util.errors import CompletionError
+
+    n = chol_layout.dimension
+
+    def sweep():
+        legal = []
+        for pos, name in ((0, "K"), (4, "J"), (5, "L"), (6, "I")):
+            partial = [[1 if j == pos else 0 for j in range(n)]]
+            try:
+                res = complete_transformation(chol, partial, chol_deps, layout=chol_layout)
+            except CompletionError:
+                continue
+            if check_legality(chol_layout, res.matrix, chol_deps).legal:
+                legal.append(name)
+        return legal
+
+    legal = benchmark(sweep)
+    print(f"\n[E9] lead coordinates with legal completions: {legal} (expected ['K','L'])")
+    assert legal == ["K", "L"]
+
+
+def test_e9_completion_scaling(benchmark):
+    """Completion wall time versus nest size (E12's efficiency claim)."""
+    from repro.dependence import analyze_dependences
+    from repro.kernels import lu_factorization
+
+    lu = lu_factorization()
+    lay = Layout(lu)
+    deps = analyze_dependences(lu)
+    res = benchmark(complete_transformation, lu, [], deps, layout=lay)
+    assert res.matrix.shape == (lay.dimension, lay.dimension)

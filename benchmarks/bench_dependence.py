@@ -1,0 +1,80 @@
+"""E3/E8 — dependence matrices (paper §3 and §6).
+
+Regenerates the dependence matrices the paper displays for simplified
+Cholesky (4x3) and full Cholesky (7x4) and records paper-vs-measured.
+"""
+
+import pytest
+
+from repro.dependence import analyze_dependences
+from repro.kernels import augmentation_example, lu_factorization
+
+
+def test_e3_simplified_cholesky_matrix(benchmark, simp_chol):
+    m = benchmark(analyze_dependences, simp_chol)
+    cols = sorted(tuple(d.entry_strs()) for d in m)
+    print("\n[E3] measured dependence columns of simplified Cholesky:")
+    print(m.to_str())
+    print("[E3] paper columns: [0,1,-1,+]  [1,-1,1,0]  [0,0,0,1]")
+    # paper col 1 exact; col 2 with memory-based '+' in place of 1
+    assert ("0", "1", "-1", "+") in cols
+    assert ("+", "-1", "1", "0") in cols
+
+
+def test_e3_section54_matrix_exact(benchmark):
+    aug = augmentation_example()
+    m = benchmark(analyze_dependences, aug)
+    cols = sorted(tuple(d.entry_strs()) for d in m)
+    print("\n[E3b] measured §5.4 dependence matrix:")
+    print(m.to_str())
+    print("[E3b] paper: D = [[1,1],[0,-1],[0,1],[1,-1]] — exact match expected")
+    assert cols == [("1", "-1", "1", "-1"), ("1", "0", "0", "1")]
+
+
+def test_e8_cholesky_matrix(benchmark, chol):
+    m = benchmark(analyze_dependences, chol)
+    cols = {tuple(d.entry_strs()) for d in m}
+    print("\n[E8] measured Cholesky dependence matrix (§6):")
+    print(m.to_str())
+    print("[E8] paper columns: [0,0,1,-1,0,0,+] [0,1,-1,0,+,+,-] [+,0,0,0,0,0,+] [1,-1,0,1,0,0,1]")
+    assert ("0", "0", "1", "-1", "0", "0", "+") in cols
+    assert ("0", "1", "-1", "0", "+", "+", "-") in cols
+    assert ("+", "0", "0", "0", "0", "0", "+") in cols
+    # fourth column: direction matches, distance widened by memory-based analysis
+    s3_to_s1 = m.between("S3", "S1")
+    assert s3_to_s1 and s3_to_s1[0].entries[0].definitely_positive()
+
+
+def test_e3_value_based_refinement(benchmark, simp_chol):
+    """Dynamic value-based refinement recovers the paper's exact
+    column [1,-1,1,0] (last-writer flow distance)."""
+    from repro.dependence import DepKind, refine_dependences
+
+    static = analyze_dependences(simp_chol)
+    refined = benchmark(refine_dependences, simp_chol, static)
+    print("\n[E3r] refined (value-based) matrix:")
+    print(refined.summary())
+    cols = {(d.kind, tuple(d.entry_strs())) for d in refined}
+    assert (DepKind.FLOW, ("1", "-1", "1", "0")) in cols
+
+
+def test_e8_value_based_refinement(benchmark, chol):
+    """The paper's fourth §6 column [1,-1,0,1,0,0,1], exactly."""
+    from repro.dependence import refine_dependences
+
+    static = analyze_dependences(chol)
+    refined = benchmark.pedantic(
+        lambda: refine_dependences(chol, static, samples=({"N": 6}, {"N": 8})),
+        rounds=1, iterations=1,
+    )
+    cols = {tuple(d.entry_strs()) for d in refined}
+    print("\n[E8r] refined Cholesky matrix:")
+    print(refined.summary())
+    assert ("1", "-1", "0", "1", "0", "0", "1") in cols
+
+
+def test_e8_analysis_scales_with_program(benchmark):
+    """Dependence analysis wall time on the largest kernel (LU)."""
+    lu = lu_factorization()
+    m = benchmark(analyze_dependences, lu)
+    assert len(m) >= 4

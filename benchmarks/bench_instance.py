@@ -1,0 +1,85 @@
+"""E1/E2 — instance vectors (paper §2, Figures 1-3).
+
+Regenerates the paper's displayed instance vectors and verifies the
+Theorem-1 order isomorphism on a full enumeration, timing the L map.
+"""
+
+import pytest
+
+from repro.instance import (
+    DynamicInstance, Layout, check_order_isomorphism, instance_vector,
+    symbolic_vector,
+)
+from repro.interp import execute
+from repro.kernels import running_example
+
+
+def test_e1_paper_vectors(benchmark, simp_chol_layout):
+    """Figure 2 / §3: the displayed general instance vectors."""
+
+    def build():
+        return (
+            [str(e) for e in symbolic_vector(simp_chol_layout, "S1")],
+            [str(e) for e in symbolic_vector(simp_chol_layout, "S2")],
+        )
+
+    s1, s2 = benchmark(build)
+    print(f"\n[E1] S1 instance vector: {s1}   (paper: ['I','0','1','I'])")
+    print(f"[E1] S2 instance vector: {s2}   (paper: ['I','1','0','J'])")
+    assert s1 == ["I", "0", "1", "I"]
+    assert s2 == ["I", "1", "0", "J"]
+
+
+def test_e1_theorem1_order_isomorphism(benchmark):
+    """Theorem 1 on the §2 running example: execution order equals
+    lexicographic order on instance vectors."""
+    p = running_example()
+    lay = Layout(p)
+    _, trace = execute(p, {"N": 6}, trace=True)
+    insts = []
+    for rec in trace.records:
+        order = [c.var for c in lay.surrounding_loop_coords(rec.label)]
+        insts.append(DynamicInstance(rec.label, tuple(rec.env[v] for v in order)))
+
+    violations = benchmark(check_order_isomorphism, p, insts)
+    print(f"\n[E1] instances checked: {len(insts)}, order violations: {len(violations)}")
+    assert violations == []
+
+
+def test_e2_single_edge_optimization(benchmark):
+    """Figure 3: optimized instance vectors equal iteration vectors."""
+    from repro.ir import parse_program
+
+    p = parse_program(
+        "param N\nreal A(N)\ndo I = 1..N\n do J = I+1..N\n  S1: A(J) = A(J)/A(I)\n enddo\nenddo"
+    )
+    lay_opt = Layout(p)
+    lay_raw = Layout(p, optimize_single_edges=False)
+
+    def vectors():
+        return (
+            instance_vector(lay_opt, DynamicInstance("S1", (2, 5))),
+            instance_vector(lay_raw, DynamicInstance("S1", (2, 5))),
+        )
+
+    opt, raw = benchmark(vectors)
+    print(f"\n[E2] optimized vector:   {opt}  (= iteration vector)")
+    print(f"[E2] unoptimized vector: {raw}  (edge labels interleaved)")
+    assert opt == (2, 5)
+    assert raw == (2, 1, 5, 1)
+
+
+def test_e1_l_map_throughput(benchmark, chol_layout):
+    """Throughput of the L map over the Cholesky instance space."""
+    instances = [
+        DynamicInstance("S3", (k, j, l))
+        for k in range(1, 15)
+        for j in range(k + 1, 15)
+        for l in range(k + 1, j + 1)
+    ]
+
+    def run():
+        return [instance_vector(chol_layout, d) for d in instances]
+
+    vecs = benchmark(run)
+    assert len(vecs) == len(instances)

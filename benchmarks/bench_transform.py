@@ -1,0 +1,124 @@
+"""E4/E5/E6/E13 — transformation matrices (paper §4) and distribution
+legality (§1 claim).
+"""
+
+import pytest
+
+from repro.linalg import IntMatrix
+from repro.transform import (
+    alignment, distribution_legal, distribution_matrix, distribute,
+    jamming_matrix, permutation, skew, statement_reorder,
+)
+
+
+def test_e4_permutation_and_skew(benchmark, simp_chol_layout):
+    def build():
+        return (
+            permutation(simp_chol_layout, "I", "J").matrix,
+            skew(simp_chol_layout, "I", "J", -1).matrix,
+        )
+
+    perm, sk = benchmark(build)
+    print("\n[E4] interchange matrix (paper §4.1):")
+    print(perm)
+    print("[E4] skew matrix (paper §4.1):")
+    print(sk)
+    assert perm == IntMatrix([[0, 0, 0, 1], [0, 1, 0, 0], [0, 0, 1, 0], [1, 0, 0, 0]])
+    assert sk == IntMatrix([[1, 0, 0, -1], [0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1]])
+
+
+def test_e5_reorder_distribution_jamming(benchmark, simp_chol, simp_chol_layout):
+    def build():
+        tr, _ = statement_reorder(simp_chol_layout, (0,), [1, 0])
+        dm, distributed = distribution_matrix(simp_chol, (0,), 1)
+        jm, _ = jamming_matrix(distributed, (0,))
+        return tr.matrix, dm, jm
+
+    tr, dm, jm = benchmark(build)
+    print("\n[E5] statement reordering matrix (paper §4.2):")
+    print(tr)
+    print("[E5] distribution matrix (paper's display swaps rows 4/5):")
+    print(dm)
+    print("[E5] jamming matrix (exact paper match):")
+    print(jm)
+    assert tr == IntMatrix([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]])
+    assert jm == IntMatrix(
+        [[0, 0, 1, 0, 0], [1, 0, 0, 0, 0], [0, 1, 0, 0, 0], [0, 0, 0, 1, 0]]
+    )
+    assert dm.shape == (5, 4)
+
+
+def test_e6_alignment(benchmark, simp_chol_layout):
+    t = benchmark(alignment, simp_chol_layout, "S1", "I", 1)
+    s1 = [str(e) for e in t.apply_to_symbolic("S1")]
+    s2 = [str(e) for e in t.apply_to_symbolic("S2")]
+    print(f"\n[E6] aligned S1 vector: {s1}  (paper: I+1, 0, 1, I)")
+    print(f"[E6] S2 vector unchanged: {s2}")
+    assert s1 == ["I + 1", "0", "1", "I"]
+    assert s2 == ["I", "1", "0", "J"]
+
+
+def test_e13_distribution_illegal_on_factorizations(benchmark, simp_chol_deps, chol_deps):
+    from repro.dependence import analyze_dependences
+    from repro.kernels import lu_factorization
+
+    lu_deps = analyze_dependences(lu_factorization())
+
+    def verdicts():
+        return {
+            "simplified_cholesky": distribution_legal(simp_chol_deps, (0,), 1),
+            "cholesky@1": distribution_legal(chol_deps, (0,), 1),
+            "cholesky@2": distribution_legal(chol_deps, (0,), 2),
+            "lu": distribution_legal(lu_deps, (0,), 1),
+        }
+
+    v = benchmark(verdicts)
+    print("\n[E13] distribution legality (paper §1: illegal in all factorization codes):")
+    for k, val in v.items():
+        print(f"  {k:22s} legal={val}")
+    assert not any(v.values())
+
+
+def test_e13_distribution_legal_on_streaming(benchmark):
+    from repro.dependence import analyze_dependences
+    from repro.ir import parse_program
+
+    p = parse_program(
+        "param N\nreal A(N), B(N)\n"
+        "do I = 1..N\n S1: A(I) = f(I)\n S2: B(I) = A(I) * 2\nenddo"
+    )
+    deps = analyze_dependences(p)
+    legal = benchmark(distribution_legal, deps, (0,), 1)
+    print(f"\n[E13] forward-only loop distribution legal={legal} (expected True)")
+    assert legal
+
+
+def test_e13_maximal_distribution(benchmark, simp_chol, chol):
+    """Extension of E13: Allen-Kennedy maximal distribution leaves the
+    factorization codes intact and fully splits a pipeline."""
+    from repro.analysis import maximal_distribution
+    from repro.ir import parse_program, program_to_str
+
+    pipeline = parse_program(
+        "param N\nreal A(0:N+1), B(0:N+1), C(0:N+1)\n"
+        "do I = 1..N\n"
+        "  S1: A(I) = f(I)\n"
+        "  S2: B(I) = A(I) * 2\n"
+        "  S3: C(I) = B(I) + A(I)\n"
+        "enddo"
+    )
+
+    def run():
+        return (
+            maximal_distribution(simp_chol),
+            maximal_distribution(chol),
+            maximal_distribution(pipeline),
+        )
+
+    sc, c, pl = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[E13m] simplified Cholesky loops after maximal distribution:",
+          len(sc.body), "(unchanged)")
+    print("[E13m] Cholesky loops:", len(c.body), "(unchanged)")
+    print("[E13m] pipeline loops:", len(pl.body), "(fully split)")
+    assert len(sc.body) == 1 and len(c.body) == 1
+    assert len(pl.body) == 3

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (figures,
+matrices, code listings) or quantified claims, times the pipeline piece
+that produces it, and asserts the paper's qualitative *shape* (who
+wins, what is legal, which columns appear).  See EXPERIMENTS.md for the
+experiment index and the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dependence import analyze_dependences
+from repro.instance import Layout
+from repro.kernels import augmentation_example, cholesky, simplified_cholesky
+
+
+@pytest.fixture(scope="session")
+def simp_chol():
+    return simplified_cholesky()
+
+
+@pytest.fixture(scope="session")
+def simp_chol_layout(simp_chol):
+    return Layout(simp_chol)
+
+
+@pytest.fixture(scope="session")
+def simp_chol_deps(simp_chol):
+    return analyze_dependences(simp_chol)
+
+
+@pytest.fixture(scope="session")
+def chol():
+    return cholesky()
+
+
+@pytest.fixture(scope="session")
+def chol_layout(chol):
+    return Layout(chol)
+
+
+@pytest.fixture(scope="session")
+def chol_deps(chol):
+    return analyze_dependences(chol)
+
+
+@pytest.fixture(scope="session")
+def aug():
+    return augmentation_example()

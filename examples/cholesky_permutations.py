@@ -1,0 +1,44 @@
+"""The paper's motivating study (§1): the six loop orders of Cholesky
+factorization compute the same factor but perform very differently.
+
+Runs every variant through the interpreter on the same SPD matrix,
+checks the factors agree with numpy, and compares cache behaviour
+under a small set-associative cache — regenerating experiment E11.
+
+Run:  python examples/cholesky_permutations.py [N]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import locality_score, reuse_distances
+from repro.interp import ArrayStore, CacheConfig, execute, simulate_cache, trace_addresses
+from repro.kernels import CHOLESKY_VARIANTS, cholesky_variant
+
+
+def main(n: int = 40) -> None:
+    cfg = CacheConfig(size_bytes=4 * 1024, line_bytes=64, ways=2)
+    base = ArrayStore(cholesky_variant("kji"), {"N": n}).snapshot()
+    ref = np.linalg.cholesky(base["A"])
+
+    print(f"Cholesky loop-order study, N={n}, cache={cfg.size_bytes}B {cfg.ways}-way")
+    print(f"{'order':>6s} {'max|err|':>12s} {'accesses':>9s} {'misses':>8s} "
+          f"{'miss%':>7s} {'locality':>9s}")
+    for variant in CHOLESKY_VARIANTS:
+        store, trace = execute(cholesky_variant(variant), {"N": n}, arrays=base, trace=True)
+        err = np.abs(np.tril(store.arrays["A"]) - ref).max()
+        stats = simulate_cache(trace_addresses(trace, store), cfg)
+        score = locality_score(
+            reuse_distances(trace, store), capacity_lines=cfg.size_bytes // cfg.line_bytes
+        )
+        print(f"{variant:>6s} {err:12.3e} {stats.accesses:9d} {stats.misses:8d} "
+              f"{stats.miss_rate:7.2%} {score:9.3f}")
+
+    print("\nAll variants compute the same factor (err ~ 1e-15); the miss")
+    print("rates differ by several x — the paper's motivation for being able")
+    print("to permute imperfectly nested loops in the first place.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

@@ -1,0 +1,53 @@
+"""Searching for parallelism with the linear framework (paper §1/§7).
+
+For perfectly nested loops, a parallel outer loop is a vector in the
+nullspace of the dependence matrix; for imperfect nests the same scan
+runs over instance-vector coordinates, and per-loop DOALL verdicts fall
+out of the transformed projections.
+
+Run:  python examples/parallelism_search.py
+"""
+
+from repro import Layout, analyze_dependences, parse_program
+from repro.analysis import outer_parallel_unit_rows, parallel_loops
+from repro.linalg import IntMatrix
+from repro.kernels import cholesky
+from repro.perfect import PerfectDeps, outermost_parallel_row
+
+STENCIL = """
+param N
+real A(0:N+1,0:N+1)
+do T = 1..N
+  do I = 1..N
+    S1: A(T,I) = A(T-1,I) * 0.5 + A(T-1,I) * 0.5
+  enddo
+enddo
+"""
+
+
+def main() -> None:
+    # --- perfect nest: nullspace search -------------------------------
+    deps = PerfectDeps.parse(2, [[1, 0]])
+    row = outermost_parallel_row(deps)
+    print(f"perfect nest with dependence (1,0): parallel direction = {row}")
+
+    # --- imperfect nest: per-loop DOALL verdicts -----------------------
+    program = cholesky()
+    layout = Layout(program)
+    dm = analyze_dependences(program)
+    print("\nright-looking Cholesky DOALL verdicts (identity transformation):")
+    for mark in parallel_loops(layout, IntMatrix.identity(layout.dimension), dm):
+        tag = "DOALL" if mark.is_parallel else f"carries {list(mark.carried)}"
+        print(f"  loop {mark.var:2s}: {tag}")
+
+    # --- unit-row outer parallelism ------------------------------------
+    stencil = parse_program(STENCIL, "stencil")
+    slay = Layout(stencil)
+    sdeps = analyze_dependences(stencil)
+    rows = outer_parallel_unit_rows(slay, sdeps)
+    print(f"\nstencil: loops usable as a parallel outermost loop: "
+          f"{[c.var for c in rows]}")
+
+
+if __name__ == "__main__":
+    main()

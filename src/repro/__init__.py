@@ -1,0 +1,74 @@
+"""repro — a reproduction of Kodukula & Pingali, *Transformations for
+Imperfectly Nested Loops* (SC 1996).
+
+The package implements the paper's full pipeline — instance vectors,
+dependence analysis, matrix-modelled transformations, legality, code
+generation with augmentation, and the completion procedure — plus the
+substrates it needs (exact integer linear algebra, a Fourier–Motzkin
+"omega-lite", a loop-nest IR with parser and interpreter, and a cache
+model for the performance claims).
+
+Quickstart::
+
+    from repro import parse_program, Layout, analyze_dependences
+    from repro import permutation, check_legality, generate_code
+
+    p = parse_program(SRC)
+    lay = Layout(p)
+    deps = analyze_dependences(p)
+    t = permutation(lay, "I", "J")
+    report = check_legality(lay, t.matrix, deps)
+    if report.legal:
+        print(generate_code(p, t.matrix, deps).program)
+"""
+
+from repro.codegen import GeneratedProgram, generate_code, per_statement_transformation
+from repro.codegen.simplify import fold_expr, peel_iteration, simplify_program
+from repro.completion import CompletionResult, complete_transformation
+from repro.dependence import (
+    DepEntry, DependenceMatrix, DepKind, DepVector, analyze_dependences,
+)
+from repro.instance import (
+    DynamicInstance, Layout, from_vector, instance_vector, symbolic_vector,
+)
+from repro.interp import (
+    CacheConfig, CacheStats, check_equivalence, execute, simulate_cache,
+    trace_addresses,
+)
+from repro.ir import Program, parse_program, program_to_str
+from repro.legality import LegalityReport, assert_legal, check_legality, recover_structure
+from repro.linalg import IntMatrix
+from repro.transform import (
+    Transformation, alignment, compose, distribute, distribution_legal, identity,
+    jam, permutation, reversal, scaling, skew, statement_reorder,
+)
+from repro.util.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # IR
+    "Program", "parse_program", "program_to_str",
+    # instance vectors
+    "Layout", "DynamicInstance", "instance_vector", "symbolic_vector", "from_vector",
+    # dependences
+    "analyze_dependences", "DependenceMatrix", "DepVector", "DepEntry", "DepKind",
+    # transformations
+    "Transformation", "identity", "permutation", "skew", "reversal", "scaling",
+    "alignment", "statement_reorder", "compose", "distribute", "jam",
+    "distribution_legal",
+    # legality + codegen
+    "check_legality", "assert_legal", "LegalityReport", "recover_structure",
+    "generate_code", "GeneratedProgram", "per_statement_transformation",
+    "simplify_program", "peel_iteration", "fold_expr",
+    # completion
+    "complete_transformation", "CompletionResult",
+    # interpretation
+    "execute", "check_equivalence", "simulate_cache", "trace_addresses",
+    "CacheConfig", "CacheStats",
+    # linalg
+    "IntMatrix",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,95 @@
+"""Parallelism analysis on transformed imperfect nests (system S14).
+
+The paper's §7 points out that the linear framework makes searching for
+parallelism cheap: a loop of the transformed program is DOALL iff no
+dependence is *carried* at its level.  This module computes carried-by
+levels from ``M·d`` projections and marks parallel loops, and finds
+outer-parallel unit rows for imperfect nests (the nullspace observation
+lifted to instance-vector space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dependence.depvector import DependenceMatrix
+from repro.dependence.entry import zip_dot
+from repro.instance.layout import Layout, LoopCoord
+from repro.legality.structure import recover_structure
+from repro.linalg.intmat import IntMatrix
+from repro.util.errors import TransformError
+
+__all__ = ["LoopParallelism", "parallel_loops", "outer_parallel_unit_rows"]
+
+
+@dataclass(frozen=True)
+class LoopParallelism:
+    """Per-new-loop verdict: which dependences it may carry."""
+
+    path: tuple[int, ...]
+    var: str
+    carried: tuple[str, ...]          # dependences definitely/possibly carried here
+
+    @property
+    def is_parallel(self) -> bool:
+        return not self.carried
+
+
+def parallel_loops(
+    layout: Layout, matrix: IntMatrix, deps: DependenceMatrix
+) -> list[LoopParallelism]:
+    """Mark every loop of the transformed program as DOALL or not.
+
+    A dependence is attributed to the outermost common-loop level at
+    which its transformed projection can be nonzero; every level before
+    that is untouched by it.  A loop carrying no dependence is DOALL.
+    """
+    structure = recover_structure(layout, matrix)
+    new_layout = structure.new_layout
+    assert new_layout is not None
+
+    carried_at: dict[tuple[int, ...], list[str]] = {
+        c.path: [] for c in new_layout.loop_coords()
+    }
+    for d in deps:
+        md = [zip_dot(row, d.entries) for row in matrix.rows()]
+        common = new_layout.common_loop_coords(d.src, d.dst)
+        for coord in common:
+            e = md[new_layout.index(coord)]
+            if e.is_zero():
+                continue
+            # may be nonzero here: this level can carry (or violate) it
+            carried_at[coord.path].append(f"{d.src}->{d.dst}")
+            if e.definitely_positive():
+                pass
+            break
+
+    out = []
+    for coord in new_layout.loop_coords():
+        seen: list[str] = []
+        for name in carried_at[coord.path]:
+            if name not in seen:
+                seen.append(name)
+        out.append(LoopParallelism(coord.path, coord.var, tuple(seen)))
+    return out
+
+
+def outer_parallel_unit_rows(layout: Layout, deps: DependenceMatrix) -> list[LoopCoord]:
+    """Old loop coordinates usable as a parallel outermost loop: unit
+    rows whose dot with every dependence is exactly zero.
+
+    This is the imperfect-nest form of "find a vector in the nullspace
+    of the dependence matrix" — restricted to unit vectors so the result
+    is directly a loop of the source program.
+    """
+    out = []
+    for coord in layout.loop_coords():
+        i = layout.index(coord)
+        ok = True
+        for d in deps:
+            if not d.entries[i].is_zero():
+                ok = False
+                break
+        if ok:
+            out.append(coord)
+    return out

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+show        parse a program, print it with its instance-vector layout
+deps        print the dependence matrix (``--refine`` for value-based)
+check       test a transformation spec for legality
+transform   generate code for a legal transformation spec
+complete    complete a partial transformation (lead loop) and generate
+run         interpret a program and print final array contents
+parallel    per-loop DOALL verdicts
+report      full analysis report (deps, DOALL, distribution plan, search)
+
+Transformation specs are semicolon-separated elementary transformations::
+
+    permute(I,J); skew(I,J,-1); reverse(J); scale(I,2); align(S1,I,1)
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+import numpy as np
+
+from repro.analysis import parallel_loops
+from repro.codegen import generate_code
+from repro.codegen.simplify import simplify_program
+from repro.completion import complete_transformation
+from repro.dependence import analyze_dependences, refine_dependences
+from repro.instance import Layout, symbolic_vector
+from repro.interp import execute
+from repro.ir import parse_program, program_to_str
+from repro.legality import check_legality
+from repro.linalg import IntMatrix
+from repro.polyhedra import System, ge, var
+from repro.transform import (
+    Transformation, alignment, compose, permutation, reversal, scaling, skew,
+)
+from repro.util.errors import ReproError
+
+__all__ = ["main", "parse_spec"]
+
+_SPEC_RE = re.compile(r"\s*([a-z_]+)\s*\(([^)]*)\)\s*")
+
+
+def parse_spec(layout: Layout, spec: str) -> Transformation:
+    """Parse a transformation spec string into a composed Transformation."""
+    parts = [p for p in spec.split(";") if p.strip()]
+    if not parts:
+        raise ReproError("empty transformation spec")
+    transforms = []
+    for part in parts:
+        m = _SPEC_RE.fullmatch(part)
+        if not m:
+            raise ReproError(f"cannot parse transformation {part!r}")
+        name = m.group(1)
+        args = [a.strip() for a in m.group(2).split(",") if a.strip()]
+        if name in ("permute", "interchange") and len(args) == 2:
+            transforms.append(permutation(layout, args[0], args[1]))
+        elif name == "skew" and len(args) == 3:
+            transforms.append(skew(layout, args[0], args[1], int(args[2])))
+        elif name in ("reverse", "reversal") and len(args) == 1:
+            transforms.append(reversal(layout, args[0]))
+        elif name == "scale" and len(args) == 2:
+            transforms.append(scaling(layout, args[0], int(args[1])))
+        elif name == "align" and len(args) == 3:
+            transforms.append(alignment(layout, args[0], args[1], int(args[2])))
+        else:
+            raise ReproError(f"unknown transformation {name!r} with {len(args)} args")
+    return compose(*transforms)
+
+
+def _load(path: str):
+    with open(path) as f:
+        src = f.read()
+    return parse_program(src, path)
+
+
+def _params(pairs: list[str]) -> dict[str, int]:
+    out = {}
+    for p in pairs or []:
+        k, _, v = p.partition("=")
+        out[k] = int(v)
+    return out
+
+
+def cmd_show(args) -> int:
+    program = _load(args.file)
+    print(program_to_str(program))
+    layout = Layout(program)
+    print("\ninstance-vector layout:")
+    print(layout.describe())
+    print("\ngeneral instance vectors:")
+    for label in layout.statement_labels():
+        vec = [str(e) for e in symbolic_vector(layout, label)]
+        print(f"  {label}: [{', '.join(vec)}]")
+    return 0
+
+
+def cmd_deps(args) -> int:
+    program = _load(args.file)
+    deps = analyze_dependences(program)
+    if args.refine:
+        samples = [_params([s]) or {"N": 6} for s in (args.param or ["N=6", "N=9"])]
+        deps = refine_dependences(program, deps, samples=samples)
+    print(deps.to_str())
+    print()
+    print(deps.summary())
+    return 0
+
+
+def cmd_check(args) -> int:
+    program = _load(args.file)
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    t = parse_spec(layout, args.spec)
+    report = check_legality(layout, t.matrix, deps)
+    print(report)
+    return 0 if report.legal else 1
+
+
+def cmd_transform(args) -> int:
+    program = _load(args.file)
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    t = parse_spec(layout, args.spec)
+    g = generate_code(program, t.matrix, deps)
+    out = g.program
+    if args.simplify:
+        assume = System([ge(var(p), 1) for p in program.params])
+        out = simplify_program(out, assume)
+    text = program_to_str(out)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_complete(args) -> int:
+    program = _load(args.file)
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    n = layout.dimension
+    pos = layout.loop_index_by_var(args.lead)
+    partial = [[1 if j == pos else 0 for j in range(n)]]
+    result = complete_transformation(program, partial, deps, layout=layout)
+    print("completed matrix:")
+    print(result.matrix)
+    g = generate_code(program, result.matrix, deps)
+    print()
+    print(program_to_str(g.program))
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load(args.file)
+    store, trace = execute(program, _params(args.param), trace=args.trace)
+    for name, arr in store.arrays.items():
+        print(f"{name} =")
+        with np.printoptions(precision=4, suppress=True, linewidth=100):
+            print(arr)
+    if trace is not None:
+        print(f"\n{len(trace)} statement instances executed")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Full analysis report: layout, dependences, DOALL verdicts,
+    distribution plan, and the legal lead-loop variants ranked by the
+    cache model."""
+    from repro.analysis import distribution_plan, search_loop_orders
+
+    program = _load(args.file)
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    print("=== program ===")
+    print(program_to_str(program))
+    print("\n=== instance-vector layout ===")
+    print(layout.describe())
+    print("\n=== dependences ===")
+    print(deps.summary() or "(none)")
+    print("\n=== DOALL verdicts ===")
+    for m in parallel_loops(layout, IntMatrix.identity(layout.dimension), deps):
+        tag = "DOALL" if m.is_parallel else f"carries {', '.join(m.carried)}"
+        print(f"  loop {m.var}: {tag}")
+    print("\n=== distribution plan (SCC groups per loop) ===")
+    plan = distribution_plan(program, deps)
+    if not plan:
+        print("  (no multi-statement loops)")
+    for path, groups in sorted(plan.items()):
+        node = layout.node_at(path)
+        verdict = "splittable" if len(groups) > 1 else "unsplittable"
+        print(f"  loop {node.var}@{path}: {groups} ({verdict})")
+    params = _params(args.param) or {p: 16 for p in program.params}
+    print(f"\n=== loop-order search (params {params}) ===")
+    try:
+        results = search_loop_orders(program, params, verify=False)
+    except Exception as exc:  # pragma: no cover - workload-dependent
+        print(f"  search unavailable: {exc}")
+        results = []
+    for r in results:
+        print(f"  {r}")
+    return 0
+
+
+def cmd_parallel(args) -> int:
+    program = _load(args.file)
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    marks = parallel_loops(layout, IntMatrix.identity(layout.dimension), deps)
+    for m in marks:
+        tag = "DOALL" if m.is_parallel else f"carries {', '.join(m.carried)}"
+        print(f"loop {m.var}: {tag}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Transformations for imperfectly nested loops (SC'96 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("show", help="print program, layout and instance vectors")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_show)
+
+    p = sub.add_parser("deps", help="print the dependence matrix")
+    p.add_argument("file")
+    p.add_argument("--refine", action="store_true", help="value-based refinement")
+    p.add_argument("-p", "--param", action="append", help="sample size, e.g. N=8")
+    p.set_defaults(fn=cmd_deps)
+
+    p = sub.add_parser("check", help="check a transformation spec for legality")
+    p.add_argument("file")
+    p.add_argument("spec", help='e.g. "permute(I,J); skew(I,J,-1)"')
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("transform", help="generate code for a legal spec")
+    p.add_argument("file")
+    p.add_argument("spec")
+    p.add_argument("--simplify", action="store_true")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_transform)
+
+    p = sub.add_parser("complete", help="complete a partial transformation")
+    p.add_argument("file")
+    p.add_argument("--lead", required=True, help="loop variable to scan outermost")
+    p.set_defaults(fn=cmd_complete)
+
+    p = sub.add_parser("run", help="interpret a program")
+    p.add_argument("file")
+    p.add_argument("-p", "--param", action="append", help="e.g. N=8")
+    p.add_argument("--trace", action="store_true")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("parallel", help="per-loop DOALL verdicts")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_parallel)
+
+    p = sub.add_parser("report", help="full analysis report")
+    p.add_argument("file")
+    p.add_argument("-p", "--param", action="append", help="e.g. N=16")
+    p.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

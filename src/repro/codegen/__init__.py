@@ -1,0 +1,11 @@
+"""Code generation (system S9, paper §5)."""
+
+from repro.codegen.augment import augment_rows, project_dep
+from repro.codegen.generate import GeneratedProgram, StatementPlan, generate_code
+from repro.codegen.per_statement import PerStatement, per_statement_transformation
+
+__all__ = [
+    "generate_code", "GeneratedProgram", "StatementPlan",
+    "per_statement_transformation", "PerStatement",
+    "augment_rows", "project_dep",
+]

@@ -1,0 +1,111 @@
+"""Augmentation with extra loops (paper §5.4, Figure 7).
+
+When a statement's per-statement transformation is rank-deficient,
+several source instances collapse onto one target instance of the new
+AST's loops; extra innermost loops must enumerate them, and those loops
+must *carry* every self-dependence the transformation left unsatisfied.
+The procedure is Li–Pingali's completion: repeatedly append the unit
+vector of the first coordinate where some remaining unsatisfied
+dependence is nonzero, then top up with arbitrary rank-increasing unit
+rows.
+"""
+
+from __future__ import annotations
+
+from repro.dependence.entry import DepEntry
+from repro.linalg.intmat import IntMatrix
+from repro.util.errors import CodegenError
+
+__all__ = ["augment_rows", "project_dep"]
+
+
+def project_dep(entries: tuple[DepEntry, ...], positions: list[int]) -> tuple[DepEntry, ...]:
+    """Project a dependence vector onto selected coordinate positions."""
+    return tuple(entries[i] for i in positions)
+
+
+def _height(vec: tuple[DepEntry, ...]) -> int | None:
+    """Index of the first possibly-nonzero entry (paper's Height)."""
+    for i, e in enumerate(vec):
+        if not e.is_zero():
+            return i
+    return None
+
+
+def augment_rows(
+    linear: IntMatrix, unsatisfied: list[tuple[DepEntry, ...]]
+) -> list[tuple[int, ...]]:
+    """Rows to append below ``linear`` (Figure 7's Complete).
+
+    ``linear`` is the statement's per-statement matrix (rows may be
+    dependent); ``unsatisfied`` are the self-dependences projected onto
+    the statement's old loop coordinates.  Returns unit rows, outermost
+    first, such that the stacked matrix has full column rank and every
+    unsatisfied dependence is carried lexicographically by the appended
+    rows.
+    """
+    k = linear.ncols
+    if k == 0:
+        return []
+    current = linear
+    rank = current.rank()
+    added: list[tuple[int, ...]] = []
+    pending = [list(v) for v in unsatisfied]
+
+    while pending and rank < k:
+        heights = [_height(tuple(v)) for v in pending]
+        live = [h for h in heights if h is not None]
+        if not live:
+            break
+        h = min(live)
+        # Carrying at h requires every dependence with height h to be
+        # non-negative there (true: unsatisfied deps are lexicographically
+        # positive in the source program).
+        for v, hh in zip(pending, heights):
+            if hh == h and v[h].may_be_negative():
+                raise CodegenError(
+                    "unsatisfied self-dependence is not lexicographically positive; "
+                    "cannot augment"
+                )
+        unit = tuple(1 if i == h else 0 for i in range(k))
+        candidate = current.with_row(unit)
+        if candidate.rank() > rank:
+            current = candidate
+            rank += 1
+            added.append(unit)
+        # Dependences definitely carried at h are done; '0+' entries may
+        # fall through, so zero them out and keep the vector.
+        remaining = []
+        for v, hh in zip(pending, heights):
+            if hh is None:
+                continue
+            if hh == h:
+                if v[h].definitely_positive():
+                    continue
+                v = list(v)
+                v[h] = DepEntry.const(0)
+                if _height(tuple(v)) is None:
+                    continue
+            remaining.append(v)
+        pending = remaining
+
+    if pending and rank >= k and any(_height(tuple(v)) is not None for v in pending):
+        # rank is full but some dependence is still uncarried by the added
+        # rows alone; the nonsingular rows above will order these (they
+        # are carried by non-augmented loops only if M said so).  Per
+        # Theorem 3 this cannot happen for truly unsatisfied deps.
+        raise CodegenError("could not carry all unsatisfied self-dependences")
+
+    # top up to full rank with the earliest unit vectors that help
+    for i in range(k):
+        if rank == k:
+            break
+        unit = tuple(1 if j == i else 0 for j in range(k))
+        candidate = current.with_row(unit)
+        if candidate.rank() > rank:
+            current = candidate
+            rank += 1
+            added.append(unit)
+    if rank != k:  # pragma: no cover - unit vectors always complete
+        raise CodegenError("failed to augment per-statement transformation to full rank")
+    return added

@@ -1,0 +1,76 @@
+"""Per-statement transformations (paper Definition 7).
+
+A transformation matrix ``M`` over the instance-vector space induces,
+for each statement S nested in k loops, an *affine* map from S's old
+iteration vector to the labels of the loops surrounding S in the new
+AST: the rows of ``M`` at the new surrounding-loop positions, applied
+to S's symbolic instance vector.  (The paper's examples are purely
+linear; statement alignment adds the constant part.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instance.layout import Layout
+from repro.instance.vectors import symbolic_vector
+from repro.legality.structure import NewStructure
+from repro.linalg.intmat import IntMatrix
+from repro.polyhedra.affine import LinExpr
+from repro.util.errors import CodegenError
+
+__all__ = ["PerStatement", "per_statement_transformation"]
+
+
+@dataclass(frozen=True)
+class PerStatement:
+    """The affine per-statement map of one statement.
+
+    ``exprs[i]`` is the affine expression (over the statement's *old*
+    loop variables) giving the label of the i-th new surrounding loop,
+    outside-in.  ``linear`` is the paper's k×k per-statement matrix
+    ``M_S`` (rows = new loops, columns = old loop variables outside-in)
+    and ``offsets`` its constant part.
+    """
+
+    label: str
+    old_vars: tuple[str, ...]
+    exprs: tuple[LinExpr, ...]
+    linear: IntMatrix
+    offsets: tuple[int, ...]
+
+    @property
+    def rank(self) -> int:
+        return self.linear.rank()
+
+    def is_singular(self) -> bool:
+        return self.rank < len(self.old_vars)
+
+
+def per_statement_transformation(
+    layout: Layout, matrix: IntMatrix, structure: NewStructure, label: str
+) -> PerStatement:
+    """Extract the per-statement transformation of ``label`` (Def. 7)."""
+    new_layout = structure.new_layout
+    if new_layout is None:  # pragma: no cover - defensive
+        raise CodegenError("structure has no recovered layout")
+    old_vars = tuple(c.var for c in layout.surrounding_loop_coords(label))
+    sym = symbolic_vector(layout, label)
+    new_positions = new_layout.surrounding_loop_positions(label)
+
+    exprs: list[LinExpr] = []
+    for pos in new_positions:
+        row = matrix[pos]
+        acc = LinExpr({}, 0)
+        for coef, entry in zip(row, sym):
+            if coef:
+                acc = acc + entry * coef
+        exprs.append(acc)
+
+    linear_rows = [[e[v] for v in old_vars] for e in exprs]
+    offsets = tuple(e.constant for e in exprs)
+    for e in exprs:
+        extra = e.variables() - set(old_vars)
+        if extra:  # pragma: no cover - symbolic vectors only use own vars
+            raise CodegenError(f"per-statement expr of {label} references {sorted(extra)}")
+    return PerStatement(label, old_vars, tuple(exprs), IntMatrix(linear_rows), offsets)

@@ -1,0 +1,173 @@
+"""Distribution/fusion-enabled completion (the paper's §7 future work).
+
+The paper notes that distribution and jamming are expressible in the
+framework but not used by its completion procedure, and names their
+integration as future work.  This module implements that integration
+directly at the AST level: when the plain completion cannot realize a
+requested lead loop, it searches a bounded space of *enabling
+restructurings* — legal loop distributions and fusions (jams) — and
+retries completion on each restructured program.
+
+Because distribution changes the instance-vector dimension, the partial
+transformation is specified by *intent* (the lead loop variable, i.e.
+"make the loop scanning this coordinate outermost") rather than by raw
+matrix rows; the row is re-derived against each candidate program's
+layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.completion.complete import CompletionResult, complete_transformation
+from repro.dependence.analyze import analyze_dependences
+from repro.instance.layout import Layout, Path
+from repro.ir.ast import Loop, Program
+from repro.transform.distribution import distribute, distribution_legal, jam
+from repro.util.errors import CompletionError, ReproError, TransformError
+
+__all__ = ["EnabledCompletion", "complete_with_restructuring"]
+
+
+@dataclass
+class EnabledCompletion:
+    """A completion found after zero or more enabling restructurings."""
+
+    program: Program          # the (possibly restructured) source program
+    result: CompletionResult  # completion against that program's layout
+    moves: tuple[str, ...]    # human-readable restructuring steps applied
+
+    @property
+    def restructured(self) -> bool:
+        return bool(self.moves)
+
+
+def _lead_positions(layout: Layout, lead_var: str) -> list[int]:
+    """All loop coordinates named ``lead_var`` (distribution may have
+    duplicated the loop)."""
+    return [
+        layout.index(c) for c in layout.loop_coords() if c.var == lead_var
+    ]
+
+
+def _try_complete(program: Program, lead_var: str, **kw) -> CompletionResult | None:
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    n = layout.dimension
+    for pos in _lead_positions(layout, lead_var):
+        row = [1 if j == pos else 0 for j in range(n)]
+        lead_coord = layout.coords[pos]
+        # the label row is forced on the outermost loop node of the
+        # top-level subtree containing the lead loop
+        top = lead_coord.path[:1]
+        node = layout.node_at(top)
+        if not isinstance(node, Loop):  # pragma: no cover - lead under a loop
+            continue
+        try:
+            return complete_transformation(
+                program, [], deps, layout=layout, node_rows={top: row}, **kw
+            )
+        except CompletionError:
+            continue
+    return None
+
+
+def _distribution_moves(program: Program) -> Iterator[tuple[Program, str]]:
+    """Every *legal* single distribution of a multi-child loop."""
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+
+    def loop_paths(body, prefix: Path) -> Iterator[tuple[Path, Loop]]:
+        for j, node in enumerate(body):
+            if isinstance(node, Loop):
+                yield prefix + (j,), node
+                yield from loop_paths(node.body, prefix + (j,))
+
+    for path, loop in loop_paths(program.body, ()):
+        c = len(loop.body)
+        for split in range(1, c):
+            try:
+                if distribution_legal(deps, path, split):
+                    yield distribute(program, path, split), f"distribute {loop.var}@{path} at {split}"
+            except TransformError:  # pragma: no cover - defensive
+                continue
+
+
+def _fusion_moves(program: Program) -> Iterator[tuple[Program, str]]:
+    """Every syntactically fusable adjacent loop pair whose jam
+    preserves the execution semantics (checked by re-analysis: the
+    fused program must not reverse any dependence, which the Definition
+    6 identity test on the fused program certifies)."""
+    def sites(body, prefix: Path) -> Iterator[Path]:
+        for j, node in enumerate(body):
+            if isinstance(node, Loop):
+                nxt = body[j + 1] if j + 1 < len(body) else None
+                if (
+                    isinstance(nxt, Loop)
+                    and (node.var, node.lower, node.upper, node.step)
+                    == (nxt.var, nxt.lower, nxt.upper, nxt.step)
+                ):
+                    yield prefix + (j,)
+                yield from sites(node.body, prefix + (j,))
+
+    for path in sites(program.body, ()):
+        try:
+            fused = jam(program, path)
+        except TransformError:
+            continue
+        # jamming is legal iff it does not reverse a dependence: compare
+        # the fused program's execution order against the distributed
+        # one — equivalently, the *distributed* order must be
+        # recoverable, i.e. no statement of the first loop depends on a
+        # later-group statement within the same iteration.  We check it
+        # with the trace oracle cheaply at a small size.
+        from repro.interp.equivalence import check_equivalence
+
+        try:
+            params = {p: 5 for p in program.params}
+            rep = check_equivalence(program, fused, params)
+        except ReproError:  # pragma: no cover - defensive
+            continue
+        if rep["ok"]:
+            yield fused, f"fuse loops at {path}"
+
+
+def complete_with_restructuring(
+    program: Program,
+    lead_var: str,
+    *,
+    max_moves: int = 2,
+    allow_reversal: bool = False,
+    skew_bound: int = 0,
+) -> EnabledCompletion:
+    """Complete "make ``lead_var`` the outermost loop", applying up to
+    ``max_moves`` enabling distributions/fusions if the plain completion
+    fails.
+
+    Raises :class:`CompletionError` when no restructuring within the
+    bound enables a legal completion.
+    """
+    kw = dict(allow_reversal=allow_reversal, skew_bound=skew_bound)
+    frontier: list[tuple[Program, tuple[str, ...]]] = [(program, ())]
+    seen: set[str] = {str(program)}
+    for _round in range(max_moves + 1):
+        next_frontier: list[tuple[Program, tuple[str, ...]]] = []
+        for prog, moves in frontier:
+            result = _try_complete(prog, lead_var, **kw)
+            if result is not None:
+                return EnabledCompletion(prog, result, moves)
+            if len(moves) < max_moves:
+                for new_prog, desc in list(_distribution_moves(prog)) + list(
+                    _fusion_moves(prog)
+                ):
+                    key = str(new_prog)
+                    if key not in seen:
+                        seen.add(key)
+                        next_frontier.append((new_prog, moves + (desc,)))
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    raise CompletionError(
+        f"no completion with lead {lead_var!r} within {max_moves} enabling moves"
+    )

@@ -1,0 +1,242 @@
+"""Dependence analysis for imperfectly nested loops (paper §3).
+
+For every ordered pair of conflicting references (at least one a write
+to the same array), the analyzer builds the affine system of §3 —
+source/destination loop bounds, subscript equality, and the
+per-common-loop-level precedence cases — decides integer feasibility
+with the omega-lite substrate, and summarizes each feasible case as a
+:class:`DepVector` of distance/direction intervals over the program's
+instance-vector layout.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.dependence.depvector import DepKind, DependenceMatrix, DepVector
+from repro.dependence.entry import NEG_INF, POS_INF, DepEntry
+from repro.instance.layout import EdgeCoord, Layout, LoopCoord
+from repro.instance.vectors import symbolic_vector
+from repro.ir.ast import Loop, Program, Statement
+from repro.ir.expr import ArrayRef, VarRef
+from repro.polyhedra.affine import LinExpr, var
+from repro.polyhedra.constraint import eq, ge, le
+from repro.polyhedra.system import Feasibility, System
+from repro.util.errors import DependenceError, IRError
+
+__all__ = ["analyze_dependences", "AccessInfo", "statement_domain", "iter_conflicting_pairs"]
+
+_SRC = "__s_"
+_DST = "__d_"
+_DELTA = "__delta"
+
+
+class AccessInfo:
+    """One array access of a statement: the ref plus read/write role."""
+
+    __slots__ = ("stmt", "ref", "is_write")
+
+    def __init__(self, stmt: Statement, ref: ArrayRef | VarRef, is_write: bool):
+        self.stmt = stmt
+        self.ref = ref
+        self.is_write = is_write
+
+    @property
+    def array(self) -> str:
+        return self.ref.array if isinstance(self.ref, ArrayRef) else self.ref.name
+
+    def subscripts(self) -> tuple[LinExpr, ...]:
+        if isinstance(self.ref, ArrayRef):
+            return self.ref.affine_subscripts()
+        return ()
+
+    def __repr__(self) -> str:
+        role = "W" if self.is_write else "R"
+        return f"<{role} {self.ref} in {self.stmt.label}>"
+
+
+def statement_accesses(program: Program) -> list[AccessInfo]:
+    """All array/scalar accesses in the program, in syntactic order.
+
+    Scalar reads are identified as right-hand-side variables that are
+    neither enclosing loop variables nor parameters.
+    """
+    out: list[AccessInfo] = []
+    params = set(program.params)
+    for s in program.statements():
+        loop_vars = set(program.loop_vars(s.label))
+        for r in s.reads():
+            out.append(AccessInfo(s, r, False))
+        scalar_candidates = s.rhs.variables() - loop_vars - params
+        for ref in s.reads():
+            scalar_candidates -= {ref.array} if isinstance(ref, ArrayRef) else set()
+        for v in sorted(scalar_candidates):
+            if not _is_array_name(program, v):
+                out.append(AccessInfo(s, VarRef(v), False))
+        if isinstance(s.lhs, (ArrayRef, VarRef)):
+            out.append(AccessInfo(s, s.lhs, True))
+    return out
+
+
+def _is_array_name(program: Program, name: str) -> bool:
+    return any(a.name == name for a in program.arrays)
+
+
+def statement_domain(program: Program, label: str, prefix: str = "") -> System:
+    """The iteration-space constraints of a statement's surrounding
+    loops, with loop variables optionally renamed by ``prefix``."""
+    constraints = []
+    rename: dict[str, str] = {}
+    for loop in program.enclosing_loops(label):
+        if loop.step != 1:
+            raise DependenceError(
+                f"dependence analysis requires unit steps (loop {loop.var} has {loop.step})"
+            )
+        try:
+            lo = loop.lower.single_affine()
+            hi = loop.upper.single_affine()
+        except IRError as exc:
+            raise DependenceError(
+                f"loop {loop.var} bounds are not single affine expressions"
+            ) from exc
+        v = prefix + loop.var
+        lo_r = lo.rename(rename)
+        hi_r = hi.rename(rename)
+        constraints.append(ge(var(v), lo_r))
+        constraints.append(le(var(v), hi_r))
+        rename[loop.var] = v
+    return System(constraints)
+
+
+def iter_conflicting_pairs(program: Program) -> Iterator[tuple[AccessInfo, AccessInfo, str]]:
+    """Ordered access pairs (src, dst, kind) with at least one write on
+    the same array; src is the earlier access role-wise."""
+    accesses = statement_accesses(program)
+    for a, b in itertools.product(accesses, repeat=2):
+        if a.array != b.array:
+            continue
+        if not (a.is_write or b.is_write):
+            continue
+        if a.is_write and b.is_write:
+            kind = DepKind.OUTPUT
+        elif a.is_write:
+            kind = DepKind.FLOW
+        else:
+            kind = DepKind.ANTI
+        yield a, b, kind
+
+
+def analyze_dependences(
+    program: Program,
+    *,
+    layout: Layout | None = None,
+    include_unknown: bool = True,
+    param_assumptions: System | None = None,
+) -> DependenceMatrix:
+    """Compute the dependence matrix of a program.
+
+    ``include_unknown`` controls whether cases the feasibility test
+    cannot decide are (soundly) included.  ``param_assumptions`` may add
+    constraints on symbolic parameters (e.g. ``N >= 2``).
+    """
+    layout = layout or Layout(program)
+    matrix = DependenceMatrix(layout)
+    base_assume = param_assumptions or System()
+
+    for src_acc, dst_acc, kind in iter_conflicting_pairs(program):
+        s_label = src_acc.stmt.label
+        d_label = dst_acc.stmt.label
+        base = (
+            statement_domain(program, s_label, _SRC)
+            .conjoin(statement_domain(program, d_label, _DST))
+            .conjoin(base_assume)
+        )
+        # subscript equality (same array location)
+        subs_s = src_acc.subscripts()
+        subs_d = dst_acc.subscripts()
+        if len(subs_s) != len(subs_d):
+            raise DependenceError(
+                f"rank mismatch on array {src_acc.array}: {len(subs_s)} vs {len(subs_d)}"
+            )
+        s_rename = {l.var: _SRC + l.var for l in program.enclosing_loops(s_label)}
+        d_rename = {l.var: _DST + l.var for l in program.enclosing_loops(d_label)}
+        for es, ed in zip(subs_s, subs_d):
+            base = base.and_(eq(es.rename(s_rename), ed.rename(d_rename)))
+        if base.is_trivially_false():
+            continue
+
+        common = layout.common_loop_coords(s_label, d_label)
+        for case in _precedence_cases(program, s_label, d_label, common):
+            if case is None:
+                continue
+            level_var, case_sys = case
+            system = base.conjoin(case_sys)
+            feas = system.feasible()
+            if feas is Feasibility.INFEASIBLE:
+                continue
+            if feas is Feasibility.UNKNOWN:
+                if not include_unknown:
+                    continue
+                if system.find_point(clip=16) is None and _probably_empty(system):
+                    continue
+            dep = _summarize(
+                layout, s_label, d_label, system, kind, level_var, src_acc.array
+            )
+            if dep is not None:
+                matrix.add(dep)
+    return matrix
+
+
+def _precedence_cases(
+    program: Program, s_label: str, d_label: str, common: list[LoopCoord]
+):
+    """Yield (level_name, constraints) for each carried level, plus the
+    loop-independent case when syntactic order allows it."""
+    vars_ = [c.var for c in common]
+    for k, ck in enumerate(vars_):
+        cs = [eq(var(_SRC + v), var(_DST + v)) for v in vars_[:k]]
+        cs.append(le(var(_SRC + ck) + 1, var(_DST + ck)))
+        yield ck, System(cs)
+    # loop-independent: same common iteration; requires strict syntactic order
+    if s_label != d_label and program.syntactically_before(s_label, d_label):
+        cs = [eq(var(_SRC + v), var(_DST + v)) for v in vars_]
+        yield None, System(cs)
+
+
+def _summarize(
+    layout: Layout,
+    s_label: str,
+    d_label: str,
+    system: System,
+    kind: str,
+    level: str | None,
+    array: str,
+) -> DepVector | None:
+    """Summarize ``L(dst) - L(src)`` per coordinate over the system."""
+    s_sym = symbolic_vector(layout, s_label)
+    d_sym = symbolic_vector(layout, d_label)
+    s_rename = {c.var: _SRC + c.var for c in layout.surrounding_loop_coords(s_label)}
+    d_rename = {c.var: _DST + c.var for c in layout.surrounding_loop_coords(d_label)}
+
+    entries: list[DepEntry] = []
+    for i, coord in enumerate(layout.coords):
+        diff = d_sym[i].rename(d_rename) - s_sym[i].rename(s_rename)
+        if diff.is_constant():
+            entries.append(DepEntry.const(diff.constant))
+            continue
+        if isinstance(coord, EdgeCoord):  # pragma: no cover - edges are constants
+            raise DependenceError("edge coordinate difference should be constant")
+        probe = system.and_(eq(var(_DELTA), diff))
+        try:
+            lo, hi = probe.var_range(_DELTA)
+        except Exception:
+            lo, hi = None, None
+        entries.append(DepEntry(NEG_INF if lo is None else lo, POS_INF if hi is None else hi))
+    return DepVector(s_label, d_label, tuple(entries), kind, level, array)
+
+
+def _probably_empty(system: System) -> bool:
+    """Last-resort emptiness heuristic for UNKNOWN systems: sample a few
+    larger clip boxes.  Returning False keeps the dependence (sound)."""
+    return system.find_point(clip=48) is None

@@ -1,0 +1,119 @@
+"""Classical fast dependence tests (system S6): GCD and Banerjee.
+
+These are the textbook filters that predate exact polyhedral tests:
+cheap, conservative, and useful both as a historical baseline and as a
+fast pre-screen before the Fourier–Motzkin machinery.  They answer the
+single-subscript question "can ``a·i⃗ + a0 == b·j⃗ + b0`` hold within
+the loop bounds?":
+
+* **GCD test** — a solution over ℤ (ignoring bounds) requires
+  ``gcd(coefficients) | (b0 - a0)``.
+* **Banerjee test** — a solution over ℝ *within* rectangular bounds
+  requires the constant difference to lie between the extreme values
+  of the linear form.
+
+Both may report a dependence that the exact test rules out, never the
+reverse; :func:`tests_agree_with_exact` (used by the test suite)
+verifies that containment against the omega-lite oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Mapping, Sequence
+
+from repro.polyhedra.affine import LinExpr, var
+from repro.polyhedra.constraint import eq, ge, le
+from repro.polyhedra.system import Feasibility, System
+from repro.util.errors import DependenceError
+
+__all__ = ["SubscriptPair", "gcd_test", "banerjee_test", "exact_test"]
+
+
+@dataclass(frozen=True)
+class SubscriptPair:
+    """One dimension of a potential dependence between two references.
+
+    ``a``/``b`` map loop variables to integer coefficients for the
+    writing and reading reference respectively (over *independent*
+    index variables, as in the classical formulation); ``a0``/``b0``
+    are the constant terms; ``bounds`` gives the inclusive rectangular
+    range of every loop variable.
+    """
+
+    a: Mapping[str, int]
+    a0: int
+    b: Mapping[str, int]
+    b0: int
+    bounds: Mapping[str, tuple[int, int]]
+
+    def __post_init__(self):
+        for v in set(self.a) | set(self.b):
+            if v not in self.bounds:
+                raise DependenceError(f"no bounds for loop variable {v!r}")
+        for v, (lo, hi) in self.bounds.items():
+            if lo > hi:
+                raise DependenceError(f"empty bounds for {v!r}: {lo}..{hi}")
+
+
+def gcd_test(pair: SubscriptPair) -> bool:
+    """True when a dependence is *possible* (the GCD divides the
+    constant difference); False proves independence."""
+    g = 0
+    for c in pair.a.values():
+        g = gcd(g, abs(c))
+    for c in pair.b.values():
+        g = gcd(g, abs(c))
+    diff = pair.b0 - pair.a0
+    if g == 0:
+        return diff == 0
+    return diff % g == 0
+
+
+def banerjee_test(pair: SubscriptPair) -> bool:
+    """True when a dependence is *possible* (the constant difference
+    lies within the real-valued extremes of ``a·i⃗ - b·j⃗``); False
+    proves independence under rectangular bounds."""
+    # We need  sum(a_v * i_v) - sum(b_v * j_v) == b0 - a0  for some
+    # i, j within bounds; i and j range independently.
+    lo = hi = 0
+    for v, c in pair.a.items():
+        l, h = pair.bounds[v]
+        lo += min(c * l, c * h)
+        hi += max(c * l, c * h)
+    for v, c in pair.b.items():
+        l, h = pair.bounds[v]
+        lo += min(-c * l, -c * h)
+        hi += max(-c * l, -c * h)
+    diff = pair.b0 - pair.a0
+    return lo <= diff <= hi
+
+
+def exact_test(pair: SubscriptPair) -> bool:
+    """The omega-lite oracle for the same question: integer feasibility
+    of the subscript equation within bounds (source/sink variables are
+    renamed apart, matching the classical independent-ranges model)."""
+    lhs = LinExpr({f"w_{v}": c for v, c in pair.a.items()}, pair.a0)
+    rhs = LinExpr({f"r_{v}": c for v, c in pair.b.items()}, pair.b0)
+    cs = [eq(lhs, rhs)]
+    for v, c in pair.a.items():
+        lo, hi = pair.bounds[v]
+        cs += [ge(var(f"w_{v}"), lo), le(var(f"w_{v}"), hi)]
+    for v, c in pair.b.items():
+        lo, hi = pair.bounds[v]
+        cs += [ge(var(f"r_{v}"), lo), le(var(f"r_{v}"), hi)]
+    s = System(cs)
+    verdict = s.feasible()
+    if verdict is Feasibility.UNKNOWN:
+        return s.find_point(clip=128) is not None
+    return verdict is Feasibility.FEASIBLE
+
+
+def screen(pairs: Sequence[SubscriptPair]) -> bool:
+    """Combined fast screen over all dimensions of an array reference
+    pair: independence in ANY dimension proves independence overall."""
+    for p in pairs:
+        if not gcd_test(p) or not banerjee_test(p):
+            return False
+    return True

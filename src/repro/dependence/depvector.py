@@ -1,0 +1,122 @@
+"""Dependence vectors in instance-vector space and their matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.dependence.entry import DepEntry
+from repro.instance.layout import Layout
+from repro.util.errors import DependenceError
+
+__all__ = ["DepVector", "DependenceMatrix", "DepKind"]
+
+
+class DepKind:
+    FLOW = "flow"
+    ANTI = "anti"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class DepVector:
+    """One dependence, summarized over the instance-vector coordinates.
+
+    ``entries[i]`` is the interval of possible values of
+    ``L(dst) - L(src)`` at layout coordinate ``i``.  ``src``/``dst`` are
+    statement labels; ``kind`` is flow/anti/output; ``level`` names the
+    common loop carrying the dependence (None = loop-independent).
+    """
+
+    src: str
+    dst: str
+    entries: tuple[DepEntry, ...]
+    kind: str = DepKind.FLOW
+    level: str | None = None
+    array: str = ""
+
+    def __post_init__(self):
+        if not isinstance(self.entries, tuple):
+            object.__setattr__(self, "entries", tuple(self.entries))
+
+    @staticmethod
+    def parse(src: str, dst: str, tokens: Sequence, **kw) -> "DepVector":
+        """Build from paper notation, e.g. ``parse("S1","S2",[0,1,-1,"+"])``."""
+        return DepVector(src, dst, tuple(DepEntry.parse(t) for t in tokens), **kw)
+
+    def is_self(self) -> bool:
+        return self.src == self.dst
+
+    def entry_strs(self) -> tuple[str, ...]:
+        return tuple(str(e) for e in self.entries)
+
+    def project(self, positions: Sequence[int]) -> tuple[DepEntry, ...]:
+        """Entries at the given coordinate positions, in the given order."""
+        return tuple(self.entries[i] for i in positions)
+
+    def __str__(self) -> str:
+        body = ", ".join(self.entry_strs())
+        lvl = f" @{self.level}" if self.level else " @indep"
+        return f"{self.kind} {self.src}->{self.dst}{lvl}: [{body}]"
+
+
+@dataclass
+class DependenceMatrix:
+    """All dependences of a program, as columns over a shared layout."""
+
+    layout: Layout
+    deps: list[DepVector] = field(default_factory=list)
+
+    def __post_init__(self):
+        for d in self.deps:
+            self._check(d)
+
+    def _check(self, d: DepVector) -> None:
+        if len(d.entries) != self.layout.dimension:
+            raise DependenceError(
+                f"dependence vector length {len(d.entries)} does not match "
+                f"layout dimension {self.layout.dimension}"
+            )
+
+    def add(self, d: DepVector) -> None:
+        self._check(d)
+        if not any(
+            e.src == d.src and e.dst == d.dst and e.kind == d.kind
+            and e.entries == d.entries
+            for e in self.deps
+        ):
+            self.deps.append(d)
+
+    def extend(self, ds: Iterable[DepVector]) -> None:
+        for d in ds:
+            self.add(d)
+
+    def __len__(self) -> int:
+        return len(self.deps)
+
+    def __iter__(self):
+        return iter(self.deps)
+
+    def columns(self) -> list[tuple[DepEntry, ...]]:
+        return [d.entries for d in self.deps]
+
+    def between(self, src: str, dst: str) -> list[DepVector]:
+        return [d for d in self.deps if d.src == src and d.dst == dst]
+
+    def self_deps(self, label: str) -> list[DepVector]:
+        return self.between(label, label)
+
+    def to_str(self) -> str:
+        """Paper-style rendering: one column per dependence."""
+        if not self.deps:
+            return "(no dependences)"
+        cols = [d.entry_strs() for d in self.deps]
+        widths = [max(len(entry) for entry in c) for c in cols]
+        lines = []
+        for i in range(self.layout.dimension):
+            row = "  ".join(c[i].rjust(w) for c, w in zip(cols, widths))
+            lines.append(f"[ {row} ]")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        return "\n".join(str(d) for d in self.deps)

@@ -1,0 +1,17 @@
+"""Instance vectors and layouts (system S4, paper §2)."""
+
+from repro.instance.layout import Coord, EdgeCoord, Layout, LoopCoord, Path
+from repro.instance.order import (
+    check_order_isomorphism, program_order, sort_by_execution, vector_order,
+)
+from repro.instance.vectors import (
+    DynamicInstance, from_vector, identify_statement, instance_vector,
+    symbolic_vector,
+)
+
+__all__ = [
+    "Layout", "Coord", "LoopCoord", "EdgeCoord", "Path",
+    "DynamicInstance", "instance_vector", "symbolic_vector", "from_vector",
+    "identify_statement", "program_order", "vector_order",
+    "check_order_isomorphism", "sort_by_execution",
+]

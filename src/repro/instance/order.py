@@ -1,0 +1,80 @@
+"""Execution order on dynamic instances and its vector counterpart.
+
+Definition 2 of the paper orders dynamic instances by (i) the values of
+their *common* loops, outside-in, then (ii) syntactic order ⪯ₛ.
+Theorem 1 states that ``L`` turns this into plain lexicographic order on
+instance vectors; :func:`check_order_isomorphism` verifies that claim on
+a full enumeration (used heavily in tests — it is the executable form of
+the theorem).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.instance.layout import Layout
+from repro.instance.vectors import DynamicInstance, instance_vector
+from repro.ir.ast import Program
+from repro.linalg.unimodular import lex_compare
+from repro.util.errors import LayoutError
+
+__all__ = ["program_order", "vector_order", "check_order_isomorphism", "sort_by_execution"]
+
+
+def program_order(program: Program, a: DynamicInstance, b: DynamicInstance) -> int:
+    """Three-way Definition-2 comparison of two dynamic instances."""
+    common = program.common_loop_vars(a.label, b.label)
+    layout = Layout(program)
+    env_a, env_b = a.env(layout), b.env(layout)
+    pa = [env_a[v] for v in common]
+    pb = [env_b[v] for v in common]
+    c = lex_compare(pa, pb)
+    if c != 0:
+        return c
+    if a.label == b.label:
+        rest = lex_compare(a.iters, b.iters)
+        return rest
+    return -1 if program.syntactically_before(a.label, b.label) else 1
+
+
+def vector_order(layout: Layout, a: DynamicInstance, b: DynamicInstance) -> int:
+    """Three-way lexicographic comparison of the instance vectors."""
+    return lex_compare(instance_vector(layout, a), instance_vector(layout, b))
+
+
+def check_order_isomorphism(
+    program: Program, instances: Iterable[DynamicInstance]
+) -> list[tuple[DynamicInstance, DynamicInstance]]:
+    """Return every pair on which Definition-2 order and vector order
+    disagree (empty list = Theorem 1 holds on this enumeration)."""
+    layout = Layout(program)
+    insts = list(instances)
+    vectors = [instance_vector(layout, d) for d in insts]
+    bad: list[tuple[DynamicInstance, DynamicInstance]] = []
+    for i, a in enumerate(insts):
+        for j, b in enumerate(insts):
+            if i == j:
+                continue
+            po = program_order(program, a, b)
+            vo = lex_compare(vectors[i], vectors[j])
+            if po != vo:
+                bad.append((a, b))
+    return bad
+
+
+def sort_by_execution(layout: Layout, instances: Sequence[DynamicInstance]) -> list[DynamicInstance]:
+    """Sort dynamic instances into execution order via their vectors."""
+    return sorted(instances, key=lambda d: instance_vector(layout, d))
+
+
+def injectivity_violations(layout: Layout, instances: Sequence[DynamicInstance]):
+    """Pairs of distinct instances mapped to the same vector (Theorem 1
+    says L is one-to-one, so this must be empty)."""
+    seen: dict[tuple[int, ...], DynamicInstance] = {}
+    bad = []
+    for d in instances:
+        v = instance_vector(layout, d)
+        if v in seen and seen[v] != d:
+            bad.append((seen[v], d))
+        seen[v] = d
+    return bad

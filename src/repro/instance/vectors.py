@@ -1,0 +1,99 @@
+"""The L and L⁻¹ maps between dynamic instances and instance vectors.
+
+A *dynamic instance* is a statement label plus an assignment of its
+surrounding loop variables (the partially labeled AST of §2.1).  ``L``
+completes the labeling per procedure **M** — unlabeled edges get 0,
+unlabeled loop nodes get their nearest labeled ancestor's value (the
+"diagonal embedding"; 0 when no labeled ancestor exists) — and collects
+the labels in layout order.  ``L⁻¹`` reads the surrounding-loop values
+back out of a vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.instance.layout import EdgeCoord, Layout, LoopCoord
+from repro.polyhedra.affine import LinExpr, var
+from repro.util.errors import LayoutError
+
+__all__ = ["DynamicInstance", "instance_vector", "symbolic_vector", "from_vector", "identify_statement"]
+
+
+@dataclass(frozen=True)
+class DynamicInstance:
+    """A statement execution: label + values of its surrounding loops."""
+
+    label: str
+    iters: tuple[int, ...]
+
+    def env(self, layout: Layout) -> dict[str, int]:
+        coords = layout.surrounding_loop_coords(self.label)
+        if len(coords) != len(self.iters):
+            raise LayoutError(
+                f"{self.label} is nested in {len(coords)} loops, got {len(self.iters)} values"
+            )
+        return {c.var: v for c, v in zip(coords, self.iters)}
+
+
+def symbolic_vector(layout: Layout, label: str) -> tuple[LinExpr, ...]:
+    """The *general* instance vector of a statement, with loop variables
+    left symbolic — e.g. ``[I, 0, 1, I]`` for S1 of simplified Cholesky."""
+    surrounding = {c.path: c for c in layout.surrounding_loop_coords(label)}
+    out: list[LinExpr] = []
+    for coord in layout.coords:
+        if isinstance(coord, LoopCoord):
+            if coord.path in surrounding:
+                out.append(var(coord.var))
+            else:
+                src = layout.pad_source(coord, label)
+                out.append(var(src.var) if src is not None else LinExpr({}, 0))
+        elif isinstance(coord, EdgeCoord):
+            out.append(LinExpr({}, layout.edge_entry(coord, label)))
+        else:  # pragma: no cover - defensive
+            raise LayoutError(f"unknown coordinate {coord}")
+    return tuple(out)
+
+
+def instance_vector(layout: Layout, instance: DynamicInstance) -> tuple[int, ...]:
+    """``L``: map a dynamic instance to its concrete instance vector."""
+    env = instance.env(layout)
+    return tuple(e.eval(env) for e in symbolic_vector(layout, instance.label))
+
+
+def identify_statement(layout: Layout, vector: Sequence[int]) -> str:
+    """Step 1 of ``L⁻¹`` (Def. 5): recover the statement from the edge
+    entries of an instance vector."""
+    if len(vector) != layout.dimension:
+        raise LayoutError(
+            f"vector length {len(vector)} does not match layout dimension {layout.dimension}"
+        )
+    for label in layout.statement_labels():
+        if all(
+            vector[layout.index(c)] == layout.edge_entry(c, label)
+            for c in layout.edge_coords()
+        ):
+            return label
+    raise LayoutError("vector's edge labels match no statement")
+
+
+def from_vector(
+    layout: Layout, vector: Sequence[int], label: str | None = None
+) -> DynamicInstance:
+    """``L⁻¹``: recover the dynamic instance from an instance vector.
+
+    If ``label`` is given, the statement identification step is skipped
+    and the surrounding-loop entries are read directly — this is the
+    form used during code generation, where padded entries of a
+    transformed vector are *not* meaningful (§4.1).
+    """
+    if label is None:
+        label = identify_statement(layout, vector)
+    iters = tuple(vector[i] for i in layout.surrounding_loop_positions(label))
+    return DynamicInstance(label, iters)
+
+
+def vector_env(layout: Layout, label: str, vector: Sequence[int]) -> dict[str, int]:
+    """Surrounding-loop environment read from a vector (convenience)."""
+    return from_vector(layout, vector, label).env(layout)

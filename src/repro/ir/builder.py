@@ -1,0 +1,141 @@
+"""Programmatic DSL for building loop-nest IR without parsing.
+
+A thin fluent layer over the AST constructors so kernels and tests can
+be written as Python expressions::
+
+    from repro.ir.builder import nest
+
+    prog = (
+        nest("blur", params=["N"])
+        .array("A", (0, "N+1"), (0, "N+1"))
+        .array("B", (0, "N+1"), (0, "N+1"))
+        .loop("I", 1, "N")
+        .loop("J", 1, "N")
+        .stmt("S1", "B(I,J)", "(A(I-1,J) + A(I+1,J) + A(I,J-1) + A(I,J+1)) / 4")
+        .end()
+        .end()
+        .build()
+    )
+
+Bounds and expressions accept ints, strings (parsed with the
+mini-language grammar), or IR objects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.ast import ArrayDecl, BoundSet, Loop, Node, Program, Statement
+from repro.ir.expr import ArrayRef, Expr, VarRef, as_affine
+from repro.ir.parser import parse_expr
+from repro.polyhedra.affine import LinExpr
+from repro.util.errors import IRError
+
+__all__ = ["nest", "NestBuilder"]
+
+
+def _expr(x) -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, (int, float)):
+        from repro.ir.expr import FloatLit, IntLit
+
+        return IntLit(x) if isinstance(x, int) else FloatLit(x)
+    if isinstance(x, str):
+        return parse_expr(x)
+    raise IRError(f"cannot interpret {x!r} as an expression")
+
+
+def _affine(x) -> LinExpr:
+    if isinstance(x, LinExpr):
+        return x
+    if isinstance(x, int):
+        return LinExpr({}, x)
+    return as_affine(_expr(x))
+
+
+class NestBuilder:
+    """Fluent builder; see module docstring."""
+
+    def __init__(self, name: str = "program", params: Sequence[str] = ()):
+        self._name = name
+        self._params = tuple(params)
+        self._arrays: list[ArrayDecl] = []
+        # stack of open bodies: [-1] is the innermost open scope
+        self._stack: list[list[Node]] = [[]]
+        self._open_loops: list[tuple[str, LinExpr, LinExpr, int]] = []
+        self._auto = 0
+
+    # -- declarations ------------------------------------------------------
+
+    def array(self, name: str, *dims) -> "NestBuilder":
+        """Declare an array; each dim is ``hi`` or ``(lo, hi)``; bounds
+        accept ints/strings/LinExprs."""
+        fixed = []
+        for d in dims:
+            if isinstance(d, tuple):
+                fixed.append((_affine(d[0]), _affine(d[1])))
+            else:
+                fixed.append((1, _affine(d)))
+        self._arrays.append(ArrayDecl.make(name, *fixed))
+        return self
+
+    # -- structure ---------------------------------------------------------
+
+    def loop(self, var: str, lower, upper, step: int = 1) -> "NestBuilder":
+        """Open a loop; close it with :meth:`end`."""
+        self._open_loops.append((var, _affine(lower), _affine(upper), step))
+        self._stack.append([])
+        return self
+
+    def end(self) -> "NestBuilder":
+        """Close the innermost open loop."""
+        if not self._open_loops:
+            raise IRError("end() without a matching loop()")
+        var, lo, hi, step = self._open_loops.pop()
+        body = self._stack.pop()
+        if not body:
+            raise IRError(f"loop {var} has an empty body")
+        node = Loop(
+            var,
+            BoundSet.affine(lo, True),
+            BoundSet.affine(hi, False),
+            tuple(body),
+            step,
+        )
+        self._stack[-1].append(node)
+        return self
+
+    def stmt(self, label_or_lhs: str, lhs_or_rhs=None, rhs=None) -> "NestBuilder":
+        """Add a statement.
+
+        Either ``stmt("S1", "A(I)", "A(I)+1")`` (explicit label) or
+        ``stmt("A(I)", "A(I)+1")`` (auto label).
+        """
+        if rhs is None:
+            lhs_src, rhs_src = label_or_lhs, lhs_or_rhs
+            self._auto += 1
+            label = f"S{self._auto}"
+        else:
+            label, lhs_src, rhs_src = label_or_lhs, lhs_or_rhs, rhs
+        lhs = _expr(lhs_src)
+        if not isinstance(lhs, (ArrayRef, VarRef)):
+            raise IRError(f"statement lhs {lhs_src!r} must be a reference")
+        self._stack[-1].append(Statement(label, lhs, _expr(rhs_src)))
+        return self
+
+    # -- finish ---------------------------------------------------------------
+
+    def build(self) -> Program:
+        if self._open_loops:
+            raise IRError(
+                f"{len(self._open_loops)} loop(s) still open; call end()"
+            )
+        return Program(
+            tuple(self._stack[0]), self._params, tuple(self._arrays), self._name
+        )
+
+
+def nest(name: str = "program", params: Sequence[str] = ()) -> NestBuilder:
+    """Start building a program."""
+    return NestBuilder(name, params)

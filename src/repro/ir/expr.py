@@ -1,0 +1,306 @@
+"""Scalar expression trees for statement bodies.
+
+Statements in the loop-nest IR are assignments whose right-hand sides
+are arbitrary arithmetic expression trees (:class:`Expr`), while array
+*subscripts* must additionally be affine in the loop variables and
+parameters (checked by :func:`as_affine`) so dependence analysis can
+reason about them exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.polyhedra.affine import LinExpr
+from repro.util.errors import InterpError, IRError
+
+__all__ = [
+    "Expr", "IntLit", "FloatLit", "VarRef", "ArrayRef", "BinOp", "UnaryOp",
+    "Call", "as_affine", "affine_to_expr", "BUILTIN_FUNCTIONS",
+]
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def variables(self) -> frozenset[str]:
+        """Free scalar variable names (loop vars, params, scalars)."""
+        raise NotImplementedError
+
+    def array_refs(self) -> list["ArrayRef"]:
+        """All array references in the expression, in evaluation order."""
+        raise NotImplementedError
+
+    def substitute_vars(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Replace variable references by expressions."""
+        raise NotImplementedError
+
+    # arithmetic sugar so kernels can be built programmatically
+    def __add__(self, other):
+        return BinOp("+", self, _coerce(other))
+
+    def __radd__(self, other):
+        return BinOp("+", _coerce(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, _coerce(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", _coerce(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, _coerce(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", _coerce(other), self)
+
+    def __truediv__(self, other):
+        return BinOp("/", self, _coerce(other))
+
+    def __rtruediv__(self, other):
+        return BinOp("/", _coerce(other), self)
+
+    def __neg__(self):
+        return UnaryOp("-", self)
+
+
+def _coerce(x) -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, bool):
+        raise IRError("booleans are not IR scalars")
+    if isinstance(x, int):
+        return IntLit(x)
+    if isinstance(x, float):
+        return FloatLit(x)
+    raise IRError(f"cannot use {type(x).__name__} as an IR expression")
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    """Integer literal."""
+
+    value: int
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def array_refs(self) -> list["ArrayRef"]:
+        return []
+
+    def substitute_vars(self, mapping) -> Expr:
+        return self
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FloatLit(Expr):
+    """Floating-point literal."""
+
+    value: float
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def array_refs(self) -> list["ArrayRef"]:
+        return []
+
+    def substitute_vars(self, mapping) -> Expr:
+        return self
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """Reference to a scalar: loop variable, parameter or scalar array."""
+
+    name: str
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def array_refs(self) -> list["ArrayRef"]:
+        return []
+
+    def substitute_vars(self, mapping) -> Expr:
+        return mapping.get(self.name, self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """Reference ``array(sub1, sub2, ...)``; subscripts are Exprs that
+    must be affine for dependence analysis to apply."""
+
+    array: str
+    subscripts: tuple[Expr, ...]
+
+    def __init__(self, array: str, subscripts: Sequence[Expr | int]):
+        object.__setattr__(self, "array", array)
+        object.__setattr__(self, "subscripts", tuple(_coerce(s) for s in subscripts))
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for s in self.subscripts:
+            out |= s.variables()
+        return frozenset(out)
+
+    def array_refs(self) -> list["ArrayRef"]:
+        inner = [r for s in self.subscripts for r in s.array_refs()]
+        return inner + [self]
+
+    def substitute_vars(self, mapping) -> "ArrayRef":
+        return ArrayRef(self.array, [s.substitute_vars(mapping) for s in self.subscripts])
+
+    def affine_subscripts(self) -> tuple[LinExpr, ...]:
+        """Subscripts as LinExprs; raises IRError if any is non-affine."""
+        return tuple(as_affine(s) for s in self.subscripts)
+
+    def __str__(self) -> str:
+        return f"{self.array}({', '.join(map(str, self.subscripts))})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic: ``+ - * / %``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    OPS: tuple[str, ...] = field(default=("+", "-", "*", "/", "%"), repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.op not in ("+", "-", "*", "/", "%"):
+            raise IRError(f"unknown binary operator {self.op!r}")
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def array_refs(self) -> list["ArrayRef"]:
+        return self.left.array_refs() + self.right.array_refs()
+
+    def substitute_vars(self, mapping) -> Expr:
+        return BinOp(self.op, self.left.substitute_vars(mapping), self.right.substitute_vars(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary arithmetic: ``-``."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op != "-":
+            raise IRError(f"unknown unary operator {self.op!r}")
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def array_refs(self) -> list["ArrayRef"]:
+        return self.operand.array_refs()
+
+    def substitute_vars(self, mapping) -> Expr:
+        return UnaryOp(self.op, self.operand.substitute_vars(mapping))
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+#: Functions callable from kernels.  ``f`` is the paper's opaque RHS
+#: function; it is made deterministic in its arguments so transformed
+#: programs remain comparable bit-for-bit.
+BUILTIN_FUNCTIONS: dict[str, Callable[..., float]] = {
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "mod": lambda a, b: a % b,
+    "f": lambda *args: float(sum((i + 1) * 0.61803398875 * a for i, a in enumerate(args)) + 1.0),
+    "g": lambda *args: float(sum((i + 2) * 0.41421356237 * a for i, a in enumerate(args)) + 2.0),
+}
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Intrinsic function call (sqrt, min, max, f, g, ...)."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def __init__(self, func: str, args: Sequence[Expr | int]):
+        if func not in BUILTIN_FUNCTIONS:
+            raise IRError(f"unknown function {func!r}; known: {sorted(BUILTIN_FUNCTIONS)}")
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "args", tuple(_coerce(a) for a in args))
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.variables()
+        return frozenset(out)
+
+    def array_refs(self) -> list["ArrayRef"]:
+        return [r for a in self.args for r in a.array_refs()]
+
+    def substitute_vars(self, mapping) -> Expr:
+        return Call(self.func, [a.substitute_vars(mapping) for a in self.args])
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+def as_affine(e: Expr) -> LinExpr:
+    """Convert an Expr to a LinExpr, raising :class:`IRError` if it is not
+    affine with integer coefficients (e.g. contains array refs, division
+    or products of variables)."""
+    if isinstance(e, IntLit):
+        return LinExpr({}, e.value)
+    if isinstance(e, VarRef):
+        return LinExpr({e.name: 1})
+    if isinstance(e, UnaryOp):
+        return -as_affine(e.operand)
+    if isinstance(e, BinOp):
+        if e.op == "+":
+            return as_affine(e.left) + as_affine(e.right)
+        if e.op == "-":
+            return as_affine(e.left) - as_affine(e.right)
+        if e.op == "*":
+            l, r = as_affine(e.left), as_affine(e.right)
+            if l.is_constant():
+                return r * l.constant
+            if r.is_constant():
+                return l * r.constant
+            raise IRError(f"non-affine product {e}")
+        raise IRError(f"non-affine operator {e.op!r} in {e}")
+    raise IRError(f"expression {e} is not affine")
+
+
+def affine_to_expr(lin: LinExpr) -> Expr:
+    """Convert a LinExpr back to an expression tree (for code emission)."""
+    terms: list[Expr] = []
+    for name, c in lin.coeffs.items():
+        if c == 1:
+            terms.append(VarRef(name))
+        elif c == -1:
+            terms.append(UnaryOp("-", VarRef(name)))
+        else:
+            terms.append(BinOp("*", IntLit(c), VarRef(name)))
+    if lin.constant != 0 or not terms:
+        terms.append(IntLit(lin.constant))
+    out = terms[0]
+    for t in terms[1:]:
+        out = BinOp("+", out, t)
+    return out

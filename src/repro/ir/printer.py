@@ -1,0 +1,77 @@
+"""Pretty-printer for the loop-nest IR.
+
+Emits code in the paper's Fortran-flavoured pseudo-syntax::
+
+    do I = 1, N
+      S1: A(I) = sqrt(A(I))
+      do J = I + 1, N
+        S2: A(J) = (A(J) / A(I))
+      enddo
+    enddo
+
+The printed form round-trips through :mod:`repro.ir.parser` for
+programs whose bounds are plain affine expressions.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast import Guard, Loop, Node, Program, Statement
+
+__all__ = ["program_to_str", "node_to_str"]
+
+_INDENT = "  "
+
+
+def program_to_str(p: Program, *, header: bool = True) -> str:
+    """Render a whole program, optionally with param/array declarations."""
+    lines: list[str] = []
+    if header:
+        if p.params:
+            lines.append("param " + ", ".join(p.params))
+        for a in p.arrays:
+            lines.append(f"real {a}")
+    for node in p.body:
+        _emit(node, 0, lines)
+    return "\n".join(lines)
+
+
+def node_to_str(node: Node) -> str:
+    """Render a single subtree."""
+    lines: list[str] = []
+    _emit(node, 0, lines)
+    return "\n".join(lines)
+
+
+def _emit(node: Node, depth: int, lines: list[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(node, Statement):
+        lines.append(f"{pad}{node.label}: {node.lhs} = {node.rhs}")
+    elif isinstance(node, Loop):
+        step = f", {node.step}" if node.step != 1 else ""
+        lines.append(f"{pad}do {node.var} = {node.lower}, {node.upper}{step}")
+        for c in node.body:
+            _emit(c, depth + 1, lines)
+        lines.append(f"{pad}enddo")
+    elif isinstance(node, Guard):
+        cond = " and ".join(_cond_str(c) for c in node.conditions)
+        lines.append(f"{pad}if ({cond}) then")
+        for c in node.body:
+            _emit(c, depth + 1, lines)
+        lines.append(f"{pad}endif")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+def _cond_str(c) -> str:
+    # Render `expr >= 0` / `expr == 0` as `lhs >= rhs` with the constant
+    # moved to the right for readability.  ExprConditions (divisibility
+    # guards) print their expression tree verbatim.
+    from repro.ir.ast import ExprCondition
+
+    if isinstance(c, ExprCondition):
+        return str(c)
+    expr = c.expr
+    const = expr.constant
+    lhs = expr - const
+    op = "==" if c.is_equality() else ">="
+    return f"{lhs} {op} {-const}"

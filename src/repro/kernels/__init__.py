@@ -1,0 +1,19 @@
+"""Workload corpus (system S15)."""
+
+from repro.kernels.factorizations import (
+    CHOLESKY_VARIANTS, augmentation_example, cholesky, cholesky_variant,
+    forward_substitution, lu_factorization, matmul, running_example,
+    simplified_cholesky, triangular_solve,
+)
+from repro.kernels.generator import random_program
+from repro.kernels.stencils import (
+    blur_2d, gauss_seidel_1d, gemver_like, jacobi_1d, sweep_pair, syrk_like,
+)
+
+__all__ = [
+    "simplified_cholesky", "cholesky", "cholesky_variant", "CHOLESKY_VARIANTS",
+    "running_example", "augmentation_example", "lu_factorization",
+    "triangular_solve", "forward_substitution", "matmul", "random_program",
+    "jacobi_1d", "gauss_seidel_1d", "blur_2d", "gemver_like", "sweep_pair",
+    "syrk_like",
+]

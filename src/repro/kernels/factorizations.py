@@ -1,0 +1,287 @@
+"""Workload corpus (system S15): the paper's running examples plus the
+matrix-factorization kernels its motivation rests on.
+
+All kernels are plain mini-language sources parsed into IR so they
+exercise the whole front end.  The six Cholesky variants compute the
+same lower-triangular factor in-place with the three loops (column
+step, scaling, update) in all six classical orders — the paper's §1
+example of semantically equal but performance-different loop orders.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast import Program
+from repro.ir.parser import parse_program
+
+__all__ = [
+    "simplified_cholesky",
+    "cholesky",
+    "cholesky_variant",
+    "CHOLESKY_VARIANTS",
+    "running_example",
+    "augmentation_example",
+    "lu_factorization",
+    "triangular_solve",
+    "matmul",
+    "forward_substitution",
+]
+
+
+def simplified_cholesky() -> Program:
+    """The §3 running example (outer sqrt + scaling loop)."""
+    return parse_program(
+        """
+        param N
+        real A(N)
+        do I = 1..N
+          S1: A(I) = sqrt(A(I))
+          do J = I+1..N
+            S2: A(J) = A(J) / A(I)
+          enddo
+        enddo
+        """,
+        "simplified_cholesky",
+    )
+
+
+def cholesky() -> Program:
+    """Right-looking Cholesky, the §6 code (4 loop variables)."""
+    return parse_program(
+        """
+        param N
+        real A(N,N)
+        do K = 1..N
+          S1: A(K,K) = sqrt(A(K,K))
+          do I = K+1..N
+            S2: A(I,K) = A(I,K) / A(K,K)
+          enddo
+          do J = K+1..N
+            do L = K+1..J
+              S3: A(J,L) = A(J,L) - A(J,K)*A(L,K)
+            enddo
+          enddo
+        enddo
+        """,
+        "cholesky",
+    )
+
+
+def running_example(n1: int = 5, lo: int = 2, hi: int = 4) -> Program:
+    """The §2 running example (Figure 1's AST shape)."""
+    return parse_program(
+        f"""
+        param N
+        real A(N,N), B(0:N)
+        do I = 1..{n1}
+          do J = {lo}..{hi}
+            S1: A(I,J) = f(I,J)
+            S2: A(I,J) = g(I,J)
+          enddo
+          S3: B(I) = f(I)
+        enddo
+        """,
+        "running_example",
+    )
+
+
+def augmentation_example() -> Program:
+    """The §5.4 example needing an extra loop after skewing."""
+    return parse_program(
+        """
+        param N
+        real A(0:N+1,0:N+1), B(0:N)
+        do I = 1..N
+          S1: B(I) = B(I-1) + A(I-1,I+1)
+          do J = I..N
+            S2: A(I,J) = f(I,J)
+          enddo
+        enddo
+        """,
+        "augmentation_example",
+    )
+
+
+#: The six classical loop orders of in-place Cholesky factorization.
+#: Each computes L such that L·Lᵀ equals the (SPD) input, storing L in
+#: the lower triangle.  Orders are named by their loop nesting.
+_CHOLESKY_SOURCES = {
+    # right-looking / submatrix Cholesky: update trails the factored column
+    "kji": """
+        param N
+        real A(N,N)
+        do K = 1..N
+          S1: A(K,K) = sqrt(A(K,K))
+          do I = K+1..N
+            S2: A(I,K) = A(I,K) / A(K,K)
+          enddo
+          do J = K+1..N
+            do I2 = J..N
+              S3: A(I2,J) = A(I2,J) - A(I2,K)*A(J,K)
+            enddo
+          enddo
+        enddo
+        """,
+    "kij": """
+        param N
+        real A(N,N)
+        do K = 1..N
+          S1: A(K,K) = sqrt(A(K,K))
+          do I = K+1..N
+            S2: A(I,K) = A(I,K) / A(K,K)
+          enddo
+          do I2 = K+1..N
+            do J = K+1..I2
+              S3: A(I2,J) = A(I2,J) - A(I2,K)*A(J,K)
+            enddo
+          enddo
+        enddo
+        """,
+    # left-looking / column Cholesky: gather updates, then factor column
+    "jki": """
+        param N
+        real A(N,N)
+        do J = 1..N
+          do K = 1..J-1
+            do I = J..N
+              S3: A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            enddo
+          enddo
+          S1: A(J,J) = sqrt(A(J,J))
+          do I2 = J+1..N
+            S2: A(I2,J) = A(I2,J) / A(J,J)
+          enddo
+        enddo
+        """,
+    "jik": """
+        param N
+        real A(N,N)
+        do J = 1..N
+          do I = J..N
+            do K = 1..J-1
+              S3: A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            enddo
+          enddo
+          S1: A(J,J) = sqrt(A(J,J))
+          do I2 = J+1..N
+            S2: A(I2,J) = A(I2,J) / A(J,J)
+          enddo
+        enddo
+        """,
+    # row-Cholesky / bordering: factor row by row
+    "ikj": """
+        param N
+        real A(N,N)
+        do I = 1..N
+          do K = 1..I-1
+            S2: A(I,K) = A(I,K) / A(K,K)
+            do J = K+1..I-1
+              S3: A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            enddo
+            S4: A(I,I) = A(I,I) - A(I,K)*A(I,K)
+          enddo
+          S1: A(I,I) = sqrt(A(I,I))
+        enddo
+        """,
+    "ijk": """
+        param N
+        real A(N,N)
+        do I = 1..N
+          do J = 1..I-1
+            do K = 1..J-1
+              S3: A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            enddo
+            S2: A(I,J) = A(I,J) / A(J,J)
+          enddo
+          do K2 = 1..I-1
+            S4: A(I,I) = A(I,I) - A(I,K2)*A(I,K2)
+          enddo
+          S1: A(I,I) = sqrt(A(I,I))
+        enddo
+        """,
+}
+
+CHOLESKY_VARIANTS = tuple(sorted(_CHOLESKY_SOURCES))
+
+
+def cholesky_variant(order: str) -> Program:
+    """One of the six classical Cholesky loop orders ('ijk', 'ikj',
+    'jik', 'jki', 'kij', 'kji')."""
+    try:
+        src = _CHOLESKY_SOURCES[order]
+    except KeyError:
+        raise ValueError(f"unknown Cholesky variant {order!r}; pick from {CHOLESKY_VARIANTS}") from None
+    return parse_program(src, f"cholesky_{order}")
+
+
+def lu_factorization() -> Program:
+    """LU without pivoting (right-looking), another imperfect nest whose
+    distribution is illegal."""
+    return parse_program(
+        """
+        param N
+        real A(N,N)
+        do K = 1..N
+          do I = K+1..N
+            S1: A(I,K) = A(I,K) / A(K,K)
+          enddo
+          do J = K+1..N
+            do L = K+1..N
+              S2: A(L,J) = A(L,J) - A(L,K)*A(K,J)
+            enddo
+          enddo
+        enddo
+        """,
+        "lu",
+    )
+
+
+def triangular_solve() -> Program:
+    """In-place lower-triangular solve B := L⁻¹·B (column sweep)."""
+    return parse_program(
+        """
+        param N
+        real L(N,N), B(N)
+        do J = 1..N
+          S1: B(J) = B(J) / L(J,J)
+          do I = J+1..N
+            S2: B(I) = B(I) - L(I,J)*B(J)
+          enddo
+        enddo
+        """,
+        "trisolve",
+    )
+
+
+def forward_substitution() -> Program:
+    """Row-oriented forward substitution (perfectly nested core)."""
+    return parse_program(
+        """
+        param N
+        real L(N,N), B(N)
+        do I = 1..N
+          do J = 1..I-1
+            S1: B(I) = B(I) - L(I,J)*B(J)
+          enddo
+          S2: B(I) = B(I) / L(I,I)
+        enddo
+        """,
+        "forward_substitution",
+    )
+
+
+def matmul() -> Program:
+    """Perfectly nested matrix multiply (baseline workload)."""
+    return parse_program(
+        """
+        param N
+        real A(N,N), B(N,N), C(N,N)
+        do I = 1..N
+          do J = 1..N
+            do K = 1..N
+              S1: C(I,J) = C(I,J) + A(I,K)*B(K,J)
+            enddo
+          enddo
+        enddo
+        """,
+        "matmul",
+    )

@@ -1,0 +1,88 @@
+"""Random imperfect loop-nest generator for property-based testing.
+
+Generates small programs with affine accesses whose declared array
+ranges are padded generously, so every subscript a random transformation
+can produce stays in bounds.  Used by the hypothesis/property tests to
+cross-check the symbolic machinery against the interpreter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.ast import ArrayDecl, Loop, Node, Program, Statement
+from repro.ir.expr import ArrayRef, BinOp, Call, IntLit, VarRef
+from repro.polyhedra.affine import LinExpr, var
+
+__all__ = ["random_program"]
+
+_PAD = 64
+
+
+def random_program(
+    seed: int,
+    *,
+    max_depth: int = 3,
+    max_children: int = 3,
+    n_arrays: int = 2,
+) -> Program:
+    """A random imperfect nest, deterministic in ``seed``.
+
+    Loops have bounds ``1..N`` or triangular (``prev+1..N``); statements
+    read/write 1-D or 2-D arrays with subscripts of the form
+    ``±loop ± small-constant``.
+    """
+    rng = random.Random(seed)
+    arrays = [f"R{i}" for i in range(n_arrays)]
+    ranks = {a: rng.choice((1, 2)) for a in arrays}
+    label_counter = [0]
+    loop_counter = [0]
+
+    def fresh_label() -> str:
+        label_counter[0] += 1
+        return f"S{label_counter[0]}"
+
+    def fresh_var() -> str:
+        loop_counter[0] += 1
+        return f"V{loop_counter[0]}"
+
+    def subscript(loop_vars: list[str]):
+        v = rng.choice(loop_vars)
+        c = rng.randint(-2, 2)
+        sign = rng.choice((1, 1, 1, -1))
+        e: object = VarRef(v) if sign == 1 else BinOp("-", IntLit(0), VarRef(v))
+        if c:
+            e = BinOp("+", e, IntLit(c))
+        return e
+
+    def statement(loop_vars: list[str]) -> Statement:
+        arr = rng.choice(arrays)
+        lhs = ArrayRef(arr, [subscript(loop_vars) for _ in range(ranks[arr])])
+        src = rng.choice(arrays)
+        read = ArrayRef(src, [subscript(loop_vars) for _ in range(ranks[src])])
+        rhs = BinOp(rng.choice(("+", "-", "*")), read, Call("f", [VarRef(loop_vars[-1])]))
+        return Statement(fresh_label(), lhs, rhs)
+
+    def build(depth: int, loop_vars: list[str]) -> Node:
+        if depth >= max_depth or (loop_vars and rng.random() < 0.35):
+            return statement(loop_vars)
+        v = fresh_var()
+        triangular = loop_vars and rng.random() < 0.5
+        lower = var(loop_vars[-1]) + 1 if triangular else LinExpr({}, 1)
+        upper = var("N")
+        n_children = rng.randint(1, max_children)
+        body = [build(depth + 1, loop_vars + [v]) for _ in range(n_children)]
+        # ensure at least one statement exists somewhere under a loop
+        if not any(True for c in body for _ in c.statements()):
+            body.append(statement(loop_vars + [v]))
+        return Loop.make(v, lower, upper, body)
+
+    top = build(0, [])
+    if isinstance(top, Statement):  # degenerate: wrap in a loop
+        v = fresh_var()
+        top = Loop.make(v, 1, var("N"), [statement([v])])
+    decls = tuple(
+        ArrayDecl.make(a, *[( -_PAD, LinExpr({"N": 1}, _PAD)) for _ in range(ranks[a])])
+        for a in arrays
+    )
+    return Program((top,), ("N",), decls, f"random_{seed}")

@@ -1,0 +1,130 @@
+"""The legality test for transformation matrices (paper Definition 6).
+
+A matrix ``M`` is legal iff (i) it has the Figure-5 block structure
+(checked by :mod:`repro.legality.structure`) and (ii) for every
+dependence ``d`` from S1 to S2, the projection ``P`` of ``M·d`` onto the
+loops common to S1 and S2 *in the new AST* satisfies ``P > 0``
+lexicographically, or ``P = 0`` with S1 ⪯ₛ S2 in the new AST.  A
+self-dependence with ``P = 0`` is *unsatisfied* — legal, but it must be
+carried by the extra loops that augmentation adds (§5.4).
+
+Because dependence entries are intervals, the lexicographic test is
+three-valued: an entry like ``0+`` splits instances between "carried
+here" and "falls through to the next level", which the scan handles by
+continuing with the remaining levels (a sound over-approximation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dependence.depvector import DependenceMatrix, DepVector
+from repro.dependence.entry import DepEntry, zip_dot
+from repro.instance.layout import Layout
+from repro.legality.structure import NewStructure, recover_structure
+from repro.linalg.intmat import IntMatrix
+from repro.util.errors import CodegenError, LegalityError
+
+__all__ = ["LegalityReport", "DepStatus", "check_legality", "lex_status", "assert_legal"]
+
+
+class DepStatus(enum.Enum):
+    SATISFIED_BY_LOOPS = "satisfied-by-loops"
+    SATISFIED_SYNTACTICALLY = "satisfied-syntactically"
+    UNSATISFIED = "unsatisfied"  # legal self-dep; needs augmentation
+    VIOLATED = "violated"
+
+
+@dataclass
+class LegalityReport:
+    """Outcome of the Definition-6 test."""
+
+    legal: bool
+    structure: NewStructure | None
+    statuses: list[tuple[DepVector, DepStatus]] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[DepVector]:
+        return [d for d, s in self.statuses if s is DepStatus.VIOLATED]
+
+    def unsatisfied(self, label: str | None = None) -> list[DepVector]:
+        out = [d for d, s in self.statuses if s is DepStatus.UNSATISFIED]
+        if label is not None:
+            out = [d for d in out if d.src == label]
+        return out
+
+    def __str__(self) -> str:
+        head = "LEGAL" if self.legal else "ILLEGAL"
+        lines = [head]
+        for d, s in self.statuses:
+            lines.append(f"  {s.value:24s} {d}")
+        return "\n".join(lines)
+
+
+def lex_status(entries: tuple[DepEntry, ...]) -> str:
+    """Three-valued lexicographic sign of an interval vector.
+
+    Returns ``"positive"`` (every instance lexicographically positive),
+    ``"zero-or-positive"`` (no instance can be negative; some may be
+    exactly zero), or ``"may-be-negative"``.
+    """
+    may_reach_zero = True
+    for e in entries:
+        if e.definitely_positive():
+            return "positive" if may_reach_zero else "positive"
+        if e.is_zero():
+            continue
+        if e.definitely_nonnegative():
+            # some instances carried here; the rest fall through with 0
+            continue
+        return "may-be-negative"
+    return "zero-or-positive"
+
+
+def check_legality(
+    layout: Layout,
+    matrix: IntMatrix,
+    deps: DependenceMatrix,
+) -> LegalityReport:
+    """Run the full Definition-6 legality test."""
+    try:
+        structure = recover_structure(layout, matrix)
+    except CodegenError:
+        return LegalityReport(False, None)
+
+    new_layout = structure.new_layout
+    assert new_layout is not None
+    report = LegalityReport(True, structure)
+
+    for d in deps:
+        md = tuple(zip_dot(row, d.entries) for row in matrix.rows())
+        common = new_layout.common_loop_coords(d.src, d.dst)
+        positions = [new_layout.index(c) for c in common]
+        projected = tuple(md[i] for i in positions)
+        sign = lex_status(projected)
+        if sign == "positive":
+            status = DepStatus.SATISFIED_BY_LOOPS
+        elif sign == "zero-or-positive":
+            if d.src == d.dst:
+                status = DepStatus.UNSATISFIED
+            elif structure.syntactically_before(d.src, d.dst) and d.src != d.dst:
+                status = DepStatus.SATISFIED_SYNTACTICALLY
+            else:
+                status = DepStatus.VIOLATED
+        else:
+            status = DepStatus.VIOLATED
+        if status is DepStatus.VIOLATED:
+            report.legal = False
+        report.statuses.append((d, status))
+    return report
+
+
+def assert_legal(layout: Layout, matrix: IntMatrix, deps: DependenceMatrix) -> LegalityReport:
+    """Like :func:`check_legality` but raises :class:`LegalityError` on
+    an illegal transformation."""
+    report = check_legality(layout, matrix, deps)
+    if not report.legal:
+        bad = "; ".join(str(d) for d in report.violations) or "block structure"
+        raise LegalityError(f"transformation is illegal: {bad}")
+    return report

@@ -1,0 +1,39 @@
+"""Exact integer linear algebra (system S1).
+
+Public surface:
+
+* :class:`IntMatrix`, :class:`FracMatrix` — exact matrices.
+* :func:`hnf_column`, :func:`hnf_row`, :func:`smith_normal_form`,
+  :func:`in_lattice` — lattice normal forms.
+* :func:`complete_to_unimodular`, :func:`extend_to_full_rank`,
+  :func:`is_lex_positive`, :func:`lex_compare`, :func:`random_unimodular`
+  — completion and ordering utilities.
+"""
+
+from repro.linalg.hermite import hnf_column, hnf_row, in_lattice, smith_normal_form
+from repro.linalg.intmat import FracMatrix, IntMatrix
+from repro.linalg.unimodular import (
+    complete_to_unimodular,
+    extend_to_full_rank,
+    first_nonzero_index,
+    is_lex_nonnegative,
+    is_lex_positive,
+    lex_compare,
+    random_unimodular,
+)
+
+__all__ = [
+    "IntMatrix",
+    "FracMatrix",
+    "hnf_column",
+    "hnf_row",
+    "smith_normal_form",
+    "in_lattice",
+    "complete_to_unimodular",
+    "extend_to_full_rank",
+    "first_nonzero_index",
+    "is_lex_nonnegative",
+    "is_lex_positive",
+    "lex_compare",
+    "random_unimodular",
+]

@@ -1,0 +1,226 @@
+"""Hermite and Smith normal forms for exact integer matrices.
+
+These are the classical lattice-theory tools behind the linear loop
+transformation framework: the Hermite normal form yields integer
+nullspace bases and lattice membership tests, and the Smith normal form
+characterizes the image lattice of a non-unimodular transformation
+(needed for loop *steps* after scaling/skewing by non-unit factors).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Tuple
+
+from repro.linalg.intmat import IntMatrix
+from repro.util.errors import LinalgError
+
+__all__ = ["hnf_column", "hnf_row", "smith_normal_form", "in_lattice"]
+
+
+def hnf_column(a: IntMatrix) -> Tuple[IntMatrix, IntMatrix]:
+    """Column-style Hermite normal form.
+
+    Returns ``(H, U)`` with ``a @ U == H``, ``U`` unimodular, and ``H`` in
+    (lower-triangular) column Hermite normal form: pivot entries positive,
+    entries to the right of a pivot zero, entries to the left reduced
+    modulo the pivot.
+
+    The algorithm is the standard one based on extended-gcd column
+    operations; exactness is guaranteed by Python big integers.
+    """
+    m, n = a.shape
+    h = [list(r) for r in a.rows()]
+    u = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+
+    def colop_swap(j, k):
+        for i in range(m):
+            h[i][j], h[i][k] = h[i][k], h[i][j]
+        for i in range(n):
+            u[i][j], u[i][k] = u[i][k], u[i][j]
+
+    def colop_neg(j):
+        for i in range(m):
+            h[i][j] = -h[i][j]
+        for i in range(n):
+            u[i][j] = -u[i][j]
+
+    def colop_addmul(j, k, f):
+        # col j += f * col k
+        for i in range(m):
+            h[i][j] += f * h[i][k]
+        for i in range(n):
+            u[i][j] += f * u[i][k]
+
+    def colop_combine(row, j, k):
+        """Replace cols (j, k) by unimodular combo zeroing h[row][k]."""
+        a_, b_ = h[row][j], h[row][k]
+        g, x, y = _xgcd(a_, b_)
+        # new col j = x*colj + y*colk  (pivot becomes g)
+        # new col k = -(b/g)*colj + (a/g)*colk  (entry becomes 0)
+        p, q = -(b_ // g), a_ // g
+        for i in range(m):
+            cj, ck = h[i][j], h[i][k]
+            h[i][j] = x * cj + y * ck
+            h[i][k] = p * cj + q * ck
+        for i in range(n):
+            cj, ck = u[i][j], u[i][k]
+            u[i][j] = x * cj + y * ck
+            u[i][k] = p * cj + q * ck
+
+    pivot_col = 0
+    for row in range(m):
+        if pivot_col >= n:
+            break
+        # find a column with a nonzero entry in this row, at or after pivot_col
+        nz = next((j for j in range(pivot_col, n) if h[row][j] != 0), None)
+        if nz is None:
+            continue
+        if nz != pivot_col:
+            colop_swap(pivot_col, nz)
+        for j in range(pivot_col + 1, n):
+            if h[row][j] != 0:
+                colop_combine(row, pivot_col, j)
+        if h[row][pivot_col] < 0:
+            colop_neg(pivot_col)
+        piv = h[row][pivot_col]
+        for j in range(pivot_col):
+            if piv != 0:
+                f = -(h[row][j] // piv)  # floor-reduce to 0 <= entry < piv
+                if f != 0:
+                    colop_addmul(j, pivot_col, f)
+        pivot_col += 1
+
+    return IntMatrix(h), IntMatrix(u)
+
+
+def hnf_row(a: IntMatrix) -> Tuple[IntMatrix, IntMatrix]:
+    """Row-style Hermite normal form: ``U @ a == H``, ``U`` unimodular,
+    ``H`` upper-triangular row HNF."""
+    ht, ut = hnf_column(a.transpose())
+    return ht.transpose(), ut.transpose()
+
+
+def smith_normal_form(a: IntMatrix) -> Tuple[IntMatrix, IntMatrix, IntMatrix]:
+    """Smith normal form.
+
+    Returns ``(S, U, V)`` with ``U @ a @ V == S``, ``U`` and ``V``
+    unimodular and ``S`` diagonal with ``S[i,i]`` dividing ``S[i+1,i+1]``.
+    """
+    m, n = a.shape
+    s = [list(r) for r in a.rows()]
+    u = [[int(i == j) for j in range(m)] for i in range(m)]
+    v = [[int(i == j) for j in range(n)] for i in range(n)]
+
+    def row_addmul(i, k, f):
+        s[i] = [x + f * y for x, y in zip(s[i], s[k])]
+        u[i] = [x + f * y for x, y in zip(u[i], u[k])]
+
+    def col_addmul(j, k, f):
+        for r in s:
+            r[j] += f * r[k]
+        for r in v:
+            r[j] += f * r[k]
+
+    def row_swap(i, k):
+        s[i], s[k] = s[k], s[i]
+        u[i], u[k] = u[k], u[i]
+
+    def col_swap(j, k):
+        for r in s:
+            r[j], r[k] = r[k], r[j]
+        for r in v:
+            r[j], r[k] = r[k], r[j]
+
+    def row_neg(i):
+        s[i] = [-x for x in s[i]]
+        u[i] = [-x for x in u[i]]
+
+    t = 0
+    while t < min(m, n):
+        # find pivot: nonzero entry in submatrix s[t:, t:]
+        piv = None
+        for i in range(t, m):
+            for j in range(t, n):
+                if s[i][j] != 0:
+                    if piv is None or abs(s[i][j]) < abs(s[piv[0]][piv[1]]):
+                        piv = (i, j)
+        if piv is None:
+            break
+        row_swap(t, piv[0])
+        col_swap(t, piv[1])
+        # eliminate the rest of row t and column t
+        again = True
+        while again:
+            again = False
+            for i in range(t + 1, m):
+                if s[i][t] != 0:
+                    q = s[i][t] // s[t][t]
+                    row_addmul(i, t, -q)
+                    if s[i][t] != 0:
+                        row_swap(t, i)
+                        again = True
+            for j in range(t + 1, n):
+                if s[t][j] != 0:
+                    q = s[t][j] // s[t][t]
+                    col_addmul(j, t, -q)
+                    if s[t][j] != 0:
+                        col_swap(t, j)
+                        again = True
+        if s[t][t] < 0:
+            row_neg(t)
+        # divisibility fix-up: ensure s[t][t] divides all later entries
+        fixed = False
+        for i in range(t + 1, m):
+            for j in range(t + 1, n):
+                if s[i][j] % s[t][t] != 0:
+                    row_addmul(t, i, 1)
+                    fixed = True
+                    break
+            if fixed:
+                break
+        if fixed:
+            continue  # redo elimination at this t
+        t += 1
+
+    return IntMatrix(s), IntMatrix(u), IntMatrix(v)
+
+
+def in_lattice(basis: IntMatrix, vec) -> bool:
+    """True iff integer vector ``vec`` lies in the lattice generated by the
+    *columns* of ``basis``."""
+    m, n = basis.shape
+    if len(vec) != m:
+        raise LinalgError("vector length does not match lattice dimension")
+    h, u = hnf_column(basis)
+    # Solve h @ y = vec by forward substitution over the pivot structure.
+    y = [0] * n
+    residual = list(vec)
+    col = 0
+    for row in range(m):
+        if col < n and h[row, col] != 0:
+            if residual[row] % h[row, col] != 0:
+                return False
+            y[col] = residual[row] // h[row, col]
+            for i in range(m):
+                residual[i] -= y[col] * h[i, col]
+            col += 1
+        elif residual[row] != 0:
+            return False
+    return all(x == 0 for x in residual)
+
+
+def _xgcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended gcd: returns (g, x, y) with g = a*x + b*y, g >= 0."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    assert old_r == a * old_s + b * old_t
+    return old_r, old_s, old_t

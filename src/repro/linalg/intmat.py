@@ -1,0 +1,492 @@
+"""Exact integer matrices.
+
+This module provides :class:`IntMatrix`, an immutable exact-arithmetic
+integer matrix built on Python's arbitrary-precision integers.  It is the
+workhorse for every matrix computation in the library: transformation
+matrices, dependence matrices (with the symbolic entries stripped),
+Hermite/Smith normal forms, integer nullspaces and rational solves.
+
+Why not numpy?  The transformation framework needs *exact* answers —
+unimodularity, integer nullspace bases, integer-preserving inverses —
+and numpy's fixed-width integers overflow while its floats lose
+exactness.  Matrices here are small (a handful of rows per loop nest),
+so clarity and exactness beat raw speed; hot numeric paths elsewhere in
+the library (trace generation, cache simulation) use numpy as the HPC
+guides recommend.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, Iterator, Sequence
+
+from repro.util.errors import LinalgError
+
+__all__ = ["IntMatrix", "FracMatrix"]
+
+
+def _as_int(x) -> int:
+    """Coerce ``x`` to an exact int, rejecting lossy conversions."""
+    if isinstance(x, bool):
+        return int(x)
+    if isinstance(x, int):
+        return x
+    if isinstance(x, Fraction):
+        if x.denominator == 1:
+            return x.numerator
+        raise LinalgError(f"non-integral value {x!r} in integer matrix")
+    if isinstance(x, float):
+        if x.is_integer():
+            return int(x)
+        raise LinalgError(f"non-integral value {x!r} in integer matrix")
+    # numpy integer scalars and similar
+    try:
+        i = int(x)
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        raise LinalgError(f"cannot interpret {x!r} as an integer") from exc
+    if i != x:
+        raise LinalgError(f"non-integral value {x!r} in integer matrix")
+    return i
+
+
+class IntMatrix:
+    """An immutable matrix of exact Python integers.
+
+    Construct from an iterable of rows::
+
+        >>> m = IntMatrix([[1, 2], [3, 4]])
+        >>> m.shape
+        (2, 2)
+        >>> (m @ m.identity(2)) == m
+        True
+
+    The matrix is hashable and usable as a dict key; all operations
+    return new matrices.
+    """
+
+    __slots__ = ("_rows", "_nrows", "_ncols")
+
+    def __init__(self, rows: Iterable[Iterable[int]]):
+        rows_t = tuple(tuple(_as_int(x) for x in row) for row in rows)
+        if rows_t:
+            ncols = len(rows_t[0])
+            for r in rows_t:
+                if len(r) != ncols:
+                    raise LinalgError("ragged rows in matrix construction")
+        else:
+            ncols = 0
+        self._rows = rows_t
+        self._nrows = len(rows_t)
+        self._ncols = ncols
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def identity(n: int) -> "IntMatrix":
+        """The n-by-n identity matrix."""
+        return IntMatrix([[1 if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @staticmethod
+    def zeros(nrows: int, ncols: int) -> "IntMatrix":
+        """An all-zero matrix of the given shape."""
+        return IntMatrix([[0] * ncols for _ in range(nrows)])
+
+    @staticmethod
+    def from_rows(*rows: Sequence[int]) -> "IntMatrix":
+        """Build a matrix from row vectors given as positional arguments."""
+        return IntMatrix(rows)
+
+    @staticmethod
+    def column(values: Sequence[int]) -> "IntMatrix":
+        """A single-column matrix from a vector."""
+        return IntMatrix([[v] for v in values])
+
+    @staticmethod
+    def row(values: Sequence[int]) -> "IntMatrix":
+        """A single-row matrix from a vector."""
+        return IntMatrix([list(values)])
+
+    @staticmethod
+    def diag(values: Sequence[int]) -> "IntMatrix":
+        """A square diagonal matrix with ``values`` on the diagonal."""
+        n = len(values)
+        return IntMatrix([[values[i] if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @staticmethod
+    def permutation(perm: Sequence[int]) -> "IntMatrix":
+        """The permutation matrix P with ``(P x)[i] = x[perm[i]]``.
+
+        ``perm`` must be a permutation of ``range(len(perm))``.
+        """
+        n = len(perm)
+        if sorted(perm) != list(range(n)):
+            raise LinalgError(f"{perm!r} is not a permutation of 0..{n-1}")
+        return IntMatrix([[1 if j == perm[i] else 0 for j in range(n)] for i in range(n)])
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._nrows, self._ncols)
+
+    @property
+    def nrows(self) -> int:
+        return self._nrows
+
+    @property
+    def ncols(self) -> int:
+        return self._ncols
+
+    def is_square(self) -> bool:
+        return self._nrows == self._ncols
+
+    def __getitem__(self, key):
+        """``m[i, j]`` element access; ``m[i]`` returns row ``i`` as a tuple.
+
+        Slices are supported in either position and return sub-matrices.
+        """
+        if isinstance(key, tuple):
+            i, j = key
+            if isinstance(i, slice) or isinstance(j, slice):
+                rows = self._rows[i] if isinstance(i, slice) else (self._rows[i],)
+                if isinstance(j, slice):
+                    return IntMatrix([r[j] for r in rows])
+                return IntMatrix([[r[j]] for r in rows])
+            return self._rows[i][j]
+        if isinstance(key, slice):
+            return IntMatrix(self._rows[key])
+        return self._rows[key]
+
+    def rows(self) -> tuple[tuple[int, ...], ...]:
+        """All rows as a tuple of tuples."""
+        return self._rows
+
+    def col(self, j: int) -> tuple[int, ...]:
+        """Column ``j`` as a tuple."""
+        return tuple(r[j] for r in self._rows)
+
+    def cols(self) -> tuple[tuple[int, ...], ...]:
+        """All columns as tuples."""
+        return tuple(self.col(j) for j in range(self._ncols))
+
+    def tolist(self) -> list[list[int]]:
+        return [list(r) for r in self._rows]
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, IntMatrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def __repr__(self) -> str:
+        return f"IntMatrix({[list(r) for r in self._rows]!r})"
+
+    def __str__(self) -> str:
+        if not self._rows:
+            return "[]"
+        widths = [max(len(str(self._rows[i][j])) for i in range(self._nrows)) for j in range(self._ncols)]
+        lines = []
+        for r in self._rows:
+            lines.append("[ " + "  ".join(str(x).rjust(w) for x, w in zip(r, widths)) + " ]")
+        return "\n".join(lines)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "IntMatrix") -> "IntMatrix":
+        self._check_same_shape(other, "+")
+        return IntMatrix(
+            [[a + b for a, b in zip(ra, rb)] for ra, rb in zip(self._rows, other._rows)]
+        )
+
+    def __sub__(self, other: "IntMatrix") -> "IntMatrix":
+        self._check_same_shape(other, "-")
+        return IntMatrix(
+            [[a - b for a, b in zip(ra, rb)] for ra, rb in zip(self._rows, other._rows)]
+        )
+
+    def __neg__(self) -> "IntMatrix":
+        return IntMatrix([[-a for a in r] for r in self._rows])
+
+    def __mul__(self, scalar: int) -> "IntMatrix":
+        s = _as_int(scalar)
+        return IntMatrix([[a * s for a in r] for r in self._rows])
+
+    __rmul__ = __mul__
+
+    def __matmul__(self, other: "IntMatrix") -> "IntMatrix":
+        if not isinstance(other, IntMatrix):
+            return NotImplemented
+        if self._ncols != other._nrows:
+            raise LinalgError(
+                f"matmul shape mismatch: {self.shape} @ {other.shape}"
+            )
+        ocols = other.cols()
+        return IntMatrix(
+            [[sum(a * b for a, b in zip(row, col)) for col in ocols] for row in self._rows]
+        )
+
+    def matvec(self, vec: Sequence[int]) -> tuple[int, ...]:
+        """Matrix-vector product returning a tuple."""
+        if len(vec) != self._ncols:
+            raise LinalgError(f"matvec length mismatch: {self.shape} * len {len(vec)}")
+        return tuple(sum(a * v for a, v in zip(row, vec)) for row in self._rows)
+
+    def _check_same_shape(self, other: "IntMatrix", op: str) -> None:
+        if not isinstance(other, IntMatrix):
+            raise LinalgError(f"cannot apply {op} to IntMatrix and {type(other).__name__}")
+        if self.shape != other.shape:
+            raise LinalgError(f"shape mismatch for {op}: {self.shape} vs {other.shape}")
+
+    # -- structural operations ---------------------------------------------------
+
+    def transpose(self) -> "IntMatrix":
+        return IntMatrix(self.cols())
+
+    @property
+    def T(self) -> "IntMatrix":
+        return self.transpose()
+
+    def hstack(self, other: "IntMatrix") -> "IntMatrix":
+        if self._nrows != other._nrows:
+            raise LinalgError("hstack row-count mismatch")
+        return IntMatrix([ra + rb for ra, rb in zip(self._rows, other._rows)])
+
+    def vstack(self, other: "IntMatrix") -> "IntMatrix":
+        if self._ncols != other._ncols and self._nrows and other._nrows:
+            raise LinalgError("vstack column-count mismatch")
+        return IntMatrix(self._rows + other._rows)
+
+    def with_row(self, row: Sequence[int]) -> "IntMatrix":
+        """A copy of this matrix with ``row`` appended at the bottom."""
+        if self._nrows and len(row) != self._ncols:
+            raise LinalgError("appended row has wrong length")
+        return IntMatrix(self._rows + (tuple(_as_int(x) for x in row),))
+
+    def select_rows(self, indices: Sequence[int]) -> "IntMatrix":
+        return IntMatrix([self._rows[i] for i in indices])
+
+    def select_cols(self, indices: Sequence[int]) -> "IntMatrix":
+        return IntMatrix([[r[j] for j in indices] for r in self._rows])
+
+    def delete_row(self, i: int) -> "IntMatrix":
+        return IntMatrix([r for k, r in enumerate(self._rows) if k != i])
+
+    def delete_col(self, j: int) -> "IntMatrix":
+        return IntMatrix([[x for k, x in enumerate(r) if k != j] for r in self._rows])
+
+    def is_zero(self) -> bool:
+        return all(all(x == 0 for x in r) for r in self._rows)
+
+    # -- exact numerical algorithms ----------------------------------------------
+
+    def rank(self) -> int:
+        """Rank over the rationals, computed by fraction-free elimination."""
+        return len(_row_echelon(list(map(list, self._rows))))
+
+    def det(self) -> int:
+        """Determinant by the Bareiss fraction-free algorithm (exact)."""
+        if not self.is_square():
+            raise LinalgError("determinant of a non-square matrix")
+        n = self._nrows
+        if n == 0:
+            return 1
+        m = [list(r) for r in self._rows]
+        sign = 1
+        prev = 1
+        for k in range(n - 1):
+            if m[k][k] == 0:
+                for i in range(k + 1, n):
+                    if m[i][k] != 0:
+                        m[k], m[i] = m[i], m[k]
+                        sign = -sign
+                        break
+                else:
+                    return 0
+            for i in range(k + 1, n):
+                for j in range(k + 1, n):
+                    m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) // prev
+                m[i][k] = 0
+            prev = m[k][k]
+        return sign * m[n - 1][n - 1]
+
+    def is_unimodular(self) -> bool:
+        """True iff the matrix is square with determinant ±1."""
+        return self.is_square() and self.det() in (1, -1)
+
+    def is_permutation(self) -> bool:
+        """True iff the matrix is a permutation matrix."""
+        if not self.is_square():
+            return False
+        for r in self._rows:
+            if sorted(r) != [0] * (self._ncols - 1) + [1]:
+                return False
+        for j in range(self._ncols):
+            if sorted(self.col(j)) != [0] * (self._nrows - 1) + [1]:
+                return False
+        return True
+
+    def to_permutation(self) -> list[int]:
+        """Extract ``perm`` such that ``(P x)[i] = x[perm[i]]``."""
+        if not self.is_permutation():
+            raise LinalgError("matrix is not a permutation matrix")
+        return [r.index(1) for r in self._rows]
+
+    def inverse_frac(self) -> "FracMatrix":
+        """Exact rational inverse."""
+        if not self.is_square():
+            raise LinalgError("inverse of a non-square matrix")
+        n = self._nrows
+        aug = [[Fraction(x) for x in r] + [Fraction(int(i == j)) for j in range(n)] for i, r in enumerate(self._rows)]
+        for col in range(n):
+            piv = next((i for i in range(col, n) if aug[i][col] != 0), None)
+            if piv is None:
+                raise LinalgError("matrix is singular")
+            aug[col], aug[piv] = aug[piv], aug[col]
+            pv = aug[col][col]
+            aug[col] = [x / pv for x in aug[col]]
+            for i in range(n):
+                if i != col and aug[i][col] != 0:
+                    f = aug[i][col]
+                    aug[i] = [a - f * b for a, b in zip(aug[i], aug[col])]
+        return FracMatrix([r[n:] for r in aug])
+
+    def inverse_int(self) -> "IntMatrix":
+        """Exact integer inverse; requires the matrix to be unimodular."""
+        inv = self.inverse_frac()
+        try:
+            return inv.to_int()
+        except LinalgError as exc:
+            raise LinalgError("matrix inverse is not integral (not unimodular)") from exc
+
+    def solve_frac(self, rhs: Sequence[int | Fraction]) -> tuple[Fraction, ...]:
+        """Solve ``self @ x = rhs`` exactly over the rationals.
+
+        Requires a square nonsingular matrix.
+        """
+        inv = self.inverse_frac()
+        return inv.matvec(rhs)
+
+    def nullspace_int(self) -> list[tuple[int, ...]]:
+        """A basis for the integer nullspace ``{x : self @ x = 0}``.
+
+        The basis vectors are primitive integer vectors spanning the
+        lattice of integer solutions (computed via the HNF transform).
+        """
+        from repro.linalg.hermite import hnf_column
+
+        # Column-style HNF: self @ U = H with U unimodular.  Columns of U
+        # matching zero columns of H form a lattice basis for the kernel.
+        h, u = hnf_column(self)
+        basis = []
+        for j in range(self._ncols):
+            if all(h[i, j] == 0 for i in range(self._nrows)):
+                vec = tuple(u[i, j] for i in range(self._ncols))
+                basis.append(_make_primitive(vec))
+        return basis
+
+    def row_space_basis(self) -> list[tuple[int, ...]]:
+        """A basis (over Q, with integer vectors) for the row space."""
+        ech = _row_echelon([list(r) for r in self._rows])
+        return [tuple(_make_primitive(tuple(r))) for r in ech]
+
+    def gcd_of_entries(self) -> int:
+        g = 0
+        for r in self._rows:
+            for x in r:
+                g = gcd(g, abs(x))
+        return g
+
+
+class FracMatrix:
+    """A small exact rational matrix used for inverses and solves."""
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: Iterable[Iterable[Fraction | int]]):
+        self._rows = tuple(tuple(Fraction(x) for x in row) for row in rows)
+        if self._rows:
+            n = len(self._rows[0])
+            if any(len(r) != n for r in self._rows):
+                raise LinalgError("ragged rows in FracMatrix")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self._rows), len(self._rows[0]) if self._rows else 0)
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple):
+            return self._rows[key[0]][key[1]]
+        return self._rows[key]
+
+    def rows(self):
+        return self._rows
+
+    def matvec(self, vec: Sequence[int | Fraction]) -> tuple[Fraction, ...]:
+        return tuple(sum((Fraction(v) * a for a, v in zip(row, vec)), Fraction(0)) for row in self._rows)
+
+    def to_int(self) -> IntMatrix:
+        """Convert to an IntMatrix, raising if any entry is non-integral."""
+        out = []
+        for r in self._rows:
+            row = []
+            for x in r:
+                if x.denominator != 1:
+                    raise LinalgError(f"entry {x} is not an integer")
+                row.append(x.numerator)
+            out.append(row)
+        return IntMatrix(out)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FracMatrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def __repr__(self) -> str:
+        return f"FracMatrix({[list(map(str, r)) for r in self._rows]!r})"
+
+
+def _row_echelon(m: list[list[int]]) -> list[list[Fraction]]:
+    """Reduce ``m`` to row echelon form over Q; returns the nonzero rows."""
+    rows = [[Fraction(x) for x in r] for r in m]
+    nrows = len(rows)
+    ncols = len(rows[0]) if rows else 0
+    rank = 0
+    for col in range(ncols):
+        piv = next((i for i in range(rank, nrows) if rows[i][col] != 0), None)
+        if piv is None:
+            continue
+        rows[rank], rows[piv] = rows[piv], rows[rank]
+        pv = rows[rank][col]
+        rows[rank] = [x / pv for x in rows[rank]]
+        for i in range(nrows):
+            if i != rank and rows[i][col] != 0:
+                f = rows[i][col]
+                rows[i] = [a - f * b for a, b in zip(rows[i], rows[rank])]
+        rank += 1
+        if rank == nrows:
+            break
+    return rows[:rank]
+
+
+def _make_primitive(vec: tuple) -> tuple[int, ...]:
+    """Scale a rational/integer vector to a primitive integer vector."""
+    fracs = [Fraction(x) for x in vec]
+    denom = 1
+    for f in fracs:
+        denom = denom * f.denominator // gcd(denom, f.denominator)
+    ints = [int(f * denom) for f in fracs]
+    g = 0
+    for x in ints:
+        g = gcd(g, abs(x))
+    if g > 1:
+        ints = [x // g for x in ints]
+    return tuple(ints)

@@ -1,0 +1,146 @@
+"""Unimodular completion and related lattice utilities.
+
+The Li–Pingali completion procedure (and its imperfect-nest analogue in
+this library) needs to extend a set of linearly independent integer rows
+into a full-rank — ideally unimodular — square matrix.  This module
+provides that, plus helpers for lexicographic positivity used by the
+legality tests, and a deterministic pseudo-random unimodular matrix
+generator for property-based testing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.linalg.hermite import hnf_column
+from repro.linalg.intmat import IntMatrix
+from repro.util.errors import LinalgError
+
+__all__ = [
+    "complete_to_unimodular",
+    "extend_to_full_rank",
+    "is_lex_positive",
+    "is_lex_nonnegative",
+    "lex_compare",
+    "random_unimodular",
+    "first_nonzero_index",
+]
+
+
+def complete_to_unimodular(rows: IntMatrix) -> IntMatrix:
+    """Extend linearly independent integer rows to a unimodular matrix.
+
+    Given a ``k x n`` matrix of linearly independent rows whose row
+    lattice is *primitive* (the gcd of the k-by-k minors is 1 — true for
+    any rows that can appear in a unimodular matrix), returns an ``n x n``
+    unimodular matrix whose first ``k`` rows are ``rows``.
+
+    Raises :class:`LinalgError` if the rows are dependent or cannot be
+    completed (non-primitive row lattice).
+    """
+    k, n = rows.shape
+    if k > n:
+        raise LinalgError("more rows than columns; cannot complete")
+    if rows.rank() != k:
+        raise LinalgError("rows are linearly dependent; cannot complete to unimodular")
+    # Column HNF of rows: rows @ U = H (k x n, lower triangular).
+    h, u = hnf_column(rows)
+    # The completion exists iff H = [L 0] with L unimodular (det ±1).
+    l = h.select_cols(range(k)).select_rows(range(k))
+    d = l.det()
+    if d not in (1, -1):
+        raise LinalgError(
+            f"row lattice is not primitive (pivot product {d}); unimodular completion impossible"
+        )
+    # rows = H @ U^{-1}.  Take M = [[L, 0], [0, I]] @ U^{-1}; then the first
+    # k rows of M are rows, and det(M) = det(L) * det(U^{-1}) = ±1.
+    uinv = u.inverse_int()
+    bottom = uinv.select_rows(range(k, n))
+    return rows.vstack(bottom)
+
+
+def extend_to_full_rank(rows: IntMatrix) -> IntMatrix:
+    """Extend ``rows`` (k x n, rank k) to an n x n nonsingular integer
+    matrix by appending unit vectors.
+
+    Unlike :func:`complete_to_unimodular`, the result need not be
+    unimodular, but it always exists.  Appended rows are the
+    lexicographically earliest unit vectors that preserve independence.
+    """
+    k, n = rows.shape
+    current = rows
+    rank = current.rank()
+    if rank != k:
+        raise LinalgError("rows are linearly dependent")
+    for i in range(n):
+        if current.nrows == n:
+            break
+        unit = [0] * n
+        unit[i] = 1
+        candidate = current.with_row(unit)
+        if candidate.rank() == current.nrows + 1:
+            current = candidate
+    if current.nrows != n:  # pragma: no cover - cannot happen for rank-k input
+        raise LinalgError("failed to extend to full rank")
+    return current
+
+
+def first_nonzero_index(vec: Sequence[int]) -> int | None:
+    """Index of the first nonzero entry, or None for the zero vector."""
+    for i, x in enumerate(vec):
+        if x != 0:
+            return i
+    return None
+
+
+def is_lex_positive(vec: Sequence[int]) -> bool:
+    """True iff the vector is lexicographically positive (first nonzero
+    entry is > 0)."""
+    i = first_nonzero_index(vec)
+    return i is not None and vec[i] > 0
+
+
+def is_lex_nonnegative(vec: Sequence[int]) -> bool:
+    """True iff the vector is zero or lexicographically positive."""
+    i = first_nonzero_index(vec)
+    return i is None or vec[i] > 0
+
+
+def lex_compare(a: Sequence[int], b: Sequence[int]) -> int:
+    """Three-way lexicographic comparison: -1, 0, or 1."""
+    if len(a) != len(b):
+        raise LinalgError("lexicographic comparison of unequal-length vectors")
+    for x, y in zip(a, b):
+        if x < y:
+            return -1
+        if x > y:
+            return 1
+    return 0
+
+
+def random_unimodular(n: int, steps: int = 20, seed: int | None = None) -> IntMatrix:
+    """A pseudo-random n x n unimodular matrix.
+
+    Built as a product of random elementary row operations (swaps,
+    negations, and add-multiples with small factors) applied to the
+    identity, so the determinant stays ±1 by construction.  Entry growth
+    is kept modest by bounding the multipliers.
+    """
+    rng = random.Random(seed)
+    m = [[int(i == j) for j in range(n)] for i in range(n)]
+    for _ in range(steps):
+        op = rng.choice(("swap", "neg", "addmul")) if n > 1 else "neg"
+        if op == "swap":
+            i, j = rng.sample(range(n), 2)
+            m[i], m[j] = m[j], m[i]
+        elif op == "neg":
+            i = rng.randrange(n)
+            m[i] = [-x for x in m[i]]
+        else:
+            i, j = rng.sample(range(n), 2)
+            f = rng.choice((-2, -1, 1, 2))
+            m[i] = [a + f * b for a, b in zip(m[i], m[j])]
+    result = IntMatrix(m)
+    assert result.is_unimodular()
+    return result

@@ -1,0 +1,11 @@
+"""Classical perfect-nest baseline (system S11)."""
+
+from repro.perfect.unimodular import (
+    PerfectDeps, complete_perfect, is_legal_perfect, outermost_parallel_row,
+    parallel_directions,
+)
+
+__all__ = [
+    "PerfectDeps", "is_legal_perfect", "complete_perfect",
+    "parallel_directions", "outermost_parallel_row",
+]

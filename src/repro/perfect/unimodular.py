@@ -1,0 +1,194 @@
+"""Classical unimodular framework for perfectly nested loops (system S11).
+
+This is the prior art the paper extends: iteration vectors, dependence
+matrices of distances/directions, legality ``T·d ≻ 0``, Li–Pingali
+completion, and parallel-loop detection via the nullspace of the
+dependence matrix.  On perfect nests the imperfect-nest framework must
+coincide with this baseline (ablation A2 checks that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dependence.entry import DepEntry, zip_dot
+from repro.linalg.intmat import IntMatrix
+from repro.linalg.unimodular import complete_to_unimodular
+from repro.util.errors import CompletionError, LegalityError
+
+__all__ = [
+    "PerfectDeps",
+    "is_legal_perfect",
+    "complete_perfect",
+    "parallel_directions",
+    "outermost_parallel_row",
+]
+
+
+@dataclass
+class PerfectDeps:
+    """A classical dependence matrix: one interval column per dependence
+    over the k loop dimensions."""
+
+    depth: int
+    columns: list[tuple[DepEntry, ...]]
+
+    @staticmethod
+    def parse(depth: int, cols: list[list]) -> "PerfectDeps":
+        return PerfectDeps(depth, [tuple(DepEntry.parse(t) for t in c) for c in cols])
+
+    def add(self, col) -> None:
+        entries = tuple(DepEntry.parse(t) for t in col)
+        if len(entries) != self.depth:
+            raise LegalityError(f"dependence length {len(entries)} != depth {self.depth}")
+        self.columns.append(entries)
+
+
+def _lex_sign(entries: tuple[DepEntry, ...]) -> str:
+    for e in entries:
+        if e.definitely_positive():
+            return "positive"
+        if e.is_zero():
+            continue
+        if e.definitely_nonnegative():
+            continue
+        return "may-be-negative"
+    return "zero-or-positive"
+
+
+def is_legal_perfect(t: IntMatrix, deps: PerfectDeps) -> bool:
+    """Classical legality: ``T·d`` lexicographically positive for every
+    dependence (zero not allowed — perfect-nest deps must stay ordered)."""
+    if t.shape != (deps.depth, deps.depth):
+        raise LegalityError(f"matrix shape {t.shape} does not match depth {deps.depth}")
+    for d in deps.columns:
+        td = tuple(zip_dot(row, d) for row in t.rows())
+        if _lex_sign(td) != "positive":
+            return False
+    return True
+
+
+def complete_perfect(partial: IntMatrix, deps: PerfectDeps) -> IntMatrix:
+    """Li–Pingali completion for perfect nests.
+
+    Given ``partial`` (r independent rows, each mapping every dependence
+    to a non-negative value), appends rows so the result is nonsingular
+    and every dependence becomes lexicographically positive.  Rows are
+    appended Figure-7 style: the unit vector of the first coordinate at
+    which some still-unsatisfied dependence is nonzero.
+    """
+    k = deps.depth
+    if partial.nrows and partial.ncols != k:
+        raise CompletionError(f"partial row length {partial.ncols} != depth {k}")
+    if partial.nrows and partial.rank() != partial.nrows:
+        raise CompletionError("partial rows are linearly dependent")
+
+    pending: list[list[DepEntry]] = []
+    for d in deps.columns:
+        status = _prefix_status(partial, d)
+        if status == "violated":
+            raise CompletionError(f"partial transformation already violates {tuple(map(str, d))}")
+        if status == "pending":
+            pending.append(list(d))
+
+    current = partial
+    while current.nrows < k:
+        heights = [_first_nonzero(v) for v in pending]
+        live = [h for h in heights if h is not None]
+        if live:
+            h = min(live)
+            for v, hh in zip(pending, heights):
+                if hh == h and v[h].may_be_negative():
+                    raise CompletionError("dependence not carryable by unit rows; needs skewing")
+            row = tuple(1 if i == h else 0 for i in range(k))
+        else:
+            row = None
+        stacked = (IntMatrix([row]) if current.nrows == 0 else current.with_row(row)) if row is not None else None
+        if stacked is not None and stacked.rank() > current.nrows:
+            current = stacked
+            remaining = []
+            for v, hh in zip(pending, heights):
+                if hh is None:
+                    continue
+                if hh == h:
+                    if v[h].definitely_positive():
+                        continue
+                    v = list(v)
+                    v[h] = DepEntry.const(0)
+                    if _first_nonzero(v) is None:
+                        continue
+                remaining.append(v)
+            pending = remaining
+            continue
+        # no pending work (or unit row dependent): top up to unimodular
+        try:
+            return complete_to_unimodular(current) if current.nrows else IntMatrix.identity(k)
+        except Exception:
+            # fall back to unit-row completion
+            for i in range(k):
+                unit = tuple(1 if j == i else 0 for j in range(k))
+                cand = IntMatrix([unit]) if current.nrows == 0 else current.with_row(unit)
+                if cand.rank() > current.nrows:
+                    current = cand
+                    break
+            else:  # pragma: no cover
+                raise CompletionError("cannot complete to full rank")
+    if not is_legal_perfect(current, deps):
+        raise CompletionError("completed matrix is not legal (needs a richer fragment)")
+    return current
+
+
+def _prefix_status(rows: IntMatrix, d: tuple[DepEntry, ...]) -> str:
+    """Status of a dependence under a partial row prefix."""
+    for row in rows.rows():
+        e = zip_dot(row, d)
+        if e.definitely_positive():
+            return "satisfied"
+        if e.may_be_negative():
+            return "violated"
+        if e.is_zero() or e.definitely_nonnegative():
+            continue
+    return "pending"
+
+
+def _first_nonzero(v) -> int | None:
+    for i, e in enumerate(v):
+        if not e.is_zero():
+            return i
+    return None
+
+
+def parallel_directions(deps: PerfectDeps) -> list[tuple[int, ...]]:
+    """Integer rows orthogonal to every dependence — candidate DOALL
+    directions (the paper's "vector in the null space of the columns of
+    the dependence matrix").
+
+    Direction (non-constant) entries force a zero coefficient at their
+    position; constant columns contribute nullspace constraints.
+    """
+    k = deps.depth
+    forced_zero = set()
+    const_rows: list[list[int]] = []
+    for d in deps.columns:
+        row = []
+        for i, e in enumerate(d):
+            if e.is_constant():
+                row.append(e.constant())
+            else:
+                forced_zero.add(i)
+                row.append(0)
+        const_rows.append(row)
+    for i in sorted(forced_zero):
+        unit = [0] * k
+        unit[i] = 1
+        const_rows.append(unit)
+    if not const_rows:
+        return [tuple(1 if j == i else 0 for j in range(k)) for i in range(k)]
+    m = IntMatrix(const_rows)
+    return m.nullspace_int()
+
+
+def outermost_parallel_row(deps: PerfectDeps) -> tuple[int, ...] | None:
+    """A row usable as a parallel outermost loop, or None."""
+    candidates = parallel_directions(deps)
+    return candidates[0] if candidates else None

@@ -1,0 +1,13 @@
+"""Affine sets and Fourier–Motzkin machinery (system S2, "omega-lite")."""
+
+from repro.polyhedra.affine import LinExpr, const, linear_combination, var
+from repro.polyhedra.bounds import Bound, LoopBounds, extract_bounds
+from repro.polyhedra.constraint import Constraint, eq, eq0, ge, ge0, gt, le, lt
+from repro.polyhedra.system import Feasibility, System
+
+__all__ = [
+    "LinExpr", "var", "const", "linear_combination",
+    "Constraint", "ge0", "eq0", "le", "ge", "eq", "lt", "gt",
+    "System", "Feasibility",
+    "Bound", "LoopBounds", "extract_bounds",
+]

@@ -1,0 +1,195 @@
+"""Affine expressions over named integer variables.
+
+:class:`LinExpr` is the atom of the polyhedral substrate: an immutable
+integer-coefficient affine form ``c0 + c1*v1 + ... + ck*vk`` over named
+variables.  Loop bounds, array subscripts and dependence constraints are
+all LinExprs; keeping the coefficients integral (clearing denominators
+instead of storing rationals) keeps Fourier–Motzkin exact.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Iterable, Mapping
+
+from repro.util.errors import PolyhedronError
+
+__all__ = ["LinExpr", "var", "const"]
+
+
+class LinExpr:
+    """An immutable integer affine expression.
+
+    Construct via :func:`var` / :func:`const` and arithmetic, or directly
+    from a coefficient mapping::
+
+        >>> e = 2 * var("i") - var("j") + 3
+        >>> e["i"], e["j"], e.constant
+        (2, -1, 3)
+        >>> e.eval({"i": 5, "j": 1})
+        12
+    """
+
+    __slots__ = ("_coeffs", "_const")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, constant: int = 0):
+        clean = {}
+        for k, v in (coeffs or {}).items():
+            iv = int(v)
+            if iv != v:
+                raise PolyhedronError(f"non-integer coefficient {v!r} for {k}")
+            if iv != 0:
+                clean[k] = iv
+        self._coeffs = dict(sorted(clean.items()))
+        c = int(constant)
+        if c != constant:
+            raise PolyhedronError(f"non-integer constant {constant!r}")
+        self._const = c
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def constant(self) -> int:
+        return self._const
+
+    @property
+    def coeffs(self) -> dict[str, int]:
+        """Copy of the variable->coefficient mapping (zero coeffs omitted)."""
+        return dict(self._coeffs)
+
+    def __getitem__(self, name: str) -> int:
+        return self._coeffs.get(name, 0)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self._coeffs)
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a full assignment of the variables that occur."""
+        total = self._const
+        for k, c in self._coeffs.items():
+            if k not in env:
+                raise PolyhedronError(f"unbound variable {k!r} in evaluation")
+            total += c * env[k]
+        return total
+
+    def eval_partial(self, env: Mapping[str, int]) -> "LinExpr":
+        """Substitute constants for some variables; returns a LinExpr."""
+        coeffs = {k: c for k, c in self._coeffs.items() if k not in env}
+        constant = self._const + sum(c * env[k] for k, c in self._coeffs.items() if k in env)
+        return LinExpr(coeffs, constant)
+
+    def substitute(self, name: str, replacement: "LinExpr") -> "LinExpr":
+        """Replace variable ``name`` by an affine expression."""
+        c = self._coeffs.get(name, 0)
+        if c == 0:
+            return self
+        base = LinExpr({k: v for k, v in self._coeffs.items() if k != name}, self._const)
+        return base + c * replacement
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        """Rename variables; names not in ``mapping`` are kept."""
+        coeffs: dict[str, int] = {}
+        for k, c in self._coeffs.items():
+            nk = mapping.get(k, k)
+            coeffs[nk] = coeffs.get(nk, 0) + c
+        return LinExpr(coeffs, self._const)
+
+    def content(self) -> int:
+        """gcd of all variable coefficients (0 for a constant expression)."""
+        g = 0
+        for c in self._coeffs.values():
+            g = gcd(g, abs(c))
+        return g
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _coerce(self, other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, int):
+            return LinExpr({}, other)
+        raise PolyhedronError(f"cannot combine LinExpr with {type(other).__name__}")
+
+    def __add__(self, other) -> "LinExpr":
+        o = self._coerce(other)
+        coeffs = dict(self._coeffs)
+        for k, c in o._coeffs.items():
+            coeffs[k] = coeffs.get(k, 0) + c
+        return LinExpr(coeffs, self._const + o._const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return self._coerce(other) + (-self)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({k: -c for k, c in self._coeffs.items()}, -self._const)
+
+    def __mul__(self, scalar: int) -> "LinExpr":
+        if not isinstance(scalar, int):
+            raise PolyhedronError("LinExpr can only be scaled by an integer")
+        return LinExpr({k: c * scalar for k, c in self._coeffs.items()}, self._const * scalar)
+
+    __rmul__ = __mul__
+
+    # -- protocol ----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int):
+            other = LinExpr({}, other)
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self._const == other._const
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._coeffs.items()), self._const))
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self!s})"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for k, c in self._coeffs.items():
+            if c == 1:
+                term = k
+            elif c == -1:
+                term = f"-{k}"
+            else:
+                term = f"{c}*{k}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self._const or not parts:
+            c = self._const
+            if parts:
+                parts.append(f"+ {c}" if c >= 0 else f"- {-c}")
+            else:
+                parts.append(str(c))
+        return " ".join(parts)
+
+
+def var(name: str) -> LinExpr:
+    """The affine expression consisting of a single variable."""
+    return LinExpr({name: 1})
+
+
+def const(value: int) -> LinExpr:
+    """A constant affine expression."""
+    return LinExpr({}, value)
+
+
+def linear_combination(terms: Iterable[tuple[int, str]], constant: int = 0) -> LinExpr:
+    """Build ``sum(c*v) + constant`` from (coefficient, variable) pairs."""
+    coeffs: dict[str, int] = {}
+    for c, v in terms:
+        coeffs[v] = coeffs.get(v, 0) + c
+    return LinExpr(coeffs, constant)

@@ -1,0 +1,355 @@
+"""Constraint systems (rational polyhedra with integer semantics).
+
+A :class:`System` is a conjunction of :class:`~repro.polyhedra.constraint.Constraint`
+objects.  It supports Fourier–Motzkin variable elimination with integer
+tightening, exactness tracking, feasibility queries and integer point
+search — the "omega-lite" substrate standing in for the Omega toolkit
+the paper uses for dependence analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from repro.polyhedra.affine import LinExpr
+from repro.polyhedra.constraint import Constraint, eq0, ge0
+from repro.util.errors import PolyhedronError
+
+__all__ = ["System", "Feasibility"]
+
+
+class Feasibility(enum.Enum):
+    """Outcome of an integer feasibility query."""
+
+    INFEASIBLE = "infeasible"
+    FEASIBLE = "feasible"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise PolyhedronError(
+            "Feasibility is three-valued; compare against Feasibility members explicitly"
+        )
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+def _floor_div(a: int, b: int) -> int:
+    return a // b
+
+
+class System:
+    """An immutable conjunction of affine constraints.
+
+    Duplicate and trivially true constraints are dropped on construction;
+    a trivially false constraint collapses the system to a canonical
+    infeasible form.
+    """
+
+    __slots__ = ("_constraints", "_false")
+
+    def __init__(self, constraints: Iterable[Constraint] = ()):
+        seen: list[Constraint] = []
+        dedup = set()
+        false = False
+        for c in constraints:
+            if c.is_trivially_true():
+                continue
+            if c.is_trivially_false():
+                false = True
+                continue
+            if c not in dedup:
+                dedup.add(c)
+                seen.append(c)
+        self._false = false
+        self._constraints = tuple(seen) if not false else ()
+
+    # -- basic protocol ------------------------------------------------------
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return self._constraints
+
+    def is_trivially_false(self) -> bool:
+        return self._false
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for c in self._constraints:
+            out |= c.variables()
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self):
+        return iter(self._constraints)
+
+    def __repr__(self) -> str:
+        if self._false:
+            return "System(<infeasible>)"
+        return "System([" + ", ".join(str(c) for c in self._constraints) + "])"
+
+    def satisfied_by(self, env: Mapping[str, int]) -> bool:
+        if self._false:
+            return False
+        return all(c.satisfied_by(env) for c in self._constraints)
+
+    # -- construction ----------------------------------------------------------
+
+    def and_(self, *constraints: Constraint) -> "System":
+        if self._false:
+            return self
+        return System(self._constraints + tuple(constraints))
+
+    def conjoin(self, other: "System") -> "System":
+        if self._false or other._false:
+            return _FALSE
+        return System(self._constraints + other._constraints)
+
+    def substitute(self, name: str, replacement: LinExpr) -> "System":
+        if self._false:
+            return self
+        return System(c.substitute(name, replacement) for c in self._constraints)
+
+    def rename(self, mapping: Mapping[str, str]) -> "System":
+        if self._false:
+            return self
+        return System(c.rename(mapping) for c in self._constraints)
+
+    def eval_partial(self, env: Mapping[str, int]) -> "System":
+        """Substitute constants for some variables."""
+        if self._false:
+            return self
+        return System(Constraint(c.expr.eval_partial(env), c.kind) for c in self._constraints)
+
+    # -- Fourier–Motzkin elimination ---------------------------------------------
+
+    def eliminate(self, name: str, *, dark_shadow: bool = False) -> tuple["System", bool]:
+        """Eliminate ``name``; returns ``(projected_system, exact)``.
+
+        ``exact`` is True when the resulting system is exactly the set of
+        integer points of the projection (guaranteed when every
+        lower/upper-bound pairing had a unit coefficient on at least one
+        side, or when an equality with unit coefficient allowed an exact
+        substitution).
+
+        With ``dark_shadow=True`` the Omega "dark shadow" combination is
+        emitted instead of the real shadow: the result *under*-approximates
+        the projection, so its feasibility implies feasibility of the
+        original (useful as the definite-yes half of a feasibility test).
+        """
+        if self._false:
+            return self, True
+
+        # 1. exact Gaussian substitution via a unit-coefficient equality
+        for c in self._constraints:
+            if c.is_equality():
+                a = c.coefficient(name)
+                if a in (1, -1):
+                    # a*x + rest == 0  =>  x = -rest/a
+                    rest = c.expr - LinExpr({name: a})
+                    repl = rest * (-1) if a == 1 else rest
+                    others = [k for k in self._constraints if k is not c]
+                    return System(k.substitute(name, repl) for k in others), True
+
+        lowers: list[tuple[int, LinExpr]] = []  # (a, r): a*x + r >= 0, a > 0
+        uppers: list[tuple[int, LinExpr]] = []  # (b, r): -b*x + r >= 0, b > 0
+        free: list[Constraint] = []
+        equalities: list[Constraint] = []
+        for c in self._constraints:
+            a = c.coefficient(name)
+            if a == 0:
+                free.append(c)
+            elif c.is_equality():
+                equalities.append(c)
+            elif a > 0:
+                lowers.append((a, c.expr - LinExpr({name: a})))
+            else:
+                uppers.append((-a, c.expr - LinExpr({name: a})))
+
+        # equalities with non-unit coefficients: treat as a pair of
+        # inequalities (loses the divisibility constraint => inexact)
+        exact = not equalities
+        for c in equalities:
+            a = c.coefficient(name)
+            lo, hi = c.negated_pair()
+            for side in (lo, hi):
+                aa = side.coefficient(name)
+                if aa > 0:
+                    lowers.append((aa, side.expr - LinExpr({name: aa})))
+                else:
+                    uppers.append((-aa, side.expr - LinExpr({name: aa})))
+
+        out = list(free)
+        for (a, r1), (b, r2) in itertools.product(lowers, uppers):
+            # a*x >= -r1  and  b*x <= r2  =>  b*(-r1) <= a*b*x <= a*r2
+            combined = b * r1 + a * r2
+            if a > 1 and b > 1:
+                exact = False
+                if dark_shadow:
+                    combined = combined - (a - 1) * (b - 1)
+            out.append(ge0(combined))
+        return System(out), exact
+
+    def project_onto(self, keep: Sequence[str], *, dark_shadow: bool = False) -> tuple["System", bool]:
+        """Eliminate every variable not in ``keep``; returns (system, exact)."""
+        sys_, exact = self, True
+        keep_set = set(keep)
+        # Heuristic elimination order: fewest lower*upper products first.
+        while True:
+            todo = [v for v in sys_.variables() if v not in keep_set]
+            if not todo:
+                return sys_, exact
+
+            def cost(v: str) -> int:
+                lo = sum(1 for c in sys_._constraints if c.coefficient(v) > 0)
+                hi = sum(1 for c in sys_._constraints if c.coefficient(v) < 0)
+                return lo * hi
+
+            v = min(todo, key=cost)
+            sys_, e = sys_.eliminate(v, dark_shadow=dark_shadow)
+            exact = exact and e
+
+    # -- feasibility ------------------------------------------------------------
+
+    def feasible(self) -> Feasibility:
+        """Integer feasibility of the system.
+
+        Decision procedure:
+
+        1. Real-shadow FM elimination of all variables.  Infeasible there
+           means integer-infeasible (sound).  Feasible *and exact* means
+           integer-feasible.
+        2. Otherwise retry with the dark shadow; feasibility there implies
+           an integer point exists.
+        3. Otherwise report :data:`Feasibility.UNKNOWN` — callers that
+           need certainty fall back to :meth:`find_point` with bounds.
+        """
+        if self._false:
+            return Feasibility.INFEASIBLE
+        projected, exact = self.project_onto(())
+        if projected.is_trivially_false():
+            return Feasibility.INFEASIBLE
+        if exact:
+            return Feasibility.FEASIBLE
+        dark, _ = self.project_onto((), dark_shadow=True)
+        if not dark.is_trivially_false():
+            return Feasibility.FEASIBLE
+        return Feasibility.UNKNOWN
+
+    def is_definitely_infeasible(self) -> bool:
+        return self.feasible() is Feasibility.INFEASIBLE
+
+    def is_definitely_feasible(self) -> bool:
+        return self.feasible() is Feasibility.FEASIBLE
+
+    # -- integer point search -----------------------------------------------------
+
+    def var_range(self, name: str) -> tuple[int | None, int | None]:
+        """Rational bounds on ``name`` over the projection (lo, hi);
+        ``None`` means unbounded on that side."""
+        proj, _ = self.project_onto((name,))
+        if proj.is_trivially_false():
+            raise PolyhedronError("system is infeasible; no variable range")
+        lo: int | None = None
+        hi: int | None = None
+        for c in proj:
+            a = c.coefficient(name)
+            if a == 0:
+                continue
+            rest = c.expr.constant
+            if c.is_equality():
+                if rest % a == 0:
+                    v = -rest // a
+                    lo = v if lo is None else max(lo, v)
+                    hi = v if hi is None else min(hi, v)
+                else:
+                    raise PolyhedronError("equality with no integer solution")
+            elif a > 0:  # a*x + rest >= 0 -> x >= ceil(-rest/a)
+                b = _ceil_div(-rest, a)
+                lo = b if lo is None else max(lo, b)
+            else:  # a<0: x <= floor(rest/-a)
+                b = _floor_div(rest, -a)
+                hi = b if hi is None else min(hi, b)
+        return lo, hi
+
+    def find_point(self, *, clip: int = 64) -> dict[str, int] | None:
+        """Search for an integer point; returns an assignment or None.
+
+        Unbounded directions are clipped to ``[-clip, clip]``, so a None
+        result means "no point within the clip box", which is conclusive
+        only for bounded systems.  Intended for tests and cross-checks on
+        small systems, not as the primary decision procedure.
+        """
+        if self._false:
+            return None
+        return self._search({}, clip)
+
+    def _search(self, env: dict[str, int], clip: int) -> dict[str, int] | None:
+        sys_ = self.eval_partial(env) if env else self
+        if sys_.is_trivially_false():
+            return None
+        remaining = sorted(sys_.variables())
+        if not remaining:
+            return dict(env)
+        name = remaining[0]
+        try:
+            lo, hi = sys_.var_range(name)
+        except PolyhedronError:
+            return None
+        lo = -clip if lo is None else max(lo, -clip)
+        hi = clip if hi is None else min(hi, clip)
+        for v in range(lo, hi + 1):
+            result = self._search({**env, name: v}, clip)
+            if result is not None:
+                return result
+        return None
+
+    def enumerate_points(self, order: Sequence[str] | None = None, *, clip: int = 512):
+        """Yield all integer points (as dicts) in lexicographic order of
+        ``order`` (default: sorted variable names).  The system must be
+        bounded in every variable or a PolyhedronError is raised."""
+        if self._false:
+            return
+        order = list(order) if order is not None else sorted(self.variables())
+        missing = self.variables() - set(order)
+        if missing:
+            raise PolyhedronError(f"enumeration order is missing variables {sorted(missing)}")
+        yield from self._enumerate({}, order, clip)
+
+    def _enumerate(self, env: dict[str, int], order: Sequence[str], clip: int):
+        sys_ = self.eval_partial(env) if env else self
+        if sys_.is_trivially_false():
+            return
+        pending = [v for v in order if v not in env]
+        if not pending:
+            if sys_.satisfied_by({}) or not sys_.constraints:
+                yield dict(env)
+            return
+        name = pending[0]
+        if name not in sys_.variables():
+            # unconstrained in the remaining system: single canonical value 0
+            yield from self._enumerate({**env, name: 0}, order, clip)
+            return
+        try:
+            lo, hi = sys_.var_range(name)
+        except PolyhedronError:
+            # the remaining system may be infeasible without being
+            # syntactically false; an empty projection means no points
+            proj, _ = sys_.project_onto(())
+            if proj.is_trivially_false():
+                return
+            raise
+        if lo is None or hi is None:
+            raise PolyhedronError(f"variable {name} is unbounded; cannot enumerate")
+        if hi - lo > 2 * clip:
+            raise PolyhedronError(f"range of {name} exceeds clip ({lo}..{hi})")
+        for v in range(lo, hi + 1):
+            yield from self._enumerate({**env, name: v}, order, clip)
+
+
+_FALSE = System([Constraint(LinExpr({}, -1), Constraint.GE)])

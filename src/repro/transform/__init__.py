@@ -1,0 +1,16 @@
+"""Transformation algebra (system S7, paper §4)."""
+
+from repro.transform.distribution import (
+    distribute, distribution_legal, distribution_matrix, jam, jamming_matrix,
+)
+from repro.transform.matrices import (
+    Transformation, alignment, compose, identity, permutation, reversal,
+    scaling, skew, statement_reorder,
+)
+
+__all__ = [
+    "Transformation", "identity", "permutation", "skew", "reversal",
+    "scaling", "alignment", "statement_reorder", "compose",
+    "distribute", "jam", "distribution_matrix", "jamming_matrix",
+    "distribution_legal",
+]

@@ -1,0 +1,279 @@
+"""Loop distribution and jamming (paper §4.2).
+
+The paper models distribution and jamming with *non-square* matrices
+(they replicate or merge coordinate positions) but excludes them from
+its code-generation and completion procedures.  We follow suit: this
+module provides
+
+* the non-square matrices of §4.2 (for the E5 reproduction),
+* direct AST-level ``distribute`` / ``jam`` program transformations,
+* a dependence-based legality test: distribution of a loop between two
+  statement groups is legal iff no dependence runs *backward* (from the
+  later group to the earlier group) under that loop unless it is
+  carried by an outer loop — the classic condition, evaluated on the
+  instance-vector dependence matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dependence.depvector import DependenceMatrix
+from repro.instance.layout import EdgeCoord, Layout, LoopCoord, Path
+from repro.ir.ast import Loop, Node, Program
+from repro.linalg.intmat import IntMatrix
+from repro.util.errors import TransformError
+
+__all__ = [
+    "distribute",
+    "jam",
+    "distribution_matrix",
+    "jamming_matrix",
+    "distribution_legal",
+]
+
+
+def _loop_at(program: Program, path: Path) -> Loop:
+    node: Node = program.body[path[0]]
+    for j in path[1:]:
+        if not isinstance(node, Loop):
+            raise TransformError(f"path {path} does not name a loop")
+        node = node.body[j]
+    if not isinstance(node, Loop):
+        raise TransformError(f"node at {path} is not a loop")
+    return node
+
+
+def _replace_at(program: Program, path: Path, replacement: Sequence[Node]) -> Program:
+    """Replace the node at ``path`` by one or more sibling nodes."""
+
+    def rebuild(node: Node, rest: Path) -> list[Node]:
+        if not rest:
+            return list(replacement)
+        assert isinstance(node, Loop)
+        j = rest[0]
+        body: list[Node] = []
+        for k, child in enumerate(node.body):
+            if k == j:
+                body.extend(rebuild(child, rest[1:]))
+            else:
+                body.append(child)
+        return [node.with_body(tuple(body))]
+
+    top: list[Node] = []
+    for k, child in enumerate(program.body):
+        if k == path[0]:
+            top.extend(rebuild(child, path[1:]))
+        else:
+            top.append(child)
+    return program.with_body(tuple(top))
+
+
+def distribute(program: Program, path: Path, split: int) -> Program:
+    """Split the loop at ``path`` into two copies: the first keeps
+    children ``[:split]``, the second children ``[split:]``."""
+    loop = _loop_at(program, path)
+    if not (0 < split < len(loop.body)):
+        raise TransformError(f"split point {split} out of range for {len(loop.body)} children")
+    first = loop.with_body(loop.body[:split])
+    second = loop.with_body(loop.body[split:])
+    return _replace_at(program, path, [first, second])
+
+
+def jam(program: Program, path: Path) -> Program:
+    """Fuse the loop at ``path`` with its immediately following sibling.
+
+    Both loops must have the same variable, bounds and step.
+    """
+    parent = path[:-1]
+    idx = path[-1]
+    siblings = program.body if not parent else _loop_at(program, parent).body
+    if idx + 1 >= len(siblings):
+        raise TransformError("no following sibling loop to jam with")
+    a, b = siblings[idx], siblings[idx + 1]
+    if not (isinstance(a, Loop) and isinstance(b, Loop)):
+        raise TransformError("jam requires two adjacent loops")
+    if (a.var, a.lower, a.upper, a.step) != (b.var, b.lower, b.upper, b.step):
+        raise TransformError("jam requires identical loop headers")
+    fused = a.with_body(a.body + b.body)
+    without_b = _drop_child(program, parent, idx + 1)
+    return _replace_at(without_b, parent + (idx,), [fused])
+
+
+def _drop_child(program: Program, parent: Path, idx: int) -> Program:
+    if not parent:
+        body = list(program.body)
+        del body[idx]
+        return program.with_body(tuple(body))
+
+    def rebuild(node: Node, rest: Path) -> Node:
+        assert isinstance(node, Loop)
+        if not rest:
+            body = list(node.body)
+            del body[idx]
+            return node.with_body(tuple(body))
+        body = list(node.body)
+        body[rest[0]] = rebuild(body[rest[0]], rest[1:])
+        return node.with_body(tuple(body))
+
+    top = list(program.body)
+    top[parent[0]] = rebuild(top[parent[0]], parent[1:])
+    return program.with_body(tuple(top))
+
+
+def _coord_matrix(old: Layout, new: Layout, coord_map) -> IntMatrix:
+    """Build the (new.dim x old.dim) 0/1 matrix from a coordinate map:
+    ``coord_map(new_coord)`` returns one old coordinate or a list of
+    old coordinates whose entries are summed (used for group edges)."""
+    rows = [[0] * old.dimension for _ in range(new.dimension)]
+    for i, nc in new.iter_coords():
+        ocs = coord_map(nc)
+        if not isinstance(ocs, list):
+            ocs = [ocs]
+        for oc in ocs:
+            rows[i][old.index(oc)] = 1
+    return IntMatrix(rows)
+
+
+def _remap(coord, old_path: Path):
+    if isinstance(coord, LoopCoord):
+        return LoopCoord(old_path, coord.var)
+    return EdgeCoord(old_path, coord.child)
+
+
+def distribution_matrix(program: Program, path: Path, split: int) -> tuple[IntMatrix, Program]:
+    """The non-square §4.2 matrix for a distribution, plus the new
+    program.
+
+    Rows correspond to the new layout's coordinates.  Both copies' loop
+    coordinates replicate the old loop coordinate; an edge from the
+    parent to a copy is the *sum* of the old loop's edges to the
+    children in that copy's group (exactly one of which is 1 for any
+    statement inside the group).
+    """
+    old_layout = Layout(program)
+    new_program = distribute(program, path, split)
+    new_layout = Layout(new_program)
+    loop = _loop_at(program, path)
+    nchildren = len(loop.body)
+    parent, idx = path[:-1], path[-1]
+    copy_paths = (parent + (idx,), parent + (idx + 1,))
+    group_range = (range(0, split), range(split, nchildren))
+
+    def coord_map(nc):
+        p = nc.path
+        for copy_i, cpath in enumerate(copy_paths):
+            base = split * copy_i
+            if p == cpath:
+                if isinstance(nc, LoopCoord):
+                    return LoopCoord(path, loop.var)
+                return EdgeCoord(path, base + nc.child)
+            if p[: len(cpath)] == cpath:
+                rest = p[len(cpath):]
+                return _remap(nc, path + (base + rest[0],) + rest[1:])
+        if isinstance(nc, EdgeCoord) and p == parent:
+            if nc.child < idx:
+                return nc
+            if nc.child in (idx, idx + 1):
+                group = group_range[nc.child - idx]
+                return [EdgeCoord(path, j) for j in group]
+            return EdgeCoord(parent, nc.child - 1)
+        if len(p) > len(parent) and p[: len(parent)] == parent and p[len(parent)] > idx + 1:
+            return _remap(nc, parent + (p[len(parent)] - 1,) + p[len(parent) + 1 :])
+        return nc
+
+    return _coord_matrix(old_layout, new_layout, coord_map), new_program
+
+
+def jamming_matrix(program: Program, path: Path) -> tuple[IntMatrix, Program]:
+    """The non-square §4.2 matrix for jamming the loop at ``path`` with
+    its following sibling, plus the new program.
+
+    The fused loop coordinate selects the *second* copy's loop
+    coordinate (matching the paper's example); instances from the first
+    copy land on a padded entry and rely on augmentation.
+    """
+    old_layout = Layout(program)
+    new_program = jam(program, path)
+    new_layout = Layout(new_program)
+    a = _loop_at(program, path)
+    n_first = len(a.body)
+    parent, idx = path[:-1], path[-1]
+    path_b = parent + (idx + 1,)
+    b_nchildren = len(_loop_at(program, path_b).body)
+
+    def old_edge_to_child(copy_path: Path, child: int, copy_nchildren: int):
+        """Old coordinate that is 1 exactly for statements under the
+        copy's ``child``: the copy's own edge when it has several
+        children, else the parent's edge to the copy itself."""
+        if copy_nchildren >= 2:
+            return EdgeCoord(copy_path, child)
+        return EdgeCoord(parent, copy_path[-1])
+
+    def coord_map(nc):
+        p = nc.path
+        if p == path:
+            if isinstance(nc, LoopCoord):
+                return LoopCoord(path_b, nc.var)
+            if nc.child < n_first:
+                return old_edge_to_child(path, nc.child, n_first)
+            return old_edge_to_child(path_b, nc.child - n_first, b_nchildren)
+        if p[: len(path)] == path:
+            rest = p[len(path):]
+            if rest[0] < n_first:
+                return nc
+            return _remap(nc, path_b + (rest[0] - n_first,) + rest[1:])
+        if isinstance(nc, EdgeCoord) and p == parent:
+            if nc.child < idx:
+                return nc
+            if nc.child == idx:
+                return [EdgeCoord(parent, idx), EdgeCoord(parent, idx + 1)]
+            return EdgeCoord(parent, nc.child + 1)
+        if len(p) > len(parent) and p[: len(parent)] == parent and p[len(parent)] > idx:
+            return _remap(nc, parent + (p[len(parent)] + 1,) + p[len(parent) + 1 :])
+        return nc
+
+    return _coord_matrix(old_layout, new_layout, coord_map), new_program
+
+
+def distribution_legal(deps: DependenceMatrix, path: Path, split: int) -> bool:
+    """Classic distribution legality on the instance-vector dependence
+    matrix: every dependence from a statement of the second group to a
+    statement of the first group must be carried by a loop *outside*
+    the distributed loop (its projection onto the loops enclosing the
+    distributed loop must be definitely lexicographically positive)."""
+    layout = deps.layout
+    loop_node = layout.node_at(path)
+    if not isinstance(loop_node, Loop):
+        raise TransformError(f"node at {path} is not a loop")
+
+    def group(label: str) -> int | None:
+        spath = layout.statement_path(label)
+        if spath[: len(path)] != path or len(spath) <= len(path):
+            return None
+        return 0 if spath[len(path)] < split else 1
+
+    outer_positions = [
+        layout.index(c)
+        for c in layout.loop_coords()
+        if len(c.path) < len(path) and path[: len(c.path)] == c.path
+    ]
+
+    for d in deps:
+        gs, gd = group(d.src), group(d.dst)
+        if gs is None or gd is None:
+            continue
+        if gs == 1 and gd == 0:
+            outer = d.project(outer_positions)
+            if not _definitely_lex_positive(outer):
+                return False
+    return True
+
+
+def _definitely_lex_positive(entries) -> bool:
+    for e in entries:
+        if e.definitely_positive():
+            return True
+        if not e.is_zero():
+            return False
+    return False

@@ -1,0 +1,257 @@
+"""Matrix constructors for loop transformations (paper §4).
+
+Every transformation of an imperfectly nested loop is a square integer
+matrix over the program's instance-vector :class:`~repro.instance.Layout`:
+
+* **permutation** — swap two loop coordinates (§4.1),
+* **skewing** — add a multiple of one loop coordinate to another (§4.1),
+* **reversal** — negate a loop coordinate (§4.1),
+* **scaling** — scale a loop coordinate (§4.1),
+* **statement reordering** — permute the children of an AST node, which
+  permutes edge coordinates and moves whole subtree blocks (§4.2),
+* **statement alignment** — add a multiple of a statement's edge
+  coordinate (which is 1 exactly on that statement's instances) to a
+  loop coordinate, shifting that statement's iterations (§4.3).
+
+Sequences compose by matrix product, exactly as for perfectly nested
+loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.instance.layout import EdgeCoord, Layout, LoopCoord, Path
+from repro.ir.ast import Loop, Node, Program, Statement
+from repro.linalg.intmat import IntMatrix
+from repro.util.errors import TransformError
+
+__all__ = [
+    "Transformation",
+    "identity",
+    "permutation",
+    "skew",
+    "reversal",
+    "scaling",
+    "alignment",
+    "statement_reorder",
+    "compose",
+]
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """A transformation matrix tied to the source program's layout."""
+
+    layout: Layout
+    matrix: IntMatrix
+    description: str = ""
+
+    def __post_init__(self):
+        n = self.layout.dimension
+        if self.matrix.shape != (n, n):
+            raise TransformError(
+                f"matrix shape {self.matrix.shape} does not match layout dimension {n}"
+            )
+
+    def then(self, later: "Transformation") -> "Transformation":
+        """Apply ``self`` first, then ``later`` (matrix product
+        ``later.matrix @ self.matrix``)."""
+        if later.layout.dimension != self.layout.dimension:
+            raise TransformError("cannot compose transformations of different dimensions")
+        desc = f"{self.description}; {later.description}".strip("; ")
+        return Transformation(self.layout, later.matrix @ self.matrix, desc)
+
+    def apply_to_symbolic(self, label: str):
+        """Transformed symbolic instance vector of a statement (a tuple
+        of LinExprs) — the §4.1 matrix-times-vector products."""
+        from repro.instance.vectors import symbolic_vector
+        from repro.polyhedra.affine import LinExpr
+
+        vec = symbolic_vector(self.layout, label)
+        out = []
+        for row in self.matrix.rows():
+            acc = LinExpr({}, 0)
+            for c, e in zip(row, vec):
+                if c:
+                    acc = acc + e * c
+            out.append(acc)
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        return f"Transformation({self.description or 'unnamed'}, dim={self.layout.dimension})"
+
+
+def identity(layout: Layout) -> Transformation:
+    return Transformation(layout, IntMatrix.identity(layout.dimension), "identity")
+
+
+def _loop_index(layout: Layout, loop: str | Path) -> int:
+    if isinstance(loop, tuple):
+        node = layout.node_at(loop)
+        if not isinstance(node, Loop):
+            raise TransformError(f"node at {loop} is not a loop")
+        return layout.index(LoopCoord(loop, node.var))
+    return layout.loop_index_by_var(loop)
+
+
+def permutation(layout: Layout, a: str | Path, b: str | Path) -> Transformation:
+    """Interchange loops ``a`` and ``b`` (named by variable or path)."""
+    ia, ib = _loop_index(layout, a), _loop_index(layout, b)
+    perm = list(range(layout.dimension))
+    perm[ia], perm[ib] = perm[ib], perm[ia]
+    return Transformation(layout, IntMatrix.permutation(perm), f"permute({a},{b})")
+
+
+def skew(layout: Layout, target: str | Path, source: str | Path, factor: int) -> Transformation:
+    """Replace loop ``target`` by ``target + factor*source``."""
+    it, is_ = _loop_index(layout, target), _loop_index(layout, source)
+    if it == is_:
+        raise TransformError("cannot skew a loop by itself")
+    m = [[int(i == j) for j in range(layout.dimension)] for i in range(layout.dimension)]
+    m[it][is_] = factor
+    return Transformation(layout, IntMatrix(m), f"skew({target} += {factor}*{source})")
+
+
+def reversal(layout: Layout, loop: str | Path) -> Transformation:
+    """Negate loop ``loop``."""
+    i = _loop_index(layout, loop)
+    diag = [1] * layout.dimension
+    diag[i] = -1
+    return Transformation(layout, IntMatrix.diag(diag), f"reverse({loop})")
+
+
+def scaling(layout: Layout, loop: str | Path, factor: int) -> Transformation:
+    """Scale loop ``loop`` by a nonzero integer factor."""
+    if factor == 0:
+        raise TransformError("scale factor must be nonzero")
+    i = _loop_index(layout, loop)
+    diag = [1] * layout.dimension
+    diag[i] = factor
+    return Transformation(layout, IntMatrix.diag(diag), f"scale({loop}, {factor})")
+
+
+def alignment(layout: Layout, label: str, loop: str | Path, offset: int) -> Transformation:
+    """Shift statement ``label``'s iterations of loop ``loop`` by
+    ``offset`` (§4.3).
+
+    Realized by adding ``offset`` times the statement's innermost edge
+    coordinate (whose entry is 1 exactly for instances of statements in
+    that branch) to the loop coordinate.  Raises if the statement has no
+    edge coordinate on its path (a perfectly nested statement cannot be
+    aligned independently).
+    """
+    il = _loop_index(layout, loop)
+    spath = layout.statement_path(label)
+    edge = None
+    for c in layout.edge_coords():
+        edge_path = c.path + (c.child,)
+        if spath[: len(edge_path)] == edge_path:
+            if edge is None or len(c.path) > len(edge.path):
+                edge = c
+    if edge is None:
+        raise TransformError(
+            f"statement {label} has no edge coordinate; alignment is not expressible"
+        )
+    loop_coord = layout.coords[il]
+    if not isinstance(loop_coord, LoopCoord) or not _is_ancestor(loop_coord.path, spath):
+        raise TransformError(f"loop {loop} does not surround statement {label}")
+    ie = layout.index(edge)
+    m = [[int(i == j) for j in range(layout.dimension)] for i in range(layout.dimension)]
+    m[il][ie] += offset
+    return Transformation(layout, IntMatrix(m), f"align({label}, {loop}, {offset:+d})")
+
+
+def _is_ancestor(prefix: Path, path: Path) -> bool:
+    return path[: len(prefix)] == prefix
+
+
+def statement_reorder(
+    layout: Layout, parent: Path, new_order: Sequence[int]
+) -> tuple[Transformation, Program]:
+    """Reorder the children of the node at ``parent`` (``()`` = program
+    top level) so that new child ``i`` is old child ``new_order[i]``.
+
+    Returns the (permutation) transformation matrix and the reordered
+    program.  Edge coordinates of the node are permuted and each child's
+    whole coordinate block moves with it (§4.2 / Figure 5).
+    """
+    program = layout.program
+    old_children = _children_at(program, parent)
+    c = len(old_children)
+    if sorted(new_order) != list(range(c)):
+        raise TransformError(f"{new_order!r} is not a permutation of 0..{c-1}")
+    new_children = tuple(old_children[j] for j in new_order)
+    new_program = _replace_children(program, parent, new_children)
+    new_layout = Layout(new_program, optimize_single_edges=layout.optimize_single_edges)
+    if new_layout.dimension != layout.dimension:
+        raise TransformError("reordering changed the layout dimension (internal error)")
+
+    # Map each old coordinate to its new path.  Only paths passing
+    # through `parent` change: old child j becomes new child
+    # position(new_order, j).
+    position_of_old = {old: new for new, old in enumerate(new_order)}
+
+    def map_path(path: Path) -> Path:
+        if len(path) > len(parent) and path[: len(parent)] == parent:
+            j = path[len(parent)]
+            return parent + (position_of_old[j],) + path[len(parent) + 1 :]
+        return path
+
+    n = layout.dimension
+    rows = [[0] * n for _ in range(n)]
+    for old_i, coord in layout.iter_coords():
+        if isinstance(coord, LoopCoord):
+            new_coord = LoopCoord(map_path(coord.path), coord.var)
+        else:
+            assert isinstance(coord, EdgeCoord)
+            if coord.path == parent:
+                new_coord = EdgeCoord(parent, position_of_old[coord.child])
+            else:
+                new_coord = EdgeCoord(map_path(coord.path), coord.child)
+        new_i = new_layout.index(new_coord)
+        rows[new_i][old_i] = 1
+    t = Transformation(layout, IntMatrix(rows), f"reorder({parent}, {tuple(new_order)})")
+    return t, new_program
+
+
+def _children_at(program: Program, parent: Path) -> tuple[Node, ...]:
+    if not parent:
+        return program.body
+    node = program.body[parent[0]]
+    for j in parent[1:]:
+        if not isinstance(node, Loop):
+            raise TransformError(f"path {parent} does not name a loop")
+        node = node.body[j]
+    if isinstance(node, Statement):
+        raise TransformError(f"node at {parent} is a statement, not a loop")
+    assert isinstance(node, Loop)
+    return node.body
+
+
+def _replace_children(program: Program, parent: Path, new_children: tuple[Node, ...]) -> Program:
+    def rebuild(node: Node, path_rest: Path) -> Node:
+        assert isinstance(node, Loop)
+        if not path_rest:
+            return node.with_body(new_children)
+        j = path_rest[0]
+        body = list(node.body)
+        body[j] = rebuild(body[j], path_rest[1:])
+        return node.with_body(tuple(body))
+
+    if not parent:
+        return program.with_body(new_children)
+    body = list(program.body)
+    body[parent[0]] = rebuild(body[parent[0]], parent[1:])
+    return program.with_body(tuple(body))
+
+
+def compose(*transforms: Transformation) -> Transformation:
+    """Compose transformations applied left-to-right."""
+    if not transforms:
+        raise TransformError("compose needs at least one transformation")
+    out = transforms[0]
+    for t in transforms[1:]:
+        out = out.then(t)
+    return out

@@ -1,0 +1,13 @@
+"""Shared utilities: the exception hierarchy."""
+
+from repro.util.errors import (
+    CodegenError, CompletionError, DependenceError, InterpError, IRError,
+    LayoutError, LegalityError, LinalgError, ParseError, PolyhedronError,
+    ReproError, TransformError,
+)
+
+__all__ = [
+    "ReproError", "LinalgError", "PolyhedronError", "ParseError", "IRError",
+    "LayoutError", "DependenceError", "TransformError", "LegalityError",
+    "CodegenError", "CompletionError", "InterpError",
+]

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch
+library failures with a single ``except`` clause while still
+distinguishing the subsystem that raised them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class LinalgError(ReproError):
+    """Raised for exact integer linear algebra failures (singular matrix,
+    dimension mismatch, non-integral solution, ...)."""
+
+
+class PolyhedronError(ReproError):
+    """Raised for malformed or unusable constraint systems."""
+
+
+class ParseError(ReproError):
+    """Raised when the mini loop language cannot be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based source position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}" + (f", col {column}" if column is not None else "") + f": {message}"
+        super().__init__(message)
+
+
+class IRError(ReproError):
+    """Raised for malformed loop-nest IR (bad bounds, duplicate loop
+    variables, statements outside loops, ...)."""
+
+
+class LayoutError(ReproError):
+    """Raised when an instance-vector layout query cannot be answered
+    (unknown coordinate, statement not in the AST, ...)."""
+
+
+class DependenceError(ReproError):
+    """Raised when dependence analysis cannot summarize a dependence."""
+
+
+class TransformError(ReproError):
+    """Raised when a transformation matrix cannot be constructed or is
+    malformed for the given program."""
+
+
+class LegalityError(TransformError):
+    """Raised when a transformation is rejected by the legality test and
+    the caller asked for an exception rather than a verdict."""
+
+
+class CodegenError(ReproError):
+    """Raised when code generation fails (non-block-structured matrix,
+    unbounded loop after transformation, ...)."""
+
+
+class CompletionError(ReproError):
+    """Raised when the completion procedure cannot extend a partial
+    transformation to a full legal one."""
+
+
+class InterpError(ReproError):
+    """Raised by the loop-nest interpreter (unbound variable, bad array
+    access, non-affine expression where one is required, ...)."""

@@ -1,0 +1,64 @@
+"""Parallelism analysis tests."""
+
+import pytest
+
+from repro.analysis import outer_parallel_unit_rows, parallel_loops
+from repro.dependence import analyze_dependences
+from repro.instance import Layout
+from repro.ir import parse_program
+from repro.linalg import IntMatrix
+
+
+class TestParallelLoops:
+    def test_independent_loop_is_parallel(self):
+        p = parse_program("param N\nreal A(N)\ndo I = 1..N\n S1: A(I) = f(I)\nenddo")
+        lay = Layout(p)
+        deps = analyze_dependences(p)
+        marks = parallel_loops(lay, IntMatrix.identity(1), deps)
+        assert len(marks) == 1 and marks[0].is_parallel
+
+    def test_recurrence_not_parallel(self):
+        p = parse_program("param N\nreal A(0:N)\ndo I = 1..N\n S1: A(I) = A(I-1)\nenddo")
+        lay = Layout(p)
+        deps = analyze_dependences(p)
+        marks = parallel_loops(lay, IntMatrix.identity(1), deps)
+        assert not marks[0].is_parallel
+        assert "S1->S1" in marks[0].carried
+
+    def test_inner_loop_of_simplified_cholesky_parallel(self, simp_chol, simp_chol_layout):
+        deps = analyze_dependences(simp_chol)
+        marks = parallel_loops(simp_chol_layout, IntMatrix.identity(4), deps)
+        by_var = {m.var: m for m in marks}
+        assert not by_var["I"].is_parallel  # carries everything
+        assert by_var["J"].is_parallel      # scaling updates independent
+
+    def test_cholesky_update_loops(self, chol, chol_layout):
+        deps = analyze_dependences(chol)
+        marks = parallel_loops(chol_layout, IntMatrix.identity(7), deps)
+        by_var = {m.var: m for m in marks}
+        assert not by_var["K"].is_parallel
+        assert by_var["I"].is_parallel  # column scaling is DOALL
+        # the J/L update loops are DOALL within a K iteration
+        assert by_var["J"].is_parallel
+        assert by_var["L"].is_parallel
+
+
+class TestOuterParallelRows:
+    def test_perfect_parallel_dimension(self):
+        p = parse_program(
+            "param N\nreal A(0:N+1,0:N+1)\n"
+            "do I = 1..N\n do J = 1..N\n  S1: A(I,J) = A(I,J-1)\n enddo\nenddo"
+        )
+        lay = Layout(p)
+        deps = analyze_dependences(p)
+        rows = outer_parallel_unit_rows(lay, deps)
+        assert [c.var for c in rows] == ["I"]
+
+    def test_none_when_all_carried(self):
+        p = parse_program(
+            "param N\nreal A(0:N+1,0:N+1)\n"
+            "do I = 1..N\n do J = 1..N\n  S1: A(I,J) = A(I-1,J-1)\n enddo\nenddo"
+        )
+        lay = Layout(p)
+        deps = analyze_dependences(p)
+        assert outer_parallel_unit_rows(lay, deps) == []

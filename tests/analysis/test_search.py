@@ -1,0 +1,45 @@
+"""Transformation search (completion + codegen + cache ranking)."""
+
+import pytest
+
+from repro.analysis import SearchResult, search_loop_orders
+from repro.interp import CacheConfig
+from repro.kernels import cholesky, simplified_cholesky
+
+
+class TestSearchLoopOrders:
+    def test_cholesky_finds_both_families(self):
+        results = search_loop_orders(cholesky(), {"N": 16})
+        leads = {r.lead_var for r in results}
+        assert leads == {"K", "L"}
+
+    def test_ranked_by_misses(self):
+        results = search_loop_orders(cholesky(), {"N": 16}, verify=False)
+        misses = [r.misses for r in results]
+        assert misses == sorted(misses)
+
+    def test_left_looking_wins_beyond_cache_capacity(self):
+        results = search_loop_orders(
+            cholesky(), {"N": 44}, verify=False,
+            cache=CacheConfig(size_bytes=4 * 1024, line_bytes=64, ways=2),
+        )
+        assert results[0].lead_var == "L"
+        assert results[0].misses < results[-1].misses
+
+    def test_verification_enabled_by_default(self):
+        results = search_loop_orders(simplified_cholesky(), {"N": 10})
+        assert results  # at least the original order survives
+        for r in results:
+            assert r.accesses > 0
+
+    def test_restricted_leads(self):
+        results = search_loop_orders(cholesky(), {"N": 10}, leads=["K"])
+        assert [r.lead_var for r in results] == ["K"]
+
+    def test_illegal_leads_silently_skipped(self):
+        results = search_loop_orders(cholesky(), {"N": 10}, leads=["J", "I"])
+        assert results == []
+
+    def test_result_str(self):
+        results = search_loop_orders(simplified_cholesky(), {"N": 8})
+        assert "misses" in str(results[0])

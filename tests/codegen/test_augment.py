@@ -1,0 +1,58 @@
+"""Figure-7 augmentation."""
+
+import pytest
+
+from repro.codegen import augment_rows, project_dep
+from repro.dependence import DepEntry
+from repro.linalg import IntMatrix
+from repro.util.errors import CodegenError
+
+
+def dep(*tokens):
+    return tuple(DepEntry.parse(t) for t in tokens)
+
+
+class TestAugmentRows:
+    def test_paper_s1_case(self):
+        """§5.4: M_S1 = [0] with unsatisfied self-dep distance 1 ->
+        append [1] (the new I2 loop)."""
+        rows = augment_rows(IntMatrix([[0]]), [dep(1)])
+        assert rows == [(1,)]
+
+    def test_full_rank_no_rows(self):
+        assert augment_rows(IntMatrix([[1, 0], [0, 1]]), []) == []
+
+    def test_rank_deficient_no_deps(self):
+        rows = augment_rows(IntMatrix([[1, 1], [1, 1]]), [])
+        assert len(rows) == 1
+        stacked = IntMatrix([[1, 1], [1, 1]]).vstack(IntMatrix(list(rows)))
+        assert stacked.rank() == 2
+
+    def test_carries_by_height(self):
+        # zero map, dep carried at position 1
+        rows = augment_rows(IntMatrix([[0, 0]]), [dep(0, 2)])
+        assert rows[0] == (0, 1)
+        assert len(rows) == 2  # topped up to rank 2
+
+    def test_multiple_deps_same_height(self):
+        rows = augment_rows(IntMatrix([[0, 0]]), [dep(1, 0), dep(2, -1)])
+        assert rows[0] == (1, 0)
+
+    def test_zero_or_positive_falls_through(self):
+        # '0+' at position 0 may be zero: position 1 must also be carried
+        rows = augment_rows(IntMatrix.zeros(1, 2), [dep("0+", 1)])
+        assert rows == [(1, 0), (0, 1)]
+
+    def test_negative_height_entry_rejected(self):
+        with pytest.raises(CodegenError):
+            augment_rows(IntMatrix([[0]]), [dep("-")])
+
+    def test_zero_columns_trivial(self):
+        assert augment_rows(IntMatrix([]), []) == []
+
+
+class TestProjectDep:
+    def test_projection_selects_positions(self):
+        d = dep(5, "+", 0, -1)
+        assert project_dep(d, [0, 3]) == dep(5, -1)
+        assert project_dep(d, []) == ()

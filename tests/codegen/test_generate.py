@@ -1,0 +1,205 @@
+"""Code generation end-to-end (the paper's §5, experiment E7)."""
+
+import pytest
+
+from repro.codegen import generate_code, per_statement_transformation
+from repro.dependence import analyze_dependences
+from repro.instance import Layout
+from repro.interp import check_equivalence
+from repro.ir import Guard, Loop, parse_program, program_to_str
+from repro.legality import recover_structure
+from repro.linalg import IntMatrix
+from repro.transform import compose, permutation, reversal, skew, statement_reorder
+from repro.util.errors import CodegenError
+
+
+class TestPerStatement:
+    """Definition 7 on the §5.4 example: M_S1 = [0], M_S2 = [[1,-1],[0,1]]."""
+
+    def test_paper_matrices(self, aug, aug_layout):
+        t = skew(aug_layout, "I", "J", -1)
+        st = recover_structure(aug_layout, t.matrix)
+        ps1 = per_statement_transformation(aug_layout, t.matrix, st, "S1")
+        ps2 = per_statement_transformation(aug_layout, t.matrix, st, "S2")
+        assert ps1.linear == IntMatrix([[0]])
+        assert ps1.is_singular()
+        assert ps2.linear == IntMatrix([[1, -1], [0, 1]])
+        assert not ps2.is_singular()
+
+    def test_identity(self, aug, aug_layout):
+        st = recover_structure(aug_layout, IntMatrix.identity(4))
+        ps2 = per_statement_transformation(aug_layout, IntMatrix.identity(4), st, "S2")
+        assert ps2.linear == IntMatrix.identity(2)
+        assert ps2.offsets == (0, 0)
+
+    def test_alignment_offset(self, simp_chol, simp_chol_layout):
+        from repro.transform import alignment
+
+        t = alignment(simp_chol_layout, "S2", "I", -3)
+        st = recover_structure(simp_chol_layout, t.matrix)
+        ps2 = per_statement_transformation(simp_chol_layout, t.matrix, st, "S2")
+        assert ps2.offsets == (-3, 0)
+
+
+class TestSkewExample:
+    """The full §5.4 pipeline."""
+
+    @pytest.fixture(scope="class")
+    def generated(self, aug):
+        lay = Layout(aug)
+        return generate_code(aug, skew(lay, "I", "J", -1).matrix)
+
+    def test_augmented_loop_added(self, generated):
+        plan = generated.plan("S1")
+        assert len(plan.extra_names) == 1
+        assert plan.extra_names[0].startswith("I")
+
+    def test_s1_guarded(self, generated):
+        text = program_to_str(generated.program)
+        assert "if (" in text
+
+    def test_nonsingular_matrices(self, generated):
+        assert generated.plan("S2").nonsingular == IntMatrix([[1, -1], [0, 1]])
+        n1 = generated.plan("S1").nonsingular
+        assert n1.rank() == 1  # [0] completed by [1]
+
+    def test_subscripts_rewritten(self, generated):
+        text = program_to_str(generated.program)
+        assert "A((I + J), J)" in text
+
+    def test_equivalence_multiple_sizes(self, aug, generated):
+        for n in (1, 2, 5, 11):
+            rep = check_equivalence(aug, generated.program, {"N": n}, env_map=generated.env_map())
+            assert rep["ok"], (n, rep)
+
+    def test_exactness_flag(self, generated):
+        assert generated.exact
+
+
+class TestLoopTransformsRoundtrip:
+    def test_identity_regenerates_equivalent(self, simp_chol):
+        lay = Layout(simp_chol)
+        g = generate_code(simp_chol, IntMatrix.identity(4))
+        rep = check_equivalence(simp_chol, g.program, {"N": 7}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_inner_reversal(self, simp_chol):
+        lay = Layout(simp_chol)
+        g = generate_code(simp_chol, reversal(lay, "J").matrix)
+        rep = check_equivalence(simp_chol, g.program, {"N": 7}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_cholesky_jl_interchange(self, chol):
+        lay = Layout(chol)
+        g = generate_code(chol, permutation(lay, "J", "L").matrix)
+        rep = check_equivalence(chol, g.program, {"N": 6}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_reorder_where_legal(self):
+        p = parse_program(
+            "param N\nreal A(N), B(N)\n"
+            "do I = 1..N\n S1: A(I) = f(I)\n S2: B(I) = g(I)\nenddo"
+        )
+        lay = Layout(p)
+        t, _ = statement_reorder(lay, (0,), [1, 0])
+        g = generate_code(p, t.matrix)
+        assert [s.label for s in g.program.statements()] == ["S2", "S1"]
+        rep = check_equivalence(p, g.program, {"N": 5}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_composed_transform(self, chol):
+        lay = Layout(chol)
+        t = compose(permutation(lay, "J", "L"), permutation(lay, "J", "L"))
+        g = generate_code(chol, t.matrix)
+        rep = check_equivalence(chol, g.program, {"N": 5}, env_map=g.env_map())
+        assert rep["ok"]
+
+
+class TestRejection:
+    def test_illegal_matrix_raises(self, simp_chol):
+        from repro.util.errors import LegalityError
+
+        lay = Layout(simp_chol)
+        with pytest.raises(LegalityError):
+            generate_code(simp_chol, permutation(lay, "I", "J").matrix)
+
+class TestNonUnimodular:
+    """Loop scaling (|det N_S| > 1): HNF lattice scanning with
+    divisibility guards — the Li–Pingali [10] extension."""
+
+    def test_scaling_generates_strided_scan(self):
+        from repro.transform import scaling
+
+        p = parse_program(
+            "param N\nreal A(0:N)\ndo I = 1..N\n S1: A(I) = A(I-1) + f(I)\nenddo"
+        )
+        lay = Layout(p)
+        g = generate_code(p, scaling(lay, "I", 2).matrix)
+        text = program_to_str(g.program, header=False)
+        assert "% 2" in text  # divisibility guard
+        plan = g.plan("S1")
+        assert plan.lattice is not None
+        assert len(plan.lattice_conditions) == 1
+
+    def test_scaling_equivalence(self):
+        from repro.transform import scaling
+
+        p = parse_program(
+            "param N\nreal A(0:N)\ndo I = 1..N\n S1: A(I) = A(I-1) + f(I)\nenddo"
+        )
+        lay = Layout(p)
+        for factor in (2, 3, -2):
+            try:
+                g = generate_code(p, scaling(lay, "I", factor).matrix)
+            except Exception:
+                if factor < 0:
+                    continue  # negative scaling reverses: illegal here
+                raise
+            rep = check_equivalence(p, g.program, {"N": 9}, env_map=g.env_map())
+            assert rep["ok"], factor
+
+    def test_scaled_imperfect_nest(self, simp_chol):
+        from repro.transform import scaling
+
+        lay = Layout(simp_chol)
+        g = generate_code(simp_chol, scaling(lay, "J", 3).matrix)
+        rep = check_equivalence(simp_chol, g.program, {"N": 7}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_composed_scale_and_skew(self):
+        from repro.transform import compose, scaling, skew
+
+        p = parse_program(
+            "param N\nreal A(-99:3*N+99,-99:3*N+99)\n"
+            "do I = 1..N\n do J = 1..N\n  S1: A(I,J) = f(I,J)\n enddo\nenddo"
+        )
+        lay = Layout(p)
+        t = compose(skew(lay, "J", "I", 1), scaling(lay, "I", 2))
+        g = generate_code(p, t.matrix)
+        rep = check_equivalence(p, g.program, {"N": 5}, env_map=g.env_map())
+        assert rep["ok"]
+
+
+class TestGeneratedShape:
+    def test_loop_nesting_matches_skeleton(self, aug):
+        lay = Layout(aug)
+        g = generate_code(aug, skew(lay, "I", "J", -1).matrix)
+        top = g.program.body
+        assert len(top) == 1 and isinstance(top[0], Loop)
+
+    def test_guard_conditions_reference_outer_vars_only(self, aug):
+        lay = Layout(aug)
+        g = generate_code(aug, skew(lay, "I", "J", -1).matrix)
+
+        def walk(node, names):
+            if isinstance(node, Loop):
+                for c in node.body:
+                    walk(c, names | {node.var})
+            elif isinstance(node, Guard):
+                for cond in node.conditions:
+                    assert cond.variables() <= names | set(g.program.params)
+                for c in node.body:
+                    walk(c, names)
+
+        for n in g.program.body:
+            walk(n, set())

@@ -1,0 +1,139 @@
+"""Simplification and peeling passes (§5.5)."""
+
+import pytest
+
+from repro.codegen import generate_code
+from repro.codegen.simplify import fold_expr, peel_iteration, simplify_program
+from repro.instance import Layout
+from repro.interp import ArrayStore, execute, outputs_close
+from repro.ir import Guard, IntLit, Loop, parse_expr, parse_program, program_to_str
+from repro.polyhedra import System, ge, var
+from repro.transform import skew
+from repro.util.errors import CodegenError
+
+ASSUME = System([ge(var("N"), 1)])
+
+
+class TestFoldExpr:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("0 + I", "I"),
+            ("I + 0", "I"),
+            ("1 * I", "I"),
+            ("I * 1", "I"),
+            ("2 + 3", "5"),
+            ("2 * 3 - 1", "5"),
+            ("I - 0", "I"),
+        ],
+    )
+    def test_folds(self, src, expected):
+        assert str(fold_expr(parse_expr(src))) == str(parse_expr(expected))
+
+    def test_double_negation(self):
+        assert str(fold_expr(parse_expr("-(-I)"))) == "I"
+
+    def test_plus_negative_literal(self):
+        out = fold_expr(parse_expr("I + (0 - 3)"))
+        assert "- 3" in str(out) or "-3" in str(out)
+
+    def test_subscripts_folded(self):
+        e = fold_expr(parse_expr("A(0 + J, 1 * J)"))
+        assert str(e) == "A(J, J)"
+
+
+@pytest.fixture(scope="module")
+def skew_gen(request):
+    from repro.kernels import augmentation_example
+
+    aug = augmentation_example()
+    lay = Layout(aug)
+    return aug, generate_code(aug, skew(lay, "I", "J", -1).matrix)
+
+
+class TestSimplifyProgram:
+    def test_matches_paper_unsimplified_form(self, skew_gen):
+        aug, g = skew_gen
+        simp = simplify_program(g.program, ASSUME)
+        text = program_to_str(simp, header=False)
+        # the paper's generated loop structure (§5.4):
+        assert "do I = -N + 1, 0" in text
+        assert "do J = -I + 1, N" in text
+        assert "do I2 = 1, N" in text
+        assert "if (I >= 0)" in text  # == I = 0 under the loop's I <= 0
+
+    def test_redundant_guard_removed(self, skew_gen):
+        aug, g = skew_gen
+        simp = simplify_program(g.program, ASSUME)
+        # S2's guard (I + N >= 1) is implied by the loop bounds
+        text = program_to_str(simp)
+        assert text.count("if (") == 1
+
+    def test_semantics_preserved(self, skew_gen):
+        aug, g = skew_gen
+        simp = simplify_program(g.program, ASSUME)
+        init = ArrayStore(aug, {"N": 8}).snapshot()
+        s0, _ = execute(aug, {"N": 8}, arrays=init)
+        s1, _ = execute(simp, {"N": 8}, arrays=init)
+        assert outputs_close(s0.snapshot(), s1.snapshot())
+
+    def test_idempotent(self, skew_gen):
+        _, g = skew_gen
+        once = simplify_program(g.program, ASSUME)
+        twice = simplify_program(once, ASSUME)
+        assert program_to_str(once, header=False) == program_to_str(twice, header=False)
+
+    def test_infeasible_guard_removes_body(self):
+        from repro.polyhedra import ge0
+
+        p = parse_program("param N\nreal A(N)\ndo I = 1..N\n S1: A(I) = 1.0\nenddo")
+        loop = p.body[0]
+        guarded = loop.with_body((Guard((ge0(var("I") * 0 - 1),), loop.body),))
+        p2 = p.with_body((guarded,))
+        simp = simplify_program(p2, ASSUME)
+        assert simp.body == () or not list(simp.statements())
+
+
+class TestPeel:
+    def test_reproduces_paper_simplified_code(self, skew_gen):
+        """§5.5's final simplified form: separate S2 loop nest over
+        I < 0, a diagonal A(J,J) loop, and the recurrence loop."""
+        aug, g = skew_gen
+        simp = simplify_program(g.program, ASSUME)
+        peeled = simplify_program(peel_iteration(simp, (0,), "upper"), ASSUME)
+        text = program_to_str(peeled, header=False)
+        assert "do I = -N + 1, -1" in text
+        assert "A(J, J) = f(J, J)" in text
+        assert "do I2 = 1, N" in text
+        assert "if (" not in text  # all guards resolved by peeling
+
+    def test_peel_preserves_semantics(self, skew_gen):
+        aug, g = skew_gen
+        simp = simplify_program(g.program, ASSUME)
+        peeled = simplify_program(peel_iteration(simp, (0,), "upper"), ASSUME)
+        init = ArrayStore(aug, {"N": 10}).snapshot()
+        s0, _ = execute(aug, {"N": 10}, arrays=init)
+        s1, _ = execute(peeled, {"N": 10}, arrays=init)
+        assert outputs_close(s0.snapshot(), s1.snapshot())
+
+    def test_peel_lower(self):
+        p = parse_program("param N\nreal A(0:N)\ndo I = 1..N\n S1: A(I) = A(I-1)\nenddo")
+        peeled = simplify_program(peel_iteration(p, (0,), "lower"))
+        text = program_to_str(peeled, header=False)
+        assert "do I = 2, N" in text
+        assert "A(1) = A(0)" in text
+
+    def test_peel_labels_fresh(self):
+        p = parse_program("param N\nreal A(0:N)\ndo I = 1..N\n S1: A(I) = A(I-1)\nenddo")
+        peeled = peel_iteration(p, (0,), "upper")
+        labels = [s.label for s in peeled.statements()]
+        assert len(set(labels)) == len(labels)
+
+    def test_peel_nonloop_rejected(self, simp_chol):
+        with pytest.raises(CodegenError):
+            peel_iteration(simp_chol, (0, 0))
+
+    def test_peel_nonunit_step_rejected(self):
+        p = parse_program("param N\nreal A(0:N)\ndo I = 1..N, 2\n S1: A(I) = 1.0\nenddo")
+        with pytest.raises(CodegenError):
+            peel_iteration(p, (0,))

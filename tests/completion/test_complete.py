@@ -1,0 +1,182 @@
+"""The completion procedure (§6, experiment E9)."""
+
+import pytest
+
+from repro.codegen import generate_code
+from repro.completion import complete_transformation
+from repro.dependence import analyze_dependences
+from repro.instance import Layout
+from repro.interp import check_equivalence
+from repro.ir import Loop, parse_program
+from repro.legality import check_legality
+from repro.linalg import IntMatrix
+from repro.transform import permutation
+from repro.util.errors import CompletionError
+
+
+@pytest.fixture(scope="module")
+def chol_setup(request):
+    from repro.kernels import cholesky
+
+    p = cholesky()
+    lay = Layout(p)
+    deps = analyze_dependences(p)
+    return p, lay, deps
+
+
+class TestCholeskyCompletion:
+    def test_empty_partial_completes_to_identity(self, chol_setup):
+        p, lay, deps = chol_setup
+        res = complete_transformation(p, [], deps, layout=lay)
+        assert res.matrix == IntMatrix.identity(7)
+
+    def test_left_looking_from_L_outer(self, chol_setup):
+        """First row = unit of the old L coordinate (position 5): the
+        completion must reorder the K-loop children so the update nest
+        runs first — left-looking Cholesky (the paper's §6 result)."""
+        p, lay, deps = chol_setup
+        partial = [[0, 0, 0, 0, 0, 1, 0]]
+        res = complete_transformation(p, partial, deps, layout=lay)
+        assert res.matrix[0] == (0, 0, 0, 0, 0, 1, 0)
+        # the J-loop subtree (old child 2) moves to the front
+        assert res.child_order[(0,)][0] == 2
+        r = check_legality(lay, res.matrix, deps)
+        assert r.legal
+
+    def test_left_looking_codegen_equivalence(self, chol_setup):
+        p, lay, deps = chol_setup
+        res = complete_transformation(p, [[0, 0, 0, 0, 0, 1, 0]], deps, layout=lay)
+        g = generate_code(p, res.matrix, deps)
+        # generated program is left-looking: S3 syntactically first
+        assert [s.label for s in g.program.statements()][0] == "S3"
+        rep = check_equivalence(p, g.program, {"N": 7}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_K_outer_completable(self, chol_setup):
+        """K-lead (the original right-looking family) completes."""
+        p, lay, deps = chol_setup
+        res = complete_transformation(p, [[1, 0, 0, 0, 0, 0, 0]], deps, layout=lay)
+        assert check_legality(lay, res.matrix, deps).legal
+        g = generate_code(p, res.matrix, deps)
+        rep = check_equivalence(p, g.program, {"N": 6}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_row_leads_not_expressible(self, chol_setup):
+        """J-lead and I-lead unit rows are *not* completable: the
+        diagonal embedding pins S2 (resp. S3) to its K value at those
+        coordinates, so row-Cholesky is outside the unit-row fragment.
+        (The paper's six-permutation claim concerns the 3-loop forms,
+        which the kernel corpus covers directly — see E10.)"""
+        p, lay, deps = chol_setup
+        n = lay.dimension
+        for pos in (4, 6):  # J, I coordinates
+            partial = [[1 if j == pos else 0 for j in range(n)]]
+            with pytest.raises(CompletionError):
+                complete_transformation(p, partial, deps, layout=lay)
+
+    def test_lead_choices_partition(self, chol_setup):
+        """Exactly the K and L coordinates can lead the transformed
+        nest within the permutation fragment."""
+        p, lay, deps = chol_setup
+        n = lay.dimension
+        legal_leads = []
+        for pos in (0, 4, 5, 6):  # K, J, L, I
+            partial = [[1 if j == pos else 0 for j in range(n)]]
+            try:
+                res = complete_transformation(p, partial, deps, layout=lay)
+            except CompletionError:
+                continue
+            if check_legality(lay, res.matrix, deps).legal:
+                legal_leads.append(pos)
+        assert legal_leads == [0, 5]  # K (right-looking), L (left-looking)
+
+
+class TestSimplifiedCholesky:
+    def test_interchange_needs_reordering(self, simp_chol, simp_chol_layout):
+        """Plain I<->J interchange is illegal, but completion starting
+        from 'J outermost' finds a legal variant (with reordering)."""
+        deps = analyze_dependences(simp_chol)
+        t = permutation(simp_chol_layout, "I", "J")
+        assert not check_legality(simp_chol_layout, t.matrix, deps).legal
+        res = complete_transformation(
+            simp_chol, [[0, 0, 0, 1]], deps, layout=simp_chol_layout
+        )
+        assert check_legality(simp_chol_layout, res.matrix, deps).legal
+        g = generate_code(simp_chol, res.matrix, deps)
+        rep = check_equivalence(simp_chol, g.program, {"N": 7}, env_map=g.env_map())
+        assert rep["ok"]
+
+
+class TestFailures:
+    def test_impossible_partial_raises(self):
+        # forward recurrence: outer loop cannot be reversed
+        p = parse_program(
+            "param N\nreal A(0:N)\ndo I = 1..N\n S1: A(I) = A(I-1)\nenddo"
+        )
+        with pytest.raises(CompletionError):
+            complete_transformation(p, [[-1]], allow_reversal=True)
+
+    def test_wrong_row_length_raises(self, simp_chol):
+        with pytest.raises(CompletionError):
+            complete_transformation(simp_chol, [[1, 0]])
+
+    def test_reversal_fragment(self):
+        # independent loop: reversal of I is fine and reachable
+        p = parse_program(
+            "param N\nreal A(N)\ndo I = 1..N\n S1: A(I) = f(I)\nenddo"
+        )
+        res = complete_transformation(p, [[-1]], allow_reversal=True)
+        assert res.matrix == IntMatrix([[-1]])
+
+
+class TestLU:
+    def test_lu_kj_interchange_via_completion(self, lu):
+        lay = Layout(lu)
+        deps = analyze_dependences(lu)
+        # lead with the J coordinate of the update nest
+        jpos = lay.loop_index_by_var("J")
+        partial = [[1 if j == jpos else 0 for j in range(lay.dimension)]]
+        res = complete_transformation(lu, partial, deps, layout=lay)
+        assert check_legality(lay, res.matrix, deps).legal
+        g = generate_code(lu, res.matrix, deps)
+        rep = check_equivalence(lu, g.program, {"N": 6}, env_map=g.env_map())
+        assert rep["ok"]
+
+
+class TestSkewedPartials:
+    ANTIDIAG = (
+        "param N\nreal A(-99:3*N+99, -99:3*N+99)\n"
+        "do I = 1..N\n do J = 1..N\n"
+        "  S1: A(I,J) = A(I-1,J+1) + f(I,J)\n enddo\nenddo"
+    )
+
+    def test_wavefront_partial_completes(self):
+        p = parse_program(self.ANTIDIAG, "antidiag")
+        lay = Layout(p)
+        deps = analyze_dependences(p)
+        res = complete_transformation(p, [[1, 1]], deps, layout=lay)
+        assert res.matrix[0] == (1, 1)
+        assert res.matrix.is_unimodular() or res.matrix.rank() == 2
+        g = generate_code(p, res.matrix, deps)
+        rep = check_equivalence(p, g.program, {"N": 6}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_illegal_lead_still_rejected(self):
+        p = parse_program(self.ANTIDIAG, "antidiag")
+        lay = Layout(p)
+        deps = analyze_dependences(p)
+        # J outermost reverses the (1,-1) dependence; not fixable by
+        # later rows, with or without skewed candidates
+        with pytest.raises(CompletionError):
+            complete_transformation(p, [[0, 1]], deps, layout=lay, skew_bound=2)
+
+    def test_skew_bound_candidates_searched(self):
+        p = parse_program(self.ANTIDIAG, "antidiag")
+        lay = Layout(p)
+        deps = analyze_dependences(p)
+        # same completion must also be reachable when skewed rows are in
+        # the candidate pool (search stays correct, just larger)
+        res = complete_transformation(p, [[1, 1]], deps, layout=lay, skew_bound=1)
+        g = generate_code(p, res.matrix, deps)
+        rep = check_equivalence(p, g.program, {"N": 5}, env_map=g.env_map())
+        assert rep["ok"]

@@ -1,0 +1,56 @@
+"""Shared fixtures: the paper's example programs and their layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instance import Layout
+from repro.kernels import (
+    augmentation_example, cholesky, lu_factorization, running_example,
+    simplified_cholesky, triangular_solve,
+)
+
+
+@pytest.fixture(scope="session")
+def simp_chol():
+    return simplified_cholesky()
+
+
+@pytest.fixture(scope="session")
+def simp_chol_layout(simp_chol):
+    return Layout(simp_chol)
+
+
+@pytest.fixture(scope="session")
+def chol():
+    return cholesky()
+
+
+@pytest.fixture(scope="session")
+def chol_layout(chol):
+    return Layout(chol)
+
+
+@pytest.fixture(scope="session")
+def aug():
+    return augmentation_example()
+
+
+@pytest.fixture(scope="session")
+def aug_layout(aug):
+    return Layout(aug)
+
+
+@pytest.fixture(scope="session")
+def running():
+    return running_example()
+
+
+@pytest.fixture(scope="session")
+def lu():
+    return lu_factorization()
+
+
+@pytest.fixture(scope="session")
+def trisolve():
+    return triangular_solve()

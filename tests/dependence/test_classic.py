@@ -1,0 +1,111 @@
+"""Classical GCD/Banerjee tests and their agreement with the exact
+oracle (conservativeness property)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dependence.classic import (
+    SubscriptPair, banerjee_test, exact_test, gcd_test, screen,
+)
+from repro.util.errors import DependenceError
+
+
+def pair(a, a0, b, b0, bounds):
+    return SubscriptPair(a, a0, b, b0, bounds)
+
+
+B10 = {"i": (1, 10), "j": (1, 10)}
+
+
+class TestGCD:
+    def test_classic_independent(self):
+        # 2i and 2j+1: even vs odd — no solution
+        p = pair({"i": 2}, 0, {"j": 2}, 1, B10)
+        assert gcd_test(p) is False
+
+    def test_classic_dependent(self):
+        p = pair({"i": 2}, 0, {"j": 2}, 4, B10)
+        assert gcd_test(p) is True
+
+    def test_gcd_ignores_bounds(self):
+        # solution exists over Z but far outside bounds: GCD says maybe
+        p = pair({"i": 1}, 0, {"j": 1}, 1000, B10)
+        assert gcd_test(p) is True
+        assert banerjee_test(p) is False  # Banerjee catches it
+
+    def test_constant_subscripts(self):
+        assert gcd_test(pair({}, 3, {}, 3, {})) is True
+        assert gcd_test(pair({}, 3, {}, 4, {})) is False
+
+    def test_mixed_coefficients(self):
+        # 6i - 9j == 2: gcd 3 does not divide 2
+        p = pair({"i": 6}, 0, {"j": 9}, 2, B10)
+        assert gcd_test(p) is False
+
+
+class TestBanerjee:
+    def test_within_range(self):
+        p = pair({"i": 1}, 0, {"j": 1}, 5, B10)
+        assert banerjee_test(p) is True
+
+    def test_out_of_range(self):
+        p = pair({"i": 1}, 0, {"j": 1}, 100, B10)
+        assert banerjee_test(p) is False
+
+    def test_negative_coefficients(self):
+        # -i == j - 25: i+j == 25: impossible for i,j in 1..10
+        p = pair({"i": -1}, 0, {"j": 1}, -25, B10)
+        assert banerjee_test(p) is False
+
+    def test_real_but_not_integer_solution(self):
+        # 2i == 2j+1 passes Banerjee (real solution) but fails GCD
+        p = pair({"i": 2}, 0, {"j": 2}, 1, B10)
+        assert banerjee_test(p) is True
+        assert gcd_test(p) is False
+        assert exact_test(p) is False
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(DependenceError):
+            pair({"i": 1}, 0, {}, 0, {"i": (5, 1)})
+
+    def test_missing_bounds_rejected(self):
+        with pytest.raises(DependenceError):
+            pair({"i": 1}, 0, {}, 0, {})
+
+
+class TestScreen:
+    def test_any_dimension_independence_suffices(self):
+        dep = pair({"i": 1}, 0, {"j": 1}, 0, B10)
+        indep = pair({"i": 2}, 0, {"j": 2}, 1, B10)
+        assert screen([dep, dep]) is True
+        assert screen([dep, indep]) is False
+
+
+small = st.integers(-4, 4)
+
+
+@given(
+    st.dictionaries(st.sampled_from(["i", "j"]), small, max_size=2),
+    small,
+    st.dictionaries(st.sampled_from(["i", "j"]), small, max_size=2),
+    st.integers(-30, 30),
+)
+@settings(max_examples=120, deadline=None)
+def test_conservativeness_property(a, a0, b, b0):
+    """The fast tests may only err toward 'dependent': whenever the
+    exact oracle finds a solution, both fast tests must say True."""
+    p = pair(a, a0, b, b0, B10)
+    if exact_test(p):
+        assert gcd_test(p) is True
+        assert banerjee_test(p) is True
+
+
+@given(
+    st.dictionaries(st.sampled_from(["i", "j"]), small, min_size=1, max_size=2),
+    small,
+)
+@settings(max_examples=60, deadline=None)
+def test_equal_references_always_dependent(a, a0):
+    """A reference trivially conflicts with itself."""
+    p = pair(a, a0, a, a0, B10)
+    assert gcd_test(p) and banerjee_test(p) and exact_test(p)

@@ -1,0 +1,80 @@
+"""DepVector / DependenceMatrix API tests."""
+
+import pytest
+
+from repro.dependence import DepEntry, DependenceMatrix, DepKind, DepVector
+from repro.instance import Layout
+from repro.util.errors import DependenceError
+
+
+class TestDepVector:
+    def test_parse_paper_notation(self):
+        d = DepVector.parse("S1", "S2", [0, 1, -1, "+"])
+        assert d.entry_strs() == ("0", "1", "-1", "+")
+        assert d.src == "S1" and d.dst == "S2"
+
+    def test_parse_with_kind_and_level(self):
+        d = DepVector.parse("S1", "S1", [1], kind=DepKind.OUTPUT, level="I")
+        assert d.kind == DepKind.OUTPUT and d.level == "I"
+        assert d.is_self()
+
+    def test_project(self):
+        d = DepVector.parse("S1", "S2", [5, "+", 0, -1])
+        assert d.project([3, 0]) == (DepEntry.const(-1), DepEntry.const(5))
+
+    def test_str(self):
+        d = DepVector.parse("S1", "S2", [0, "+"], level="I")
+        text = str(d)
+        assert "S1->S2" in text and "@I" in text
+
+
+class TestDependenceMatrix:
+    @pytest.fixture()
+    def matrix(self, simp_chol_layout):
+        m = DependenceMatrix(simp_chol_layout)
+        m.add(DepVector.parse("S1", "S2", [0, 1, -1, "+"]))
+        m.add(DepVector.parse("S2", "S1", ["+", -1, 1, 0], kind=DepKind.ANTI))
+        return m
+
+    def test_length_check(self, simp_chol_layout):
+        m = DependenceMatrix(simp_chol_layout)
+        with pytest.raises(DependenceError):
+            m.add(DepVector.parse("S1", "S2", [1, 2]))
+
+    def test_dedup_same_kind(self, matrix):
+        n = len(matrix)
+        matrix.add(DepVector.parse("S1", "S2", [0, 1, -1, "+"]))
+        assert len(matrix) == n
+
+    def test_distinct_kinds_kept(self, matrix):
+        n = len(matrix)
+        matrix.add(
+            DepVector.parse("S1", "S2", [0, 1, -1, "+"], kind=DepKind.OUTPUT)
+        )
+        assert len(matrix) == n + 1
+
+    def test_between_and_self(self, matrix):
+        assert len(matrix.between("S1", "S2")) == 1
+        assert matrix.self_deps("S1") == []
+
+    def test_columns(self, matrix):
+        cols = matrix.columns()
+        assert len(cols) == 2
+        assert all(len(c) == 4 for c in cols)
+
+    def test_to_str_grid(self, matrix):
+        text = matrix.to_str()
+        assert text.count("[") == 4  # one bracket row per dimension
+
+    def test_empty_to_str(self, simp_chol_layout):
+        assert "no dependences" in DependenceMatrix(simp_chol_layout).to_str()
+
+    def test_extend(self, simp_chol_layout):
+        m = DependenceMatrix(simp_chol_layout)
+        m.extend(
+            [
+                DepVector.parse("S1", "S2", [0, 0, 0, 0]),
+                DepVector.parse("S2", "S2", [1, 0, 0, 0]),
+            ]
+        )
+        assert len(m) == 2

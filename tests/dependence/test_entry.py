@@ -1,0 +1,90 @@
+"""Unit tests for interval dependence entries."""
+
+import pytest
+
+from repro.dependence import NEG_INF, POS_INF, DepEntry
+from repro.dependence.entry import zip_dot
+from repro.util.errors import DependenceError
+
+
+class TestConstruction:
+    def test_const(self):
+        e = DepEntry.const(3)
+        assert e.is_constant() and e.constant() == 3
+
+    def test_parse_notation(self):
+        assert DepEntry.parse("+") == DepEntry(1, POS_INF)
+        assert DepEntry.parse("-") == DepEntry(NEG_INF, -1)
+        assert DepEntry.parse("*") == DepEntry(NEG_INF, POS_INF)
+        assert DepEntry.parse("0+") == DepEntry(0, POS_INF)
+        assert DepEntry.parse("-0") == DepEntry(NEG_INF, 0)
+        assert DepEntry.parse(5) == DepEntry.const(5)
+        assert DepEntry.parse("-3") == DepEntry.const(-3)
+
+    def test_parse_garbage(self):
+        with pytest.raises(DependenceError):
+            DepEntry.parse("?!")
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(DependenceError):
+            DepEntry(3, 2)
+
+    def test_str_roundtrip(self):
+        for tok in ("+", "-", "*", "0+", "-0", 7, -2):
+            assert str(DepEntry.parse(tok)) == str(tok)
+
+
+class TestPredicates:
+    def test_definitely_positive(self):
+        assert DepEntry.plus().definitely_positive()
+        assert DepEntry.const(2).definitely_positive()
+        assert not DepEntry(0, POS_INF).definitely_positive()
+
+    def test_definitely_negative(self):
+        assert DepEntry.minus().definitely_negative()
+        assert not DepEntry.star().definitely_negative()
+
+    def test_may_be(self):
+        assert DepEntry.star().may_be_positive()
+        assert DepEntry.star().may_be_negative()
+        assert DepEntry.star().may_be_zero()
+        assert not DepEntry.const(0).may_be_positive()
+        assert DepEntry(0, POS_INF).may_be_zero()
+
+    def test_contains(self):
+        assert DepEntry.plus().contains(100)
+        assert not DepEntry.plus().contains(0)
+        assert DepEntry(-2, 2).contains(0)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert DepEntry.const(2) + DepEntry.const(3) == DepEntry.const(5)
+        assert DepEntry.plus() + DepEntry.const(1) == DepEntry(2, POS_INF)
+
+    def test_neg(self):
+        assert -DepEntry.plus() == DepEntry.minus()
+        assert -DepEntry(2, 5) == DepEntry(-5, -2)
+
+    def test_scale(self):
+        assert DepEntry(1, 3).scale(2) == DepEntry(2, 6)
+        assert DepEntry(1, 3).scale(-1) == DepEntry(-3, -1)
+        assert DepEntry.plus().scale(-2) == DepEntry(NEG_INF, -2)
+        assert DepEntry.star().scale(0) == DepEntry.const(0)
+
+    def test_hull(self):
+        assert DepEntry.const(1).hull(DepEntry.const(4)) == DepEntry(1, 4)
+        assert DepEntry.plus().hull(DepEntry.const(0)) == DepEntry(0, POS_INF)
+
+    def test_zip_dot(self):
+        entries = (DepEntry.const(1), DepEntry.plus(), DepEntry.const(-2))
+        # 1*1 + 0*(+) + 1*(-2) = -1
+        assert zip_dot((1, 0, 1), entries) == DepEntry.const(-1)
+        # 0*1 + 1*(+) + 0 = +
+        assert zip_dot((0, 1, 0), entries) == DepEntry.plus()
+        # 2*1 + (-1)*(+) = 2 - [1,inf) = (-inf, 1]
+        assert zip_dot((2, -1, 0), entries) == DepEntry(NEG_INF, 1)
+
+    def test_zip_dot_mismatch(self):
+        with pytest.raises(DependenceError):
+            zip_dot((1,), (DepEntry.const(1), DepEntry.const(2)))

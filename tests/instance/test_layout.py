@@ -1,0 +1,113 @@
+"""Unit tests for instance-vector layouts (paper §2 structure)."""
+
+import pytest
+
+from repro.instance import EdgeCoord, Layout, LoopCoord
+from repro.ir import parse_program
+from repro.util.errors import LayoutError
+
+
+class TestSimplifiedCholeskyLayout:
+    """The §3 running example: layout must be [I, e2, e1, J]."""
+
+    def test_dimension(self, simp_chol_layout):
+        assert simp_chol_layout.dimension == 4
+
+    def test_coordinate_order(self, simp_chol_layout):
+        kinds = [type(c).__name__ for c in simp_chol_layout.coords]
+        assert kinds == ["LoopCoord", "EdgeCoord", "EdgeCoord", "LoopCoord"]
+        # edges listed right-to-left: child 1 (the J loop) before child 0 (S1)
+        assert simp_chol_layout.coords[1].child == 1
+        assert simp_chol_layout.coords[2].child == 0
+
+    def test_loop_lookup_by_var(self, simp_chol_layout):
+        assert simp_chol_layout.loop_index_by_var("I") == 0
+        assert simp_chol_layout.loop_index_by_var("J") == 3
+
+    def test_padded_positions(self, simp_chol_layout):
+        assert simp_chol_layout.padded_positions("S1") == [3]
+        assert simp_chol_layout.padded_positions("S2") == []
+
+    def test_pad_source_is_nearest_labeled_ancestor(self, simp_chol_layout):
+        j_coord = simp_chol_layout.coords[3]
+        src = simp_chol_layout.pad_source(j_coord, "S1")
+        assert src is not None and src.var == "I"
+
+    def test_common_loops(self, simp_chol_layout):
+        common = simp_chol_layout.common_loop_coords("S1", "S2")
+        assert [c.var for c in common] == ["I"]
+
+    def test_edge_entries(self, simp_chol_layout):
+        e_to_jloop = simp_chol_layout.coords[1]
+        e_to_s1 = simp_chol_layout.coords[2]
+        assert simp_chol_layout.edge_entry(e_to_jloop, "S2") == 1
+        assert simp_chol_layout.edge_entry(e_to_jloop, "S1") == 0
+        assert simp_chol_layout.edge_entry(e_to_s1, "S1") == 1
+
+
+class TestCholeskyLayout:
+    """§6: layout must be [K, e3, e2, e1, J, L, I] (7 coordinates)."""
+
+    def test_dimension(self, chol_layout):
+        assert chol_layout.dimension == 7
+
+    def test_order(self, chol_layout):
+        c = chol_layout.coords
+        assert isinstance(c[0], LoopCoord) and c[0].var == "K"
+        assert all(isinstance(x, EdgeCoord) for x in c[1:4])
+        assert [x.var for x in c[4:]] == ["J", "L", "I"]
+
+    def test_statement_paths(self, chol_layout):
+        assert chol_layout.statement_path("S1") == (0, 0)
+        assert chol_layout.statement_path("S2") == (0, 1, 0)
+        assert chol_layout.statement_path("S3") == (0, 2, 0, 0)
+
+    def test_padded_positions_of_s1(self, chol_layout):
+        # S1 is only nested in K: J, L, I positions are padded
+        assert chol_layout.padded_positions("S1") == [4, 5, 6]
+
+    def test_surrounding_positions(self, chol_layout):
+        assert chol_layout.surrounding_loop_positions("S3") == [0, 4, 5]
+
+
+class TestSingleEdgeOptimization:
+    def test_perfect_nest_has_no_edges(self):
+        p = parse_program(
+            "param N\nreal A(N)\ndo I = 1..N\n do J = I+1..N\n  S1: A(J) = A(J)/A(I)\n enddo\nenddo"
+        )
+        lay = Layout(p)
+        assert lay.dimension == 2
+        assert all(isinstance(c, LoopCoord) for c in lay.coords)
+
+    def test_unoptimized_keeps_single_edges(self):
+        p = parse_program(
+            "param N\nreal A(N)\ndo I = 1..N\n do J = I+1..N\n  S1: A(J) = A(J)/A(I)\n enddo\nenddo"
+        )
+        lay = Layout(p, optimize_single_edges=False)
+        # I label, edge, J label, edge = 4 coordinates (Figure 3 left)
+        assert lay.dimension == 4
+        assert sum(isinstance(c, EdgeCoord) for c in lay.coords) == 2
+
+
+class TestErrors:
+    def test_unknown_statement(self, simp_chol_layout):
+        with pytest.raises(LayoutError):
+            simp_chol_layout.statement_path("nope")
+
+    def test_unknown_coord(self, simp_chol_layout):
+        with pytest.raises(LayoutError):
+            simp_chol_layout.index(LoopCoord((9, 9), "Z"))
+
+    def test_ambiguous_var_lookup(self):
+        p = parse_program(
+            "param N\nreal A(N)\n"
+            "do I = 1..N\n S1: A(I) = 1.0\nenddo\n"
+            "do I = 1..N\n S2: A(I) = 2.0\nenddo"
+        )
+        lay = Layout(p)
+        with pytest.raises(LayoutError):
+            lay.loop_coord_by_var("I")
+
+    def test_describe_readable(self, simp_chol_layout):
+        text = simp_chol_layout.describe()
+        assert "loop:I" in text and "edge:" in text

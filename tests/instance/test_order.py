@@ -1,0 +1,90 @@
+"""Theorem 1 as executable tests: L is one-to-one and order-preserving."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.instance import (
+    DynamicInstance, Layout, check_order_isomorphism, program_order,
+    sort_by_execution, vector_order,
+)
+from repro.instance.order import injectivity_violations
+from repro.interp import execute
+from repro.kernels import cholesky, running_example, simplified_cholesky
+
+
+def all_instances(program, params):
+    """Ground-truth dynamic instances from the interpreter."""
+    _, trace = execute(program, params, trace=True)
+    lay = Layout(program)
+    out = []
+    for rec in trace.records:
+        order = [c.var for c in lay.surrounding_loop_coords(rec.label)]
+        out.append(DynamicInstance(rec.label, tuple(rec.env[v] for v in order)))
+    return out
+
+
+class TestTheorem1:
+    def test_running_example_order_isomorphism(self):
+        p = running_example()
+        insts = all_instances(p, {"N": 6})
+        assert check_order_isomorphism(p, insts) == []
+
+    def test_simplified_cholesky(self):
+        p = simplified_cholesky()
+        insts = all_instances(p, {"N": 6})
+        assert check_order_isomorphism(p, insts) == []
+
+    def test_full_cholesky(self):
+        p = cholesky()
+        insts = all_instances(p, {"N": 5})
+        assert check_order_isomorphism(p, insts) == []
+
+    def test_injectivity(self):
+        for prog, params in ((running_example(), {"N": 5}), (cholesky(), {"N": 4})):
+            lay = Layout(prog)
+            insts = all_instances(prog, params)
+            assert injectivity_violations(lay, insts) == []
+
+    def test_sort_by_execution_matches_trace_order(self):
+        p = simplified_cholesky()
+        insts = all_instances(p, {"N": 5})
+        lay = Layout(p)
+        shuffled = list(reversed(insts))
+        assert sort_by_execution(lay, shuffled) == insts
+
+
+class TestProgramOrder:
+    def test_syntactic_tiebreak(self):
+        p = running_example()
+        a = DynamicInstance("S1", (2, 3))
+        b = DynamicInstance("S2", (2, 3))
+        assert program_order(p, a, b) == -1
+        assert program_order(p, b, a) == 1
+
+    def test_common_loop_decides_first(self):
+        p = running_example()
+        s3_early = DynamicInstance("S3", (1,))
+        s1_late = DynamicInstance("S1", (2, 2))
+        assert program_order(p, s3_early, s1_late) == -1
+
+    def test_vector_order_agrees(self):
+        p = running_example()
+        lay = Layout(p)
+        a = DynamicInstance("S2", (2, 4))
+        b = DynamicInstance("S3", (2,))
+        assert vector_order(lay, a, b) == program_order(p, a, b)
+
+    def test_same_statement_lex(self):
+        p = simplified_cholesky()
+        a = DynamicInstance("S2", (1, 5))
+        b = DynamicInstance("S2", (2, 2))
+        assert program_order(p, a, b) == -1
+
+
+@given(st.integers(2, 5))
+@settings(max_examples=4, deadline=None)
+def test_theorem1_property_over_sizes(n):
+    p = cholesky()
+    insts = all_instances(p, {"N": n})
+    assert check_order_isomorphism(p, insts) == []

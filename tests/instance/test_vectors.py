@@ -1,0 +1,102 @@
+"""Unit tests for L / L⁻¹ — pinned to the paper's displayed vectors."""
+
+import pytest
+
+from repro.instance import (
+    DynamicInstance, Layout, from_vector, identify_statement, instance_vector,
+    symbolic_vector,
+)
+from repro.ir import parse_program
+from repro.util.errors import LayoutError
+
+
+def syms(layout, label):
+    return [str(e) for e in symbolic_vector(layout, label)]
+
+
+class TestPaperVectors:
+    def test_simplified_cholesky_section3(self, simp_chol_layout):
+        """§3: S1 -> [I, 0, 1, I],  S2 -> [I, 1, 0, J]."""
+        assert syms(simp_chol_layout, "S1") == ["I", "0", "1", "I"]
+        assert syms(simp_chol_layout, "S2") == ["I", "1", "0", "J"]
+
+    def test_concrete_write_read_instances(self, simp_chol_layout):
+        """§3: write at I_w -> [I_w, 0, 1, I_w]; read at (I_r, J_r) ->
+        [I_r, 1, 0, J_r]."""
+        assert instance_vector(simp_chol_layout, DynamicInstance("S1", (4,))) == (4, 0, 1, 4)
+        assert instance_vector(simp_chol_layout, DynamicInstance("S2", (2, 3))) == (2, 1, 0, 3)
+
+    def test_cholesky_section6(self, chol_layout):
+        assert syms(chol_layout, "S1") == ["K", "0", "0", "1", "K", "K", "K"]
+        assert syms(chol_layout, "S2") == ["K", "0", "1", "0", "K", "K", "I"]
+        assert syms(chol_layout, "S3") == ["K", "1", "0", "0", "J", "L", "K"]
+
+    def test_augmentation_example_section54(self, aug_layout):
+        assert syms(aug_layout, "S1") == ["I", "0", "1", "I"]
+        assert syms(aug_layout, "S2") == ["I", "1", "0", "J"]
+
+    def test_figure3_optimized_equals_iteration_vector(self):
+        """§2.2: with the single-edge optimization, instance vectors of a
+        perfect nest are exactly the iteration vectors."""
+        p = parse_program(
+            "param N\nreal A(N)\ndo I = 1..N\n do J = I+1..N\n  S1: A(J) = A(J)/A(I)\n enddo\nenddo"
+        )
+        lay = Layout(p)
+        assert instance_vector(lay, DynamicInstance("S1", (2, 5))) == (2, 5)
+
+    def test_figure3_unoptimized_has_edge_entries(self):
+        p = parse_program(
+            "param N\nreal A(N)\ndo I = 1..N\n do J = I+1..N\n  S1: A(J) = A(J)/A(I)\n enddo\nenddo"
+        )
+        lay = Layout(p, optimize_single_edges=False)
+        v = instance_vector(lay, DynamicInstance("S1", (2, 5)))
+        assert v == (2, 1, 5, 1)
+
+
+class TestInverse:
+    def test_roundtrip_all_statements(self, chol_layout):
+        for label, iters in (("S1", (3,)), ("S2", (2, 5)), ("S3", (1, 4, 2))):
+            d = DynamicInstance(label, iters)
+            v = instance_vector(chol_layout, d)
+            assert from_vector(chol_layout, v) == d
+
+    def test_identify_statement(self, simp_chol_layout):
+        v = instance_vector(simp_chol_layout, DynamicInstance("S1", (7,)))
+        assert identify_statement(simp_chol_layout, v) == "S1"
+
+    def test_identify_rejects_bad_edges(self, simp_chol_layout):
+        with pytest.raises(LayoutError):
+            identify_statement(simp_chol_layout, (1, 1, 1, 1))
+
+    def test_wrong_arity_rejected(self, simp_chol_layout):
+        with pytest.raises(LayoutError):
+            instance_vector(simp_chol_layout, DynamicInstance("S2", (1,)))
+
+    def test_explicit_label_skips_identification(self, simp_chol_layout):
+        # padded entries may be arbitrary in transformed vectors (§4.1);
+        # from_vector with a label only reads the surrounding loops
+        d = from_vector(simp_chol_layout, (9, 99, 99, 42), "S1")
+        assert d == DynamicInstance("S1", (9,))
+
+
+class TestPadding:
+    def test_diagonal_embedding(self, simp_chol_layout):
+        """§2: iteration I of S1 embeds at (I, I) — the diagonal."""
+        v = instance_vector(simp_chol_layout, DynamicInstance("S1", (6,)))
+        assert v[0] == v[3] == 6
+
+    def test_pad_without_labeled_ancestor_is_zero(self):
+        # two sibling top-level loops: each statement pads the other's
+        # loop coordinate with 0 (no labeled ancestor)
+        p = parse_program(
+            "param N\nreal A(-9:N+9)\n"
+            "do I = 1..N\n S1: A(I) = 1.0\nenddo\n"
+            "do J = 1..N\n S2: A(J) = 2.0\nenddo"
+        )
+        lay = Layout(p)
+        v1 = instance_vector(lay, DynamicInstance("S1", (3,)))
+        labels = {i: c for i, c in lay.iter_coords()}
+        from repro.instance import LoopCoord
+
+        j_pos = next(i for i, c in labels.items() if isinstance(c, LoopCoord) and c.var == "J")
+        assert v1[j_pos] == 0

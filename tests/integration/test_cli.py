@@ -1,0 +1,127 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import main, parse_spec
+from repro.instance import Layout
+from repro.kernels import simplified_cholesky
+from repro.util.errors import ReproError
+
+SRC = """param N
+real A(N)
+do I = 1..N
+  S1: A(I) = sqrt(A(I))
+  do J = I+1..N
+    S2: A(J) = A(J) / A(I)
+  enddo
+enddo
+"""
+
+
+@pytest.fixture()
+def loopfile(tmp_path):
+    f = tmp_path / "prog.loop"
+    f.write_text(SRC)
+    return str(f)
+
+
+class TestParseSpec:
+    def test_single(self, simp_chol_layout):
+        t = parse_spec(simp_chol_layout, "permute(I,J)")
+        assert t.matrix.is_permutation()
+
+    def test_composition(self, simp_chol_layout):
+        t = parse_spec(simp_chol_layout, "skew(I,J,-1); reverse(J)")
+        assert t.matrix.is_unimodular()
+
+    def test_alignment(self, simp_chol_layout):
+        t = parse_spec(simp_chol_layout, "align(S1,I,1)")
+        assert t.matrix[0, 2] == 1
+
+    def test_scale(self, simp_chol_layout):
+        t = parse_spec(simp_chol_layout, "scale(J,2)")
+        assert t.matrix[3, 3] == 2
+
+    def test_bad_spec(self, simp_chol_layout):
+        with pytest.raises(ReproError):
+            parse_spec(simp_chol_layout, "frobnicate(I)")
+        with pytest.raises(ReproError):
+            parse_spec(simp_chol_layout, "")
+        with pytest.raises(ReproError):
+            parse_spec(simp_chol_layout, "permute(I)")
+
+
+class TestCommands:
+    def test_show(self, loopfile, capsys):
+        assert main(["show", loopfile]) == 0
+        out = capsys.readouterr().out
+        assert "instance-vector layout" in out
+        assert "S1: [I, 0, 1, I]" in out
+
+    def test_deps(self, loopfile, capsys):
+        assert main(["deps", loopfile]) == 0
+        out = capsys.readouterr().out
+        assert "flow S1->S2" in out
+
+    def test_deps_refined(self, loopfile, capsys):
+        assert main(["deps", loopfile, "--refine"]) == 0
+        out = capsys.readouterr().out
+        assert "[1, -1, 1, 0]" in out
+
+    def test_check_legal(self, loopfile, capsys):
+        assert main(["check", loopfile, "reverse(J)"]) == 0
+        assert "LEGAL" in capsys.readouterr().out
+
+    def test_check_illegal_exit_code(self, loopfile, capsys):
+        assert main(["check", loopfile, "permute(I,J)"]) == 1
+        assert "ILLEGAL" in capsys.readouterr().out
+
+    def test_transform(self, loopfile, capsys):
+        assert main(["transform", loopfile, "reverse(J)", "--simplify"]) == 0
+        out = capsys.readouterr().out
+        assert "do J = -N" in out
+
+    def test_transform_to_file(self, loopfile, tmp_path, capsys):
+        dest = str(tmp_path / "out.loop")
+        assert main(["transform", loopfile, "reverse(J)", "-o", dest]) == 0
+        assert "do J" in open(dest).read()
+
+    def test_transform_illegal_errors(self, loopfile, capsys):
+        rc = main(["transform", loopfile, "permute(I,J)"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run(self, loopfile, capsys):
+        assert main(["run", loopfile, "-p", "N=4", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "A =" in out and "10 statement instances" in out
+
+    def test_parallel(self, loopfile, capsys):
+        assert main(["parallel", loopfile]) == 0
+        out = capsys.readouterr().out
+        assert "loop J: DOALL" in out
+        assert "loop I: carries" in out
+
+    def test_complete(self, tmp_path, capsys):
+        from repro.ir import program_to_str
+        from repro.kernels import cholesky
+
+        f = tmp_path / "chol.loop"
+        f.write_text(program_to_str(cholesky()))
+        assert main(["complete", str(f), "--lead", "L"]) == 0
+        out = capsys.readouterr().out
+        assert "completed matrix" in out
+        assert "S3" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["show", "/nonexistent.loop"]) == 2
+
+
+class TestReportCommand:
+    def test_report(self, loopfile, capsys):
+        assert main(["report", loopfile, "-p", "N=12"]) == 0
+        out = capsys.readouterr().out
+        assert "=== dependences ===" in out
+        assert "DOALL" in out
+        assert "unsplittable" in out or "splittable" in out
+        assert "lead=" in out

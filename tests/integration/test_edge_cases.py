@@ -1,0 +1,129 @@
+"""Edge cases across the pipeline: top-level statements, single
+statements, deep nests, empty programs, parameterless programs."""
+
+import pytest
+
+from repro.codegen import generate_code
+from repro.dependence import analyze_dependences
+from repro.instance import Layout
+from repro.interp import check_equivalence, execute
+from repro.ir import parse_program
+from repro.legality import check_legality
+from repro.linalg import IntMatrix
+
+
+class TestTopLevelStatements:
+    SRC = (
+        "param N\nreal A(N), B(N)\n"
+        "x = 1.0\n"
+        "do I = 1..N\n S2: A(I) = x + f(I)\nenddo\n"
+        "y = A(1)\n"
+    )
+
+    def test_layout(self):
+        p = parse_program(self.SRC)
+        lay = Layout(p)
+        # virtual root has 3 children -> 3 edge coords + 1 loop coord
+        assert lay.dimension == 4
+        assert lay.surrounding_loop_coords("S1") == []
+
+    def test_dependences(self):
+        p = parse_program(self.SRC)
+        m = analyze_dependences(p)
+        pairs = {(d.src, d.dst) for d in m}
+        assert ("S1", "S2") in pairs  # scalar x flows into the loop
+        assert ("S2", "S3") in pairs  # A(1) read at the end
+
+    def test_identity_codegen(self):
+        p = parse_program(self.SRC)
+        lay = Layout(p)
+        g = generate_code(p, IntMatrix.identity(lay.dimension))
+        rep = check_equivalence(p, g.program, {"N": 5}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_reorder_of_independent_top_level(self):
+        from repro.transform import statement_reorder
+
+        src = (
+            "param N\nreal A(N), B(N)\n"
+            "do I = 1..N\n S1: A(I) = f(I)\nenddo\n"
+            "do J = 1..N\n S2: B(J) = g(J)\nenddo\n"
+        )
+        p = parse_program(src)
+        lay = Layout(p)
+        t, _ = statement_reorder(lay, (), [1, 0])
+        deps = analyze_dependences(p)
+        r = check_legality(lay, t.matrix, deps)
+        assert r.legal
+        g = generate_code(p, t.matrix, deps)
+        assert [s.label for s in g.program.statements()] == ["S2", "S1"]
+        rep = check_equivalence(p, g.program, {"N": 5}, env_map=g.env_map())
+        assert rep["ok"]
+
+
+class TestDegenerateShapes:
+    def test_single_statement_no_loops(self):
+        p = parse_program("param N\nreal A(N)\nA(1) = 1.0")
+        lay = Layout(p)
+        assert lay.dimension == 0
+        m = analyze_dependences(p)
+        assert len(m) == 0
+        g = generate_code(p, IntMatrix([]))
+        store, _ = execute(g.program, {"N": 3})
+        assert store.arrays["A"][0] == 1.0
+
+    def test_parameterless_program(self):
+        p = parse_program("real A(10)\ndo I = 1..10\n S1: A(I) = f(I)\nenddo")
+        store, t = execute(p, {}, trace=True)
+        assert len(t) == 10
+        m = analyze_dependences(p)
+        assert len(m) == 0
+
+    def test_deep_nest(self):
+        depth = 6
+        lines = ["param N", "real A(N,N)"]
+        vars_ = [f"V{i}" for i in range(depth)]
+        for v in vars_:
+            lines.append(f"do {v} = 1..2")
+        lines.append(f"S1: A(1,1) = A(1,1) + f({vars_[-1]})")
+        for _ in vars_:
+            lines.append("enddo")
+        p = parse_program("\n".join(lines))
+        lay = Layout(p)
+        assert lay.dimension == depth
+        m = analyze_dependences(p)
+        assert m.self_deps("S1")
+        _, t = execute(p, {"N": 2}, trace=True)
+        assert len(t) == 2**depth
+
+    def test_wide_imperfect_nest(self):
+        body = "\n".join(f"  S{i}: A({i}) = f(I)" for i in range(1, 8))
+        p = parse_program(f"param N\nreal A(N)\ndo I = 1..N\n{body}\nenddo")
+        lay = Layout(p)
+        assert len(lay.edge_coords()) == 7
+        g = generate_code(p, IntMatrix.identity(lay.dimension))
+        rep = check_equivalence(p, g.program, {"N": 8}, env_map=g.env_map())
+        assert rep["ok"]
+
+    def test_symbolic_lower_bound(self):
+        p = parse_program(
+            "param N, M\nreal A(0:2*N)\ndo I = M..N+M\n S1: A(I-M+1) = f(I)\nenddo"
+        )
+        _, t = execute(p, {"N": 4, "M": 3}, trace=True)
+        assert len(t) == 5
+        m = analyze_dependences(p)
+        assert len(m) == 0
+
+
+class TestGuardsAndSteps:
+    def test_nonunit_step_execution(self):
+        p = parse_program("param N\nreal A(N)\ndo I = 1..N, 3\n S1: A(I) = 1.0\nenddo")
+        store, t = execute(p, {"N": 10}, trace=True)
+        assert len(t) == 4  # 1, 4, 7, 10
+
+    def test_step_loops_rejected_by_analysis(self):
+        from repro.util.errors import DependenceError
+
+        p = parse_program("param N\nreal A(0:N)\ndo I = 2..N, 2\n S1: A(I) = A(I-2)\nenddo")
+        with pytest.raises(DependenceError):
+            analyze_dependences(p)

@@ -1,0 +1,115 @@
+"""Cross-kernel transformation matrix: apply a battery of elementary
+transformations to every kernel and verify legality verdicts with the
+semantic oracle — legality says yes ⟺ generated code is equivalent."""
+
+import pytest
+
+from repro.codegen import generate_code
+from repro.dependence import analyze_dependences
+from repro.instance import Layout
+from repro.interp import check_equivalence
+from repro.kernels import (
+    cholesky, forward_substitution, lu_factorization, matmul,
+    simplified_cholesky, triangular_solve,
+)
+from repro.legality import check_legality
+from repro.transform import permutation, reversal, skew
+from repro.util.errors import ReproError
+
+KERNELS = {
+    "simplified_cholesky": (simplified_cholesky, {"N": 7}),
+    "cholesky": (cholesky, {"N": 5}),
+    "lu": (lu_factorization, {"N": 5}),
+    "trisolve": (triangular_solve, {"N": 7}),
+    "forward_substitution": (forward_substitution, {"N": 7}),
+    "matmul": (matmul, {"N": 4}),
+}
+
+
+def battery(layout):
+    """Every adjacent interchange, every reversal, small skews."""
+    loops = [c.var for c in layout.loop_coords()]
+    out = []
+    for a in loops:
+        out.append(reversal(layout, a))
+        for b in loops:
+            if a < b:
+                out.append(permutation(layout, a, b))
+            if a != b:
+                out.append(skew(layout, a, b, 1))
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_legality_matches_oracle(name):
+    factory, params = KERNELS[name]
+    program = factory()
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    legal_count = 0
+    for t in battery(layout):
+        report = check_legality(layout, t.matrix, deps)
+        if not report.legal:
+            continue
+        legal_count += 1
+        try:
+            g = generate_code(program, t.matrix, deps)
+        except ReproError as exc:
+            pytest.fail(f"{name}: legal {t.description} failed codegen: {exc}")
+        rep = check_equivalence(program, g.program, params, env_map=g.env_map())
+        assert rep["ok"], (name, t.description, rep)
+    # every kernel admits at least one legal transformation in the battery
+    assert legal_count >= 1, name
+
+
+def test_matmul_fully_permutable():
+    """All 3! loop orders of matmul are legal (classic result)."""
+    import itertools
+
+    program = matmul()
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    legal = 0
+    for perm in itertools.permutations(["I", "J", "K"]):
+        # realize the permutation as a product of interchanges
+        t = None
+        current = ["I", "J", "K"]
+        from repro.transform import compose, identity
+
+        t = identity(layout)
+        for target_pos, v in enumerate(perm):
+            cur_pos = current.index(v)
+            while cur_pos > target_pos:
+                a, b = current[cur_pos - 1], current[cur_pos]
+                t = t.then(permutation(layout, a, b))
+                current[cur_pos - 1], current[cur_pos] = b, a
+                cur_pos -= 1
+        if check_legality(layout, t.matrix, deps).legal:
+            legal += 1
+    assert legal == 6
+
+
+def test_trisolve_backward_variant():
+    """Reversing the inner update loop of the triangular solve is legal
+    (independent updates) and verified."""
+    program = triangular_solve()
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    t = reversal(layout, "I")
+    r = check_legality(layout, t.matrix, deps)
+    assert r.legal
+    g = generate_code(program, t.matrix, deps)
+    rep = check_equivalence(program, g.program, {"N": 8}, env_map=g.env_map())
+    assert rep["ok"]
+
+
+def test_forward_substitution_reorder_illegal():
+    """Swapping the dot-product loop and the divide breaks the
+    recurrence; legality must reject it."""
+    from repro.transform import statement_reorder
+
+    program = forward_substitution()
+    layout = Layout(program)
+    deps = analyze_dependences(program)
+    t, _ = statement_reorder(layout, (0,), [1, 0])
+    assert not check_legality(layout, t.matrix, deps).legal

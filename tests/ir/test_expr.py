@@ -1,0 +1,96 @@
+"""Unit tests for expression trees and affine conversion."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef, BinOp, Call, FloatLit, IntLit, UnaryOp, VarRef, affine_to_expr,
+    as_affine, parse_expr,
+)
+from repro.polyhedra import LinExpr, var
+from repro.util.errors import IRError
+
+
+class TestTreeQueries:
+    def test_variables(self):
+        e = parse_expr("A(I) + J * 2 - sqrt(K)")
+        assert e.variables() == {"I", "J", "K"}
+
+    def test_array_refs_in_order(self):
+        e = parse_expr("A(I) + B(J) * A(K)")
+        assert [r.array for r in e.array_refs()] == ["A", "B", "A"]
+
+    def test_nested_array_refs(self):
+        e = parse_expr("A(B(I))")
+        assert [r.array for r in e.array_refs()] == ["B", "A"]
+
+    def test_substitute_vars(self):
+        e = parse_expr("A(I) + I")
+        out = e.substitute_vars({"I": IntLit(7)})
+        assert out.array_refs()[0].subscripts[0] == IntLit(7)
+
+    def test_operator_sugar(self):
+        e = VarRef("x") + 1
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(-VarRef("x"), UnaryOp)
+        assert isinstance(VarRef("x") / 2, BinOp)
+
+
+class TestValidation:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(IRError):
+            Call("bogus", [IntLit(1)])
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(IRError):
+            BinOp("**", IntLit(1), IntLit(2))
+
+    def test_bool_not_coercible(self):
+        with pytest.raises(IRError):
+            VarRef("x") + True  # type: ignore[operator]
+
+
+class TestAffineConversion:
+    def test_simple(self):
+        assert as_affine(parse_expr("2*I - J + 3")) == 2 * var("I") - var("J") + 3
+
+    def test_constant_times_var_both_orders(self):
+        assert as_affine(parse_expr("I*3")) == 3 * var("I")
+        assert as_affine(parse_expr("3*I")) == 3 * var("I")
+
+    def test_unary(self):
+        assert as_affine(parse_expr("-(I+1)")) == -var("I") - 1
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(IRError):
+            as_affine(parse_expr("I*J"))
+
+    def test_division_rejected(self):
+        with pytest.raises(IRError):
+            as_affine(parse_expr("I/2"))
+
+    def test_array_ref_rejected(self):
+        with pytest.raises(IRError):
+            as_affine(parse_expr("A(I)"))
+
+    def test_roundtrip(self):
+        for src in ("I + 1", "2*I - 3*J", "-I", "7"):
+            lin = as_affine(parse_expr(src))
+            assert as_affine(affine_to_expr(lin)) == lin
+
+    def test_affine_to_expr_constant(self):
+        e = affine_to_expr(LinExpr({}, 4))
+        assert e == IntLit(4)
+
+
+class TestBuiltins:
+    def test_f_deterministic(self):
+        from repro.ir import BUILTIN_FUNCTIONS
+
+        f = BUILTIN_FUNCTIONS["f"]
+        assert f(1.0, 2.0) == f(1.0, 2.0)
+        assert f(1.0) != f(2.0)
+
+    def test_sqrt(self):
+        from repro.ir import BUILTIN_FUNCTIONS
+
+        assert BUILTIN_FUNCTIONS["sqrt"](9.0) == 3.0

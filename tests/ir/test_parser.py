@@ -1,0 +1,121 @@
+"""Unit tests for the mini loop-language parser."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef, BinOp, Call, IntLit, Loop, Statement, UnaryOp, VarRef,
+    parse_expr, parse_program, program_to_str,
+)
+from repro.util.errors import ParseError
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert isinstance(e, BinOp) and e.op == "*"
+
+    def test_unary_minus(self):
+        e = parse_expr("-x + 1")
+        assert isinstance(e, BinOp)
+        assert isinstance(e.left, UnaryOp)
+
+    def test_array_vs_call(self):
+        assert isinstance(parse_expr("A(I)"), ArrayRef)
+        assert isinstance(parse_expr("sqrt(I)"), Call)
+
+    def test_nested_refs(self):
+        e = parse_expr("A(B(I), J+1)")
+        assert isinstance(e, ArrayRef)
+        assert isinstance(e.subscripts[0], ArrayRef)
+
+    def test_float_literal(self):
+        e = parse_expr("1.5")
+        assert e.value == 1.5
+
+    def test_unknown_char(self):
+        with pytest.raises(ParseError):
+            parse_expr("x @ y")
+
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError):
+            parse_expr("x + ) y")
+
+
+class TestPrograms:
+    SRC = """
+    param N
+    real A(N), B(0:N)
+    do I = 1..N
+      S1: A(I) = sqrt(A(I))
+      do J = I+1, N
+        A(J) = A(J) / A(I)
+      end do
+    enddo
+    """
+
+    def test_params_and_arrays(self):
+        p = parse_program(self.SRC)
+        assert p.params == ("N",)
+        assert [a.name for a in p.arrays] == ["A", "B"]
+        assert p.array("B").dims[0][0].constant == 0
+
+    def test_auto_labels(self):
+        p = parse_program(self.SRC)
+        labels = [s.label for s in p.statements()]
+        assert labels[0] == "S1"
+        assert len(labels) == 2 and labels[1] != "S1"
+
+    def test_range_separators(self):
+        a = parse_program("do I = 1..5\n x = I\nenddo")
+        b = parse_program("do I = 1, 5\n x = I\nenddo")
+        assert isinstance(a.body[0], Loop) and isinstance(b.body[0], Loop)
+        assert a.body[0].lower == b.body[0].lower
+
+    def test_end_do_and_enddo(self):
+        p = parse_program("do I = 1..2\n x = I\nend do")
+        assert isinstance(p.body[0], Loop)
+
+    def test_comments(self):
+        p = parse_program("! header comment\ndo I = 1..2 # tail\n x = I\nenddo")
+        assert len(p.statements()) == 1
+
+    def test_step(self):
+        p = parse_program("do I = 1..10, 2\n x = I\nenddo")
+        assert p.body[0].step == 2
+
+    def test_scalar_assignment(self):
+        p = parse_program("do I = 1..2\n acc = acc + I\nenddo")
+        s = p.statements()[0]
+        assert isinstance(s.lhs, VarRef)
+
+    def test_label_not_confused_with_array(self):
+        p = parse_program("do I = 1..2\n A(I) = I\nenddo")
+        s = p.statements()[0]
+        assert isinstance(s.lhs, ArrayRef)
+
+    def test_missing_enddo(self):
+        with pytest.raises(ParseError):
+            parse_program("do I = 1..2\n x = I\n")
+
+    def test_non_affine_bound_rejected(self):
+        with pytest.raises(Exception):
+            parse_program("do I = 1..A(3)\n x = I\nenddo")
+
+    def test_roundtrip_through_printer(self):
+        p = parse_program(self.SRC, "rt")
+        text = program_to_str(p)
+        p2 = parse_program(text, "rt")
+        assert program_to_str(p2) == text
+
+    def test_multiple_top_level_loops(self):
+        p = parse_program("do I = 1..2\n x = I\nenddo\ndo J = 1..2\n y = J\nenddo")
+        assert len(p.body) == 2
+
+    def test_semicolon_separators(self):
+        p = parse_program("do I = 1..2; x = I; y = I; enddo")
+        assert len(p.statements()) == 2

@@ -1,0 +1,80 @@
+"""Pretty-printer tests."""
+
+import pytest
+
+from repro.ir import (
+    BoundSet, ExprCondition, Guard, HullBound, IntLit, Loop, Program,
+    Statement, VarRef, node_to_str, parse_expr, parse_program, program_to_str,
+)
+from repro.ir.expr import ArrayRef
+from repro.polyhedra import eq, ge0, var
+from repro.polyhedra.bounds import Bound
+
+
+def stmt(label="S1"):
+    return Statement(label, ArrayRef("A", [VarRef("I")]), IntLit(1))
+
+
+class TestPrinting:
+    def test_header_toggle(self, simp_chol):
+        with_header = program_to_str(simp_chol)
+        without = program_to_str(simp_chol, header=False)
+        assert with_header.startswith("param N")
+        assert without.startswith("do I")
+
+    def test_step_printed_only_when_nonunit(self):
+        l1 = Loop.make("I", 1, 5, [stmt()])
+        l2 = Loop.make("I", 1, 5, [stmt()], step=2)
+        assert ", 2" not in node_to_str(l1)
+        assert node_to_str(l2).startswith("do I = 1, 5, 2")
+
+    def test_guard_with_constraint(self):
+        g = Guard((eq(var("I"), 0),), (stmt(),))
+        text = node_to_str(g)
+        assert text.startswith("if (I == 0) then")
+        assert text.endswith("endif")
+
+    def test_guard_with_expr_condition(self):
+        g = Guard((ExprCondition(parse_expr("I % 2")),), (stmt(),))
+        assert "(I % 2) == 0" in node_to_str(g)
+
+    def test_multiple_conditions_joined(self):
+        g = Guard((ge0(var("I")), ge0(var("J") - 1)), (stmt(),))
+        assert " and " in node_to_str(g)
+
+    def test_max_min_bounds(self):
+        lo = BoundSet((Bound(var("a"), 1, True), Bound(var("b"), 1, True)), True)
+        hi = BoundSet((Bound(var("c"), 1, False),), False)
+        l = Loop("I", lo, hi, (stmt(),))
+        assert "max(a, b)" in node_to_str(l)
+
+    def test_divided_bounds(self):
+        lo = BoundSet((Bound(var("a"), 2, True),), True)
+        l = Loop("I", lo, BoundSet.affine(9, False), (stmt(),))
+        assert "ceild(a, 2)" in node_to_str(l)
+
+    def test_hull_bounds(self):
+        g1 = BoundSet.affine(var("a"), True)
+        g2 = BoundSet.affine(var("b"), True)
+        l = Loop("I", HullBound((g1, g2), True), BoundSet.affine(9, False), (stmt(),))
+        assert "min(a, b)" in node_to_str(l)
+
+    def test_indentation_depth(self, chol):
+        text = program_to_str(chol, header=False)
+        # the innermost statement S3 is indented three levels
+        line = next(l for l in text.splitlines() if "S3" in l)
+        assert line.startswith("      ")
+
+    def test_roundtrip_many_kernels(self):
+        from repro.kernels import (
+            cholesky, forward_substitution, lu_factorization, matmul,
+            simplified_cholesky, triangular_solve,
+        )
+
+        for prog in (
+            simplified_cholesky(), cholesky(), lu_factorization(),
+            triangular_solve(), forward_substitution(), matmul(),
+        ):
+            text = program_to_str(prog)
+            again = program_to_str(parse_program(text, prog.name))
+            assert again == text, prog.name

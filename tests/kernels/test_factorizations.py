@@ -1,0 +1,134 @@
+"""Kernel corpus correctness: the six Cholesky orders, LU, solves."""
+
+import numpy as np
+import pytest
+
+from repro.interp import ArrayStore, execute
+from repro.kernels import (
+    CHOLESKY_VARIANTS, cholesky, cholesky_variant, forward_substitution,
+    lu_factorization, matmul, triangular_solve,
+)
+
+
+@pytest.fixture(scope="module")
+def spd(request):
+    return ArrayStore(cholesky_variant("kji"), {"N": 9}).snapshot()
+
+
+class TestCholeskyVariants:
+    def test_six_variants_exist(self):
+        assert len(CHOLESKY_VARIANTS) == 6
+        assert set(CHOLESKY_VARIANTS) == {"ijk", "ikj", "jik", "jki", "kij", "kji"}
+
+    @pytest.mark.parametrize("order", CHOLESKY_VARIANTS)
+    def test_variant_matches_numpy(self, order, spd):
+        prog = cholesky_variant(order)
+        store, _ = execute(prog, {"N": 9}, arrays=spd)
+        ours = np.tril(store.arrays["A"])
+        ref = np.linalg.cholesky(spd["A"])
+        assert np.allclose(ours, ref, rtol=1e-8), order
+
+    @pytest.mark.parametrize("order", CHOLESKY_VARIANTS)
+    def test_variants_pairwise_equal(self, order, spd):
+        ref_store, _ = execute(cholesky_variant("kji"), {"N": 9}, arrays=spd)
+        store, _ = execute(cholesky_variant(order), {"N": 9}, arrays=spd)
+        assert np.allclose(
+            np.tril(store.arrays["A"]), np.tril(ref_store.arrays["A"]), rtol=1e-9
+        )
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            cholesky_variant("zzz")
+
+    def test_paper_cholesky_matches_variants(self, spd):
+        store, _ = execute(cholesky(), {"N": 9}, arrays=spd)
+        ref = np.linalg.cholesky(spd["A"])
+        assert np.allclose(np.tril(store.arrays["A"]), ref, rtol=1e-8)
+
+    def test_variant_instance_counts_equal(self, spd):
+        counts = set()
+        for order in CHOLESKY_VARIANTS:
+            _, t = execute(cholesky_variant(order), {"N": 7}, arrays=None, trace=True)
+            counts.add(len(t))
+        assert len(counts) == 1  # same work in every order
+
+
+class TestLU:
+    def test_lu_matches_scipy(self):
+        import scipy.linalg
+
+        p = lu_factorization()
+        base = ArrayStore(p, {"N": 7}).snapshot()
+        store, _ = execute(p, {"N": 7}, arrays=base)
+        a = store.arrays["A"]
+        L = np.tril(a, -1) + np.eye(7)
+        U = np.triu(a)
+        assert np.allclose(L @ U, base["A"], rtol=1e-8)
+
+
+class TestSolves:
+    def test_triangular_solve(self):
+        p = triangular_solve()
+        base = ArrayStore(p, {"N": 8}).snapshot()
+        L = np.tril(base["L"]) + np.eye(8) * 8  # well-conditioned lower tri
+        init = {"L": np.tril(L), "B": base["B"].copy()}
+        store, _ = execute(p, {"N": 8}, arrays={"L": init["L"], "B": init["B"]})
+        x = store.arrays["B"]
+        assert np.allclose(init["L"] @ x, base["B"], rtol=1e-8)
+
+    def test_forward_substitution_agrees_with_trisolve(self):
+        pc = triangular_solve()
+        pr = forward_substitution()
+        base = ArrayStore(pc, {"N": 8}).snapshot()
+        L = np.tril(base["L"]) + np.eye(8) * 8
+        sc, _ = execute(pc, {"N": 8}, arrays={"L": L, "B": base["B"].copy()})
+        sr, _ = execute(pr, {"N": 8}, arrays={"L": L, "B": base["B"].copy()})
+        assert np.allclose(sc.arrays["B"], sr.arrays["B"], rtol=1e-9)
+
+
+class TestMatmul:
+    def test_matches_numpy(self):
+        p = matmul()
+        base = ArrayStore(p, {"N": 6}).snapshot()
+        init = {"A": base["A"], "B": base["B"], "C": np.zeros((6, 6))}
+        store, _ = execute(p, {"N": 6}, arrays=init)
+        assert np.allclose(store.arrays["C"], base["A"] @ base["B"], rtol=1e-9)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        from repro.kernels import random_program
+
+        a = random_program(17)
+        b = random_program(17)
+        assert str(a) == str(b)
+
+    def test_distinct_seeds_distinct_programs(self):
+        from repro.kernels import random_program
+
+        outs = {str(random_program(s)) for s in range(8)}
+        assert len(outs) >= 6
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_generated_programs_execute(self, seed):
+        from repro.kernels import random_program
+
+        p = random_program(seed)
+        store, t = execute(p, {"N": 5}, trace=True)
+        assert len(t) >= 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_programs_analyzable(self, seed):
+        from repro.dependence import analyze_dependences
+        from repro.instance import Layout
+
+        p = random_program_import()(seed)
+        lay = Layout(p)
+        m = analyze_dependences(p)
+        assert m.layout is lay or m.layout.dimension == lay.dimension
+
+
+def random_program_import():
+    from repro.kernels import random_program
+
+    return random_program

@@ -1,0 +1,83 @@
+"""Block-structure recovery (Figure 6 NewAST)."""
+
+import pytest
+
+from repro.instance import Layout
+from repro.legality import recover_structure
+from repro.linalg import IntMatrix
+from repro.transform import permutation, skew, statement_reorder
+from repro.util.errors import CodegenError
+
+
+class TestRecovery:
+    def test_identity_preserves_ast(self, simp_chol, simp_chol_layout):
+        st = recover_structure(simp_chol_layout, IntMatrix.identity(4))
+        assert [s.label for s in st.skeleton.statements()] == ["S1", "S2"]
+        assert st.child_order[(0,)] == [0, 1]
+
+    def test_loop_transform_preserves_ast(self, simp_chol_layout):
+        t = skew(simp_chol_layout, "I", "J", -1)
+        st = recover_structure(simp_chol_layout, t.matrix)
+        assert st.child_order[(0,)] == [0, 1]
+
+    def test_reorder_recovered(self, simp_chol_layout):
+        t, p2 = statement_reorder(simp_chol_layout, (0,), [1, 0])
+        st = recover_structure(simp_chol_layout, t.matrix)
+        assert st.child_order[(0,)] == [1, 0]
+        assert [s.label for s in st.skeleton.statements()] == ["S2", "S1"]
+        # skeleton equals the direct reorder result
+        assert str(st.skeleton.body) == str(p2.body)
+
+    def test_three_child_reorder(self, chol_layout):
+        t, _ = statement_reorder(chol_layout, (0,), [2, 0, 1])
+        st = recover_structure(chol_layout, t.matrix)
+        assert st.child_order[(0,)] == [2, 0, 1]
+
+    def test_new_layout_dimension_matches(self, chol_layout):
+        t, _ = statement_reorder(chol_layout, (0,), [1, 2, 0])
+        st = recover_structure(chol_layout, t.matrix)
+        assert st.new_layout.dimension == chol_layout.dimension
+
+    def test_old_to_new_paths(self, chol_layout):
+        t, _ = statement_reorder(chol_layout, (0,), [2, 0, 1])
+        st = recover_structure(chol_layout, t.matrix)
+        # old child 2 (the J loop subtree) becomes new child 0
+        assert st.old_to_new_path[(0, 2)] == (0, 0)
+        assert st.old_to_new_path[(0, 0)] == (0, 1)
+
+    def test_syntactic_order_in_new_ast(self, chol_layout):
+        t, _ = statement_reorder(chol_layout, (0,), [2, 0, 1])
+        st = recover_structure(chol_layout, t.matrix)
+        assert st.syntactically_before("S3", "S1")
+        assert not st.syntactically_before("S2", "S3")
+
+
+class TestRejection:
+    def test_wrong_shape(self, simp_chol_layout):
+        with pytest.raises(CodegenError):
+            recover_structure(simp_chol_layout, IntMatrix.identity(3))
+
+    def test_non_unit_edge_row(self, simp_chol_layout):
+        m = IntMatrix.identity(4).tolist()
+        m[1][1] = 2  # edge row scaled: illegal
+        with pytest.raises(CodegenError):
+            recover_structure(simp_chol_layout, IntMatrix(m))
+
+    def test_edge_row_mixing_loop_column(self, simp_chol_layout):
+        m = IntMatrix.identity(4).tolist()
+        m[1][0] = 1  # edge row also picks up the loop column
+        with pytest.raises(CodegenError):
+            recover_structure(simp_chol_layout, IntMatrix(m))
+
+    def test_duplicate_edge_assignment(self, simp_chol_layout):
+        m = IntMatrix.identity(4).tolist()
+        m[2] = m[1]  # both edge rows select the same old edge
+        with pytest.raises(CodegenError):
+            recover_structure(simp_chol_layout, IntMatrix(m))
+
+    def test_label_rows_are_unconstrained(self, simp_chol_layout):
+        # a wild loop row is fine structurally (legality may still fail)
+        m = IntMatrix.identity(4).tolist()
+        m[0] = [3, 0, -2, 7]
+        st = recover_structure(simp_chol_layout, IntMatrix(m))
+        assert st.child_order[(0,)] == [0, 1]

@@ -1,0 +1,106 @@
+"""Unit tests for Hermite/Smith normal forms and lattice membership."""
+
+import pytest
+
+from repro.linalg import IntMatrix, hnf_column, hnf_row, in_lattice, smith_normal_form
+
+
+class TestHNF:
+    def test_identity_fixed_point(self):
+        h, u = hnf_column(IntMatrix.identity(3))
+        assert h == IntMatrix.identity(3)
+        assert u.is_unimodular()
+
+    def test_product_invariant(self):
+        a = IntMatrix([[4, 7, 2], [0, 3, 9]])
+        h, u = hnf_column(a)
+        assert (a @ u) == h
+        assert u.is_unimodular()
+
+    def test_lower_triangular_shape(self):
+        a = IntMatrix([[3, 1, 2], [6, 5, 1], [0, 2, 2]])
+        h, u = hnf_column(a)
+        assert (a @ u) == h
+        # column HNF: zero above-right of pivots
+        assert h[0, 1] == 0 and h[0, 2] == 0
+        assert h[1, 2] == 0
+
+    def test_positive_pivots(self):
+        a = IntMatrix([[-4, 0], [0, -6]])
+        h, _ = hnf_column(a)
+        assert h[0, 0] > 0 and h[1, 1] > 0
+
+    def test_rank_deficient(self):
+        a = IntMatrix([[1, 2, 3]])
+        h, u = hnf_column(a)
+        assert (a @ u) == h
+        assert h[0, 0] == 1 and h[0, 1] == 0 and h[0, 2] == 0
+
+    def test_row_form(self):
+        a = IntMatrix([[2, 4], [6, 8]])
+        h, u = hnf_row(a)
+        assert (u @ a) == h
+        assert u.is_unimodular()
+        assert h[1, 0] == 0  # upper triangular
+
+    def test_exactness_large_values(self):
+        a = IntMatrix([[10**12, 10**12 + 1], [3, 7]])
+        h, u = hnf_column(a)
+        assert (a @ u) == h
+
+
+class TestSNF:
+    def test_diagonal_divisibility(self):
+        a = IntMatrix([[2, 4, 4], [-6, 6, 12], [10, 4, 16]])
+        s, u, v = smith_normal_form(a)
+        assert (u @ a @ v) == s
+        d = [s[i, i] for i in range(3)]
+        assert all(d[i] >= 0 for i in range(3))
+        for i in range(2):
+            if d[i + 1] != 0:
+                assert d[i + 1] % max(d[i], 1) == 0
+
+    def test_unimodular_factors(self):
+        a = IntMatrix([[1, 2], [3, 4]])
+        s, u, v = smith_normal_form(a)
+        assert u.is_unimodular() and v.is_unimodular()
+        assert (u @ a @ v) == s
+
+    def test_zero_matrix(self):
+        s, u, v = smith_normal_form(IntMatrix.zeros(2, 3))
+        assert s.is_zero()
+
+    def test_rectangular(self):
+        a = IntMatrix([[2, 0, 0], [0, 3, 0]])
+        s, u, v = smith_normal_form(a)
+        assert (u @ a @ v) == s
+        assert s[0, 0] == 1 and s[1, 1] == 6  # invariant factors of diag(2,3)
+
+    def test_det_preserved_up_to_sign(self):
+        a = IntMatrix([[4, 1], [2, 3]])
+        s, _, _ = smith_normal_form(a)
+        assert abs(s[0, 0] * s[1, 1]) == abs(a.det())
+
+
+class TestLattice:
+    def test_membership_diag(self):
+        basis = IntMatrix([[2, 0], [0, 3]])
+        assert in_lattice(basis, (4, 9))
+        assert in_lattice(basis, (0, 0))
+        assert not in_lattice(basis, (1, 3))
+        assert not in_lattice(basis, (2, 2))
+
+    def test_membership_skewed(self):
+        basis = IntMatrix([[1, 1], [0, 2]])
+        # lattice = {(a+b, 2b)} -> second coord even
+        assert in_lattice(basis, (3, 2))
+        assert not in_lattice(basis, (3, 1))
+
+    def test_full_lattice(self):
+        assert in_lattice(IntMatrix.identity(3), (7, -2, 5))
+
+    def test_wrong_dimension(self):
+        from repro.util.errors import LinalgError
+
+        with pytest.raises(LinalgError):
+            in_lattice(IntMatrix.identity(2), (1, 2, 3))

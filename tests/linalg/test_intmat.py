@@ -1,0 +1,204 @@
+"""Unit tests for exact integer matrices."""
+
+import pytest
+from fractions import Fraction
+
+from repro.linalg import IntMatrix, FracMatrix
+from repro.util.errors import LinalgError
+
+
+class TestConstruction:
+    def test_shape(self):
+        m = IntMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+        assert m.nrows == 2 and m.ncols == 3
+
+    def test_empty(self):
+        m = IntMatrix([])
+        assert m.shape == (0, 0)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(LinalgError):
+            IntMatrix([[1, 2], [3]])
+
+    def test_non_integral_rejected(self):
+        with pytest.raises(LinalgError):
+            IntMatrix([[1.5]])
+
+    def test_integral_float_accepted(self):
+        assert IntMatrix([[2.0]])[0, 0] == 2
+
+    def test_fraction_entries(self):
+        assert IntMatrix([[Fraction(4, 2)]])[0, 0] == 2
+        with pytest.raises(LinalgError):
+            IntMatrix([[Fraction(1, 2)]])
+
+    def test_identity(self):
+        i3 = IntMatrix.identity(3)
+        assert i3[0, 0] == 1 and i3[0, 1] == 0
+        assert i3.is_unimodular()
+
+    def test_diag(self):
+        d = IntMatrix.diag([2, -3])
+        assert d[0, 0] == 2 and d[1, 1] == -3 and d[0, 1] == 0
+
+    def test_permutation_matrix(self):
+        p = IntMatrix.permutation([2, 0, 1])
+        assert p.matvec((10, 20, 30)) == (30, 10, 20)
+        assert p.is_permutation()
+        assert p.to_permutation() == [2, 0, 1]
+
+    def test_permutation_invalid(self):
+        with pytest.raises(LinalgError):
+            IntMatrix.permutation([0, 0, 1])
+
+    def test_column_and_row(self):
+        assert IntMatrix.column([1, 2]).shape == (2, 1)
+        assert IntMatrix.row([1, 2]).shape == (1, 2)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = IntMatrix([[1, 2], [3, 4]])
+        b = IntMatrix([[5, 6], [7, 8]])
+        assert (a + b)[1, 1] == 12
+        assert (b - a)[0, 0] == 4
+
+    def test_neg(self):
+        assert (-IntMatrix([[1, -2]]))[0, 1] == 2
+
+    def test_scalar_mul(self):
+        assert (3 * IntMatrix([[2]]))[0, 0] == 6
+
+    def test_matmul(self):
+        a = IntMatrix([[1, 2], [3, 4]])
+        assert (a @ IntMatrix.identity(2)) == a
+        sq = a @ a
+        assert sq == IntMatrix([[7, 10], [15, 22]])
+
+    def test_matmul_shape_error(self):
+        with pytest.raises(LinalgError):
+            IntMatrix([[1, 2]]) @ IntMatrix([[1, 2]])
+
+    def test_matvec(self):
+        m = IntMatrix([[1, 0, -1], [0, 2, 0]])
+        assert m.matvec((5, 6, 7)) == (-2, 12)
+
+    def test_matvec_length_error(self):
+        with pytest.raises(LinalgError):
+            IntMatrix([[1, 2]]).matvec((1,))
+
+
+class TestStructure:
+    def test_transpose(self):
+        m = IntMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.T.shape == (3, 2)
+        assert m.T[2, 1] == 6
+        assert m.T.T == m
+
+    def test_stacking(self):
+        a = IntMatrix([[1, 2]])
+        b = IntMatrix([[3, 4]])
+        assert a.vstack(b).shape == (2, 2)
+        assert a.hstack(b).shape == (1, 4)
+
+    def test_with_row(self):
+        m = IntMatrix([[1, 2]]).with_row([3, 4])
+        assert m[1] == (3, 4)
+
+    def test_select_delete(self):
+        m = IntMatrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert m.select_rows([2, 0])[0] == (7, 8, 9)
+        assert m.select_cols([1])[0] == (2,)
+        assert m.delete_row(1).nrows == 2
+        assert m.delete_col(0)[0] == (2, 3)
+
+    def test_hashable(self):
+        assert len({IntMatrix([[1]]), IntMatrix([[1]]), IntMatrix([[2]])}) == 2
+
+    def test_getitem_slices(self):
+        m = IntMatrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert m[1:, 1:] == IntMatrix([[5, 6], [8, 9]])
+        assert m[0] == (1, 2, 3)
+
+
+class TestNumerics:
+    def test_det_small(self):
+        assert IntMatrix([[2, 0], [0, 3]]).det() == 6
+        assert IntMatrix([[1, 2], [2, 4]]).det() == 0
+        assert IntMatrix([]).det() == 1
+
+    def test_det_sign_of_swap(self):
+        assert IntMatrix([[0, 1], [1, 0]]).det() == -1
+
+    def test_det_bareiss_exact_large_entries(self):
+        m = IntMatrix([[10**9, 1], [1, 10**9]])
+        assert m.det() == 10**18 - 1
+
+    def test_det_non_square(self):
+        with pytest.raises(LinalgError):
+            IntMatrix([[1, 2]]).det()
+
+    def test_rank(self):
+        assert IntMatrix([[1, 2], [2, 4]]).rank() == 1
+        assert IntMatrix.identity(4).rank() == 4
+        assert IntMatrix.zeros(3, 3).rank() == 0
+
+    def test_inverse_int(self):
+        m = IntMatrix([[1, 1], [0, 1]])
+        inv = m.inverse_int()
+        assert m @ inv == IntMatrix.identity(2)
+
+    def test_inverse_not_unimodular(self):
+        with pytest.raises(LinalgError):
+            IntMatrix([[2, 0], [0, 1]]).inverse_int()
+
+    def test_inverse_frac(self):
+        inv = IntMatrix([[2, 0], [0, 4]]).inverse_frac()
+        assert inv[0, 0] == Fraction(1, 2)
+        assert inv[1, 1] == Fraction(1, 4)
+
+    def test_inverse_singular(self):
+        with pytest.raises(LinalgError):
+            IntMatrix([[1, 1], [1, 1]]).inverse_frac()
+
+    def test_solve_frac(self):
+        m = IntMatrix([[2, 1], [1, 1]])
+        x = m.solve_frac((3, 2))
+        assert x == (Fraction(1), Fraction(1))
+
+    def test_nullspace(self):
+        ns = IntMatrix([[1, -1, 0]]).nullspace_int()
+        assert len(ns) == 2
+        for v in ns:
+            assert v[0] - v[1] == 0 or sum(abs(x) for x in v) > 0
+            assert IntMatrix([[1, -1, 0]]).matvec(v) == (0,)
+
+    def test_nullspace_full_rank(self):
+        assert IntMatrix.identity(3).nullspace_int() == []
+
+    def test_row_space_basis(self):
+        basis = IntMatrix([[2, 4], [1, 2]]).row_space_basis()
+        assert len(basis) == 1
+        assert basis[0] in ((1, 2), (-1, -2))
+
+    def test_is_unimodular(self):
+        assert IntMatrix([[1, 5], [0, 1]]).is_unimodular()
+        assert not IntMatrix([[2, 0], [0, 1]]).is_unimodular()
+
+    def test_gcd_of_entries(self):
+        assert IntMatrix([[4, 6], [8, 0]]).gcd_of_entries() == 2
+
+
+class TestFracMatrix:
+    def test_to_int_roundtrip(self):
+        f = FracMatrix([[Fraction(2), Fraction(3)]])
+        assert f.to_int() == IntMatrix([[2, 3]])
+
+    def test_to_int_rejects_fractions(self):
+        with pytest.raises(LinalgError):
+            FracMatrix([[Fraction(1, 2)]]).to_int()
+
+    def test_matvec(self):
+        f = FracMatrix([[Fraction(1, 2), 0]])
+        assert f.matvec((4, 1)) == (Fraction(2),)

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the exact linear algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import (
+    IntMatrix, complete_to_unimodular, hnf_column, in_lattice, random_unimodular,
+    smith_normal_form,
+)
+
+small_int = st.integers(min_value=-9, max_value=9)
+
+
+def matrices(max_n=4):
+    return st.integers(1, max_n).flatmap(
+        lambda n: st.integers(1, max_n).flatmap(
+            lambda m: st.lists(
+                st.lists(small_int, min_size=m, max_size=m), min_size=n, max_size=n
+            ).map(IntMatrix)
+        )
+    )
+
+
+def square_matrices(max_n=4):
+    return st.integers(1, max_n).flatmap(
+        lambda n: st.lists(
+            st.lists(small_int, min_size=n, max_size=n), min_size=n, max_size=n
+        ).map(IntMatrix)
+    )
+
+
+@given(matrices())
+@settings(max_examples=60, deadline=None)
+def test_hnf_invariant(a):
+    h, u = hnf_column(a)
+    assert (a @ u) == h
+    assert u.is_unimodular()
+
+
+@given(matrices())
+@settings(max_examples=60, deadline=None)
+def test_hnf_preserves_rank(a):
+    h, _ = hnf_column(a)
+    assert h.rank() == a.rank()
+
+
+@given(matrices(3))
+@settings(max_examples=40, deadline=None)
+def test_snf_invariant(a):
+    s, u, v = smith_normal_form(a)
+    assert (u @ a @ v) == s
+    assert u.is_unimodular() and v.is_unimodular()
+    n = min(s.nrows, s.ncols)
+    diag = [s[i, i] for i in range(n)]
+    for i in range(n):
+        for j in range(s.ncols):
+            if j != i and i < s.nrows:
+                assert s[i, j] == 0 or j >= n
+    for i in range(n - 1):
+        if diag[i + 1] != 0:
+            assert diag[i] == 0 or diag[i + 1] % diag[i] == 0
+
+
+@given(square_matrices(4))
+@settings(max_examples=60, deadline=None)
+def test_det_matches_rank_deficiency(a):
+    assert (a.det() == 0) == (a.rank() < a.nrows)
+
+
+@given(square_matrices(3), square_matrices(3))
+@settings(max_examples=40, deadline=None)
+def test_det_multiplicative(a, b):
+    if a.shape != b.shape:
+        return
+    assert (a @ b).det() == a.det() * b.det()
+
+
+@given(matrices(4))
+@settings(max_examples=50, deadline=None)
+def test_nullspace_vectors_annihilate(a):
+    for v in a.nullspace_int():
+        assert a.matvec(v) == tuple([0] * a.nrows)
+
+
+@given(st.integers(1, 5), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_random_unimodular_rows_completable(n, seed):
+    m = random_unimodular(n, seed=seed)
+    # any prefix of a unimodular matrix is completable back to unimodular
+    for k in range(1, n + 1):
+        prefix = m.select_rows(range(k))
+        c = complete_to_unimodular(prefix)
+        assert c.is_unimodular()
+        assert c.select_rows(range(k)) == prefix
+
+
+@given(square_matrices(3), st.lists(small_int, min_size=3, max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_lattice_membership_of_image(a, x):
+    if a.ncols != 3:
+        return
+    v = a.matvec(tuple(x))
+    assert in_lattice(a, v)

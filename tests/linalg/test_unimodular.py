@@ -1,0 +1,87 @@
+"""Unit tests for unimodular completion and lexicographic helpers."""
+
+import pytest
+
+from repro.linalg import (
+    IntMatrix, complete_to_unimodular, extend_to_full_rank, first_nonzero_index,
+    is_lex_nonnegative, is_lex_positive, lex_compare, random_unimodular,
+)
+from repro.util.errors import LinalgError
+
+
+class TestCompletion:
+    def test_single_unit_row(self):
+        m = complete_to_unimodular(IntMatrix([[0, 0, 1]]))
+        assert m.shape == (3, 3)
+        assert m[0] == (0, 0, 1)
+        assert m.is_unimodular()
+
+    def test_skewed_row(self):
+        m = complete_to_unimodular(IntMatrix([[1, -1]]))
+        assert m[0] == (1, -1)
+        assert m.is_unimodular()
+
+    def test_two_rows(self):
+        rows = IntMatrix([[1, 0, 1], [0, 1, 0]])
+        m = complete_to_unimodular(rows)
+        assert m.select_rows([0, 1]) == rows
+        assert m.is_unimodular()
+
+    def test_already_square(self):
+        i = IntMatrix.identity(4)
+        assert complete_to_unimodular(i) == i
+
+    def test_dependent_rows_rejected(self):
+        with pytest.raises(LinalgError):
+            complete_to_unimodular(IntMatrix([[1, 2], [2, 4]]))
+
+    def test_non_primitive_rejected(self):
+        # the row (2, 0) cannot appear in any unimodular matrix
+        with pytest.raises(LinalgError):
+            complete_to_unimodular(IntMatrix([[2, 0]]))
+
+    def test_extend_to_full_rank(self):
+        m = extend_to_full_rank(IntMatrix([[2, 0, 0]]))
+        assert m.shape == (3, 3)
+        assert m.rank() == 3
+        assert m[0] == (2, 0, 0)
+
+    def test_extend_dependent_rejected(self):
+        with pytest.raises(LinalgError):
+            extend_to_full_rank(IntMatrix([[1, 0], [2, 0]]))
+
+
+class TestLexOrder:
+    def test_first_nonzero(self):
+        assert first_nonzero_index((0, 0, 3)) == 2
+        assert first_nonzero_index((0, 0)) is None
+
+    def test_lex_positive(self):
+        assert is_lex_positive((0, 1, -5))
+        assert not is_lex_positive((0, -1, 5))
+        assert not is_lex_positive((0, 0))
+
+    def test_lex_nonnegative(self):
+        assert is_lex_nonnegative((0, 0))
+        assert is_lex_nonnegative((1, -1))
+        assert not is_lex_nonnegative((-1, 2))
+
+    def test_lex_compare(self):
+        assert lex_compare((1, 2), (1, 3)) == -1
+        assert lex_compare((2, 0), (1, 9)) == 1
+        assert lex_compare((1, 2), (1, 2)) == 0
+
+    def test_lex_compare_length_mismatch(self):
+        with pytest.raises(LinalgError):
+            lex_compare((1,), (1, 2))
+
+
+class TestRandomUnimodular:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_always_unimodular(self, n):
+        for seed in range(5):
+            assert random_unimodular(n, seed=seed).is_unimodular()
+
+    def test_deterministic_in_seed(self):
+        assert random_unimodular(4, seed=7) == random_unimodular(4, seed=7)
+        assert random_unimodular(4, seed=7) != random_unimodular(4, seed=8)

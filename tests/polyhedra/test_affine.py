@@ -1,0 +1,112 @@
+"""Unit tests for affine expressions."""
+
+import pytest
+
+from repro.polyhedra import LinExpr, const, var
+from repro.polyhedra.affine import linear_combination
+from repro.util.errors import PolyhedronError
+
+
+class TestConstruction:
+    def test_var_and_const(self):
+        assert var("x")["x"] == 1
+        assert const(5).constant == 5
+        assert const(5).is_constant()
+
+    def test_zero_coeffs_dropped(self):
+        e = LinExpr({"x": 0, "y": 2})
+        assert e.variables() == {"y"}
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(PolyhedronError):
+            LinExpr({"x": 1.5})
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = var("x") + var("y") + 3
+        assert e["x"] == 1 and e["y"] == 1 and e.constant == 3
+
+    def test_sub_cancels(self):
+        e = var("x") - var("x")
+        assert e.is_constant() and e.constant == 0
+
+    def test_scalar_mul(self):
+        e = 3 * (var("x") + 1)
+        assert e["x"] == 3 and e.constant == 3
+
+    def test_radd_int(self):
+        e = 2 + var("x")
+        assert e.constant == 2
+
+    def test_rsub_int(self):
+        e = 10 - var("x")
+        assert e["x"] == -1 and e.constant == 10
+
+    def test_neg(self):
+        e = -(var("x") - 4)
+        assert e["x"] == -1 and e.constant == 4
+
+    def test_non_int_scale_rejected(self):
+        with pytest.raises(PolyhedronError):
+            var("x") * 1.5  # type: ignore[operator]
+
+
+class TestEvaluation:
+    def test_eval(self):
+        e = 2 * var("i") - var("j") + 3
+        assert e.eval({"i": 5, "j": 1}) == 12
+
+    def test_eval_unbound(self):
+        with pytest.raises(PolyhedronError):
+            var("x").eval({})
+
+    def test_eval_partial(self):
+        e = var("i") + var("j")
+        p = e.eval_partial({"i": 4})
+        assert p["j"] == 1 and p.constant == 4 and "i" not in p.variables()
+
+
+class TestSubstitution:
+    def test_substitute(self):
+        e = 2 * var("x") + var("y")
+        s = e.substitute("x", var("a") + 1)
+        assert s["a"] == 2 and s["y"] == 1 and s.constant == 2
+
+    def test_substitute_absent_var(self):
+        e = var("y")
+        assert e.substitute("x", const(99)) == e
+
+    def test_rename(self):
+        e = var("x") + 2 * var("y")
+        r = e.rename({"x": "u", "y": "v"})
+        assert r["u"] == 1 and r["v"] == 2
+
+    def test_rename_merge(self):
+        e = var("x") + var("y")
+        r = e.rename({"x": "z", "y": "z"})
+        assert r["z"] == 2
+
+
+class TestMisc:
+    def test_content(self):
+        assert (2 * var("x") + 4 * var("y")).content() == 2
+        assert const(7).content() == 0
+
+    def test_equality_and_hash(self):
+        assert var("x") + 1 == 1 + var("x")
+        assert hash(var("x")) == hash(LinExpr({"x": 1}))
+        assert var("x") != var("y")
+
+    def test_eq_int(self):
+        assert const(3) == 3
+        assert const(3) != 4
+
+    def test_str_rendering(self):
+        assert str(var("x") - var("y") + 1) == "x - y + 1"
+        assert str(const(0)) == "0"
+        assert str(-2 * var("x")) == "-2*x"
+
+    def test_linear_combination(self):
+        e = linear_combination([(2, "a"), (3, "a"), (-1, "b")], 4)
+        assert e["a"] == 5 and e["b"] == -1 and e.constant == 4

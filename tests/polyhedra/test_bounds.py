@@ -1,0 +1,88 @@
+"""Unit tests for loop-bound extraction."""
+
+import pytest
+
+from repro.polyhedra import Bound, System, eq, extract_bounds, ge, ge0, le, var
+from repro.util.errors import PolyhedronError
+
+I, J, N = var("I"), var("J"), var("N")
+
+
+class TestBound:
+    def test_div1_eval(self):
+        b = Bound(I + 1, 1, True)
+        assert b.eval({"I": 4}) == 5
+
+    def test_ceil_floor(self):
+        lo = Bound(var("e"), 2, True)   # ceil(e/2)
+        hi = Bound(var("e"), 2, False)  # floor(e/2)
+        assert lo.eval({"e": 5}) == 3
+        assert hi.eval({"e": 5}) == 2
+        assert lo.eval({"e": -5}) == -2
+        assert hi.eval({"e": -5}) == -3
+
+    def test_positive_divisor_required(self):
+        with pytest.raises(PolyhedronError):
+            Bound(I, 0, True)
+
+    def test_str(self):
+        assert str(Bound(I, 1, True)) == "I"
+        assert "ceild" in str(Bound(I, 2, True))
+        assert "floord" in str(Bound(I, 2, False))
+
+
+class TestExtractBounds:
+    def test_rectangle(self):
+        s = System([ge(I, 1), le(I, N), ge(J, 1), le(J, N)])
+        b = extract_bounds(s, ["I", "J"], ["N"])
+        assert b[0].lower_value({"N": 5}) == 1
+        assert b[0].upper_value({"N": 5}) == 5
+        assert b[1].lower_value({"N": 5, "I": 3}) == 1
+
+    def test_triangle_inner_depends_on_outer(self):
+        s = System([ge(I, 1), le(I, N), ge(J, I + 1), le(J, N)])
+        b = extract_bounds(s, ["I", "J"], ["N"])
+        assert b[1].lower_value({"N": 9, "I": 4}) == 5
+
+    def test_order_matters(self):
+        s = System([ge(I, 1), le(I, N), ge(J, I + 1), le(J, N)])
+        b = extract_bounds(s, ["J", "I"], ["N"])
+        # scanning J first: J from 2..N, then I from 1..J-1
+        assert b[0].lower_value({"N": 9}) == 2
+        assert b[1].upper_value({"N": 9, "J": 5}) == 4
+
+    def test_equality_gives_pinned_loop(self):
+        s = System([eq(I, 3), ge(J, I), le(J, N)])
+        b = extract_bounds(s, ["I", "J"], ["N"])
+        assert b[0].lower_value({"N": 5}) == 3
+        assert b[0].upper_value({"N": 5}) == 3
+
+    def test_divided_bounds(self):
+        # 2J >= I: J >= ceil(I/2)
+        s = System([ge(I, 1), le(I, N), ge0(2 * J - I), le(J, N)])
+        b = extract_bounds(s, ["I", "J"], ["N"])
+        assert b[1].lower_value({"N": 9, "I": 5}) == 3
+
+    def test_zero_trip_range_allowed(self):
+        # contradictory bounds on the scanned var itself stay as a
+        # lo > hi zero-trip loop (no elimination happens)
+        s = System([ge(I, 2), le(I, 1)])
+        b = extract_bounds(s, ["I"])
+        assert b[0].lower_value({}) > b[0].upper_value({})
+
+    def test_empty_after_elimination_raises(self):
+        # eliminating J exposes the contradiction I+1 <= J <= I-1
+        s = System([ge(J, I + 1), le(J, I - 1)])
+        with pytest.raises(PolyhedronError):
+            extract_bounds(s, ["I", "J"])
+
+    def test_enumeration_matches_bounds(self):
+        s = System([ge(I, 1), le(I, 4), ge(J, I), le(J, 4)])
+        b = extract_bounds(s, ["I", "J"])
+        count = 0
+        for i in range(b[0].lower_value({}), b[0].upper_value({}) + 1):
+            env = {"I": i}
+            for j in range(b[1].lower_value(env), b[1].upper_value(env) + 1):
+                count += 1
+                assert s.satisfied_by({"I": i, "J": j})
+        assert count == len(list(s.enumerate_points(["I", "J"])))

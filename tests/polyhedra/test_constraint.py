@@ -1,0 +1,82 @@
+"""Dedicated constraint-layer tests."""
+
+import pytest
+
+from repro.polyhedra import Constraint, LinExpr, eq, eq0, ge, ge0, gt, le, lt, var
+from repro.util.errors import PolyhedronError
+
+x, y = var("x"), var("y")
+
+
+class TestKinds:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PolyhedronError):
+            Constraint(x, "<=")
+
+    def test_is_equality(self):
+        assert eq(x, y).is_equality()
+        assert not ge(x, y).is_equality()
+
+    def test_variables(self):
+        assert ge(x + y, 1).variables() == {"x", "y"}
+
+
+class TestComparatorSugar:
+    def test_lt_strict_integer(self):
+        c = lt(x, 3)  # x <= 2
+        assert c.satisfied_by({"x": 2})
+        assert not c.satisfied_by({"x": 3})
+
+    def test_gt_strict_integer(self):
+        c = gt(x, 3)
+        assert c.satisfied_by({"x": 4})
+        assert not c.satisfied_by({"x": 3})
+
+    def test_le_ge_boundary(self):
+        assert le(x, 3).satisfied_by({"x": 3})
+        assert ge(x, 3).satisfied_by({"x": 3})
+
+    def test_int_literals_both_sides(self):
+        assert ge(5, 3).is_trivially_true()
+        assert le(5, 3).is_trivially_false()
+
+    def test_bad_operand(self):
+        with pytest.raises(PolyhedronError):
+            le("x", 3)  # type: ignore[arg-type]
+
+
+class TestNormalization:
+    def test_content_division_with_floor(self):
+        # 3x >= 2  ->  x >= 1 over the integers
+        c = ge0(3 * x - 2)
+        assert c.expr == x - 1
+
+    def test_negative_constant_floor(self):
+        # 2x >= -3 -> x >= -1 (floor of -3/2 is -2: -(-3)//2... check)
+        c = ge0(2 * x + 3)
+        # 2x + 3 >= 0 -> x >= -3/2 -> x >= -1; normalized: x + 1 >= 0
+        assert c.satisfied_by({"x": -1})
+        assert not c.satisfied_by({"x": -2})
+
+    def test_equality_gcd(self):
+        c = eq0(2 * x - 4 * y)
+        assert c.expr == x - 2 * y
+
+    def test_equality_unsolvable_collapses(self):
+        assert eq0(3 * x - 2).is_trivially_false()
+
+    def test_rename_and_substitute(self):
+        c = ge(x, y)
+        r = c.rename({"x": "a"})
+        assert r.satisfied_by({"a": 5, "y": 3})
+        s = c.substitute("y", LinExpr({}, 7))
+        assert s.satisfied_by({"x": 7})
+        assert not s.satisfied_by({"x": 6})
+
+    def test_hashable_and_str(self):
+        assert len({ge(x, 1), ge(x, 1)}) == 1
+        assert ">=" in str(ge(x, 1))
+
+    def test_negated_pair_only_for_equalities(self):
+        with pytest.raises(PolyhedronError):
+            ge(x, 1).negated_pair()

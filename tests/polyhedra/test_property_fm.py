@@ -1,0 +1,82 @@
+"""Property tests: Fourier–Motzkin projection against brute-force
+enumeration on random bounded systems."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.polyhedra import LinExpr, System, ge0
+from repro.polyhedra.system import Feasibility
+
+VARS = ["x", "y", "z"]
+
+
+@st.composite
+def bounded_systems(draw):
+    """Random systems over x,y,z guaranteed bounded in [-5, 5]^3."""
+    cs = []
+    for v in VARS:
+        cs.append(ge0(LinExpr({v: 1}, 5)))    # v >= -5
+        cs.append(ge0(LinExpr({v: -1}, 5)))   # v <= 5
+    n_extra = draw(st.integers(0, 4))
+    for _ in range(n_extra):
+        coeffs = {v: draw(st.integers(-2, 2)) for v in VARS}
+        c0 = draw(st.integers(-6, 6))
+        cs.append(ge0(LinExpr(coeffs, c0)))
+    return System(cs)
+
+
+def brute_points(s: System):
+    pts = []
+    for x in range(-5, 6):
+        for y in range(-5, 6):
+            for z in range(-5, 6):
+                if s.satisfied_by({"x": x, "y": y, "z": z}):
+                    pts.append((x, y, z))
+    return pts
+
+
+@given(bounded_systems())
+@settings(max_examples=40, deadline=None)
+def test_feasibility_sound(s):
+    pts = brute_points(s)
+    verdict = s.feasible()
+    if pts:
+        assert verdict is not Feasibility.INFEASIBLE
+    if verdict is Feasibility.FEASIBLE and not pts:
+        # FEASIBLE must be backed by an integer point somewhere; since the
+        # box bounds are part of the system, "somewhere" is inside the box.
+        raise AssertionError("claimed feasible but box has no integer point")
+
+
+@given(bounded_systems())
+@settings(max_examples=30, deadline=None)
+def test_projection_overapproximates(s):
+    pts = brute_points(s)
+    proj, exact = s.project_onto(["x"])
+    xs = {p[0] for p in pts}
+    for v in xs:
+        assert proj.satisfied_by({"x": v}), "projection must contain every real shadow point"
+    if exact:
+        # exact projection: every claimed x must extend to a full point
+        for x in range(-5, 6):
+            if proj.satisfied_by({"x": x}):
+                assert x in xs
+
+
+@given(bounded_systems())
+@settings(max_examples=30, deadline=None)
+def test_find_point_valid(s):
+    p = s.find_point(clip=6)
+    pts = brute_points(s)
+    if p is not None:
+        assert s.satisfied_by(p)
+    else:
+        assert not pts
+
+
+@given(bounded_systems())
+@settings(max_examples=25, deadline=None)
+def test_enumeration_matches_brute_force(s):
+    if s.is_trivially_false():
+        return
+    got = sorted((p["x"], p["y"], p["z"]) for p in s.enumerate_points(VARS))
+    assert got == brute_points(s)

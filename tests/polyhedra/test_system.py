@@ -1,0 +1,157 @@
+"""Unit tests for constraint systems, Fourier–Motzkin and feasibility."""
+
+import pytest
+
+from repro.polyhedra import Constraint, Feasibility, System, eq, ge, ge0, le, var
+from repro.polyhedra.constraint import eq0, gt, lt
+from repro.util.errors import PolyhedronError
+
+x, y, z, N = var("x"), var("y"), var("z"), var("N")
+
+
+class TestConstraintNormalization:
+    def test_gcd_division(self):
+        c = ge0(2 * x - 4)
+        assert c.expr == x - 2
+
+    def test_integer_tightening_floor(self):
+        # 2x - 1 >= 0  =>  x >= 1/2  =>  x >= 1  i.e. x - 1 >= 0
+        c = ge0(2 * x - 1)
+        assert c.expr == x - 1
+
+    def test_equality_unsatisfiable_mod(self):
+        c = eq0(2 * x - 1)
+        assert c.is_trivially_false()
+
+    def test_trivial_true_false(self):
+        assert ge(1, 0).is_trivially_true()
+        assert ge(-1, 0).is_trivially_false()
+        assert eq(0, 0).is_trivially_true()
+
+    def test_satisfied_by(self):
+        assert le(x, 5).satisfied_by({"x": 5})
+        assert not lt(x, 5).satisfied_by({"x": 5})
+        assert gt(x, 4).satisfied_by({"x": 5})
+        assert eq(x, y).satisfied_by({"x": 2, "y": 2})
+
+    def test_negated_pair(self):
+        lo, hi = eq(x, 3).negated_pair()
+        assert lo.satisfied_by({"x": 3}) and hi.satisfied_by({"x": 3})
+        assert not (lo.satisfied_by({"x": 2}) and hi.satisfied_by({"x": 2}))
+
+
+class TestSystemBasics:
+    def test_dedup_and_trivia(self):
+        s = System([ge(x, 1), ge(x, 1), ge(1, 0)])
+        assert len(s) == 1
+
+    def test_trivially_false_collapses(self):
+        s = System([ge(-1, 0), ge(x, 1)])
+        assert s.is_trivially_false()
+        assert len(s) == 0
+
+    def test_satisfied_by(self):
+        s = System([ge(x, 1), le(x, 3)])
+        assert s.satisfied_by({"x": 2})
+        assert not s.satisfied_by({"x": 0})
+
+    def test_conjoin(self):
+        a = System([ge(x, 1)])
+        b = System([le(x, 3)])
+        assert len(a.conjoin(b)) == 2
+
+    def test_substitute(self):
+        s = System([ge(x, y)]).substitute("y", x - 1)
+        assert s.satisfied_by({"x": 5})
+
+
+class TestElimination:
+    def test_exact_equality_substitution(self):
+        s = System([eq(x, y + 1), ge(x, 3), le(x, 3)])
+        out, exact = s.eliminate("x")
+        assert exact
+        assert out.satisfied_by({"y": 2})
+        assert not out.satisfied_by({"y": 5})
+
+    def test_fm_pairing(self):
+        s = System([ge(x, y), le(x, z)])  # y <= x <= z
+        out, exact = s.eliminate("x")
+        assert exact
+        assert out.satisfied_by({"y": 1, "z": 5})
+        assert not out.satisfied_by({"y": 5, "z": 1})
+
+    def test_inexact_flagged(self):
+        # 2x >= y, 3x <= z: both coefficients > 1
+        s = System([ge0(2 * x - y), ge0(z - 3 * x)])
+        _, exact = s.eliminate("x")
+        assert not exact
+
+    def test_project_onto(self):
+        s = System([ge(x, 1), le(x, N), ge(y, x + 1), le(y, N)])
+        proj, exact = s.project_onto(["N"])
+        assert exact
+        assert proj.satisfied_by({"N": 2})
+        assert not proj.satisfied_by({"N": 1})
+
+
+class TestFeasibility:
+    def test_feasible_triangle(self):
+        s = System([ge(x, 1), le(x, N), ge(y, x + 1), le(y, N), eq(N, 6)])
+        assert s.feasible() is Feasibility.FEASIBLE
+
+    def test_infeasible(self):
+        s = System([ge(x, N + 1), le(x, N), ge(N, 1)])
+        assert s.feasible() is Feasibility.INFEASIBLE
+
+    def test_empty_system_feasible(self):
+        assert System().feasible() is Feasibility.FEASIBLE
+
+    def test_feasibility_not_boolable(self):
+        with pytest.raises(PolyhedronError):
+            bool(System().feasible())
+
+    def test_dark_shadow_confirms(self):
+        # 2x == y with 4 <= y <= 4: solution x=2 exists
+        s = System([eq0(2 * x - y), ge(y, 4), le(y, 4)])
+        assert s.feasible() in (Feasibility.FEASIBLE, Feasibility.UNKNOWN)
+        assert s.find_point() == {"x": 2, "y": 4}
+
+    def test_integer_gap_detected_via_find_point(self):
+        # 2x == y, y == 3: rationally feasible, integrally not
+        s = System([eq0(2 * x - y), eq(y, 3)])
+        assert s.find_point() is None
+
+
+class TestRangesAndEnumeration:
+    def test_var_range(self):
+        s = System([ge(x, 2), le(x, 7)])
+        assert s.var_range("x") == (2, 7)
+
+    def test_var_range_unbounded(self):
+        s = System([ge(x, 2)])
+        assert s.var_range("x") == (2, None)
+
+    def test_find_point_respects_constraints(self):
+        s = System([ge(x, 1), le(x, 4), ge(y, x), le(y, 4)])
+        p = s.find_point()
+        assert p is not None and s.satisfied_by(p)
+
+    def test_enumerate_triangle_count(self):
+        s = System([ge(x, 1), le(x, 4), ge(y, x + 1), le(y, 4)])
+        pts = list(s.enumerate_points(["x", "y"]))
+        assert len(pts) == 6  # C(4,2)
+        assert pts == sorted(pts, key=lambda p: (p["x"], p["y"]))
+
+    def test_enumerate_unbounded_raises(self):
+        s = System([ge(x, 1)])
+        with pytest.raises(PolyhedronError):
+            list(s.enumerate_points(["x"]))
+
+    def test_enumerate_missing_var_raises(self):
+        s = System([ge(x, 1), le(x, 2), ge(y, 0), le(y, 1)])
+        with pytest.raises(PolyhedronError):
+            list(s.enumerate_points(["x"]))
+
+    def test_enumerate_empty(self):
+        s = System([ge(x, 2), le(x, 1)])
+        assert list(s.enumerate_points(["x"])) == []

@@ -1,0 +1,171 @@
+"""§4 transformation matrices — pinned to the paper's displayed examples."""
+
+import pytest
+
+from repro.instance import Layout
+from repro.linalg import IntMatrix
+from repro.transform import (
+    alignment, compose, identity, permutation, reversal, scaling, skew,
+    statement_reorder,
+)
+from repro.util.errors import TransformError
+
+
+def applied(t, label):
+    return [str(e) for e in t.apply_to_symbolic(label)]
+
+
+class TestPermutation:
+    """§4.1: interchange of I and J on simplified Cholesky."""
+
+    def test_paper_matrix(self, simp_chol_layout):
+        t = permutation(simp_chol_layout, "I", "J")
+        assert t.matrix == IntMatrix(
+            [[0, 0, 0, 1], [0, 1, 0, 0], [0, 0, 1, 0], [1, 0, 0, 0]]
+        )
+
+    def test_paper_transformed_vectors(self, simp_chol_layout):
+        t = permutation(simp_chol_layout, "I", "J")
+        # S1 is coincidentally unchanged; S2 swaps I and J
+        assert applied(t, "S1") == ["I", "0", "1", "I"]
+        assert applied(t, "S2") == ["J", "1", "0", "I"]
+
+    def test_involution(self, simp_chol_layout):
+        t = permutation(simp_chol_layout, "I", "J")
+        assert t.matrix @ t.matrix == IntMatrix.identity(4)
+
+    def test_by_path(self, simp_chol_layout):
+        t = permutation(simp_chol_layout, (0,), (0, 1))
+        assert t.matrix == permutation(simp_chol_layout, "I", "J").matrix
+
+
+class TestSkewing:
+    """§4.1: skew the outer loop by the inner, factor -1."""
+
+    def test_paper_matrix(self, simp_chol_layout):
+        t = skew(simp_chol_layout, "I", "J", -1)
+        assert t.matrix == IntMatrix(
+            [[1, 0, 0, -1], [0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1]]
+        )
+
+    def test_paper_transformed_vectors(self, simp_chol_layout):
+        t = skew(simp_chol_layout, "I", "J", -1)
+        # S1 lands entirely in iteration 0 of the new outer loop
+        assert applied(t, "S1") == ["0", "0", "1", "I"]
+        assert applied(t, "S2") == ["I - J", "1", "0", "J"]
+
+    def test_skew_by_self_rejected(self, simp_chol_layout):
+        with pytest.raises(TransformError):
+            skew(simp_chol_layout, "I", "I", 1)
+
+    def test_unimodular(self, simp_chol_layout):
+        assert skew(simp_chol_layout, "J", "I", 3).matrix.is_unimodular()
+
+
+class TestReversalScaling:
+    def test_reversal_matrix(self, simp_chol_layout):
+        t = reversal(simp_chol_layout, "J")
+        assert t.matrix == IntMatrix.diag([1, 1, 1, -1])
+
+    def test_reversal_vectors(self, simp_chol_layout):
+        t = reversal(simp_chol_layout, "I")
+        assert applied(t, "S2")[0] == "-I"
+
+    def test_scaling_matrix(self, simp_chol_layout):
+        t = scaling(simp_chol_layout, "I", 2)
+        assert t.matrix == IntMatrix.diag([2, 1, 1, 1])
+
+    def test_zero_scale_rejected(self, simp_chol_layout):
+        with pytest.raises(TransformError):
+            scaling(simp_chol_layout, "I", 0)
+
+
+class TestAlignment:
+    """§4.3: align S1 with respect to I by +1."""
+
+    def test_alignment_shifts_only_target(self, simp_chol_layout):
+        t = alignment(simp_chol_layout, "S1", "I", 1)
+        assert applied(t, "S1") == ["I + 1", "0", "1", "I"]
+        assert applied(t, "S2") == ["I", "1", "0", "J"]
+
+    def test_alignment_uses_statement_edge(self, simp_chol_layout):
+        t = alignment(simp_chol_layout, "S1", "I", 1)
+        # entry at (row I, column edge-to-S1)
+        assert t.matrix[0, 2] == 1
+
+    def test_negative_alignment(self, simp_chol_layout):
+        t = alignment(simp_chol_layout, "S2", "I", -2)
+        assert applied(t, "S2")[0] == "I - 2"
+        assert applied(t, "S1")[0] == "I"
+
+    def test_perfect_nest_alignment_impossible(self):
+        from repro.ir import parse_program
+
+        p = parse_program(
+            "param N\nreal A(N)\ndo I = 1..N\n S1: A(I) = 1.0\nenddo"
+        )
+        with pytest.raises(TransformError):
+            alignment(Layout(p), "S1", "I", 1)
+
+    def test_alignment_of_nonenclosing_loop_rejected(self, simp_chol_layout):
+        with pytest.raises(TransformError):
+            alignment(simp_chol_layout, "S1", "J", 1)
+
+
+class TestStatementReorder:
+    """§4.2: swap S1 and the J loop under the I loop."""
+
+    def test_paper_matrix(self, simp_chol_layout):
+        t, _ = statement_reorder(simp_chol_layout, (0,), [1, 0])
+        assert t.matrix == IntMatrix(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]
+        )
+
+    def test_new_program_order(self, simp_chol_layout):
+        _, p2 = statement_reorder(simp_chol_layout, (0,), [1, 0])
+        assert [s.label for s in p2.statements()] == ["S2", "S1"]
+
+    def test_three_children(self, chol_layout):
+        t, p2 = statement_reorder(chol_layout, (0,), [2, 0, 1])
+        assert [s.label for s in p2.statements()] == ["S3", "S1", "S2"]
+        assert t.matrix.is_permutation()
+
+    def test_subtree_blocks_move(self, chol_layout):
+        t, _ = statement_reorder(chol_layout, (0,), [2, 0, 1])
+        # K row unchanged
+        assert t.matrix[0] == (1, 0, 0, 0, 0, 0, 0)
+        # applying to S3 must keep its (K,J,L) values at loop rows
+        vec = [str(e) for e in t.apply_to_symbolic("S3")]
+        assert vec[0] == "K" and "J" in vec and "L" in vec
+
+    def test_identity_permutation(self, simp_chol_layout):
+        t, p2 = statement_reorder(simp_chol_layout, (0,), [0, 1])
+        assert t.matrix == IntMatrix.identity(4)
+
+    def test_invalid_permutation(self, simp_chol_layout):
+        with pytest.raises(TransformError):
+            statement_reorder(simp_chol_layout, (0,), [0, 0])
+
+
+class TestComposition:
+    def test_identity_neutral(self, simp_chol_layout):
+        t = permutation(simp_chol_layout, "I", "J")
+        assert identity(simp_chol_layout).then(t).matrix == t.matrix
+
+    def test_compose_order(self, simp_chol_layout):
+        a = skew(simp_chol_layout, "I", "J", 1)
+        b = reversal(simp_chol_layout, "I")
+        ab = compose(a, b)  # apply a, then b
+        assert ab.matrix == b.matrix @ a.matrix
+
+    def test_compose_empty_rejected(self):
+        with pytest.raises(TransformError):
+            compose()
+
+    def test_group_property_on_unimodular(self, simp_chol_layout):
+        seq = compose(
+            skew(simp_chol_layout, "I", "J", 2),
+            permutation(simp_chol_layout, "I", "J"),
+            reversal(simp_chol_layout, "J"),
+        )
+        assert seq.matrix.is_unimodular()

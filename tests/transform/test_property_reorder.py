@@ -1,0 +1,83 @@
+"""Property tests: statement reordering and structure recovery are
+mutually inverse on random programs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.instance import Layout
+from repro.ir import program_to_str
+from repro.kernels import random_program
+from repro.legality import recover_structure
+from repro.transform import statement_reorder
+
+
+def multi_child_nodes(layout):
+    """Paths of nodes with >= 2 children."""
+    from collections import defaultdict
+
+    kids = defaultdict(set)
+    for label in layout.statement_labels():
+        p = layout.statement_path(label)
+        for d in range(len(p)):
+            kids[p[:d]].add(p[d])
+    return [(path, max(ch) + 1) for path, ch in kids.items() if len(ch) >= 2]
+
+
+@given(st.integers(0, 80), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_reorder_recover_roundtrip(seed, rng):
+    program = random_program(seed)
+    layout = Layout(program)
+    sites = multi_child_nodes(layout)
+    if not sites:
+        return
+    path, c = rng.choice(sites)
+    order = list(range(c))
+    rng.shuffle(order)
+    t, reordered = statement_reorder(layout, path, order)
+    st_ = recover_structure(layout, t.matrix)
+    # the recovered skeleton must equal the direct reordering
+    assert program_to_str(st_.skeleton, header=False) == program_to_str(
+        reordered, header=False
+    )
+    assert st_.child_order[path] == order
+
+
+@given(st.integers(0, 80), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_reorder_is_invertible(seed, rng):
+    program = random_program(seed)
+    layout = Layout(program)
+    sites = multi_child_nodes(layout)
+    if not sites:
+        return
+    path, c = rng.choice(sites)
+    order = list(range(c))
+    rng.shuffle(order)
+    t, reordered = statement_reorder(layout, path, order)
+    # apply the inverse permutation on the new program
+    inverse = [0] * c
+    for new, old in enumerate(order):
+        inverse[old] = new
+    lay2 = Layout(reordered)
+    t2, back = statement_reorder(lay2, path, inverse)
+    assert program_to_str(back, header=False) == program_to_str(program, header=False)
+    # and the matrices compose to the identity
+    from repro.linalg import IntMatrix
+
+    assert t2.matrix @ t.matrix == IntMatrix.identity(layout.dimension)
+
+
+@given(st.integers(0, 80))
+@settings(max_examples=30, deadline=None)
+def test_statement_order_preserved_under_identity(seed):
+    program = random_program(seed)
+    layout = Layout(program)
+    from repro.linalg import IntMatrix
+
+    st_ = recover_structure(layout, IntMatrix.identity(layout.dimension))
+    assert [s.label for s in st_.skeleton.statements()] == [
+        s.label for s in program.statements()
+    ]

@@ -1,0 +1,42 @@
+"""Exception hierarchy contract: one catch-all base, per-subsystem
+subclasses, position-carrying parse errors."""
+
+import pytest
+
+from repro.util import (
+    CodegenError, CompletionError, DependenceError, InterpError, IRError,
+    LayoutError, LegalityError, LinalgError, ParseError, PolyhedronError,
+    ReproError, TransformError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (
+        LinalgError, PolyhedronError, ParseError, IRError, LayoutError,
+        DependenceError, TransformError, LegalityError, CodegenError,
+        CompletionError, InterpError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_legality_is_transform_error():
+    assert issubclass(LegalityError, TransformError)
+
+
+def test_parse_error_position():
+    e = ParseError("bad token", line=3, column=7)
+    assert e.line == 3 and e.column == 7
+    assert "line 3" in str(e) and "col 7" in str(e)
+
+
+def test_parse_error_without_position():
+    e = ParseError("oops")
+    assert e.line is None
+    assert str(e) == "oops"
+
+
+def test_catching_base_catches_subsystem_errors():
+    from repro.ir import parse_program
+
+    with pytest.raises(ReproError):
+        parse_program("do I = ..\nenddo")
