@@ -16,6 +16,19 @@ from repro.instance import Layout
 from repro.kernels import augmentation_example, cholesky, simplified_cholesky
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Dump per-benchmark timings plus one canonical pipeline pass's obs
+    counters to BENCH_result.json (see benchmarks/emit.py)."""
+    if getattr(session.config, "workerinput", None) is not None:
+        return  # xdist worker; only the controller writes
+    try:
+        from benchmarks.emit import write_bench_result
+
+        write_bench_result(session.config)
+    except Exception as exc:  # never fail the suite over reporting
+        print(f"\n[benchmarks] BENCH_result.json not written: {exc}")
+
+
 @pytest.fixture(scope="session")
 def simp_chol():
     return simplified_cholesky()

@@ -1,0 +1,105 @@
+"""Machine-readable benchmark results: ``BENCH_result.json``.
+
+After every benchmark session (``pytest benchmarks/``), the conftest
+hook calls :func:`write_bench_result` to dump
+
+* per-benchmark wall-clock stats harvested from pytest-benchmark, and
+* the observability counters of one canonical pipeline pass (parse →
+  dependence analysis → legality → completion → codegen → execute →
+  cache simulation on the paper's kernels), collected with a fresh
+  :class:`repro.obs` session *outside* any timed region so the timings
+  stay clean,
+
+seeding the perf trajectory that future optimisation PRs diff against.
+Each run overwrites the file; trajectory history lives in version
+control.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+__all__ = ["collect_pipeline_counters", "collect_benchmark_stats", "write_bench_result"]
+
+RESULT_NAME = "BENCH_result.json"
+
+
+def collect_pipeline_counters() -> dict:
+    """Run the canonical pipeline pass under a fresh obs session and
+    return its counters/gauges.  Independent of the benchmark timings."""
+    from repro import obs
+    from repro.codegen import generate_code
+    from repro.completion import complete_transformation
+    from repro.dependence import analyze_dependences
+    from repro.instance import Layout
+    from repro.interp import simulate_cache, trace_addresses
+    from repro.interp.executor import execute
+    from repro.kernels import cholesky, simplified_cholesky
+    from repro.legality import check_legality
+    from repro.transform import reversal
+
+    mem = obs.MemorySink()
+    with obs.session(mem) as sess:
+        for program in (simplified_cholesky(), cholesky()):
+            layout = Layout(program)
+            deps = analyze_dependences(program, layout=layout)
+            completed = complete_transformation(program, deps=deps, layout=layout)
+            generated = generate_code(program, completed.matrix, deps)
+            t = reversal(layout, layout.loop_coords()[-1].var)
+            check_legality(layout, t.matrix, deps)
+            store, trace = execute(generated.program, {"N": 8}, trace=True)
+            simulate_cache(trace_addresses(trace, store))
+        counters = dict(sess.counters)
+        gauges = dict(sess.gauges)
+        span_ns = {
+            sp.name: sp.duration_ns
+            for root in mem.roots
+            for sp, _ in root.walk()
+        }
+    return {"counters": counters, "gauges": gauges, "span_last_ns": span_ns}
+
+
+def collect_benchmark_stats(config) -> list[dict]:
+    """Per-benchmark timing stats from pytest-benchmark, if it ran."""
+    bsession = getattr(config, "_benchmarksession", None)
+    if bsession is None:
+        return []
+    out = []
+    for bench in getattr(bsession, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        try:
+            record = {
+                "name": bench.name,
+                "group": bench.group,
+                "rounds": stats.rounds,
+                "mean_s": stats.mean,
+                "min_s": stats.min,
+                "max_s": stats.max,
+                "stddev_s": stats.stddev,
+            }
+        except (AttributeError, ZeroDivisionError):
+            continue
+        out.append(record)
+    return out
+
+
+def write_bench_result(config, path: str | Path | None = None) -> Path:
+    """Assemble and write ``BENCH_result.json`` next to the repo root."""
+    from repro import __version__
+
+    target = Path(path) if path is not None else Path(__file__).resolve().parent.parent / RESULT_NAME
+    payload = {
+        "schema": 1,
+        "repro_version": __version__,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benchmarks": collect_benchmark_stats(config),
+        "pipeline": collect_pipeline_counters(),
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

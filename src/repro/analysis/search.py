@@ -27,6 +27,7 @@ from repro.instance.layout import Layout
 from repro.interp.cache import CacheConfig, simulate_cache, trace_addresses
 from repro.interp.executor import ArrayStore, execute
 from repro.ir.ast import Program
+from repro.obs import counter, span, timed
 from repro.util.errors import CompletionError, ReproError
 
 __all__ = ["SearchResult", "search_loop_orders"]
@@ -53,6 +54,7 @@ class SearchResult:
         )
 
 
+@timed("analysis.search_orders", attr_fn=lambda program, *a, **kw: {"program": program.name})
 def search_loop_orders(
     program: Program,
     params: Mapping[str, int],
@@ -84,12 +86,15 @@ def search_loop_orders(
 
     results: list[SearchResult] = []
     for coord in candidates:
+        counter("search.leads_tried")
         pos = layout.index(coord)
         partial = [[1 if j == pos else 0 for j in range(n)]]
         try:
-            completed = complete_transformation(program, partial, deps, layout=layout)
-            generated = generate_code(program, completed.matrix, deps)
+            with span("search.variant", lead=coord.var):
+                completed = complete_transformation(program, partial, deps, layout=layout)
+                generated = generate_code(program, completed.matrix, deps)
         except (CompletionError, ReproError):
+            counter("search.leads_rejected")
             continue
         if verify:
             from repro.interp.equivalence import check_equivalence
@@ -106,6 +111,7 @@ def search_loop_orders(
 
         assume = System([ge(var(p), 1) for p in program.params])
         pretty = simplify_program(generated.program, assume)
+        counter("search.variants_ranked")
         results.append(
             SearchResult(coord.var, pretty, generated, stats.accesses, stats.misses)
         )

@@ -12,6 +12,11 @@ run         interpret a program and print final array contents
 parallel    per-loop DOALL verdicts
 report      full analysis report (deps, DOALL, distribution plan, search)
 
+The pipeline commands (deps, check, transform, complete, run, report)
+accept ``--profile`` (print a hierarchical span tree and metrics table
+to stderr) and ``--trace-json PATH`` (write the spans and metrics as
+JSON lines); see :mod:`repro.obs` and docs/OBSERVABILITY.md.
+
 Transformation specs are semicolon-separated elementary transformations::
 
     permute(I,J); skew(I,J,-1); reverse(J); scale(I,2); align(S1,I,1)
@@ -25,6 +30,7 @@ import sys
 
 import numpy as np
 
+from repro import obs
 from repro.analysis import parallel_loops
 from repro.codegen import generate_code
 from repro.codegen.simplify import simplify_program
@@ -47,7 +53,12 @@ _SPEC_RE = re.compile(r"\s*([a-z_]+)\s*\(([^)]*)\)\s*")
 
 
 def parse_spec(layout: Layout, spec: str) -> Transformation:
-    """Parse a transformation spec string into a composed Transformation."""
+    """Parse a transformation spec string into a composed Transformation.
+
+    Errors from the transform constructors (unknown loop variable or
+    statement label, non-integer factor, ...) are wrapped into a
+    :class:`ReproError` naming the offending spec part.
+    """
     parts = [p for p in spec.split(";") if p.strip()]
     if not parts:
         raise ReproError("empty transformation spec")
@@ -55,22 +66,34 @@ def parse_spec(layout: Layout, spec: str) -> Transformation:
     for part in parts:
         m = _SPEC_RE.fullmatch(part)
         if not m:
-            raise ReproError(f"cannot parse transformation {part!r}")
+            raise ReproError(f"cannot parse transformation {part.strip()!r}")
         name = m.group(1)
         args = [a.strip() for a in m.group(2).split(",") if a.strip()]
-        if name in ("permute", "interchange") and len(args) == 2:
-            transforms.append(permutation(layout, args[0], args[1]))
-        elif name == "skew" and len(args) == 3:
-            transforms.append(skew(layout, args[0], args[1], int(args[2])))
-        elif name in ("reverse", "reversal") and len(args) == 1:
-            transforms.append(reversal(layout, args[0]))
-        elif name == "scale" and len(args) == 2:
-            transforms.append(scaling(layout, args[0], int(args[1])))
-        elif name == "align" and len(args) == 3:
-            transforms.append(alignment(layout, args[0], args[1], int(args[2])))
-        else:
-            raise ReproError(f"unknown transformation {name!r} with {len(args)} args")
+        try:
+            if name in ("permute", "interchange") and len(args) == 2:
+                transforms.append(permutation(layout, args[0], args[1]))
+            elif name == "skew" and len(args) == 3:
+                transforms.append(skew(layout, args[0], args[1], _spec_int(args[2])))
+            elif name in ("reverse", "reversal") and len(args) == 1:
+                transforms.append(reversal(layout, args[0]))
+            elif name == "scale" and len(args) == 2:
+                transforms.append(scaling(layout, args[0], _spec_int(args[1])))
+            elif name == "align" and len(args) == 3:
+                transforms.append(alignment(layout, args[0], args[1], _spec_int(args[2])))
+            else:
+                raise ReproError(f"unknown transformation {name!r} with {len(args)} args")
+        except ReproError as exc:
+            raise ReproError(f"in spec part {part.strip()!r}: {exc}") from exc
+        except (KeyError, ValueError) as exc:
+            raise ReproError(f"in spec part {part.strip()!r}: {exc}") from exc
     return compose(*transforms)
+
+
+def _spec_int(token: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ReproError(f"expected an integer, got {token!r}") from None
 
 
 def _load(path: str):
@@ -206,6 +229,10 @@ def cmd_report(args) -> int:
         results = []
     for r in results:
         print(f"  {r}")
+    sess = obs.current_session()
+    if sess is not None:
+        print("\n=== observability metrics ===")
+        print(obs.render_metrics(sess.counters, sess.gauges))
     return 0
 
 
@@ -227,34 +254,53 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # observability flags shared by the pipeline commands
+    obsflags = argparse.ArgumentParser(add_help=False)
+    obsflags.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a span tree and metrics table to stderr",
+    )
+    obsflags.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="write spans and metrics as JSON lines to PATH",
+    )
+
     p = sub.add_parser("show", help="print program, layout and instance vectors")
     p.add_argument("file")
     p.set_defaults(fn=cmd_show)
 
-    p = sub.add_parser("deps", help="print the dependence matrix")
+    p = sub.add_parser("deps", help="print the dependence matrix", parents=[obsflags])
     p.add_argument("file")
     p.add_argument("--refine", action="store_true", help="value-based refinement")
     p.add_argument("-p", "--param", action="append", help="sample size, e.g. N=8")
     p.set_defaults(fn=cmd_deps)
 
-    p = sub.add_parser("check", help="check a transformation spec for legality")
+    p = sub.add_parser(
+        "check", help="check a transformation spec for legality", parents=[obsflags]
+    )
     p.add_argument("file")
     p.add_argument("spec", help='e.g. "permute(I,J); skew(I,J,-1)"')
     p.set_defaults(fn=cmd_check)
 
-    p = sub.add_parser("transform", help="generate code for a legal spec")
+    p = sub.add_parser(
+        "transform", help="generate code for a legal spec", parents=[obsflags]
+    )
     p.add_argument("file")
     p.add_argument("spec")
     p.add_argument("--simplify", action="store_true")
     p.add_argument("-o", "--output")
     p.set_defaults(fn=cmd_transform)
 
-    p = sub.add_parser("complete", help="complete a partial transformation")
+    p = sub.add_parser(
+        "complete", help="complete a partial transformation", parents=[obsflags]
+    )
     p.add_argument("file")
     p.add_argument("--lead", required=True, help="loop variable to scan outermost")
     p.set_defaults(fn=cmd_complete)
 
-    p = sub.add_parser("run", help="interpret a program")
+    p = sub.add_parser("run", help="interpret a program", parents=[obsflags])
     p.add_argument("file")
     p.add_argument("-p", "--param", action="append", help="e.g. N=8")
     p.add_argument("--trace", action="store_true")
@@ -264,14 +310,38 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("file")
     p.set_defaults(fn=cmd_parallel)
 
-    p = sub.add_parser("report", help="full analysis report")
+    p = sub.add_parser("report", help="full analysis report", parents=[obsflags])
     p.add_argument("file")
     p.add_argument("-p", "--param", action="append", help="e.g. N=16")
     p.set_defaults(fn=cmd_report)
 
     args = parser.parse_args(argv)
+    profile = getattr(args, "profile", False)
+    trace_json = getattr(args, "trace_json", None)
+    # `report` always collects metrics for its metrics section; the other
+    # commands only pay for observability when asked.
+    want_obs = profile or trace_json is not None or args.command == "report"
+
+    mem = None
+    sess = None
     try:
-        return args.fn(args)
+        if want_obs and obs.current_session() is None:
+            mem = obs.MemorySink()
+            sinks: list = [mem]
+            if trace_json is not None:
+                sinks.append(obs.JsonlSink(trace_json))
+            sess = obs.install(*sinks)
+        try:
+            with obs.span(f"cli.{args.command}", file=getattr(args, "file", None)):
+                return args.fn(args)
+        finally:
+            if sess is not None:
+                obs.uninstall()
+                if profile:
+                    print(
+                        obs.render_report(mem.roots, sess.counters, sess.gauges),
+                        file=sys.stderr,
+                    )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

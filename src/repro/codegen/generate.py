@@ -31,6 +31,7 @@ from repro.ir.ast import (
 from repro.ir.expr import Expr, affine_to_expr
 from repro.legality.check import LegalityReport, assert_legal
 from repro.linalg.intmat import IntMatrix
+from repro.obs import counter, span, timed
 from repro.polyhedra.affine import LinExpr, var
 from repro.polyhedra.bounds import Bound, LoopBounds, extract_bounds
 from repro.polyhedra.constraint import Constraint, eq, ge0
@@ -91,6 +92,7 @@ class GeneratedProgram:
         return f
 
 
+@timed("codegen.generate", attr_fn=lambda program, *a, **kw: {"program": program.name})
 def generate_code(
     program: Program,
     matrix: IntMatrix,
@@ -143,6 +145,8 @@ def generate_code(
             project_dep(d.entries, old_positions) for d in report.unsatisfied(label)
         ]
         extra = augment_rows(ps.linear, unsat) if k else []
+        if extra:
+            counter("codegen.augment_rows", len(extra))
 
         shared_paths = [c.path for c in new_layout.surrounding_loop_coords(label)]
         loop_names = [name_of[p] for p in shared_paths]
@@ -217,7 +221,11 @@ def generate_code(
         for nm, e in zip(names, exprs):
             equalities.append(eq(var(nm), e.rename(old_rename)))
         combined = domain.conjoin(System(equalities))
-        scan, exact = combined.project_onto(list(program.params) + names)
+        with span("codegen.project", stmt=label):
+            scan, exact = combined.project_onto(list(program.params) + names)
+        counter("codegen.statements_planned")
+        if not exact:
+            counter("codegen.inexact_projections")
         all_exact = all_exact and exact
         try:
             bounds = extract_bounds(scan, names, program.params)
@@ -243,6 +251,7 @@ def generate_code(
 
     # ---- 3. emit the new AST ----------------------------------------------
     def emit(node: Node, path: tuple[int, ...], depth: int) -> Node:
+        counter("codegen.ast_nodes")
         if isinstance(node, Statement):
             plan = plans[node.label]
             inner: Node = node.substituted(plan.rewrite)
@@ -259,6 +268,7 @@ def generate_code(
             conds = _residual_guards(plan, plans, skeleton, name_of, depth_of_stmt=n_shared)
             all_conds = tuple(plan.lattice_conditions) + tuple(conds)
             if all_conds:
+                counter("codegen.guards_emitted", len(all_conds))
                 inner = Guard(all_conds, (inner,))
             return inner
         assert isinstance(node, Loop)
@@ -287,7 +297,8 @@ def generate_code(
             body,
         )
 
-    new_body = tuple(emit(child, (j,), 0) for j, child in enumerate(skeleton.body))
+    with span("codegen.emit"):
+        new_body = tuple(emit(child, (j,), 0) for j, child in enumerate(skeleton.body))
     out = Program(
         new_body, program.params, program.arrays, name or (program.name + "_gen")
     )

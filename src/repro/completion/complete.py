@@ -31,6 +31,7 @@ from repro.dependence.entry import zip_dot
 from repro.instance.layout import EdgeCoord, Layout, LoopCoord, Path
 from repro.ir.ast import Loop, Node, Program, Statement
 from repro.linalg.intmat import IntMatrix
+from repro.obs import counter, timed
 from repro.util.errors import CompletionError
 
 __all__ = ["complete_transformation", "CompletionResult"]
@@ -44,6 +45,7 @@ class CompletionResult:
     child_order: dict[Path, list[int]]
 
 
+@timed("completion.complete", attr_fn=lambda program, *a, **kw: {"program": program.name})
 def complete_transformation(
     program: Program,
     partial_rows: Sequence[Sequence[int]] = (),
@@ -165,6 +167,7 @@ def complete_transformation(
             ]
 
             for sigma in _permutations(c, allow_reorder):
+                counter("completion.child_orders_tried")
                 if c >= 2:
                     ok = True
                     # check partial-row forcing
@@ -250,6 +253,7 @@ def complete_transformation(
             else:
                 candidates = loop_candidates(path)
             for row in candidates:
+                counter("completion.rows_tried")
                 # Definition-6 screening for deps whose statements share
                 # this loop (i.e. both inside this node).
                 new_pending = set(pending)
@@ -265,6 +269,7 @@ def complete_transformation(
                     if entry.definitely_positive():
                         new_pending.discard(d_i)
                 if bad:
+                    counter("completion.rows_pruned")
                     continue
                 used_here = _unit_loop_col(row, loop_cols)
                 if used_here is not None and used_here in used_loop_cols:
@@ -274,6 +279,7 @@ def complete_transformation(
                     used_loop_cols.add(used_here)
                 if after_label(frozenset(new_pending)):
                     return True
+                counter("completion.backtracks")
                 rows.pop()
                 if used_here is not None:
                     used_loop_cols.discard(used_here)

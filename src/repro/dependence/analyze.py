@@ -20,6 +20,7 @@ from repro.instance.layout import EdgeCoord, Layout, LoopCoord
 from repro.instance.vectors import symbolic_vector
 from repro.ir.ast import Loop, Program, Statement
 from repro.ir.expr import ArrayRef, VarRef
+from repro.obs import counter, timed
 from repro.polyhedra.affine import LinExpr, var
 from repro.polyhedra.constraint import eq, ge, le
 from repro.polyhedra.system import Feasibility, System
@@ -127,6 +128,7 @@ def iter_conflicting_pairs(program: Program) -> Iterator[tuple[AccessInfo, Acces
         yield a, b, kind
 
 
+@timed("dependence.analyze", attr_fn=lambda program, **kw: {"program": program.name})
 def analyze_dependences(
     program: Program,
     *,
@@ -145,6 +147,7 @@ def analyze_dependences(
     base_assume = param_assumptions or System()
 
     for src_acc, dst_acc, kind in iter_conflicting_pairs(program):
+        counter("dependence.pairs_tested")
         s_label = src_acc.stmt.label
         d_label = dst_acc.stmt.label
         base = (
@@ -164,18 +167,22 @@ def analyze_dependences(
         for es, ed in zip(subs_s, subs_d):
             base = base.and_(eq(es.rename(s_rename), ed.rename(d_rename)))
         if base.is_trivially_false():
+            counter("dependence.pairs_pruned")
             continue
 
         common = layout.common_loop_coords(s_label, d_label)
         for case in _precedence_cases(program, s_label, d_label, common):
             if case is None:
                 continue
+            counter("dependence.cases_tested")
             level_var, case_sys = case
             system = base.conjoin(case_sys)
             feas = system.feasible()
             if feas is Feasibility.INFEASIBLE:
+                counter("dependence.cases_infeasible")
                 continue
             if feas is Feasibility.UNKNOWN:
+                counter("dependence.cases_unknown")
                 if not include_unknown:
                     continue
                 if system.find_point(clip=16) is None and _probably_empty(system):
@@ -184,6 +191,7 @@ def analyze_dependences(
                 layout, s_label, d_label, system, kind, level_var, src_acc.array
             )
             if dep is not None:
+                counter("dependence.vectors")
                 matrix.add(dep)
     return matrix
 

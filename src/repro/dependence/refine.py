@@ -27,6 +27,7 @@ from repro.instance.layout import Layout
 from repro.instance.vectors import DynamicInstance, instance_vector
 from repro.interp.executor import Trace, execute
 from repro.ir.ast import Program
+from repro.obs import timed
 
 __all__ = ["ground_truth_kinded", "observed_hulls", "refine_dependences"]
 
@@ -110,6 +111,7 @@ def _intersect(a: DepEntry, b: DepEntry) -> DepEntry:
     return DepEntry(lo, hi)
 
 
+@timed("dependence.refine", attr_fn=lambda program, *a, **kw: {"program": program.name})
 def refine_dependences(
     program: Program,
     deps: DependenceMatrix,

@@ -21,6 +21,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.interp.executor import ArrayStore, Trace
+from repro.obs import counter, timed
 from repro.util.errors import InterpError
 
 __all__ = ["CacheConfig", "CacheStats", "simulate_cache", "trace_addresses"]
@@ -61,6 +62,7 @@ class CacheStats:
         return f"{self.accesses} accesses, {self.misses} misses ({self.miss_rate:.2%})"
 
 
+@timed("interp.trace_addresses")
 def trace_addresses(trace: Trace, store: ArrayStore, element_bytes: int = 8) -> np.ndarray:
     """Byte addresses of every array access in the trace, in order."""
     bases: dict[str, int] = {}
@@ -93,6 +95,7 @@ def trace_addresses(trace: Trace, store: ArrayStore, element_bytes: int = 8) -> 
     return out[:k]
 
 
+@timed("interp.cache_sim")
 def simulate_cache(addresses: np.ndarray, config: CacheConfig = CacheConfig()) -> CacheStats:
     """Replay an address stream through a set-associative LRU cache."""
     if addresses.size == 0:
@@ -115,4 +118,6 @@ def simulate_cache(addresses: np.ndarray, config: CacheConfig = CacheConfig()) -
             entry.append(t)
             if len(entry) > ways:
                 entry.pop(0)
+    counter("cache.accesses", int(addresses.size))
+    counter("cache.misses", misses)
     return CacheStats(int(addresses.size), misses)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.interp.executor import ArrayStore, Trace, execute
 from repro.ir.ast import Program
+from repro.obs import timed
 
 __all__ = [
     "same_instances",
@@ -112,6 +113,7 @@ def outputs_close(
     return all(np.allclose(out1[k], out2[k], rtol=rtol, atol=1e-12) for k in out1)
 
 
+@timed("interp.equivalence", attr_fn=lambda source, *a, **kw: {"program": source.name})
 def check_equivalence(
     source: Program,
     transformed: Program,

@@ -23,6 +23,7 @@ from repro.ir.expr import (
     BUILTIN_FUNCTIONS, ArrayRef, BinOp, Call, Expr, FloatLit, IntLit, UnaryOp,
     VarRef,
 )
+from repro.obs import counter, timed
 from repro.util.errors import InterpError
 
 __all__ = ["ArrayStore", "ExecRecord", "Trace", "execute", "default_init"]
@@ -125,6 +126,7 @@ def default_init(name: str, shape: tuple[int, ...]) -> np.ndarray:
     return data
 
 
+@timed("interp.execute", attr_fn=lambda program, *a, **kw: {"program": program.name})
 def execute(
     program: Program,
     params: Mapping[str, int] | None = None,
@@ -155,6 +157,7 @@ def execute(
     env: dict[str, int] = dict(params)
     for node in program.body:
         _run(node, env, store, t, budget)
+    counter("interp.instances", max_instances - budget[0])
     return store, t
 
 

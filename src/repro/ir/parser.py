@@ -27,6 +27,7 @@ from repro.ir.expr import (
     BUILTIN_FUNCTIONS, ArrayRef, BinOp, Call, Expr, FloatLit, IntLit, UnaryOp,
     VarRef, as_affine,
 )
+from repro.obs import span
 from repro.util.errors import ParseError
 
 __all__ = ["parse_program", "parse_expr"]
@@ -300,7 +301,8 @@ class _Parser:
 
 def parse_program(src: str, name: str = "program") -> Program:
     """Parse the mini loop language into a :class:`Program`."""
-    return _Parser(src).parse_program(name)
+    with span("ir.parse", program=name):
+        return _Parser(src).parse_program(name)
 
 
 def parse_expr(src: str) -> Expr:

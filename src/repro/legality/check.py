@@ -24,6 +24,7 @@ from repro.dependence.entry import DepEntry, zip_dot
 from repro.instance.layout import Layout
 from repro.legality.structure import NewStructure, recover_structure
 from repro.linalg.intmat import IntMatrix
+from repro.obs import counter, timed
 from repro.util.errors import CodegenError, LegalityError
 
 __all__ = ["LegalityReport", "DepStatus", "check_legality", "lex_status", "assert_legal"]
@@ -82,15 +83,18 @@ def lex_status(entries: tuple[DepEntry, ...]) -> str:
     return "zero-or-positive"
 
 
+@timed("legality.check", attr_fn=lambda layout, *a, **kw: {"program": layout.program.name})
 def check_legality(
     layout: Layout,
     matrix: IntMatrix,
     deps: DependenceMatrix,
 ) -> LegalityReport:
     """Run the full Definition-6 legality test."""
+    counter("legality.checks")
     try:
         structure = recover_structure(layout, matrix)
     except CodegenError:
+        counter("legality.structure_rejections")
         return LegalityReport(False, None)
 
     new_layout = structure.new_layout
@@ -98,6 +102,7 @@ def check_legality(
     report = LegalityReport(True, structure)
 
     for d in deps:
+        counter("legality.projections_checked")
         md = tuple(zip_dot(row, d.entries) for row in matrix.rows())
         common = new_layout.common_loop_coords(d.src, d.dst)
         positions = [new_layout.index(c) for c in common]
@@ -115,7 +120,10 @@ def check_legality(
         else:
             status = DepStatus.VIOLATED
         if status is DepStatus.VIOLATED:
+            counter("legality.violations")
             report.legal = False
+        elif status is DepStatus.UNSATISFIED:
+            counter("legality.unsatisfied")
         report.statuses.append((d, status))
     return report
 

@@ -1,0 +1,43 @@
+"""Observability substrate (system S16): spans, counters, sinks, reports.
+
+Quickstart::
+
+    from repro import obs
+
+    mem = obs.MemorySink()
+    with obs.session(mem):
+        deps = analyze_dependences(program)      # instrumented entry point
+    print(mem.render())                          # span tree + metrics
+
+Naming conventions (see docs/OBSERVABILITY.md):
+
+* spans: ``<layer>.<operation>`` — ``dependence.analyze``,
+  ``legality.check``, ``completion.complete``, ``codegen.generate``,
+  ``interp.execute``, ``cli.report`` ...
+* counters: ``<layer>.<plural-noun>`` — ``dependence.pairs_tested``,
+  ``fm.eliminations``, ``codegen.ast_nodes``, ``cache.misses`` ...
+* gauges: ``<layer>.<noun>`` — last value wins.
+
+The default state (no session installed) is a no-op with near-zero
+overhead; instrumented library code never needs to guard its calls.
+"""
+
+from repro.obs.core import (
+    ObsSession, Span, counter, current_session, gauge, install, session,
+    snapshot, span, uninstall,
+)
+from repro.obs.decorators import timed
+from repro.obs.report import format_ns, render_metrics, render_report, render_span_tree
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+
+__all__ = [
+    # core
+    "Span", "ObsSession", "current_session", "install", "uninstall", "session",
+    "span", "counter", "gauge", "snapshot",
+    # decorator
+    "timed",
+    # sinks
+    "Sink", "NullSink", "MemorySink", "JsonlSink",
+    # rendering
+    "render_span_tree", "render_metrics", "render_report", "format_ns",
+]

@@ -1,0 +1,56 @@
+"""The :func:`timed` decorator — consistent entry-point instrumentation.
+
+Usage::
+
+    @timed("dependence.analyze", attr_fn=lambda program, **kw: {"program": program.name})
+    def analyze_dependences(program, ...): ...
+
+or bare (span named ``<module-tail>.<function>``)::
+
+    @timed
+    def generate_code(...): ...
+
+With no session installed the wrapper is a single global check plus the
+underlying call — ``attr_fn`` is never evaluated — so decorating hot
+entry points is safe.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from repro.obs import core
+
+__all__ = ["timed"]
+
+
+def timed(name: str | Callable | None = None, *, attr_fn: Callable[..., dict[str, Any]] | None = None):
+    """Wrap a function in a :func:`repro.obs.core.span`.
+
+    ``name`` defaults to ``<module-tail>.<function-name>``.  ``attr_fn``,
+    when given, is called with the function's arguments (only while a
+    session is installed) and must return the span's attribute dict.
+    """
+    if callable(name):  # bare @timed
+        return _wrap(name, None, None)
+
+    def deco(fn: Callable) -> Callable:
+        return _wrap(fn, name, attr_fn)
+
+    return deco
+
+
+def _wrap(fn: Callable, name: str | None, attr_fn: Callable[..., dict] | None) -> Callable:
+    span_name = name or f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}"
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        if core._session is None:
+            return fn(*args, **kwargs)
+        attrs = attr_fn(*args, **kwargs) if attr_fn is not None else {}
+        with core.span(span_name, **attrs):
+            return fn(*args, **kwargs)
+
+    wrapper.__obs_span_name__ = span_name
+    return wrapper

@@ -1,0 +1,74 @@
+"""Human-readable rendering of span trees and metrics tables.
+
+Pure formatting: takes the structures a :class:`~repro.obs.sinks.MemorySink`
+(or the live session) holds and returns strings.  Used by the CLI's
+``--profile`` flag and the ``report`` command's metrics section.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.obs.core import Span
+
+__all__ = ["format_ns", "render_span_tree", "render_metrics", "render_report"]
+
+
+def format_ns(ns: int) -> str:
+    """Adaptive duration formatting: 873 ns, 12.3 us, 4.56 ms, 1.23 s."""
+    if ns < 1_000:
+        return f"{ns} ns"
+    if ns < 1_000_000:
+        return f"{ns / 1_000:.1f} us"
+    if ns < 1_000_000_000:
+        return f"{ns / 1_000_000:.2f} ms"
+    return f"{ns / 1_000_000_000:.2f} s"
+
+
+def _attr_str(attrs: Mapping[str, Any]) -> str:
+    return " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+def render_span_tree(roots: Iterable[Span]) -> str:
+    """Indented tree, one span per line, durations right-aligned."""
+    rows: list[tuple[str, str]] = []
+    for root in roots:
+        for sp, depth in root.walk():
+            label = "  " * depth + sp.name
+            attrs = _attr_str(sp.attrs)
+            if attrs:
+                label += f"  [{attrs}]"
+            rows.append((label, format_ns(sp.duration_ns)))
+    if not rows:
+        return "(no spans recorded)"
+    width = max(len(label) for label, _ in rows)
+    dwidth = max(len(d) for _, d in rows)
+    return "\n".join(f"{label:<{width}}  {d:>{dwidth}}" for label, d in rows)
+
+
+def render_metrics(
+    counters: Mapping[str, int], gauges: Mapping[str, Any] | None = None
+) -> str:
+    """Aligned name/value table, counters then gauges, each sorted."""
+    gauges = gauges or {}
+    items: list[tuple[str, str]] = [(k, str(counters[k])) for k in sorted(counters)]
+    items += [(k, str(gauges[k])) for k in sorted(gauges)]
+    if not items:
+        return "(no metrics recorded)"
+    width = max(len(k) for k, _ in items)
+    vwidth = max(len(v) for _, v in items)
+    return "\n".join(f"{k:<{width}}  {v:>{vwidth}}" for k, v in items)
+
+
+def render_report(
+    roots: Iterable[Span],
+    counters: Mapping[str, int],
+    gauges: Mapping[str, Any] | None = None,
+) -> str:
+    """The full ``--profile`` report: span tree, then metrics table."""
+    return (
+        "--- span tree (wall time) ---\n"
+        + render_span_tree(roots)
+        + "\n--- metrics ---\n"
+        + render_metrics(counters, gauges)
+    )

@@ -1,0 +1,110 @@
+"""Pluggable sinks for the observability session.
+
+A sink receives every *finished* span (children before parents, since
+inner regions exit first) plus one final ``metrics`` call with the
+session's aggregated counters and gauges when the session is
+uninstalled.  The base :class:`Sink` ignores everything, so subclasses
+override only what they need.
+
+* :class:`NullSink` — explicit do-nothing sink (the implicit default is
+  no session at all, which is cheaper still).
+* :class:`MemorySink` — in-memory collector keeping completed root span
+  trees and the final metrics; what the CLI's ``--profile`` report and
+  the tests read.
+* :class:`JsonlSink` — streams one JSON object per line: a ``span``
+  record per finished span, then ``counter``/``gauge`` records at
+  flush.  Every line is independently ``json.loads``-able.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Mapping
+
+from repro.obs.core import Span
+from repro.util.errors import ObsError
+
+__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink"]
+
+
+class Sink:
+    """Base sink: ignores every event."""
+
+    def span(self, sp: Span) -> None:  # noqa: ARG002 - interface
+        pass
+
+    def metrics(self, counters: Mapping[str, int], gauges: Mapping[str, Any]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(Sink):
+    """Explicitly discard everything (for overhead tests and baselines)."""
+
+
+class MemorySink(Sink):
+    """Collect finished span trees and final metrics in memory."""
+
+    def __init__(self):
+        self.roots: list[Span] = []
+        self.spans: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, Any] = {}
+
+    def span(self, sp: Span) -> None:
+        self.spans.append(sp)
+        if sp.parent is None:
+            self.roots.append(sp)
+
+    def metrics(self, counters: Mapping[str, int], gauges: Mapping[str, Any]) -> None:
+        self.counters.update(counters)
+        self.gauges.update(gauges)
+
+    def find(self, name: str) -> list[Span]:
+        """All collected spans with this name, in completion order."""
+        return [s for s in self.spans if s.name == name]
+
+    def render(self) -> str:
+        """Human-readable span-tree + metrics report."""
+        from repro.obs.report import render_report
+
+        return render_report(self.roots, self.counters, self.gauges)
+
+
+class JsonlSink(Sink):
+    """Write each event as one JSON line to a path or file object."""
+
+    def __init__(self, target: str | IO[str]):
+        if isinstance(target, str):
+            try:
+                self._fh: IO[str] = open(target, "w")
+            except OSError as exc:
+                raise ObsError(f"cannot open trace file {target!r}: {exc}") from exc
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+
+    def span(self, sp: Span) -> None:
+        self._fh.write(json.dumps(sp.to_dict(), sort_keys=True, default=str) + "\n")
+
+    def metrics(self, counters: Mapping[str, int], gauges: Mapping[str, Any]) -> None:
+        for name in sorted(counters):
+            self._fh.write(
+                json.dumps({"type": "counter", "name": name, "value": counters[name]})
+                + "\n"
+            )
+        for name in sorted(gauges):
+            self._fh.write(
+                json.dumps(
+                    {"type": "gauge", "name": name, "value": gauges[name]}, default=str
+                )
+                + "\n"
+            )
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()

@@ -13,6 +13,7 @@ import enum
 import itertools
 from typing import Iterable, Mapping, Sequence
 
+from repro.obs import counter
 from repro.polyhedra.affine import LinExpr
 from repro.polyhedra.constraint import Constraint, eq0, ge0
 from repro.util.errors import PolyhedronError
@@ -144,6 +145,7 @@ class System:
         """
         if self._false:
             return self, True
+        counter("fm.eliminations")
 
         # 1. exact Gaussian substitution via a unit-coefficient equality
         for c in self._constraints:
@@ -185,6 +187,7 @@ class System:
                     uppers.append((-aa, side.expr - LinExpr({name: aa})))
 
         out = list(free)
+        counter("fm.constraint_pairs", len(lowers) * len(uppers))
         for (a, r1), (b, r2) in itertools.product(lowers, uppers):
             # a*x >= -r1  and  b*x <= r2  =>  b*(-r1) <= a*b*x <= a*r2
             combined = b * r1 + a * r2
@@ -229,6 +232,7 @@ class System:
         3. Otherwise report :data:`Feasibility.UNKNOWN` — callers that
            need certainty fall back to :meth:`find_point` with bounds.
         """
+        counter("fm.feasibility_queries")
         if self._false:
             return Feasibility.INFEASIBLE
         projected, exact = self.project_onto(())

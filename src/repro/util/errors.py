@@ -72,6 +72,11 @@ class CompletionError(ReproError):
     transformation to a full legal one."""
 
 
+class ObsError(ReproError):
+    """Raised by the observability subsystem (session misuse, unwritable
+    trace sink, ...)."""
+
+
 class InterpError(ReproError):
     """Raised by the loop-nest interpreter (unbound variable, bad array
     access, non-affine expression where one is required, ...)."""

@@ -50,6 +50,22 @@ class TestParseSpec:
         with pytest.raises(ReproError):
             parse_spec(simp_chol_layout, "permute(I)")
 
+    def test_unknown_loop_names_spec_part(self, simp_chol_layout):
+        with pytest.raises(ReproError, match=r"permute\(I,Q\).*'Q'"):
+            parse_spec(simp_chol_layout, "permute(I,Q)")
+
+    def test_unknown_statement_names_spec_part(self, simp_chol_layout):
+        with pytest.raises(ReproError, match=r"align\(S9,I,1\).*'S9'"):
+            parse_spec(simp_chol_layout, "align(S9,I,1)")
+
+    def test_non_integer_argument_names_spec_part(self, simp_chol_layout):
+        with pytest.raises(ReproError, match=r"skew\(I,J,x\).*integer.*'x'"):
+            parse_spec(simp_chol_layout, "skew(I,J,x)")
+
+    def test_bad_part_in_composition_is_located(self, simp_chol_layout):
+        with pytest.raises(ReproError, match=r"reverse\(K\)"):
+            parse_spec(simp_chol_layout, "reverse(J); reverse(K)")
+
 
 class TestCommands:
     def test_show(self, loopfile, capsys):
@@ -125,3 +141,56 @@ class TestReportCommand:
         assert "DOALL" in out
         assert "unsplittable" in out or "splittable" in out
         assert "lead=" in out
+        assert "=== observability metrics ===" in out
+        assert "dependence.pairs_tested" in out
+
+
+class TestObservabilityFlags:
+    def test_profile_prints_span_tree_to_stderr(self, loopfile, capsys):
+        assert main(["report", "--profile", loopfile, "-p", "N=8"]) == 0
+        err = capsys.readouterr().err
+        assert "--- span tree (wall time) ---" in err
+        assert "cli.report" in err
+        assert "dependence.analyze" in err
+        # nonzero timings: at least one duration in ms or us
+        assert " ms" in err or " us" in err
+        # nesting: dependence.analyze is indented under cli.report
+        lines = err.splitlines()
+        root = next(l for l in lines if l.startswith("cli.report"))
+        child = next(l for l in lines if "dependence.analyze" in l)
+        assert child.startswith("  ")
+        assert not root.startswith(" ")
+
+    def test_profile_does_not_alter_stdout(self, loopfile, capsys):
+        assert main(["transform", loopfile, "reverse(J)"]) == 0
+        plain = capsys.readouterr()
+        assert main(["transform", "--profile", loopfile, "reverse(J)"]) == 0
+        profiled = capsys.readouterr()
+        assert profiled.out == plain.out  # generated code is unchanged
+        assert "--- span tree (wall time) ---" in profiled.err
+
+    def test_trace_json_writes_valid_jsonl(self, loopfile, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["deps", loopfile, "--trace-json", str(trace)]) == 0
+        lines = trace.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        types = {r["type"] for r in records}
+        assert {"span", "counter"} <= types
+        assert any(
+            r["type"] == "span" and r["name"] == "dependence.analyze"
+            for r in records
+        )
+
+    def test_trace_json_unwritable_path_errors(self, loopfile, tmp_path, capsys):
+        bad = str(tmp_path / "no-such-dir" / "t.jsonl")
+        assert main(["deps", loopfile, "--trace-json", bad]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_check_exit_codes_preserved(self, loopfile, capsys):
+        assert main(["check", "--profile", loopfile, "permute(I,J)"]) == 1
+        captured = capsys.readouterr()
+        assert "ILLEGAL" in captured.out
+        assert "legality.check" in captured.err

@@ -1,0 +1,19 @@
+"""Fixtures for the observability tests: a fresh session per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def mem():
+    """A MemorySink installed for the duration of the test."""
+    sink = obs.MemorySink()
+    obs.install(sink)
+    try:
+        yield sink
+    finally:
+        if obs.current_session() is not None:
+            obs.uninstall()

@@ -1,0 +1,154 @@
+"""Span nesting/ordering, counter aggregation, session lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import timed
+from repro.util.errors import ObsError, ReproError
+
+
+class TestSpans:
+    def test_nesting_and_ordering(self, mem):
+        with obs.span("root"):
+            with obs.span("child1"):
+                pass
+            with obs.span("child2"):
+                with obs.span("grand"):
+                    pass
+        obs.uninstall()
+        assert len(mem.roots) == 1
+        root = mem.roots[0]
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["child1", "child2"]
+        assert [c.name for c in root.children[1].children] == ["grand"]
+        # pre-order walk with depths
+        assert [(s.name, d) for s, d in root.walk()] == [
+            ("root", 0), ("child1", 1), ("child2", 1), ("grand", 2),
+        ]
+        # ids are assigned in start order
+        names_by_id = sorted((s.id, s.name) for s, _ in root.walk())
+        assert [n for _, n in names_by_id] == ["root", "child1", "child2", "grand"]
+
+    def test_durations_nonzero_and_contained(self, mem):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                sum(range(1000))
+        outer = mem.find("outer")[0]
+        inner = mem.find("inner")[0]
+        assert inner.duration_ns > 0
+        assert outer.duration_ns >= inner.duration_ns
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+
+    def test_sibling_roots(self, mem):
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        assert [r.name for r in mem.roots] == ["a", "b"]
+        assert all(r.parent is None for r in mem.roots)
+
+    def test_children_emitted_before_parents(self, mem):
+        with obs.span("p"):
+            with obs.span("c"):
+                pass
+        assert [s.name for s in mem.spans] == ["c", "p"]
+
+    def test_attrs_and_error_marker(self, mem):
+        with pytest.raises(ValueError):
+            with obs.span("work", program="chol"):
+                raise ValueError("boom")
+        sp = mem.find("work")[0]
+        assert sp.attrs["program"] == "chol"
+        assert sp.attrs["error"] == "ValueError"
+        assert sp.end_ns is not None
+
+    def test_noop_when_no_session(self):
+        assert obs.current_session() is None
+        with obs.span("ignored", k=1) as sp:
+            assert sp is None
+        obs.counter("ignored")
+        obs.gauge("ignored", 3)
+        assert obs.snapshot() == ({}, {})
+
+
+class TestCountersAndGauges:
+    def test_counter_aggregation(self, mem):
+        obs.counter("x")
+        obs.counter("x", 2)
+        obs.counter("y", 5)
+        counters, _ = obs.snapshot()
+        assert counters == {"x": 3, "y": 5}
+        obs.uninstall()
+        assert mem.counters == {"x": 3, "y": 5}
+
+    def test_gauge_last_value_wins(self, mem):
+        obs.gauge("g", 1)
+        obs.gauge("g", 9)
+        obs.uninstall()
+        assert mem.gauges == {"g": 9}
+
+
+class TestSessionLifecycle:
+    def test_install_twice_raises(self, mem):
+        with pytest.raises(ObsError):
+            obs.install()
+
+    def test_uninstall_without_install_raises(self):
+        with pytest.raises(ObsError):
+            obs.uninstall()
+
+    def test_obs_error_is_repro_error(self):
+        assert issubclass(ObsError, ReproError)
+
+    def test_session_context_manager(self):
+        sink = obs.MemorySink()
+        with obs.session(sink) as sess:
+            obs.counter("k")
+            assert obs.current_session() is sess
+        assert obs.current_session() is None
+        assert sink.counters == {"k": 1}
+
+
+class TestTimed:
+    def test_bare_decorator_default_name(self, mem):
+        @timed
+        def helper():
+            return 42
+
+        assert helper() == 42
+        assert len(mem.find("test_core.helper")) == 1
+
+    def test_named_with_attr_fn(self, mem):
+        @timed("layer.op", attr_fn=lambda x, **kw: {"x": x})
+        def helper(x):
+            return x + 1
+
+        assert helper(1) == 2
+        sp = mem.find("layer.op")[0]
+        assert sp.attrs == {"x": 1}
+
+    def test_no_session_passthrough(self):
+        calls = []
+
+        @timed("layer.op", attr_fn=lambda: calls.append("attr"))
+        def helper():
+            return "ok"
+
+        assert helper() == "ok"  # attr_fn must not run without a session
+        assert calls == []
+
+    def test_nested_timed_functions(self, mem):
+        @timed("outer.fn")
+        def outer():
+            return inner()
+
+        @timed("inner.fn")
+        def inner():
+            return 7
+
+        assert outer() == 7
+        root = mem.find("outer.fn")[0]
+        assert [c.name for c in root.children] == ["inner.fn"]

@@ -1,0 +1,111 @@
+"""The pipeline layers actually emit their documented spans and counters."""
+
+from __future__ import annotations
+
+from repro import (
+    Layout,
+    analyze_dependences,
+    check_legality,
+    generate_code,
+    obs,
+    skew,
+)
+from repro.completion import complete_transformation
+from repro.interp import simulate_cache, trace_addresses
+from repro.interp.executor import execute
+from repro.kernels import simplified_cholesky
+
+
+class TestDependenceInstrumentation:
+    def test_analyze_span_and_counters(self, mem):
+        program = simplified_cholesky()
+        analyze_dependences(program)
+
+        spans = mem.find("dependence.analyze")
+        assert len(spans) == 1
+        assert spans[0].attrs["program"] == program.name
+        assert spans[0].duration_ns > 0
+
+        counters, _ = obs.snapshot()
+        assert counters["dependence.pairs_tested"] > 0
+        assert counters["dependence.vectors"] > 0
+        # dependence analysis drives Fourier-Motzkin underneath
+        assert counters["fm.eliminations"] > 0
+        assert counters["fm.feasibility_queries"] > 0
+
+
+class TestLegalityInstrumentation:
+    def test_check_span_and_counters(self, mem):
+        program = simplified_cholesky()
+        layout = Layout(program)
+        deps = analyze_dependences(program, layout=layout)
+        t = skew(layout, "J", "I", 1)
+        report = check_legality(layout, t.matrix, deps)
+
+        assert report.legal
+        assert len(mem.find("legality.check")) == 1
+        counters, _ = obs.snapshot()
+        assert counters["legality.checks"] == 1
+        assert counters["legality.projections_checked"] > 0
+
+
+class TestCompletionInstrumentation:
+    def test_complete_span_and_counters(self, mem):
+        program = simplified_cholesky()
+        layout = Layout(program)
+        deps = analyze_dependences(program, layout=layout)
+        complete_transformation(program, deps=deps, layout=layout)
+
+        assert len(mem.find("completion.complete")) == 1
+        counters, _ = obs.snapshot()
+        assert counters["completion.rows_tried"] > 0
+
+
+class TestCodegenInstrumentation:
+    def test_generate_spans_and_counters(self, mem):
+        program = simplified_cholesky()
+        layout = Layout(program)
+        deps = analyze_dependences(program, layout=layout)
+        t = skew(layout, "J", "I", 1)
+        generate_code(program, t.matrix, deps)
+
+        gen = mem.find("codegen.generate")
+        assert len(gen) == 1
+        # projection spans nest under the generate span
+        assert gen[0].find("codegen.project")
+        assert gen[0].find("codegen.emit")
+        counters, _ = obs.snapshot()
+        assert counters["codegen.statements_planned"] == len(program.statements())
+        assert counters["codegen.ast_nodes"] > 0
+
+
+class TestInterpInstrumentation:
+    def test_execute_and_cache_counters(self, mem):
+        program = simplified_cholesky()
+        store, trace = execute(program, {"N": 6}, trace=True)
+        simulate_cache(trace_addresses(trace, store))
+
+        assert len(mem.find("interp.execute")) == 1
+        assert len(mem.find("interp.cache_sim")) == 1
+        counters, _ = obs.snapshot()
+        # one instance per traced statement execution
+        assert counters["interp.instances"] == len(trace)
+        assert counters["cache.accesses"] > 0
+        assert counters["cache.misses"] > 0
+        assert counters["cache.misses"] <= counters["cache.accesses"]
+
+
+class TestSpanNestingAcrossLayers:
+    def test_pipeline_under_one_root(self, mem):
+        with obs.span("pipeline"):
+            program = simplified_cholesky()
+            layout = Layout(program)
+            deps = analyze_dependences(program, layout=layout)
+            completed = complete_transformation(program, deps=deps, layout=layout)
+            generate_code(program, completed.matrix, deps)
+
+        assert [r.name for r in mem.roots] == ["pipeline"]
+        root = mem.roots[0]
+        names = {sp.name for sp, _ in root.walk()}
+        assert {"ir.parse", "dependence.analyze", "completion.complete",
+                "codegen.generate"} <= names

@@ -1,0 +1,123 @@
+"""Sink behaviour: JSONL round-trip, NullSink transparency, reports."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import (
+    Layout,
+    analyze_dependences,
+    check_legality,
+    generate_code,
+    obs,
+    skew,
+)
+from repro.kernels import simplified_cholesky
+from repro.obs import format_ns, render_metrics, render_span_tree
+from repro.util.errors import ObsError
+
+
+def _emit_sample_session(*sinks):
+    with obs.session(*sinks):
+        with obs.span("root", program="p"):
+            with obs.span("child", k=2):
+                pass
+        obs.counter("layer.things", 3)
+        obs.gauge("layer.size", 1.5)
+
+
+class TestJsonlSink:
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _emit_sample_session(obs.JsonlSink(str(path)))
+
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]  # every line parses
+        by_type = {}
+        for rec in records:
+            by_type.setdefault(rec["type"], []).append(rec)
+
+        spans = by_type["span"]
+        # children are flushed before parents
+        assert [s["name"] for s in spans] == ["child", "root"]
+        child, root = spans
+        assert child["parent"] == root["id"]
+        assert root["parent"] is None
+        assert child["attrs"] == {"k": 2}
+        assert root["attrs"] == {"program": "p"}
+        assert all(s["dur_ns"] >= 0 for s in spans)
+        assert child["start_ns"] >= root["start_ns"]
+
+        assert by_type["counter"] == [
+            {"type": "counter", "name": "layer.things", "value": 3}
+        ]
+        assert by_type["gauge"] == [
+            {"type": "gauge", "name": "layer.size", "value": 1.5}
+        ]
+
+    def test_file_object_not_closed(self):
+        buf = io.StringIO()
+        _emit_sample_session(obs.JsonlSink(buf))
+        assert not buf.closed  # caller-owned handles stay open
+        assert all(json.loads(line) for line in buf.getvalue().splitlines())
+
+    def test_unwritable_path_raises_obs_error(self, tmp_path):
+        with pytest.raises(ObsError):
+            obs.JsonlSink(str(tmp_path / "missing-dir" / "trace.jsonl"))
+
+    def test_non_json_attrs_stringified(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.session(obs.JsonlSink(str(path))):
+            with obs.span("s", obj={1, 2}):
+                pass
+        rec = json.loads(path.read_text().splitlines()[0])
+        assert isinstance(rec["attrs"]["obj"], str)
+
+
+class TestNullSinkTransparency:
+    def test_pipeline_results_identical(self):
+        def run_once():
+            program = simplified_cholesky()
+            layout = Layout(program)
+            deps = analyze_dependences(program, layout=layout)
+            t = skew(layout, layout.loop_coords()[-1].var,
+                     layout.loop_coords()[0].var, 1)
+            report = check_legality(layout, t.matrix, deps)
+            g = generate_code(program, t.matrix, deps)
+            return report.legal, str(g.program)
+
+        assert obs.current_session() is None
+        baseline = run_once()
+        with obs.session(obs.NullSink()):
+            observed = run_once()
+        assert observed == baseline
+
+
+class TestMemorySinkAndReport:
+    def test_render_contains_tree_and_metrics(self):
+        sink = obs.MemorySink()
+        _emit_sample_session(sink)
+        text = sink.render()
+        assert "span tree" in text and "metrics" in text
+        assert "root" in text and "child" in text
+        assert "layer.things" in text and "3" in text
+        # nesting is shown by indentation
+        root_line = next(l for l in text.splitlines() if l.lstrip().startswith("root"))
+        child_line = next(l for l in text.splitlines() if l.lstrip().startswith("child"))
+        indent = lambda l: len(l) - len(l.lstrip())
+        assert indent(child_line) > indent(root_line)
+
+    def test_render_span_tree_empty(self):
+        assert render_span_tree([]) == "(no spans recorded)"
+
+    def test_render_metrics_empty(self):
+        assert render_metrics({}, {}) == "(no metrics recorded)"
+
+    def test_format_ns_units(self):
+        assert format_ns(12) == "12 ns"
+        assert format_ns(4_500) == "4.5 us"
+        assert format_ns(4_500_000) == "4.50 ms"
+        assert format_ns(4_500_000_000) == "4.50 s"
