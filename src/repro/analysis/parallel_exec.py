@@ -1,0 +1,29 @@
+"""Public facade for the fan-out helpers backing ``--jobs N``.
+
+The implementation lives in :mod:`repro.util.parallel_exec` (the util
+layer sits below both the dependence and analysis layers, so the
+dependence fan-out can use it without an import cycle); this module is
+the documented import path for analysis-level callers::
+
+    from repro.analysis.parallel_exec import map_in_threads, resolve_jobs
+"""
+
+from repro.util.parallel_exec import (
+    MIN_TASKS_FOR_POOL,
+    capture_counters,
+    chunk_round_robin,
+    map_in_processes,
+    map_in_threads,
+    merge_counters,
+    resolve_jobs,
+)
+
+__all__ = [
+    "MIN_TASKS_FOR_POOL",
+    "capture_counters",
+    "chunk_round_robin",
+    "map_in_processes",
+    "map_in_threads",
+    "merge_counters",
+    "resolve_jobs",
+]

@@ -19,15 +19,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.analysis.parallel_exec import map_in_threads, resolve_jobs
 from repro.codegen.generate import GeneratedProgram, generate_code
+from repro.codegen.simplify import simplify_program
 from repro.completion.complete import complete_transformation
 from repro.dependence.analyze import analyze_dependences
 from repro.dependence.depvector import DependenceMatrix
 from repro.instance.layout import Layout
 from repro.interp.cache import CacheConfig, simulate_cache, trace_addresses
+from repro.interp.equivalence import check_equivalence
 from repro.interp.executor import ArrayStore, execute
 from repro.ir.ast import Program
 from repro.obs import counter, span, timed
+from repro.polyhedra import System, ge, var
 from repro.util.errors import CompletionError, ReproError
 
 __all__ = ["SearchResult", "search_loop_orders"]
@@ -63,6 +67,7 @@ def search_loop_orders(
     deps: DependenceMatrix | None = None,
     leads: Sequence[str] | None = None,
     verify: bool = True,
+    jobs: int | None = None,
 ) -> list[SearchResult]:
     """Enumerate lead-loop choices, keep the legal completions, and rank
     the generated variants by simulated cache misses (best first).
@@ -72,20 +77,30 @@ def search_loop_orders(
     checked semantically equivalent to the source on ``params`` before
     being ranked — an illegal variant slipping through would be a bug,
     so this doubles as a self-check.
+
+    ``jobs`` runs the per-lead complete→codegen→verify→simulate pipeline
+    on a thread pool (``0`` = one per CPU).  All variants share one
+    dependence matrix and the process-wide polyhedral query-engine cache;
+    ranking is deterministic, so the result order matches serial runs.
     """
     layout = Layout(program)
     if deps is None:
-        deps = analyze_dependences(program)
+        deps = analyze_dependences(program, layout=layout, jobs=jobs)
     n = layout.dimension
     candidates = (
         [layout.loop_coord_by_var(v) for v in leads]
         if leads is not None
         else layout.loop_coords()
     )
-    base = ArrayStore(program, dict(params)).snapshot()
+    params = dict(params)
+    # One shared initial-state snapshot per search.  Workers never mutate
+    # it — execute() copies initial arrays into a fresh store — and the
+    # write=False flag enforces that invariant under the thread pool.
+    base = ArrayStore(program, params).snapshot()
+    for arr in base.values():
+        arr.setflags(write=False)
 
-    results: list[SearchResult] = []
-    for coord in candidates:
+    def evaluate(coord) -> SearchResult | None:
         counter("search.leads_tried")
         pos = layout.index(coord)
         partial = [[1 if j == pos else 0 for j in range(n)]]
@@ -95,25 +110,21 @@ def search_loop_orders(
                 generated = generate_code(program, completed.matrix, deps)
         except (CompletionError, ReproError):
             counter("search.leads_rejected")
-            continue
+            return None
         if verify:
-            from repro.interp.equivalence import check_equivalence
-
             rep = check_equivalence(
                 program, generated.program, params, env_map=generated.env_map()
             )
             if not rep["ok"]:  # pragma: no cover - legality guarantees this
-                continue
+                return None
         store, trace = execute(generated.program, params, arrays=base, trace=True)
         stats = simulate_cache(trace_addresses(trace, store), cache)
-        from repro.codegen.simplify import simplify_program
-        from repro.polyhedra import System, ge, var
-
         assume = System([ge(var(p), 1) for p in program.params])
         pretty = simplify_program(generated.program, assume)
         counter("search.variants_ranked")
-        results.append(
-            SearchResult(coord.var, pretty, generated, stats.accesses, stats.misses)
-        )
+        return SearchResult(coord.var, pretty, generated, stats.accesses, stats.misses)
+
+    evaluated = map_in_threads(evaluate, candidates, jobs=resolve_jobs(jobs))
+    results = [r for r in evaluated if r is not None]
     results.sort(key=lambda r: (r.misses, r.lead_var))
     return results

@@ -125,7 +125,7 @@ def cmd_show(args) -> int:
 
 def cmd_deps(args) -> int:
     program = _load(args.file)
-    deps = analyze_dependences(program)
+    deps = analyze_dependences(program, jobs=args.jobs)
     if args.refine:
         samples = [_params([s]) or {"N": 6} for s in (args.param or ["N=6", "N=9"])]
         deps = refine_dependences(program, deps, samples=samples)
@@ -138,7 +138,7 @@ def cmd_deps(args) -> int:
 def cmd_check(args) -> int:
     program = _load(args.file)
     layout = Layout(program)
-    deps = analyze_dependences(program)
+    deps = analyze_dependences(program, jobs=args.jobs)
     t = parse_spec(layout, args.spec)
     report = check_legality(layout, t.matrix, deps)
     print(report)
@@ -148,7 +148,7 @@ def cmd_check(args) -> int:
 def cmd_transform(args) -> int:
     program = _load(args.file)
     layout = Layout(program)
-    deps = analyze_dependences(program)
+    deps = analyze_dependences(program, jobs=args.jobs)
     t = parse_spec(layout, args.spec)
     g = generate_code(program, t.matrix, deps)
     out = g.program
@@ -168,7 +168,7 @@ def cmd_transform(args) -> int:
 def cmd_complete(args) -> int:
     program = _load(args.file)
     layout = Layout(program)
-    deps = analyze_dependences(program)
+    deps = analyze_dependences(program, jobs=args.jobs)
     n = layout.dimension
     pos = layout.loop_index_by_var(args.lead)
     partial = [[1 if j == pos else 0 for j in range(n)]]
@@ -201,7 +201,7 @@ def cmd_report(args) -> int:
 
     program = _load(args.file)
     layout = Layout(program)
-    deps = analyze_dependences(program)
+    deps = analyze_dependences(program, jobs=args.jobs)
     print("=== program ===")
     print(program_to_str(program))
     print("\n=== instance-vector layout ===")
@@ -223,7 +223,7 @@ def cmd_report(args) -> int:
     params = _params(args.param) or {p: 16 for p in program.params}
     print(f"\n=== loop-order search (params {params}) ===")
     try:
-        results = search_loop_orders(program, params, verify=False)
+        results = search_loop_orders(program, params, verify=False, jobs=args.jobs)
     except Exception as exc:  # pragma: no cover - workload-dependent
         print(f"  search unavailable: {exc}")
         results = []
@@ -267,25 +267,39 @@ def main(argv: list[str] | None = None) -> int:
         help="write spans and metrics as JSON lines to PATH",
     )
 
+    # parallel fan-out shared by the analysis-heavy commands
+    jobsflags = argparse.ArgumentParser(add_help=False)
+    jobsflags.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan dependence analysis / loop-order search out over N workers "
+        "(0 = one per CPU; results are identical to serial runs)",
+    )
+
     p = sub.add_parser("show", help="print program, layout and instance vectors")
     p.add_argument("file")
     p.set_defaults(fn=cmd_show)
 
-    p = sub.add_parser("deps", help="print the dependence matrix", parents=[obsflags])
+    p = sub.add_parser(
+        "deps", help="print the dependence matrix", parents=[obsflags, jobsflags]
+    )
     p.add_argument("file")
     p.add_argument("--refine", action="store_true", help="value-based refinement")
     p.add_argument("-p", "--param", action="append", help="sample size, e.g. N=8")
     p.set_defaults(fn=cmd_deps)
 
     p = sub.add_parser(
-        "check", help="check a transformation spec for legality", parents=[obsflags]
+        "check", help="check a transformation spec for legality", parents=[obsflags, jobsflags]
     )
     p.add_argument("file")
     p.add_argument("spec", help='e.g. "permute(I,J); skew(I,J,-1)"')
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
-        "transform", help="generate code for a legal spec", parents=[obsflags]
+        "transform", help="generate code for a legal spec", parents=[obsflags, jobsflags]
     )
     p.add_argument("file")
     p.add_argument("spec")
@@ -294,7 +308,7 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_transform)
 
     p = sub.add_parser(
-        "complete", help="complete a partial transformation", parents=[obsflags]
+        "complete", help="complete a partial transformation", parents=[obsflags, jobsflags]
     )
     p.add_argument("file")
     p.add_argument("--lead", required=True, help="loop variable to scan outermost")
@@ -310,7 +324,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("file")
     p.set_defaults(fn=cmd_parallel)
 
-    p = sub.add_parser("report", help="full analysis report", parents=[obsflags])
+    p = sub.add_parser(
+        "report", help="full analysis report", parents=[obsflags, jobsflags]
+    )
     p.add_argument("file")
     p.add_argument("-p", "--param", action="append", help="e.g. N=16")
     p.set_defaults(fn=cmd_report)

@@ -14,6 +14,9 @@ from __future__ import annotations
 import itertools
 from typing import Iterator
 
+from repro.util.parallel_exec import (
+    capture_counters, chunk_round_robin, map_in_processes, merge_counters, resolve_jobs,
+)
 from repro.dependence.depvector import DepKind, DependenceMatrix, DepVector
 from repro.dependence.entry import NEG_INF, POS_INF, DepEntry
 from repro.instance.layout import EdgeCoord, Layout, LoopCoord
@@ -135,65 +138,140 @@ def analyze_dependences(
     layout: Layout | None = None,
     include_unknown: bool = True,
     param_assumptions: System | None = None,
+    jobs: int | None = None,
 ) -> DependenceMatrix:
     """Compute the dependence matrix of a program.
 
     ``include_unknown`` controls whether cases the feasibility test
     cannot decide are (soundly) included.  ``param_assumptions`` may add
     constraints on symbolic parameters (e.g. ``N >= 2``).
+
+    ``jobs`` fans the statement-pair × depth case matrix out across a
+    process pool (``0`` = one worker per CPU); the merge preserves pair
+    order, so the result is bit-identical to the serial analysis.  Small
+    programs and ``jobs=1`` stay serial.
     """
     layout = layout or Layout(program)
     matrix = DependenceMatrix(layout)
     base_assume = param_assumptions or System()
+    pairs = list(iter_conflicting_pairs(program))
+    njobs = resolve_jobs(jobs)
 
-    for src_acc, dst_acc, kind in iter_conflicting_pairs(program):
-        counter("dependence.pairs_tested")
-        s_label = src_acc.stmt.label
-        d_label = dst_acc.stmt.label
-        base = (
-            statement_domain(program, s_label, _SRC)
-            .conjoin(statement_domain(program, d_label, _DST))
-            .conjoin(base_assume)
-        )
-        # subscript equality (same array location)
-        subs_s = src_acc.subscripts()
-        subs_d = dst_acc.subscripts()
-        if len(subs_s) != len(subs_d):
-            raise DependenceError(
-                f"rank mismatch on array {src_acc.array}: {len(subs_s)} vs {len(subs_d)}"
-            )
-        s_rename = {l.var: _SRC + l.var for l in program.enclosing_loops(s_label)}
-        d_rename = {l.var: _DST + l.var for l in program.enclosing_loops(d_label)}
-        for es, ed in zip(subs_s, subs_d):
-            base = base.and_(eq(es.rename(s_rename), ed.rename(d_rename)))
-        if base.is_trivially_false():
-            counter("dependence.pairs_pruned")
-            continue
-
-        common = layout.common_loop_coords(s_label, d_label)
-        for case in _precedence_cases(program, s_label, d_label, common):
-            if case is None:
-                continue
-            counter("dependence.cases_tested")
-            level_var, case_sys = case
-            system = base.conjoin(case_sys)
-            feas = system.feasible()
-            if feas is Feasibility.INFEASIBLE:
-                counter("dependence.cases_infeasible")
-                continue
-            if feas is Feasibility.UNKNOWN:
-                counter("dependence.cases_unknown")
-                if not include_unknown:
-                    continue
-                if system.find_point(clip=16) is None and _probably_empty(system):
-                    continue
-            dep = _summarize(
-                layout, s_label, d_label, system, kind, level_var, src_acc.array
-            )
-            if dep is not None:
-                counter("dependence.vectors")
+    if njobs > 1 and len(pairs) >= _MIN_PAIRS_FOR_POOL:
+        per_pair: dict[int, list[DepVector]] = {}
+        payloads = [
+            (program, base_assume, include_unknown, indices)
+            for indices in chunk_round_robin(len(pairs), njobs)
+        ]
+        for results, counters_delta in map_in_processes(
+            _analyze_pairs_task, payloads, jobs=njobs
+        ):
+            merge_counters(counters_delta)
+            for i, vectors in results:
+                per_pair[i] = vectors
+        for i in range(len(pairs)):
+            for dep in per_pair.get(i, ()):
                 matrix.add(dep)
+        return matrix
+
+    for src_acc, dst_acc, kind in pairs:
+        for dep in _pair_vectors(
+            program, layout, src_acc, dst_acc, kind, base_assume, include_unknown
+        ):
+            matrix.add(dep)
     return matrix
+
+
+#: Below this many conflicting pairs the pool costs more than it saves.
+_MIN_PAIRS_FOR_POOL = 4
+
+
+def _analyze_pairs_task(payload) -> tuple[list[tuple[int, list[DepVector]]], dict[str, int]]:
+    """Process-pool task: evaluate the cases of a chunk of conflicting
+    pairs, identified by index into the (deterministic) pair enumeration.
+
+    The payload carries only picklable values (the Program, the
+    assumption System, the pair indices); the worker re-derives layout
+    and pair list, evaluates its chunk, and returns the dependence
+    vectors together with its observability-counter delta.
+    """
+    program, base_assume, include_unknown, indices = payload
+    with capture_counters() as cap:
+        layout = Layout(program)
+        pairs = list(iter_conflicting_pairs(program))
+        results = []
+        for i in indices:
+            src_acc, dst_acc, kind = pairs[i]
+            results.append(
+                (
+                    i,
+                    _pair_vectors(
+                        program, layout, src_acc, dst_acc, kind, base_assume, include_unknown
+                    ),
+                )
+            )
+    return results, cap.delta
+
+
+def _pair_vectors(
+    program: Program,
+    layout: Layout,
+    src_acc: AccessInfo,
+    dst_acc: AccessInfo,
+    kind: str,
+    base_assume: System,
+    include_unknown: bool,
+) -> list[DepVector]:
+    """All dependence vectors of one conflicting access pair: build the
+    §3 affine system per precedence case, decide feasibility, summarize."""
+    counter("dependence.pairs_tested")
+    s_label = src_acc.stmt.label
+    d_label = dst_acc.stmt.label
+    base = (
+        statement_domain(program, s_label, _SRC)
+        .conjoin(statement_domain(program, d_label, _DST))
+        .conjoin(base_assume)
+    )
+    # subscript equality (same array location)
+    subs_s = src_acc.subscripts()
+    subs_d = dst_acc.subscripts()
+    if len(subs_s) != len(subs_d):
+        raise DependenceError(
+            f"rank mismatch on array {src_acc.array}: {len(subs_s)} vs {len(subs_d)}"
+        )
+    s_rename = {l.var: _SRC + l.var for l in program.enclosing_loops(s_label)}
+    d_rename = {l.var: _DST + l.var for l in program.enclosing_loops(d_label)}
+    for es, ed in zip(subs_s, subs_d):
+        base = base.and_(eq(es.rename(s_rename), ed.rename(d_rename)))
+    if base.is_trivially_false():
+        counter("dependence.pairs_pruned")
+        return []
+
+    out: list[DepVector] = []
+    common = layout.common_loop_coords(s_label, d_label)
+    for case in _precedence_cases(program, s_label, d_label, common):
+        if case is None:
+            continue
+        counter("dependence.cases_tested")
+        level_var, case_sys = case
+        system = base.conjoin(case_sys)
+        feas = system.feasible()
+        if feas is Feasibility.INFEASIBLE:
+            counter("dependence.cases_infeasible")
+            continue
+        if feas is Feasibility.UNKNOWN:
+            counter("dependence.cases_unknown")
+            if not include_unknown:
+                continue
+            if system.find_point(clip=16) is None and _probably_empty(system):
+                continue
+        dep = _summarize(
+            layout, s_label, d_label, system, kind, level_var, src_acc.array
+        )
+        if dep is not None:
+            counter("dependence.vectors")
+            out.append(dep)
+    return out
 
 
 def _precedence_cases(

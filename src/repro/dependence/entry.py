@@ -16,6 +16,9 @@ from repro.util.errors import DependenceError
 
 __all__ = ["DepEntry", "NEG_INF", "POS_INF"]
 
+# Compare against these with ``==``, never ``is``: entries cross process
+# boundaries in the ``--jobs`` fan-out, and unpickled floats are distinct
+# objects (equality on ±inf is exact either way).
 NEG_INF = float("-inf")
 POS_INF = float("inf")
 
@@ -34,7 +37,7 @@ def _mul(a, s: int):
     if s == 0:
         return 0
     if a in (NEG_INF, POS_INF):
-        return a if s > 0 else (NEG_INF if a is POS_INF else POS_INF)
+        return a if s > 0 else (NEG_INF if a == POS_INF else POS_INF)
     return a * s
 
 
@@ -50,7 +53,7 @@ class DepEntry:
         for v, name in ((lo, "lo"), (hi, "hi")):
             if not (isinstance(v, int) or v in (NEG_INF, POS_INF)):
                 raise DependenceError(f"{name} must be an int or ±inf, got {v!r}")
-        if lo is POS_INF or hi is NEG_INF or (isinstance(lo, int) and isinstance(hi, int) and lo > hi):
+        if lo == POS_INF or hi == NEG_INF or (isinstance(lo, int) and isinstance(hi, int) and lo > hi):
             raise DependenceError(f"empty interval [{lo}, {hi}]")
 
     # -- constructors ---------------------------------------------------
@@ -110,26 +113,26 @@ class DepEntry:
         return self.lo == 0 and self.hi == 0
 
     def definitely_positive(self) -> bool:
-        return self.lo is not NEG_INF and self.lo >= 1
+        return self.lo != NEG_INF and self.lo >= 1
 
     def definitely_negative(self) -> bool:
-        return self.hi is not POS_INF and self.hi <= -1
+        return self.hi != POS_INF and self.hi <= -1
 
     def definitely_nonnegative(self) -> bool:
-        return self.lo is not NEG_INF and self.lo >= 0
+        return self.lo != NEG_INF and self.lo >= 0
 
     def may_be_positive(self) -> bool:
-        return self.hi is POS_INF or self.hi >= 1
+        return self.hi == POS_INF or self.hi >= 1
 
     def may_be_negative(self) -> bool:
-        return self.lo is NEG_INF or self.lo <= -1
+        return self.lo == NEG_INF or self.lo <= -1
 
     def may_be_zero(self) -> bool:
-        return (self.lo is NEG_INF or self.lo <= 0) and (self.hi is POS_INF or self.hi >= 0)
+        return (self.lo == NEG_INF or self.lo <= 0) and (self.hi == POS_INF or self.hi >= 0)
 
     def contains(self, v: int) -> bool:
-        lo_ok = self.lo is NEG_INF or self.lo <= v
-        hi_ok = self.hi is POS_INF or v <= self.hi
+        lo_ok = self.lo == NEG_INF or self.lo <= v
+        hi_ok = self.hi == POS_INF or v <= self.hi
         return lo_ok and hi_ok
 
     # -- arithmetic -----------------------------------------------------------
@@ -168,8 +171,8 @@ class DepEntry:
             return "0+"
         if self == DepEntry(NEG_INF, 0):
             return "-0"
-        lo = "-inf" if self.lo is NEG_INF else str(self.lo)
-        hi = "+inf" if self.hi is POS_INF else str(self.hi)
+        lo = "-inf" if self.lo == NEG_INF else str(self.lo)
+        hi = "+inf" if self.hi == POS_INF else str(self.hi)
         return f"[{lo},{hi}]"
 
     def __repr__(self) -> str:

@@ -106,8 +106,8 @@ def observed_hulls(
 
 
 def _intersect(a: DepEntry, b: DepEntry) -> DepEntry:
-    lo = b.lo if a.lo is NEG_INF else (a.lo if b.lo is NEG_INF else max(a.lo, b.lo))
-    hi = b.hi if a.hi is POS_INF else (a.hi if b.hi is POS_INF else min(a.hi, b.hi))
+    lo = b.lo if a.lo == NEG_INF else (a.lo if b.lo == NEG_INF else max(a.lo, b.lo))
+    hi = b.hi if a.hi == POS_INF else (a.hi if b.hi == POS_INF else min(a.hi, b.hi))
     return DepEntry(lo, hi)
 
 

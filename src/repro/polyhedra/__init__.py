@@ -1,5 +1,10 @@
-"""Affine sets and Fourier–Motzkin machinery (system S2, "omega-lite")."""
+"""Affine sets and Fourier–Motzkin machinery (system S2, "omega-lite").
 
+Projection and feasibility queries are memoized process-wide in the
+query engine (:mod:`repro.polyhedra.engine`); see docs/PERFORMANCE.md.
+"""
+
+from repro.polyhedra import engine
 from repro.polyhedra.affine import LinExpr, const, linear_combination, var
 from repro.polyhedra.bounds import Bound, LoopBounds, extract_bounds
 from repro.polyhedra.constraint import Constraint, eq, eq0, ge, ge0, gt, le, lt
@@ -10,4 +15,5 @@ __all__ = [
     "Constraint", "ge0", "eq0", "le", "ge", "eq", "lt", "gt",
     "System", "Feasibility",
     "Bound", "LoopBounds", "extract_bounds",
+    "engine",
 ]

@@ -30,7 +30,7 @@ class LinExpr:
         12
     """
 
-    __slots__ = ("_coeffs", "_const")
+    __slots__ = ("_coeffs", "_const", "_key")
 
     def __init__(self, coeffs: Mapping[str, int] | None = None, constant: int = 0):
         clean = {}
@@ -45,6 +45,7 @@ class LinExpr:
         if c != constant:
             raise PolyhedronError(f"non-integer constant {constant!r}")
         self._const = c
+        self._key: tuple | None = None
 
     # -- accessors --------------------------------------------------------
 
@@ -62,6 +63,21 @@ class LinExpr:
 
     def variables(self) -> frozenset[str]:
         return frozenset(self._coeffs)
+
+    def key(self) -> tuple:
+        """Canonical hashable form ``((var, coeff), ..., constant)``.
+
+        Coefficients are kept sorted by variable name, so two equal
+        expressions always produce the same key.  Computed once and
+        cached (LinExprs are immutable)."""
+        k = self._key
+        if k is None:
+            k = self._key = (tuple(self._coeffs.items()), self._const)
+        return k
+
+    def terms(self):
+        """Iterate ``(variable, coefficient)`` pairs without copying."""
+        return self._coeffs.items()
 
     def is_constant(self) -> bool:
         return not self._coeffs
@@ -148,7 +164,7 @@ class LinExpr:
         return self._coeffs == other._coeffs and self._const == other._const
 
     def __hash__(self) -> int:
-        return hash((tuple(self._coeffs.items()), self._const))
+        return hash(self.key())
 
     def __repr__(self) -> str:
         return f"LinExpr({self!s})"

@@ -21,7 +21,7 @@ __all__ = ["Constraint", "ge0", "eq0", "le", "ge", "eq"]
 class Constraint:
     """``expr >= 0`` (kind ``'>='``) or ``expr == 0`` (kind ``'=='``)."""
 
-    __slots__ = ("expr", "kind")
+    __slots__ = ("expr", "kind", "_key")
 
     GE = ">="
     EQ = "=="
@@ -31,6 +31,7 @@ class Constraint:
             raise PolyhedronError(f"unknown constraint kind {kind!r}")
         self.expr = _normalize(expr, kind)
         self.kind = kind
+        self._key: tuple | None = None
 
     # -- queries -----------------------------------------------------------
 
@@ -57,6 +58,14 @@ class Constraint:
     def coefficient(self, name: str) -> int:
         return self.expr[name]
 
+    def key(self) -> tuple:
+        """Canonical hashable form ``(kind, expr-key)``; constraints are
+        normalized on construction, so equal constraints share a key."""
+        k = self._key
+        if k is None:
+            k = self._key = (self.kind, self.expr.key())
+        return k
+
     # -- transformation ----------------------------------------------------
 
     def substitute(self, name: str, replacement: LinExpr) -> "Constraint":
@@ -80,7 +89,7 @@ class Constraint:
         return self.kind == other.kind and self.expr == other.expr
 
     def __hash__(self) -> int:
-        return hash((self.kind, self.expr))
+        return hash(self.key())
 
     def __repr__(self) -> str:
         return f"Constraint({self.expr!s} {self.kind} 0)"

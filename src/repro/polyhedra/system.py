@@ -14,6 +14,7 @@ import itertools
 from typing import Iterable, Mapping, Sequence
 
 from repro.obs import counter
+from repro.polyhedra import engine as _engine
 from repro.polyhedra.affine import LinExpr
 from repro.polyhedra.constraint import Constraint, eq0, ge0
 from repro.util.errors import PolyhedronError
@@ -50,7 +51,7 @@ class System:
     infeasible form.
     """
 
-    __slots__ = ("_constraints", "_false")
+    __slots__ = ("_constraints", "_false", "_vars", "_key", "_occ")
 
     def __init__(self, constraints: Iterable[Constraint] = ()):
         seen: list[Constraint] = []
@@ -67,6 +68,9 @@ class System:
                 seen.append(c)
         self._false = false
         self._constraints = tuple(seen) if not false else ()
+        self._vars: frozenset[str] | None = None
+        self._key: tuple | None = None
+        self._occ: dict[str, list[int]] | None = None
 
     # -- basic protocol ------------------------------------------------------
 
@@ -78,10 +82,61 @@ class System:
         return self._false
 
     def variables(self) -> frozenset[str]:
-        out: set[str] = set()
-        for c in self._constraints:
-            out |= c.variables()
-        return frozenset(out)
+        """The set of variables occurring in the system (cached; Systems
+        are immutable, so repeated calls return the identical object)."""
+        v = self._vars
+        if v is None:
+            out: set[str] = set()
+            for c in self._constraints:
+                out |= c.variables()
+            v = self._vars = frozenset(out)
+        return v
+
+    def canonical_key(self) -> tuple:
+        """Order-insensitive canonical form, the memoization key of the
+        query engine: the sorted tuple of constraint keys (constraints
+        are normalized and deduplicated on construction).  Cached."""
+        k = self._key
+        if k is None:
+            if self._false:
+                k = ("<infeasible>",)
+            else:
+                k = tuple(sorted(c.key() for c in self._constraints))
+            self._key = k
+        return k
+
+    def _occurrences(self) -> dict[str, list[int]]:
+        """Per-variable ``[lower_count, upper_count]`` occurrence index
+        (one scan over the constraints, cached), backing the
+        fewest-products elimination-order heuristic."""
+        occ = self._occ
+        if occ is None:
+            occ = {}
+            for c in self._constraints:
+                for v, a in c.expr.terms():
+                    slot = occ.get(v)
+                    if slot is None:
+                        slot = occ[v] = [0, 0]
+                    if a > 0:
+                        slot[0] += 1
+                    else:
+                        slot[1] += 1
+            self._occ = occ
+        return occ
+
+    def _elim_cost(self, name: str) -> int:
+        lo, hi = self._occurrences().get(name, (0, 0))
+        return lo * hi
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, System):
+            return NotImplemented
+        if self._false or other._false:
+            return self._false and other._false
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
 
     def __len__(self) -> int:
         return len(self._constraints)
@@ -143,8 +198,32 @@ class System:
         the projection, so its feasibility implies feasibility of the
         original (useful as the definite-yes half of a feasibility test).
         """
+        real, dark, exact = self.eliminate_shadows(name)
+        return (dark if dark_shadow else real), exact
+
+    def eliminate_shadows(self, name: str) -> tuple["System", "System", bool]:
+        """Eliminate ``name``, producing the real- and dark-shadow results
+        of one shared Fourier–Motzkin pass: ``(real, dark, exact)``.
+
+        Lower/upper partitioning and constraint combination are done once
+        — the shadows only differ in the tightening term of non-unit
+        pairs, so when the step is exact ``real is dark``.  Memoized in
+        the query engine under the system's canonical form.
+        """
         if self._false:
-            return self, True
+            return self, self, True
+        eng = _engine.active()
+        if eng is None:
+            return self._eliminate_shadows_impl(name)
+        key = ("elim", self.canonical_key(), name)
+        hit = eng.get(key)
+        if hit is not _engine.MISS:
+            return hit
+        result = self._eliminate_shadows_impl(name)
+        eng.put(key, result)
+        return result
+
+    def _eliminate_shadows_impl(self, name: str) -> tuple["System", "System", bool]:
         counter("fm.eliminations")
 
         # 1. exact Gaussian substitution via a unit-coefficient equality
@@ -156,7 +235,8 @@ class System:
                     rest = c.expr - LinExpr({name: a})
                     repl = rest * (-1) if a == 1 else rest
                     others = [k for k in self._constraints if k is not c]
-                    return System(k.substitute(name, repl) for k in others), True
+                    out = System(k.substitute(name, repl) for k in others)
+                    return out, out, True
 
         lowers: list[tuple[int, LinExpr]] = []  # (a, r): a*x + r >= 0, a > 0
         uppers: list[tuple[int, LinExpr]] = []  # (b, r): -b*x + r >= 0, b > 0
@@ -177,7 +257,6 @@ class System:
         # inequalities (loses the divisibility constraint => inexact)
         exact = not equalities
         for c in equalities:
-            a = c.coefficient(name)
             lo, hi = c.negated_pair()
             for side in (lo, hi):
                 aa = side.coefficient(name)
@@ -186,34 +265,55 @@ class System:
                 else:
                     uppers.append((-aa, side.expr - LinExpr({name: aa})))
 
-        out = list(free)
+        real_out = list(free)
+        dark_out = list(free)
         counter("fm.constraint_pairs", len(lowers) * len(uppers))
         for (a, r1), (b, r2) in itertools.product(lowers, uppers):
             # a*x >= -r1  and  b*x <= r2  =>  b*(-r1) <= a*b*x <= a*r2
             combined = b * r1 + a * r2
+            rc = ge0(combined)
+            real_out.append(rc)
             if a > 1 and b > 1:
                 exact = False
-                if dark_shadow:
-                    combined = combined - (a - 1) * (b - 1)
-            out.append(ge0(combined))
-        return System(out), exact
+                dark_out.append(ge0(combined - (a - 1) * (b - 1)))
+            else:
+                dark_out.append(rc)
+        real = System(real_out)
+        if exact:
+            return real, real, True
+        return real, System(dark_out), False
 
     def project_onto(self, keep: Sequence[str], *, dark_shadow: bool = False) -> tuple["System", bool]:
         """Eliminate every variable not in ``keep``; returns (system, exact)."""
+        if self._false:
+            return self, True
+        eng = _engine.active()
+        if eng is None:
+            return self._project_onto_impl(keep, dark_shadow)
+        key = (
+            "proj",
+            self.canonical_key(),
+            tuple(sorted(self.variables().intersection(keep))),
+            dark_shadow,
+        )
+        hit = eng.get(key)
+        if hit is not _engine.MISS:
+            return hit
+        result = self._project_onto_impl(keep, dark_shadow)
+        eng.put(key, result)
+        return result
+
+    def _project_onto_impl(self, keep: Sequence[str], dark_shadow: bool) -> tuple["System", bool]:
         sys_, exact = self, True
         keep_set = set(keep)
-        # Heuristic elimination order: fewest lower*upper products first.
+        # Heuristic elimination order: fewest lower*upper products first
+        # (ties broken by variable name so runs are deterministic across
+        # processes regardless of hash randomization).
         while True:
-            todo = [v for v in sys_.variables() if v not in keep_set]
+            todo = sorted(v for v in sys_.variables() if v not in keep_set)
             if not todo:
                 return sys_, exact
-
-            def cost(v: str) -> int:
-                lo = sum(1 for c in sys_._constraints if c.coefficient(v) > 0)
-                hi = sum(1 for c in sys_._constraints if c.coefficient(v) < 0)
-                return lo * hi
-
-            v = min(todo, key=cost)
+            v = min(todo, key=sys_._elim_cost)
             sys_, e = sys_.eliminate(v, dark_shadow=dark_shadow)
             exact = exact and e
 
@@ -227,21 +327,61 @@ class System:
         1. Real-shadow FM elimination of all variables.  Infeasible there
            means integer-infeasible (sound).  Feasible *and exact* means
            integer-feasible.
-        2. Otherwise retry with the dark shadow; feasibility there implies
+        2. Otherwise consult the dark shadow; feasibility there implies
            an integer point exists.
         3. Otherwise report :data:`Feasibility.UNKNOWN` — callers that
            need certainty fall back to :meth:`find_point` with bounds.
+
+        Both shadows are computed in *one* fused elimination sweep
+        (:meth:`eliminate_shadows`): they share the exact prefix of the
+        elimination and only diverge from the first inexact step, instead
+        of projecting the system twice from scratch.  The verdict is
+        memoized in the query engine.
         """
         counter("fm.feasibility_queries")
         if self._false:
             return Feasibility.INFEASIBLE
-        projected, exact = self.project_onto(())
-        if projected.is_trivially_false():
+        eng = _engine.active()
+        if eng is None:
+            return self._feasible_impl()
+        key = ("feas", self.canonical_key())
+        hit = eng.get(key)
+        if hit is not _engine.MISS:
+            return hit
+        result = self._feasible_impl()
+        eng.put(key, result)
+        return result
+
+    def _feasible_impl(self) -> Feasibility:
+        real: System = self
+        dark: System | None = self  # identical object while every step is exact
+        exact = True
+        while True:
+            if real.is_trivially_false():
+                return Feasibility.INFEASIBLE
+            todo = sorted(real.variables())
+            if not todo:
+                break
+            v = min(todo, key=real._elim_cost)
+            if dark is real:
+                real, dark, e = real.eliminate_shadows(v)
+                exact = exact and e
+            else:
+                real, _, e = real.eliminate_shadows(v)
+                exact = exact and e
+                if dark is not None:
+                    _, dark, _ = dark.eliminate_shadows(v)
+                    if dark.is_trivially_false():
+                        dark = None  # dark infeasibility proves nothing
+        if real.is_trivially_false():
             return Feasibility.INFEASIBLE
         if exact:
             return Feasibility.FEASIBLE
-        dark, _ = self.project_onto((), dark_shadow=True)
-        if not dark.is_trivially_false():
+        # finish projecting any variables only the dark shadow still has
+        while dark is not None and not dark.is_trivially_false() and dark.variables():
+            w = min(sorted(dark.variables()), key=dark._elim_cost)
+            _, dark, _ = dark.eliminate_shadows(w)
+        if dark is not None and not dark.is_trivially_false():
             return Feasibility.FEASIBLE
         return Feasibility.UNKNOWN
 

@@ -1,0 +1,148 @@
+"""Fan-out helpers for the parallel pipeline paths (``--jobs N``).
+
+Two executors, two policies:
+
+* :func:`map_in_processes` — CPU-bound fan-out across *processes* with a
+  picklable task encoding.  Used by
+  :func:`repro.dependence.analyze.analyze_dependences` to split its
+  statement-pair × depth case matrix.  Each worker process captures its
+  observability counters and returns them alongside the results so the
+  parent can merge the deltas (spans stay parent-side; counters stay
+  exact).
+* :func:`map_in_threads` — concurrency across *threads* sharing one
+  address space.  Used by :func:`repro.analysis.search.search_loop_orders`
+  so every lead variant shares the same dependence matrix and the same
+  (thread-safe) polyhedral query-engine cache.
+
+Both fall back to plain serial iteration when ``jobs`` resolves to 1,
+when the task list is too small to amortize pool startup, or when a
+pool cannot be created at all (restricted environments); results are
+always returned in task order, so parallel output is bit-identical to
+serial output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs import counter, current_session, install, snapshot, uninstall
+
+__all__ = [
+    "resolve_jobs",
+    "chunk_round_robin",
+    "map_in_processes",
+    "map_in_threads",
+    "capture_counters",
+    "merge_counters",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this many tasks a pool costs more than it saves.
+MIN_TASKS_FOR_POOL = 2
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/1 → serial, ``0`` or a
+    negative count → one worker per CPU, otherwise the given count."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def chunk_round_robin(n_tasks: int, n_chunks: int) -> list[list[int]]:
+    """Deal task indices ``0..n_tasks-1`` into ``n_chunks`` round-robin
+    hands (adjacent tasks often have correlated cost, so dealing spreads
+    the expensive ones).  Empty hands are dropped."""
+    hands = [list(range(k, n_tasks, n_chunks)) for k in range(n_chunks)]
+    return [h for h in hands if h]
+
+
+class capture_counters:
+    """Context manager that measures the obs-counter delta of its body.
+
+    Works whether or not a session is already installed (a private,
+    sink-less session is installed if needed); the delta is exposed as
+    ``.delta`` after exit.  Workers use this to ship their counters back
+    to the parent process.
+    """
+
+    def __init__(self):
+        self.delta: dict[str, int] = {}
+        self._installed = False
+        self._before: dict[str, int] = {}
+
+    def __enter__(self) -> "capture_counters":
+        if current_session() is None:
+            install()
+            self._installed = True
+        self._before = dict(snapshot()[0])
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        after = dict(snapshot()[0])
+        before = self._before
+        self.delta = {k: v - before.get(k, 0) for k, v in after.items() if v != before.get(k, 0)}
+        if self._installed:
+            uninstall()
+        return False
+
+
+def merge_counters(delta: dict[str, int]) -> None:
+    """Add a worker's counter delta into the current session (no-op when
+    observability is off)."""
+    for name, n in delta.items():
+        counter(name, n)
+
+
+def map_in_processes(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    *,
+    jobs: int,
+    min_tasks: int = MIN_TASKS_FOR_POOL,
+) -> list[R]:
+    """Apply a picklable ``fn`` to picklable ``tasks`` across a process
+    pool; results come back in task order.  Serial fallback when the
+    fan-out would not pay for itself or a pool is unavailable."""
+    jobs = min(jobs, len(tasks))
+    if jobs <= 1 or len(tasks) < min_tasks:
+        return [fn(t) for t in tasks]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(fn, tasks))
+    except Exception:
+        # pool creation or pickling failed (sandboxed env, nested pools,
+        # unpicklable payload): the serial path is always correct.
+        counter("parallel.process_pool_fallbacks")
+        return [fn(t) for t in tasks]
+
+
+def map_in_threads(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    *,
+    jobs: int,
+    min_tasks: int = MIN_TASKS_FOR_POOL,
+) -> list[R]:
+    """Apply ``fn`` to ``tasks`` across a thread pool; results come back
+    in task order.  Tasks share the process state (dependence matrix,
+    query-engine cache), so ``fn`` must only read shared structures."""
+    jobs = min(jobs, len(tasks))
+    if jobs <= 1 or len(tasks) < min_tasks:
+        return [fn(t) for t in tasks]
+    try:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(fn, tasks))
+    except Exception:
+        counter("parallel.thread_pool_fallbacks")
+        return [fn(t) for t in tasks]

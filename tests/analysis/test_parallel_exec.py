@@ -1,0 +1,169 @@
+"""The --jobs fan-out: helper semantics, bit-identical parallel
+dependence analysis, threaded loop-order search, and CLI plumbing."""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.analysis import search_loop_orders
+from repro.analysis.parallel_exec import (
+    capture_counters, chunk_round_robin, map_in_processes, map_in_threads,
+    merge_counters, resolve_jobs,
+)
+from repro.cli import main
+from repro.dependence import analyze_dependences
+from repro.interp.executor import ArrayStore, execute
+from repro.kernels import cholesky, simplified_cholesky
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _square(x):  # top-level: must be picklable for the process pool
+    return x * x
+
+
+class TestResolveJobs:
+    def test_none_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_count(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_jobs(0) == max(1, os.cpu_count() or 1)
+        assert resolve_jobs(-2) == max(1, os.cpu_count() or 1)
+
+
+class TestChunkRoundRobin:
+    def test_partitions_everything_once(self):
+        chunks = chunk_round_robin(10, 3)
+        flat = sorted(i for c in chunks for i in c)
+        assert flat == list(range(10))
+
+    def test_drops_empty_hands(self):
+        assert chunk_round_robin(2, 5) == [[0], [1]]
+
+    def test_zero_tasks(self):
+        assert chunk_round_robin(0, 4) == []
+
+
+class TestMaps:
+    def test_processes_preserve_order(self):
+        assert map_in_processes(_square, list(range(20)), jobs=2) == [
+            i * i for i in range(20)
+        ]
+
+    def test_threads_preserve_order(self):
+        assert map_in_threads(_square, list(range(20)), jobs=4) == [
+            i * i for i in range(20)
+        ]
+
+    def test_small_input_stays_serial(self):
+        assert map_in_processes(_square, [3], jobs=8) == [9]
+
+
+class TestCaptureCounters:
+    def test_without_outer_session(self):
+        assert obs.current_session() is None
+        with capture_counters() as cap:
+            obs.counter("t.example", 3)
+        assert cap.delta == {"t.example": 3}
+        assert obs.current_session() is None
+
+    def test_with_outer_session_reports_delta_only(self):
+        with obs.session() as sess:
+            obs.counter("t.example", 5)
+            with capture_counters() as cap:
+                obs.counter("t.example", 2)
+            assert cap.delta == {"t.example": 2}
+            merge_counters(cap.delta)
+            assert sess.counters["t.example"] == 9  # 5 + 2 + merged 2
+
+
+# -- dependence analysis fan-out -------------------------------------------
+
+
+class TestParallelDependences:
+    @pytest.mark.parametrize("kernel", [simplified_cholesky, cholesky])
+    def test_bit_identical_to_serial(self, kernel):
+        program = kernel()
+        serial = analyze_dependences(program)
+        parallel = analyze_dependences(program, jobs=2)
+        assert parallel.to_str() == serial.to_str()
+        assert parallel.summary() == serial.summary()
+        assert [str(d) for d in parallel] == [str(d) for d in serial]
+
+    def test_worker_counters_are_merged(self):
+        program = cholesky()
+        with obs.session() as s1:
+            analyze_dependences(program)
+        with obs.session() as s2:
+            analyze_dependences(program, jobs=2)
+        for name in ("dependence.pairs_tested", "dependence.cases_tested",
+                     "dependence.vectors"):
+            assert s2.counters.get(name) == s1.counters.get(name), name
+
+
+# -- threaded search --------------------------------------------------------
+
+
+class TestThreadedSearch:
+    def test_ranking_matches_serial(self):
+        program = simplified_cholesky()
+        deps = analyze_dependences(program)
+        serial = search_loop_orders(program, {"N": 8}, deps=deps)
+        threaded = search_loop_orders(program, {"N": 8}, deps=deps, jobs=2)
+        assert [(r.lead_var, r.misses, r.accesses) for r in threaded] == [
+            (r.lead_var, r.misses, r.accesses) for r in serial
+        ]
+        assert [str(r.program) for r in threaded] == [str(r.program) for r in serial]
+
+    def test_base_snapshot_not_mutated(self):
+        """The shared initial-state snapshot must survive a search
+        untouched — execute() copies it into a fresh store per variant."""
+        program = simplified_cholesky()
+        store = ArrayStore(program, {"N": 8})
+        base = store.snapshot()
+        frozen = {k: v.copy() for k, v in base.items()}
+        for arr in base.values():
+            arr.setflags(write=False)
+        out, _ = execute(program, {"N": 8}, arrays=base)
+        for name in base:
+            np.testing.assert_array_equal(base[name], frozen[name])
+        # the run itself must have written *somewhere* (to its own copy)
+        assert any(
+            not np.array_equal(out.arrays[n], base[n]) for n in base
+        )
+
+    def test_readonly_base_rejects_writes(self):
+        program = simplified_cholesky()
+        base = ArrayStore(program, {"N": 8}).snapshot()
+        for arr in base.values():
+            arr.setflags(write=False)
+        name = next(iter(base))
+        with pytest.raises(ValueError):
+            base[name][(0,) * base[name].ndim] = 1.0
+
+
+# -- CLI plumbing -----------------------------------------------------------
+
+
+QUICKSTART = str(Path(__file__).resolve().parents[2] / "examples" / "quickstart.loop")
+
+
+class TestCliJobs:
+    def test_deps_jobs_flag(self, capsys):
+        assert main(["deps", QUICKSTART, "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(["deps", QUICKSTART]) == 0
+        assert capsys.readouterr().out == parallel_out
+
+    def test_report_jobs_flag(self, capsys):
+        assert main(["report", QUICKSTART, "-j", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "loop-order search" in out
+        assert "fm.cache_hits" in out

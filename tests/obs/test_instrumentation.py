@@ -14,10 +14,14 @@ from repro.completion import complete_transformation
 from repro.interp import simulate_cache, trace_addresses
 from repro.interp.executor import execute
 from repro.kernels import simplified_cholesky
+from repro.polyhedra import engine
 
 
 class TestDependenceInstrumentation:
     def test_analyze_span_and_counters(self, mem):
+        # Start from a cold query cache: with warm memoized results no
+        # eliminations would be performed and fm.* would stay at zero.
+        engine.cache_clear()
         program = simplified_cholesky()
         analyze_dependences(program)
 
