@@ -5,7 +5,6 @@ exactness tracking + dark shadow (our default), and (c) the concrete
 trace oracle, on the dependence questions the paper's examples pose.
 """
 
-import pytest
 
 from repro.dependence import analyze_dependences
 from repro.interp import execute, ground_truth_dependences

@@ -2,9 +2,8 @@
 classical unimodular framework on perfectly nested loops.
 """
 
-import pytest
 
-from repro.dependence import DependenceMatrix, DepVector, analyze_dependences
+from repro.dependence import analyze_dependences
 from repro.instance import DynamicInstance, Layout, instance_vector
 from repro.ir import parse_program
 from repro.legality import check_legality

@@ -2,14 +2,13 @@
 finding a parallel loop is a nullspace/row scan, not a search.
 """
 
-import pytest
 
 from repro.analysis import outer_parallel_unit_rows, parallel_loops
 from repro.dependence import analyze_dependences
 from repro.instance import Layout
 from repro.legality import check_legality
 from repro.linalg import IntMatrix
-from repro.perfect import PerfectDeps, outermost_parallel_row, parallel_directions
+from repro.perfect import PerfectDeps, outermost_parallel_row
 
 
 def test_e12_parallel_loops_cholesky(benchmark, chol, chol_layout, chol_deps):

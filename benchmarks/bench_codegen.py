@@ -2,7 +2,6 @@
 augmentation, bounds, guards, simplification, and the semantic oracle.
 """
 
-import pytest
 
 from repro.codegen import generate_code
 from repro.codegen.simplify import peel_iteration, simplify_program

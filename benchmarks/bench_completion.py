@@ -3,12 +3,11 @@ partial row yields left-looking Cholesky, verified end to end.
 """
 
 import numpy as np
-import pytest
 
 from repro.codegen import generate_code
 from repro.completion import complete_transformation
 from repro.instance import Layout
-from repro.interp import ArrayStore, check_equivalence, execute
+from repro.interp import ArrayStore, execute
 from repro.ir import program_to_str
 from repro.legality import check_legality
 

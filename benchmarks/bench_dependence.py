@@ -4,7 +4,6 @@ Regenerates the dependence matrices the paper displays for simplified
 Cholesky (4x3) and full Cholesky (7x4) and records paper-vs-measured.
 """
 
-import pytest
 
 from repro.dependence import analyze_dependences
 from repro.kernels import augmentation_example, lu_factorization

@@ -10,12 +10,11 @@ BENCH_result.json trajectory started by the observability PR.
 
 import time
 
-import pytest
 
 from repro import obs
 from repro.analysis import search_loop_orders
 from repro.dependence import analyze_dependences
-from repro.kernels import cholesky, simplified_cholesky
+from repro.kernels import simplified_cholesky
 from repro.polyhedra import engine
 
 

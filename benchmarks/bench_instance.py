@@ -4,7 +4,6 @@ Regenerates the paper's displayed instance vectors and verifies the
 Theorem-1 order isomorphism on a full enumeration, timing the L map.
 """
 
-import pytest
 
 from repro.instance import (
     DynamicInstance, Layout, check_order_isomorphism, instance_vector,

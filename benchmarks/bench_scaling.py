@@ -8,7 +8,7 @@ import pytest
 
 from repro.dependence import analyze_dependences
 from repro.instance import Layout
-from repro.interp import CacheConfig, execute, simulate_cache, trace_addresses
+from repro.interp import CacheConfig, execute, simulate_cache
 from repro.kernels import random_program
 from repro.legality import check_legality
 from repro.linalg import IntMatrix

@@ -2,12 +2,11 @@
 legality (§1 claim).
 """
 
-import pytest
 
 from repro.linalg import IntMatrix
 from repro.transform import (
-    alignment, distribution_legal, distribution_matrix, distribute,
-    jamming_matrix, permutation, skew, statement_reorder,
+    alignment, distribution_legal, distribution_matrix, jamming_matrix,
+    permutation, skew, statement_reorder,
 )
 
 
@@ -97,7 +96,7 @@ def test_e13_maximal_distribution(benchmark, simp_chol, chol):
     """Extension of E13: Allen-Kennedy maximal distribution leaves the
     factorization codes intact and fully splits a pipeline."""
     from repro.analysis import maximal_distribution
-    from repro.ir import parse_program, program_to_str
+    from repro.ir import parse_program
 
     pipeline = parse_program(
         "param N\nreal A(0:N+1), B(0:N+1), C(0:N+1)\n"

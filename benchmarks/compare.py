@@ -1,0 +1,149 @@
+"""Benchmark regression gate: diff a fresh ``BENCH_result.json`` against
+the committed baseline and fail on wall-clock regressions.
+
+CI copies the committed ``BENCH_result.json`` aside before running the
+benchmark suite (which overwrites it in place), then invokes::
+
+    python benchmarks/compare.py baseline.json BENCH_result.json
+
+Exit status is 1 when any comparable metric regressed by more than
+``--factor`` (default 2x, deliberately loose: CI runners are noisy and
+the gate exists to catch order-of-magnitude mistakes, not jitter).
+
+Two metric families are compared:
+
+* per-benchmark ``mean_s`` from pytest-benchmark, and
+* ``pipeline.span_last_ns`` — the single-shot span timings of the
+  canonical pipeline pass (parse -> deps -> legality -> completion ->
+  codegen -> execute -> cache sim).
+
+Metrics present on only one side are reported but never fail the gate
+(benchmarks come and go across PRs).  Timings below ``--min-ns`` are
+skipped: a 40us span doubling to 80us is scheduler noise, not a
+regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Comparison", "compare_results", "main"]
+
+DEFAULT_FACTOR = 2.0
+DEFAULT_MIN_NS = 1_000_000  # ignore sub-millisecond timings entirely
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One metric compared across baseline and fresh runs."""
+
+    metric: str
+    baseline_ns: float
+    fresh_ns: float
+
+    @property
+    def ratio(self) -> float:
+        return self.fresh_ns / self.baseline_ns if self.baseline_ns else float("inf")
+
+    def regressed(self, factor: float, min_ns: float) -> bool:
+        if max(self.baseline_ns, self.fresh_ns) < min_ns:
+            return False
+        return self.ratio > factor
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric}: {self.baseline_ns / 1e6:.3f} ms -> "
+            f"{self.fresh_ns / 1e6:.3f} ms ({self.ratio:.2f}x)"
+        )
+
+
+def _metrics(result: dict) -> dict[str, float]:
+    """Flatten one BENCH_result payload into {metric: nanoseconds}."""
+    out: dict[str, float] = {}
+    for bench in result.get("benchmarks", []):
+        name, mean_s = bench.get("name"), bench.get("mean_s")
+        if name and isinstance(mean_s, (int, float)) and mean_s > 0:
+            out[f"bench:{name}"] = mean_s * 1e9
+    spans = result.get("pipeline", {}).get("span_last_ns", {})
+    for name, ns in spans.items():
+        if isinstance(ns, (int, float)) and ns > 0:
+            out[f"pipeline:{name}"] = float(ns)
+    return out
+
+
+def compare_results(
+    baseline: dict,
+    fresh: dict,
+    *,
+    factor: float = DEFAULT_FACTOR,
+    min_ns: float = DEFAULT_MIN_NS,
+) -> tuple[list[Comparison], list[Comparison], list[str]]:
+    """Return (regressions, compared, uncomparable-metric names)."""
+    base, new = _metrics(baseline), _metrics(fresh)
+    compared = [
+        Comparison(metric, base[metric], new[metric])
+        for metric in sorted(base.keys() & new.keys())
+    ]
+    regressions = [c for c in compared if c.regressed(factor, min_ns)]
+    uncomparable = sorted(base.keys() ^ new.keys())
+    return regressions, compared, uncomparable
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="compare.py", description="benchmark regression gate"
+    )
+    parser.add_argument("baseline", type=Path, help="committed BENCH_result.json")
+    parser.add_argument("fresh", type=Path, help="freshly generated BENCH_result.json")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=DEFAULT_FACTOR,
+        help=f"fail when fresh/baseline exceeds this (default {DEFAULT_FACTOR})",
+    )
+    parser.add_argument(
+        "--min-ns",
+        type=float,
+        default=DEFAULT_MIN_NS,
+        help="ignore metrics where both sides are below this many ns "
+        f"(default {int(DEFAULT_MIN_NS)})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        fresh = json.loads(args.fresh.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"compare.py: cannot load results: {exc}", file=sys.stderr)
+        return 2
+
+    regressions, compared, uncomparable = compare_results(
+        baseline, fresh, factor=args.factor, min_ns=args.min_ns
+    )
+
+    print(f"compared {len(compared)} metrics (threshold {args.factor:.1f}x)")
+    for comp in compared:
+        marker = "REGRESSION" if comp in regressions else "ok"
+        print(f"  [{marker:>10}] {comp.describe()}")
+    if uncomparable:
+        print(f"skipped {len(uncomparable)} metrics present on one side only:")
+        for name in uncomparable:
+            print(f"  [   skipped] {name}")
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} metric(s) regressed beyond "
+            f"{args.factor:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

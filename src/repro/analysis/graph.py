@@ -20,8 +20,8 @@ import networkx as nx
 
 from repro.dependence.analyze import analyze_dependences
 from repro.dependence.depvector import DependenceMatrix
-from repro.instance.layout import Layout, LoopCoord, Path
-from repro.ir.ast import Loop, Node, Program
+from repro.instance.layout import Layout, Path
+from repro.ir.ast import Loop, Program
 from repro.util.errors import TransformError
 
 __all__ = ["dependence_graph", "maximal_distribution", "distribution_plan"]

@@ -17,7 +17,6 @@ from repro.dependence.entry import zip_dot
 from repro.instance.layout import Layout, LoopCoord
 from repro.legality.structure import recover_structure
 from repro.linalg.intmat import IntMatrix
-from repro.util.errors import TransformError
 
 __all__ = ["LoopParallelism", "parallel_loops", "outer_parallel_unit_rows"]
 

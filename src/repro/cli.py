@@ -11,6 +11,8 @@ complete    complete a partial transformation (lead loop) and generate
 run         interpret a program and print final array contents
 parallel    per-loop DOALL verdicts
 report      full analysis report (deps, DOALL, distribution plan, search)
+fuzz        differential fuzzing of the pipeline against the trace
+            oracles, with shrinking and a regression corpus
 
 The pipeline commands (deps, check, transform, complete, run, report)
 accept ``--profile`` (print a hierarchical span tree and metrics table
@@ -25,7 +27,6 @@ Transformation specs are semicolon-separated elementary transformations::
 from __future__ import annotations
 
 import argparse
-import re
 import sys
 
 import numpy as np
@@ -42,58 +43,10 @@ from repro.ir import parse_program, program_to_str
 from repro.legality import check_legality
 from repro.linalg import IntMatrix
 from repro.polyhedra import System, ge, var
-from repro.transform import (
-    Transformation, alignment, compose, permutation, reversal, scaling, skew,
-)
+from repro.transform.spec import parse_spec
 from repro.util.errors import ReproError
 
 __all__ = ["main", "parse_spec"]
-
-_SPEC_RE = re.compile(r"\s*([a-z_]+)\s*\(([^)]*)\)\s*")
-
-
-def parse_spec(layout: Layout, spec: str) -> Transformation:
-    """Parse a transformation spec string into a composed Transformation.
-
-    Errors from the transform constructors (unknown loop variable or
-    statement label, non-integer factor, ...) are wrapped into a
-    :class:`ReproError` naming the offending spec part.
-    """
-    parts = [p for p in spec.split(";") if p.strip()]
-    if not parts:
-        raise ReproError("empty transformation spec")
-    transforms = []
-    for part in parts:
-        m = _SPEC_RE.fullmatch(part)
-        if not m:
-            raise ReproError(f"cannot parse transformation {part.strip()!r}")
-        name = m.group(1)
-        args = [a.strip() for a in m.group(2).split(",") if a.strip()]
-        try:
-            if name in ("permute", "interchange") and len(args) == 2:
-                transforms.append(permutation(layout, args[0], args[1]))
-            elif name == "skew" and len(args) == 3:
-                transforms.append(skew(layout, args[0], args[1], _spec_int(args[2])))
-            elif name in ("reverse", "reversal") and len(args) == 1:
-                transforms.append(reversal(layout, args[0]))
-            elif name == "scale" and len(args) == 2:
-                transforms.append(scaling(layout, args[0], _spec_int(args[1])))
-            elif name == "align" and len(args) == 3:
-                transforms.append(alignment(layout, args[0], args[1], _spec_int(args[2])))
-            else:
-                raise ReproError(f"unknown transformation {name!r} with {len(args)} args")
-        except ReproError as exc:
-            raise ReproError(f"in spec part {part.strip()!r}: {exc}") from exc
-        except (KeyError, ValueError) as exc:
-            raise ReproError(f"in spec part {part.strip()!r}: {exc}") from exc
-    return compose(*transforms)
-
-
-def _spec_int(token: str) -> int:
-    try:
-        return int(token)
-    except ValueError:
-        raise ReproError(f"expected an integer, got {token!r}") from None
 
 
 def _load(path: str):
@@ -236,6 +189,32 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing: random nests × random transformations,
+    cross-checked against the trace-equivalence oracles; failures are
+    shrunk to minimal repros and serialized into the corpus."""
+    from repro.fuzz import fuzz_run, known_illegal_case
+
+    inject = {0: known_illegal_case()} if args.inject_illegal else None
+    session = fuzz_run(
+        args.runs,
+        args.seed,
+        jobs=args.jobs,
+        corpus_dir=args.corpus,
+        minimize=args.minimize,
+        inject=inject,
+        strict_illegal=args.strict_illegal,
+    )
+    print(session.summary())
+    if not session.ok:
+        print(f"\n{len(session.divergences)} divergence(s) found:", file=sys.stderr)
+        for result in session.divergences:
+            print(f"  {result.verdict}: {result.detail}", file=sys.stderr)
+            print(f"    case: {result.case.describe()}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_parallel(args) -> int:
     program = _load(args.file)
     layout = Layout(program)
@@ -323,6 +302,40 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("parallel", help="per-loop DOALL verdicts")
     p.add_argument("file")
     p.set_defaults(fn=cmd_parallel)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the whole pipeline (see docs/FUZZING.md)",
+        parents=[obsflags, jobsflags],
+    )
+    p.add_argument("--runs", type=int, default=100, help="number of cases")
+    p.add_argument("--seed", type=int, default=0, help="master seed of the case stream")
+    p.add_argument(
+        "--corpus",
+        default="tests/fuzz_corpus",
+        help="directory minimized repros are serialized into "
+        "(default: tests/fuzz_corpus)",
+    )
+    p.add_argument(
+        "--minimize",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="shrink failures to minimal repros before serializing",
+    )
+    p.add_argument(
+        "--inject-illegal",
+        action="store_true",
+        help="replace case 0 with a known-illegal, claimed-legal "
+        "transformation — must produce exactly one divergence (harness "
+        "self-test)",
+    )
+    p.add_argument(
+        "--strict-illegal",
+        action="store_true",
+        help="treat rejected-but-equivalent transformations (legality "
+        "precision gaps) as divergences",
+    )
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(
         "report", help="full analysis report", parents=[obsflags, jobsflags]

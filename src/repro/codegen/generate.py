@@ -24,12 +24,12 @@ from repro.codegen.augment import augment_rows, project_dep
 from repro.codegen.per_statement import PerStatement, per_statement_transformation
 from repro.dependence.analyze import analyze_dependences, statement_domain
 from repro.dependence.depvector import DependenceMatrix
-from repro.instance.layout import Layout, LoopCoord
+from repro.instance.layout import Layout
 from repro.ir.ast import (
     BoundSet, Guard, HullBound, Loop, Node, Program, Statement, simplify_hull,
 )
 from repro.ir.expr import Expr, affine_to_expr
-from repro.legality.check import LegalityReport, assert_legal
+from repro.legality.check import LegalityReport, assert_legal, check_legality
 from repro.linalg.intmat import IntMatrix
 from repro.obs import counter, span, timed
 from repro.polyhedra.affine import LinExpr, var
@@ -99,12 +99,30 @@ def generate_code(
     deps: DependenceMatrix | None = None,
     *,
     name: str | None = None,
+    require_legal: bool = True,
 ) -> GeneratedProgram:
-    """Generate the transformed program for a legal matrix."""
+    """Generate the transformed program for a legal matrix.
+
+    ``require_legal=False`` skips the Definition-6 dependence test (the
+    Figure-5 block structure is still required) and generates code for a
+    transformation *known or suspected to be illegal*.  The result is in
+    general semantically wrong; the differential fuzzer uses this to
+    confirm that the equivalence oracles catch what the legality test
+    rejects (the second side of the Theorem-2 contract).
+    """
     layout = Layout(program)
     if deps is None:
         deps = analyze_dependences(program)
-    report = assert_legal(layout, matrix, deps)
+    if require_legal:
+        report = assert_legal(layout, matrix, deps)
+    else:
+        report = check_legality(layout, matrix, deps)
+        if report.structure is None:
+            raise CodegenError(
+                "matrix lacks the Figure-5 block structure; cannot generate code "
+                "even unchecked"
+            )
+        counter("codegen.unchecked_generations")
     structure = report.structure
     assert structure is not None and structure.new_layout is not None
     skeleton = structure.skeleton

@@ -17,7 +17,7 @@ from repro.ir.ast import (
 from repro.ir.expr import (
     ArrayRef, BinOp, Call, Expr, FloatLit, IntLit, UnaryOp, VarRef,
 )
-from repro.polyhedra.affine import LinExpr, var
+from repro.polyhedra.affine import var
 from repro.polyhedra.bounds import Bound
 from repro.polyhedra.constraint import Constraint, ge0
 from repro.polyhedra.system import Feasibility, System

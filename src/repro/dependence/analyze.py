@@ -21,7 +21,7 @@ from repro.dependence.depvector import DepKind, DependenceMatrix, DepVector
 from repro.dependence.entry import NEG_INF, POS_INF, DepEntry
 from repro.instance.layout import EdgeCoord, Layout, LoopCoord
 from repro.instance.vectors import symbolic_vector
-from repro.ir.ast import Loop, Program, Statement
+from repro.ir.ast import Program, Statement
 from repro.ir.expr import ArrayRef, VarRef
 from repro.obs import counter, timed
 from repro.polyhedra.affine import LinExpr, var

@@ -1,0 +1,44 @@
+"""Differential transformation fuzzer (system S18).
+
+Closes the loop on the paper's legality story (Def. 6 / Thm. 2): sample
+a random imperfect nest and a random transformation, run the full
+pipeline (dependences → legality → completion → codegen → execution),
+and cross-check the result against the three trace-based equivalence
+oracles of :mod:`repro.interp.equivalence`.  The checked contract is
+two-sided:
+
+* **legal ⇒ equivalent** — a transformation the Definition-6 test
+  accepts must pass all three oracles on every sampled input;
+* **illegal ⇒ flagged** — a transformation the test rejects, when
+  *forced* through code generation anyway, should be caught by
+  ``dependences_preserved`` (monitored; soundness of the ground-truth
+  oracle is the guarantee, precision of the symbolic test is counted).
+
+Any contract violation is a **divergence**: it is shrunk to a minimal
+reproducer (:mod:`repro.fuzz.shrink`) and serialized into the regression
+corpus ``tests/fuzz_corpus/`` (:mod:`repro.fuzz.corpus`), which tier-1
+tests replay deterministically forever after.
+
+Entry points: ``repro fuzz`` on the CLI, :func:`fuzz_run` in code.
+See docs/FUZZING.md.
+"""
+
+from repro.fuzz.case import (
+    DIVERGENCE_VERDICTS, CaseResult, FuzzCase, known_illegal_case, run_case,
+)
+from repro.fuzz.corpus import (
+    case_from_dict, case_to_dict, load_corpus, replay_entry, save_repro,
+)
+from repro.fuzz.runner import FuzzSession, fuzz_run
+from repro.fuzz.sample import sample_case, sample_spec
+from repro.fuzz.shrink import case_size, shrink_case
+
+__all__ = [
+    "FuzzCase", "CaseResult", "run_case", "known_illegal_case",
+    "DIVERGENCE_VERDICTS",
+    "sample_case", "sample_spec",
+    "shrink_case", "case_size",
+    "save_repro", "load_corpus", "replay_entry", "case_to_dict",
+    "case_from_dict",
+    "fuzz_run", "FuzzSession",
+]

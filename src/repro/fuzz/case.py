@@ -1,0 +1,233 @@
+"""Fuzz cases and the single-case differential pipeline driver.
+
+A :class:`FuzzCase` is a fully self-contained, serializable unit of
+work: a program (as source text — exactly what the corpus stores, so a
+fuzzed case and a replayed case take the identical path), a candidate
+transformation (a symbolic spec string or a completion request), the
+execution parameters, and an optional ``claim_legal`` flag that forces
+the case through code generation *as if* the legality test had accepted
+it — the injection hook the CLI's ``--inject-illegal`` and the harness
+tests use to prove divergences are detected, shrunk and serialized
+end-to-end.
+
+:func:`run_case` runs one case through the full pipeline and returns a
+:class:`CaseResult` whose ``verdict`` classifies the outcome; the two
+``divergence-*`` verdicts are contract violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.codegen import generate_code
+from repro.completion import complete_transformation
+from repro.dependence import analyze_dependences
+from repro.instance import Layout
+from repro.interp import check_equivalence
+from repro.ir import parse_program
+from repro.legality import check_legality
+from repro.obs import counter, span
+from repro.transform.spec import parse_spec
+from repro.util.errors import CompletionError, ReproError
+
+__all__ = [
+    "FuzzCase", "CaseResult", "run_case", "known_illegal_case",
+    "DIVERGENCE_VERDICTS", "PASS_VERDICTS",
+]
+
+#: Contract violations: the pipeline produced wrong code for a
+#: transformation it accepted (or was told to accept), or crashed.
+DIVERGENCE_VERDICTS = ("divergence-oracle", "divergence-crash")
+
+#: Outcomes that uphold the two-sided contract.
+PASS_VERDICTS = (
+    "pass-legal",            # legal and all three oracles agree
+    "illegal-confirmed",     # rejected, forced anyway, oracles flagged it
+    "illegal-rejected",      # rejected and not even forceable
+    "illegal-unconfirmed",   # rejected but equivalent on this input (precision gap)
+    "spec-rejected",         # spec not expressible on this layout
+    "completion-rejected",   # no legal completion in the candidate fragment
+    "codegen-skipped",       # legal, but codegen hit a documented limit
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One differential-testing work unit (immutable, serializable)."""
+
+    program_src: str
+    kind: str = "spec"                  # "spec" | "complete"
+    spec: str = ""                      # for kind == "spec"
+    lead: str = ""                      # for kind == "complete": lead loop var
+    params: tuple[tuple[str, int], ...] = (("N", 4),)
+    claim_legal: bool = False           # force codegen as if legal (injection)
+    note: str = ""                      # free-form provenance
+
+    def params_dict(self) -> dict[str, int]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        t = self.spec if self.kind == "spec" else f"complete(lead={self.lead})"
+        p = ", ".join(f"{k}={v}" for k, v in self.params)
+        claimed = " [claimed legal]" if self.claim_legal else ""
+        return f"{t} @ {{{p}}}{claimed}"
+
+    def with_(self, **changes) -> "FuzzCase":
+        return replace(self, **changes)
+
+
+@dataclass
+class CaseResult:
+    """Outcome of :func:`run_case` on one case."""
+
+    case: FuzzCase
+    verdict: str
+    detail: str = ""
+    legal: bool | None = None
+    oracle: dict | None = field(default=None, repr=False)
+
+    @property
+    def divergent(self) -> bool:
+        return self.verdict in DIVERGENCE_VERDICTS
+
+
+def known_illegal_case(n: int = 6) -> FuzzCase:
+    """The canonical injected case: a loop-carried flow dependence whose
+    reversal the legality test rejects — claimed legal so the oracles,
+    not the symbolic test, must catch the miscompile."""
+    src = (
+        "param N\n"
+        "real A(-64:N + 64)\n"
+        "do I = 1, N\n"
+        "  S1: A(I) = (A(I + -1) + f(I))\n"
+        "enddo"
+    )
+    return FuzzCase(
+        program_src=src,
+        kind="spec",
+        spec="reverse(I)",
+        params=(("N", n),),
+        claim_legal=True,
+        note="injected known-illegal reversal of a flow dependence",
+    )
+
+
+def run_case(case: FuzzCase, *, strict_illegal: bool = False) -> CaseResult:
+    """Run one case end-to-end and classify the outcome.
+
+    ``strict_illegal`` promotes the precision-gap outcome (legality
+    rejected a transformation that is equivalent on this input) from a
+    monitored counter to a divergence.
+    """
+    counter("fuzz.runs")
+    try:
+        with span("fuzz.case", kind=case.kind):
+            return _run_case_inner(case, strict_illegal)
+    except ReproError as exc:
+        counter("fuzz.divergences")
+        return CaseResult(case, "divergence-crash", f"{type(exc).__name__}: {exc}")
+    except Exception as exc:  # noqa: BLE001 - the fuzzer's whole job
+        counter("fuzz.divergences")
+        return CaseResult(case, "divergence-crash", f"{type(exc).__name__}: {exc}")
+
+
+def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
+    program = parse_program(case.program_src, "fuzz_case")
+    layout = Layout(program)
+    deps = analyze_dependences(program, layout=layout)
+
+    # -- build the candidate matrix ------------------------------------
+    if case.kind == "spec":
+        try:
+            matrix = parse_spec(layout, case.spec).matrix
+        except ReproError as exc:
+            counter("fuzz.spec_rejections")
+            return CaseResult(case, "spec-rejected", str(exc))
+    elif case.kind == "complete":
+        try:
+            pos = layout.loop_index_by_var(case.lead)
+        except ReproError as exc:
+            counter("fuzz.spec_rejections")
+            return CaseResult(case, "spec-rejected", str(exc))
+        partial = [[1 if j == pos else 0 for j in range(layout.dimension)]]
+        try:
+            matrix = complete_transformation(
+                program, partial, deps, layout=layout
+            ).matrix
+        except CompletionError as exc:
+            counter("fuzz.completion_rejections")
+            return CaseResult(case, "completion-rejected", str(exc))
+    else:
+        raise ReproError(f"unknown fuzz case kind {case.kind!r}")
+
+    report = check_legality(layout, matrix, deps)
+    legal = report.legal
+    counter("fuzz.legal" if legal else "fuzz.illegal")
+
+    # -- side 1: accepted (or claimed) transformations must be equivalent
+    if legal or case.claim_legal:
+        try:
+            g = generate_code(program, matrix, deps, require_legal=legal)
+        except ReproError as exc:
+            if legal:
+                # documented limits (e.g. rank-deficient augmentation edge
+                # cases) — not a divergence, but counted and monitored
+                counter("fuzz.codegen_skips")
+                return CaseResult(case, "codegen-skipped", str(exc), legal=True)
+            return CaseResult(case, "illegal-rejected", str(exc), legal=False)
+        rep = check_equivalence(
+            program, g.program, case.params_dict(), env_map=g.env_map()
+        )
+        if rep["ok"]:
+            if legal:
+                return CaseResult(case, "pass-legal", legal=True, oracle=rep)
+            counter("fuzz.illegal_unconfirmed")
+            return CaseResult(
+                case, "illegal-unconfirmed",
+                "claimed-legal case is equivalent on this input",
+                legal=False, oracle=rep,
+            )
+        counter("fuzz.divergences")
+        return CaseResult(
+            case, "divergence-oracle", _oracle_detail(rep), legal=legal, oracle=rep
+        )
+
+    # -- side 2: rejected transformations, forced, should be flagged ----
+    if report.structure is None:
+        return CaseResult(case, "illegal-rejected", "no Figure-5 block structure",
+                          legal=False)
+    try:
+        g = generate_code(program, matrix, deps, require_legal=False)
+    except ReproError as exc:
+        return CaseResult(case, "illegal-rejected", str(exc), legal=False)
+    rep = check_equivalence(program, g.program, case.params_dict(), env_map=g.env_map())
+    if not rep["ok"]:
+        counter("fuzz.illegal_confirmed")
+        return CaseResult(
+            case, "illegal-confirmed", _oracle_detail(rep), legal=False, oracle=rep
+        )
+    counter("fuzz.illegal_unconfirmed")
+    if strict_illegal:
+        counter("fuzz.divergences")
+        return CaseResult(
+            case, "divergence-oracle",
+            "legality rejected but all oracles pass (strict-illegal mode)",
+            legal=False, oracle=rep,
+        )
+    return CaseResult(
+        case, "illegal-unconfirmed",
+        "rejected transformation is equivalent on this input (precision gap)",
+        legal=False, oracle=rep,
+    )
+
+
+def _oracle_detail(rep: dict) -> str:
+    parts = []
+    if not rep["same_instances"]:
+        parts.append("instance multisets differ")
+    viol = rep.get("dependence_violations")
+    if viol:
+        parts.append(f"{len(viol)} dependence violation(s), first {viol[0]}")
+    if not rep["outputs_close"]:
+        parts.append("final array contents differ")
+    return "; ".join(parts) or "oracle failure"

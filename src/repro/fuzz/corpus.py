@@ -1,0 +1,143 @@
+"""The regression corpus: minimized repros as committed JSON files.
+
+Every divergence the fuzzer finds is shrunk and serialized into a
+self-contained JSON file under ``tests/fuzz_corpus/`` (or the directory
+given with ``repro fuzz --corpus``).  Each file records the program
+source, the transformation (symbolic spec or completion request), the
+execution parameters, and an ``expect`` field stating what the *correct*
+pipeline behaviour on this input is:
+
+* ``"equivalent"`` — the transformation is legal; the pipeline must
+  accept it and produce oracle-equivalent code.  A repro of a genuine
+  miscompile carries this expectation and replays red until the bug is
+  fixed, then green forever after.
+* ``"illegal-flagged"`` — the transformation violates a dependence; the
+  legality test must reject it **and** the forced-through-codegen run
+  must be caught by the trace oracles (the two-sided contract).
+
+``tests/fuzz/test_corpus_replay.py`` replays every committed file on
+every tier-1 run.  See docs/FUZZING.md for the triage workflow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.fuzz.case import CaseResult, FuzzCase, run_case
+from repro.obs import counter
+
+__all__ = [
+    "SCHEMA", "case_to_dict", "case_from_dict", "save_repro", "load_corpus",
+    "replay_entry", "expected_for",
+]
+
+SCHEMA = 1
+
+
+def expected_for(result: CaseResult) -> str:
+    """The correct-behaviour expectation to record for a divergence."""
+    if result.case.claim_legal:
+        # the case was forced past legality; correct behaviour is for the
+        # legality test to reject it and the oracles to confirm
+        return "illegal-flagged"
+    return "equivalent"
+
+
+def case_to_dict(case: FuzzCase, *, expect: str, detail: str = "",
+                 seed: int | None = None, shrink_steps: int | None = None) -> dict:
+    return {
+        "schema": SCHEMA,
+        "expect": expect,
+        "program": case.program_src.splitlines(),
+        "kind": case.kind,
+        "spec": case.spec,
+        "lead": case.lead,
+        "params": dict(case.params),
+        "claim_legal": case.claim_legal,
+        "note": case.note,
+        "detail": detail,
+        "seed": seed,
+        "shrink_steps": shrink_steps,
+    }
+
+
+def case_from_dict(d: dict) -> tuple[FuzzCase, str]:
+    """Rebuild ``(case, expect)`` from a corpus record."""
+    program = d["program"]
+    if isinstance(program, list):
+        program = "\n".join(program)
+    case = FuzzCase(
+        program_src=program,
+        kind=d.get("kind", "spec"),
+        spec=d.get("spec", ""),
+        lead=d.get("lead", ""),
+        params=tuple(sorted((k, int(v)) for k, v in d.get("params", {}).items())),
+        claim_legal=bool(d.get("claim_legal", False)),
+        note=d.get("note", ""),
+    )
+    return case, d.get("expect", "equivalent")
+
+
+def corpus_path(corpus_dir: str | Path, record: dict) -> Path:
+    """Content-addressed file name, stable across runs and machines."""
+    key = json.dumps(
+        {k: record[k] for k in ("program", "kind", "spec", "lead", "params")},
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:12]
+    return Path(corpus_dir) / f"fuzz-{digest}.json"
+
+
+def save_repro(corpus_dir: str | Path, case: FuzzCase, *, expect: str,
+               detail: str = "", seed: int | None = None,
+               shrink_steps: int | None = None) -> Path:
+    """Serialize a minimized repro; returns the file path (existing files
+    with the same content hash are left untouched)."""
+    record = case_to_dict(
+        case, expect=expect, detail=detail, seed=seed, shrink_steps=shrink_steps
+    )
+    path = corpus_path(corpus_dir, record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not path.exists():
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        counter("fuzz.corpus_writes")
+    return path
+
+
+def load_corpus(corpus_dir: str | Path) -> list[tuple[Path, FuzzCase, str, dict]]:
+    """All corpus entries, sorted by file name for deterministic replay."""
+    out = []
+    root = Path(corpus_dir)
+    if not root.is_dir():
+        return out
+    for path in sorted(root.glob("*.json")):
+        record = json.loads(path.read_text())
+        case, expect = case_from_dict(record)
+        out.append((path, case, expect, record))
+    return out
+
+
+def replay_entry(case: FuzzCase, expect: str) -> tuple[bool, str]:
+    """Re-run a corpus case and check the recorded expectation.
+
+    Returns ``(ok, detail)``; ``ok`` means the pipeline currently behaves
+    correctly on this historical repro.
+    """
+    if expect == "equivalent":
+        result = run_case(case.with_(claim_legal=False))
+        ok = result.verdict == "pass-legal"
+        return ok, f"{result.verdict}: {result.detail}"
+    if expect == "illegal-flagged":
+        # side A: legality must reject it (no claim override)
+        honest = run_case(case.with_(claim_legal=False))
+        if honest.verdict not in ("illegal-confirmed", "illegal-rejected"):
+            return False, f"legality no longer rejects: {honest.verdict}: {honest.detail}"
+        # side B: forced through codegen, the oracles must flag it (or
+        # codegen itself must refuse the matrix)
+        forced = run_case(case.with_(claim_legal=True))
+        if not (forced.divergent or forced.verdict == "illegal-rejected"):
+            return False, f"forced run not flagged: {forced.verdict}: {forced.detail}"
+        return True, f"{honest.verdict} / forced {forced.verdict}"
+    return False, f"unknown expectation {expect!r}"

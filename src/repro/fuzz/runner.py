@@ -1,0 +1,199 @@
+"""Batch fuzzing: sample N cases, fan out, shrink and serialize failures.
+
+:func:`fuzz_run` drives a whole session.  Case *execution* fans out over
+a process pool (reusing :mod:`repro.util.parallel_exec`, the same
+machinery as ``analyze_dependences --jobs``); each worker re-derives its
+cases from ``(master_seed, index)`` — cases are never pickled out, only
+light result summaries and observability-counter deltas come back, and
+results are re-assembled in index order so a parallel run is
+bit-identical to a serial one.  Divergence *shrinking* and corpus
+*writing* stay in the parent process, serially, in index order: the
+corpus a run produces is deterministic in ``(seed, runs)`` regardless of
+``--jobs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.fuzz.case import CaseResult, FuzzCase, run_case
+from repro.fuzz.corpus import expected_for, save_repro
+from repro.fuzz.sample import sample_case
+from repro.fuzz.shrink import shrink_case
+from repro.obs import counter, span
+from repro.util.parallel_exec import (
+    capture_counters, chunk_round_robin, map_in_processes, merge_counters,
+    resolve_jobs,
+)
+
+__all__ = ["fuzz_run", "FuzzSession"]
+
+
+@dataclass
+class FuzzSession:
+    """Everything a fuzz run produced."""
+
+    runs: int
+    seed: int
+    verdict_counts: dict[str, int] = field(default_factory=dict)
+    divergences: list[CaseResult] = field(default_factory=list)
+    repro_paths: list[Path] = field(default_factory=list)
+    shrink_steps: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        lines = [f"fuzz: {self.runs} runs, seed {self.seed}"]
+        for verdict in sorted(self.verdict_counts):
+            lines.append(f"  {verdict:24s} {self.verdict_counts[verdict]}")
+        lines.append(
+            f"  divergences: {len(self.divergences)}"
+            + (f" (shrunk in {self.shrink_steps} steps)" if self.divergences else "")
+        )
+        for p in self.repro_paths:
+            lines.append(f"  repro: {p}")
+        return "\n".join(lines)
+
+
+def fuzz_run(
+    runs: int,
+    seed: int,
+    *,
+    jobs: int | None = None,
+    corpus_dir: str | Path | None = None,
+    minimize: bool = True,
+    inject: Mapping[int, FuzzCase] | None = None,
+    strict_illegal: bool = False,
+    max_shrink_attempts: int = 400,
+    progress: Callable[[int, CaseResult], None] | None = None,
+) -> FuzzSession:
+    """Run ``runs`` sampled cases; shrink and serialize any divergence.
+
+    ``inject`` maps case indices to hand-built cases that replace the
+    sampled ones (the CLI's ``--inject-illegal`` puts a known-illegal,
+    claimed-legal case at index 0 to exercise the failure path).
+    """
+    inject = dict(inject or {})
+    session = FuzzSession(runs=runs, seed=seed)
+    with span("fuzz.run", runs=runs, seed=seed):
+        results = _run_all(runs, seed, inject, strict_illegal, resolve_jobs(jobs))
+        for index, result in enumerate(results):
+            session.verdict_counts[result.verdict] = (
+                session.verdict_counts.get(result.verdict, 0) + 1
+            )
+            if progress is not None:
+                progress(index, result)
+            if not result.divergent:
+                continue
+            minimal, steps = result.case, 0
+            if minimize:
+                minimal, steps = _minimize(
+                    result, strict_illegal, max_shrink_attempts
+                )
+            session.shrink_steps += steps
+            session.divergences.append(result)
+            if corpus_dir is not None:
+                path = save_repro(
+                    corpus_dir,
+                    minimal,
+                    expect=expected_for(result),
+                    detail=result.detail,
+                    seed=seed,
+                    shrink_steps=steps,
+                )
+                session.repro_paths.append(path)
+    return session
+
+
+def _minimize(result: CaseResult, strict_illegal: bool,
+              max_attempts: int) -> tuple[FuzzCase, int]:
+    """Shrink a divergent case, preserving its failure verdict."""
+    target = result.verdict
+
+    def still_failing(candidate: FuzzCase) -> bool:
+        return run_case(candidate, strict_illegal=strict_illegal).verdict == target
+
+    return shrink_case(result.case, still_failing, max_attempts=max_attempts)
+
+
+# ---------------------------------------------------------------------------
+# parallel execution
+# ---------------------------------------------------------------------------
+
+def _case_at(seed: int, index: int, inject: Mapping[int, FuzzCase]) -> FuzzCase:
+    if index in inject:
+        return inject[index]
+    return sample_case(seed, index)
+
+
+def _run_all(
+    runs: int,
+    seed: int,
+    inject: dict[int, FuzzCase],
+    strict_illegal: bool,
+    jobs: int,
+) -> list[CaseResult]:
+    indices = list(range(runs))
+    if jobs <= 1 or runs < 2:
+        return [
+            run_case(_case_at(seed, i, inject), strict_illegal=strict_illegal)
+            for i in indices
+        ]
+    chunks = chunk_round_robin(runs, jobs)
+    inject_items = tuple(
+        (i, _case_payload(c)) for i, c in sorted(inject.items())
+    )
+    tasks = [
+        (seed, tuple(chunk), inject_items, strict_illegal) for chunk in chunks
+    ]
+    by_index: dict[int, CaseResult] = {}
+    for chunk_results, delta in map_in_processes(_run_chunk, tasks, jobs=jobs):
+        merge_counters(delta)
+        for index, payload in chunk_results:
+            by_index[index] = _result_from_payload(payload)
+    counter("fuzz.parallel_chunks", len(chunks))
+    return [by_index[i] for i in indices]
+
+
+def _case_payload(case: FuzzCase) -> tuple:
+    return (
+        case.program_src, case.kind, case.spec, case.lead, case.params,
+        case.claim_legal, case.note,
+    )
+
+
+def _case_from_payload(p: tuple) -> FuzzCase:
+    return FuzzCase(
+        program_src=p[0], kind=p[1], spec=p[2], lead=p[3],
+        params=tuple(tuple(x) for x in p[4]), claim_legal=p[5], note=p[6],
+    )
+
+
+def _result_payload(r: CaseResult) -> tuple:
+    return (_case_payload(r.case), r.verdict, r.detail, r.legal)
+
+
+def _result_from_payload(p: tuple) -> CaseResult:
+    return CaseResult(
+        case=_case_from_payload(p[0]), verdict=p[1], detail=p[2], legal=p[3]
+    )
+
+
+def _run_chunk(task: tuple) -> tuple[list[tuple[int, tuple]], dict[str, int]]:
+    """Process-pool worker: run one hand of case indices.
+
+    Returns ``(results, counter_delta)`` where results carry only
+    picklable payloads (the oracle report dicts stay worker-side)."""
+    seed, indices, inject_items, strict_illegal = task
+    inject = {i: _case_from_payload(p) for i, p in inject_items}
+    out: list[tuple[int, tuple]] = []
+    with capture_counters() as cap:
+        for index in indices:
+            case = _case_at(seed, index, inject)
+            result = run_case(case, strict_illegal=strict_illegal)
+            out.append((index, _result_payload(result)))
+    return out, cap.delta

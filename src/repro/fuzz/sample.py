@@ -1,0 +1,139 @@
+"""Deterministic case sampling for the differential fuzzer.
+
+Every case is a pure function of ``(master_seed, index)``: the local
+:class:`random.Random` is seeded with the string ``"repro-fuzz:S:i"``
+(string seeding hashes via SHA-512, *not* the per-process ``hash()``
+salt), so a parallel ``--jobs`` run samples bit-identical cases to a
+serial run and any single case can be re-derived from its coordinates
+alone.
+
+Programs come from :func:`repro.kernels.random_program` under a
+weighted shape mix (perfect nests, deep imperfect nests, triangular
+bounds, wide multi-statement bodies); transformations are either random
+compositions of the elementary spec operations (validated against the
+layout at sample time, so the reject rate stays low) or completion
+requests for a random lead loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fuzz.case import FuzzCase
+from repro.instance import Layout
+from repro.ir import program_to_str
+from repro.kernels import random_program
+from repro.transform.spec import parse_spec
+from repro.util.errors import ReproError
+
+__all__ = ["sample_case", "sample_spec", "SHAPE_WEIGHTS"]
+
+#: shape -> relative weight of that structural class in the stream
+SHAPE_WEIGHTS = (
+    ("mixed", 4),
+    ("perfect", 2),
+    ("deep", 2),
+    ("triangular", 2),
+    ("multi", 2),
+)
+
+#: op -> relative weight when sampling spec operations
+_OP_WEIGHTS = (
+    ("permute", 30),
+    ("skew", 20),
+    ("reverse", 20),
+    ("align", 15),
+    ("scale", 10),
+)
+
+#: fraction of cases that exercise the completion procedure instead of
+#: an explicit spec
+_COMPLETE_SHARE = 0.15
+
+
+def _weighted(rng: random.Random, table) -> str:
+    total = sum(w for _, w in table)
+    x = rng.randrange(total)
+    for name, w in table:
+        x -= w
+        if x < 0:
+            return name
+    return table[-1][0]  # pragma: no cover - unreachable
+
+
+def sample_case(master_seed: int, index: int) -> FuzzCase:
+    """The ``index``-th case of the stream for ``master_seed``."""
+    rng = random.Random(f"repro-fuzz:{master_seed}:{index}")
+    shape = _weighted(rng, SHAPE_WEIGHTS)
+    program_seed = rng.randrange(2**31)
+    program = random_program(
+        program_seed,
+        shape=shape,
+        max_depth=rng.choice((2, 3, 3)),
+        max_children=rng.choice((2, 3)),
+        n_arrays=rng.choice((1, 2, 2)),
+    )
+    layout = Layout(program)
+    n = rng.randint(3, 5)
+    loops = [c.var for c in layout.loop_coords()]
+    if loops and rng.random() < _COMPLETE_SHARE:
+        return FuzzCase(
+            program_src=program_to_str(program),
+            kind="complete",
+            lead=rng.choice(loops),
+            params=(("N", n),),
+            note=f"seed={master_seed} index={index} shape={shape}",
+        )
+    spec = sample_spec(layout, rng)
+    return FuzzCase(
+        program_src=program_to_str(program),
+        kind="spec",
+        spec=spec,
+        params=(("N", n),),
+        note=f"seed={master_seed} index={index} shape={shape}",
+    )
+
+
+def sample_spec(layout: Layout, rng: random.Random, max_ops: int = 3) -> str:
+    """A random composition of 1..max_ops elementary transformations,
+    each validated against ``layout`` at sample time (invalid draws are
+    re-rolled a bounded number of times, keeping runner-side rejects
+    rare but still possible)."""
+    loops = [c.var for c in layout.loop_coords()]
+    labels = layout.statement_labels()
+    ops: list[str] = []
+    n_ops = rng.randint(1, max_ops)
+    attempts = 0
+    while len(ops) < n_ops and attempts < 8 * max_ops:
+        attempts += 1
+        op = _sample_op(rng, loops, labels)
+        if op is None:
+            continue
+        candidate = "; ".join(ops + [op])
+        try:
+            parse_spec(layout, candidate)
+        except ReproError:
+            continue
+        ops.append(op)
+    if not ops:
+        # every draw failed to validate (e.g. single-loop program where
+        # only align could apply); reversal is always expressible
+        ops.append(f"reverse({rng.choice(loops)})" if loops else "reverse(I)")
+    return "; ".join(ops)
+
+
+def _sample_op(rng: random.Random, loops: list[str], labels: list[str]) -> str | None:
+    kind = _weighted(rng, _OP_WEIGHTS)
+    if kind == "permute" and len(loops) >= 2:
+        a, b = rng.sample(loops, 2)
+        return f"permute({a},{b})"
+    if kind == "skew" and len(loops) >= 2:
+        a, b = rng.sample(loops, 2)
+        return f"skew({a},{b},{rng.choice((-2, -1, 1, 2))})"
+    if kind == "reverse" and loops:
+        return f"reverse({rng.choice(loops)})"
+    if kind == "align" and labels and loops:
+        return f"align({rng.choice(labels)},{rng.choice(loops)},{rng.choice((-2, -1, 1, 2))})"
+    if kind == "scale" and loops:
+        return f"scale({rng.choice(loops)},{rng.choice((2, 3))})"
+    return None

@@ -16,7 +16,6 @@ from repro.instance.layout import Layout
 from repro.instance.vectors import DynamicInstance, instance_vector
 from repro.ir.ast import Program
 from repro.linalg.unimodular import lex_compare
-from repro.util.errors import LayoutError
 
 __all__ = ["program_order", "vector_order", "check_order_isomorphism", "sort_by_execution"]
 

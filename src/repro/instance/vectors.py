@@ -12,7 +12,7 @@ back out of a vector.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.instance.layout import EdgeCoord, Layout, LoopCoord
 from repro.polyhedra.affine import LinExpr, var

@@ -13,6 +13,7 @@ trace-based dependence oracle and the cache simulator.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -118,7 +119,9 @@ def default_init(name: str, shape: tuple[int, ...]) -> np.ndarray:
 
     Values are positive and O(1)-scaled so sqrt/division kernels stay
     well conditioned (important for the Cholesky workloads)."""
-    rng = np.random.default_rng(abs(hash(name)) % (2**32))
+    # crc32, not hash(): str hashing is salted per-process (PYTHONHASHSEED),
+    # which would give every worker of a --jobs fuzz run different inputs.
+    rng = np.random.default_rng(zlib.crc32(name.encode("utf-8")))
     data = rng.uniform(0.5, 1.5, size=shape)
     if len(shape) == 2 and shape[0] == shape[1]:
         # make square arrays symmetric positive definite-ish

@@ -11,7 +11,7 @@ max/min over ceil/floor-divided affine terms.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
 from repro.ir.expr import ArrayRef, Expr, VarRef, as_affine

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from repro.polyhedra.affine import LinExpr
-from repro.util.errors import InterpError, IRError
+from repro.util.errors import IRError
 
 __all__ = [
     "Expr", "IntLit", "FloatLit", "VarRef", "ArrayRef", "BinOp", "UnaryOp",

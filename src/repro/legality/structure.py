@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.instance.layout import EdgeCoord, Layout, LoopCoord, Path
+from repro.instance.layout import EdgeCoord, Layout, Path
 from repro.ir.ast import Loop, Node, Program, Statement
 from repro.linalg.intmat import IntMatrix
 from repro.util.errors import CodegenError

@@ -9,7 +9,6 @@ characterizes the image lattice of a non-unimodular transformation
 
 from __future__ import annotations
 
-from math import gcd
 from typing import Tuple
 
 from repro.linalg.intmat import IntMatrix

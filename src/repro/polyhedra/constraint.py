@@ -9,7 +9,6 @@ tightening step, e.g. ``2x - 1 >= 0`` becomes ``x - 1 >= 0`` over ℤ).
 
 from __future__ import annotations
 
-from math import gcd
 from typing import Mapping
 
 from repro.polyhedra.affine import LinExpr

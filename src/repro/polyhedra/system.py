@@ -16,7 +16,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.obs import counter
 from repro.polyhedra import engine as _engine
 from repro.polyhedra.affine import LinExpr
-from repro.polyhedra.constraint import Constraint, eq0, ge0
+from repro.polyhedra.constraint import Constraint, ge0
 from repro.util.errors import PolyhedronError
 
 __all__ = ["System", "Feasibility"]

@@ -7,10 +7,11 @@ from repro.transform.matrices import (
     Transformation, alignment, compose, identity, permutation, reversal,
     scaling, skew, statement_reorder,
 )
+from repro.transform.spec import parse_spec, spec_ops
 
 __all__ = [
     "Transformation", "identity", "permutation", "skew", "reversal",
     "scaling", "alignment", "statement_reorder", "compose",
     "distribute", "jam", "distribution_matrix", "jamming_matrix",
-    "distribution_legal",
+    "distribution_legal", "parse_spec", "spec_ops",
 ]

@@ -1,0 +1,81 @@
+"""Textual transformation specs: parse and render.
+
+A spec is a semicolon-separated sequence of elementary transformations
+over a program's :class:`~repro.instance.Layout`::
+
+    permute(I,J); skew(I,J,-1); reverse(J); scale(I,2); align(S1,I,1)
+
+This is the CLI's surface syntax (``repro check FILE SPEC``) and the
+serialization format the differential fuzzer (:mod:`repro.fuzz`) uses
+for its corpus files — a spec names loops and statements symbolically,
+so it survives the structural shrinking that a raw matrix (whose shape
+is tied to the layout dimension) would not.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.instance.layout import Layout
+from repro.transform.matrices import (
+    Transformation, alignment, compose, permutation, reversal, scaling, skew,
+)
+from repro.util.errors import ReproError
+
+__all__ = ["parse_spec", "spec_ops", "SPEC_GRAMMAR"]
+
+_SPEC_RE = re.compile(r"\s*([a-z_]+)\s*\(([^)]*)\)\s*")
+
+SPEC_GRAMMAR = (
+    "permute(a,b) | skew(target,source,factor) | reverse(loop) | "
+    "scale(loop,factor) | align(label,loop,offset)"
+)
+
+
+def spec_ops(spec: str) -> list[str]:
+    """Split a spec into its elementary-operation substrings."""
+    return [p.strip() for p in spec.split(";") if p.strip()]
+
+
+def parse_spec(layout: Layout, spec: str) -> Transformation:
+    """Parse a transformation spec string into a composed Transformation.
+
+    Errors from the transform constructors (unknown loop variable or
+    statement label, non-integer factor, ...) are wrapped into a
+    :class:`ReproError` naming the offending spec part.
+    """
+    parts = spec_ops(spec)
+    if not parts:
+        raise ReproError("empty transformation spec")
+    transforms = []
+    for part in parts:
+        m = _SPEC_RE.fullmatch(part)
+        if not m:
+            raise ReproError(f"cannot parse transformation {part.strip()!r}")
+        name = m.group(1)
+        args = [a.strip() for a in m.group(2).split(",") if a.strip()]
+        try:
+            if name in ("permute", "interchange") and len(args) == 2:
+                transforms.append(permutation(layout, args[0], args[1]))
+            elif name == "skew" and len(args) == 3:
+                transforms.append(skew(layout, args[0], args[1], _spec_int(args[2])))
+            elif name in ("reverse", "reversal") and len(args) == 1:
+                transforms.append(reversal(layout, args[0]))
+            elif name == "scale" and len(args) == 2:
+                transforms.append(scaling(layout, args[0], _spec_int(args[1])))
+            elif name == "align" and len(args) == 3:
+                transforms.append(alignment(layout, args[0], args[1], _spec_int(args[2])))
+            else:
+                raise ReproError(f"unknown transformation {name!r} with {len(args)} args")
+        except ReproError as exc:
+            raise ReproError(f"in spec part {part.strip()!r}: {exc}") from exc
+        except (KeyError, ValueError) as exc:
+            raise ReproError(f"in spec part {part.strip()!r}: {exc}") from exc
+    return compose(*transforms)
+
+
+def _spec_int(token: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ReproError(f"expected an integer, got {token!r}") from None

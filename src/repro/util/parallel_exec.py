@@ -24,7 +24,7 @@ serial output.
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Sequence, TypeVar
 
 from repro.obs import counter, current_session, install, snapshot, uninstall
 

@@ -1,13 +1,12 @@
 """Dependence graphs and Allen–Kennedy maximal distribution."""
 
 import networkx as nx
-import pytest
 
 from repro.analysis import dependence_graph, distribution_plan, maximal_distribution
 from repro.dependence import analyze_dependences
 from repro.interp import ArrayStore, execute, outputs_close
 from repro.ir import Loop, parse_program, program_to_str
-from repro.kernels import cholesky, jacobi_1d, lu_factorization, simplified_cholesky
+from repro.kernels import jacobi_1d
 
 PIPELINE = """
 param N

@@ -1,6 +1,5 @@
 """Parallelism analysis tests."""
 
-import pytest
 
 from repro.analysis import outer_parallel_unit_rows, parallel_loops
 from repro.dependence import analyze_dependences

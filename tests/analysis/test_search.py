@@ -1,8 +1,7 @@
 """Transformation search (completion + codegen + cache ranking)."""
 
-import pytest
 
-from repro.analysis import SearchResult, search_loop_orders
+from repro.analysis import search_loop_orders
 from repro.interp import CacheConfig
 from repro.kernels import cholesky, simplified_cholesky
 

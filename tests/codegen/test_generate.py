@@ -3,14 +3,12 @@
 import pytest
 
 from repro.codegen import generate_code, per_statement_transformation
-from repro.dependence import analyze_dependences
 from repro.instance import Layout
 from repro.interp import check_equivalence
 from repro.ir import Guard, Loop, parse_program, program_to_str
 from repro.legality import recover_structure
 from repro.linalg import IntMatrix
 from repro.transform import compose, permutation, reversal, skew, statement_reorder
-from repro.util.errors import CodegenError
 
 
 class TestPerStatement:

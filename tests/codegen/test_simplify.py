@@ -6,7 +6,7 @@ from repro.codegen import generate_code
 from repro.codegen.simplify import fold_expr, peel_iteration, simplify_program
 from repro.instance import Layout
 from repro.interp import ArrayStore, execute, outputs_close
-from repro.ir import Guard, IntLit, Loop, parse_expr, parse_program, program_to_str
+from repro.ir import Guard, parse_expr, parse_program, program_to_str
 from repro.polyhedra import System, ge, var
 from repro.transform import skew
 from repro.util.errors import CodegenError

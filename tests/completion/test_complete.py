@@ -7,7 +7,7 @@ from repro.completion import complete_transformation
 from repro.dependence import analyze_dependences
 from repro.instance import Layout
 from repro.interp import check_equivalence
-from repro.ir import Loop, parse_program
+from repro.ir import parse_program
 from repro.legality import check_legality
 from repro.linalg import IntMatrix
 from repro.transform import permutation

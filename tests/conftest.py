@@ -1,6 +1,16 @@
-"""Shared fixtures: the paper's example programs and their layouts."""
+"""Shared fixtures: the paper's example programs and their layouts.
+
+Also registers hypothesis settings profiles.  CI exports
+``HYPOTHESIS_PROFILE=ci`` to get fully deterministic property tests
+(``derandomize=True``) with an explicit generous deadline so shared
+runners never flake on timing; the default profile keeps local runs
+randomized to maximize long-term case coverage.
+"""
 
 from __future__ import annotations
+
+import datetime
+import os
 
 import pytest
 
@@ -9,6 +19,23 @@ from repro.kernels import (
     augmentation_example, cholesky, lu_factorization, running_example,
     simplified_cholesky, triangular_solve,
 )
+
+try:
+    from hypothesis import settings
+except ImportError:  # hypothesis is an optional dev dependency
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=datetime.timedelta(seconds=5),
+        print_blob=True,
+    )
+    settings.register_profile(
+        "default", deadline=datetime.timedelta(seconds=5)
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

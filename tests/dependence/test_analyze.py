@@ -173,7 +173,6 @@ class TestEdgeCases:
             analyze_dependences(p)
 
     def test_param_assumptions_can_kill_dependences(self):
-        from repro.polyhedra import System, ge, le, var
 
         p = parse_program(
             "param N\nreal A(0:2*N)\ndo I = 1..N\n S1: A(I) = A(I+N)\nenddo"

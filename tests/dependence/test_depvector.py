@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dependence import DepEntry, DependenceMatrix, DepKind, DepVector
-from repro.instance import Layout
 from repro.util.errors import DependenceError
 
 

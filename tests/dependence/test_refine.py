@@ -1,7 +1,6 @@
 """Value-based dynamic refinement (recovering the paper's exact
 distances)."""
 
-import pytest
 
 from repro.dependence import (
     DepKind, analyze_dependences, ground_truth_kinded, observed_hulls,
@@ -9,7 +8,6 @@ from repro.dependence import (
 )
 from repro.interp import execute
 from repro.ir import parse_program
-from repro.kernels import cholesky, simplified_cholesky
 
 
 class TestGroundTruthKinded:

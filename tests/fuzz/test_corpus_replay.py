@@ -1,0 +1,70 @@
+"""Every committed corpus file must replay green: historical repros are
+regression tests forever (acceptance gate for the fuzz subsystem)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fuzz import (
+    FuzzCase, case_from_dict, case_to_dict, load_corpus, replay_entry,
+    save_repro,
+)
+from repro.fuzz.corpus import SCHEMA
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+
+def corpus_entries():
+    entries = load_corpus(CORPUS_DIR)
+    assert entries, f"regression corpus {CORPUS_DIR} must not be empty"
+    return entries
+
+
+@pytest.mark.parametrize(
+    "path,case,expect,record",
+    corpus_entries(),
+    ids=[p.name for p, *_ in corpus_entries()],
+)
+class TestReplay:
+    def test_replays_green(self, path, case, expect, record):
+        ok, detail = replay_entry(case, expect)
+        assert ok, f"{path.name}: {detail}"
+
+    def test_record_is_well_formed(self, path, case, expect, record):
+        assert record["schema"] == SCHEMA
+        assert expect in ("equivalent", "illegal-flagged")
+        assert case.program_src.strip()
+        assert case.kind in ("spec", "complete")
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        case = FuzzCase(
+            program_src="param N\ndo I = 1, N\n  S1: A(I) = f(I)\nenddo",
+            spec="reverse(I)",
+            params=(("M", 3), ("N", 4)),
+            note="roundtrip",
+        )
+        record = case_to_dict(case, expect="equivalent", detail="d", seed=9)
+        back, expect = case_from_dict(record)
+        assert back == case
+        assert expect == "equivalent"
+
+    def test_save_is_content_addressed_and_idempotent(self, tmp_path):
+        case = FuzzCase(program_src="param N\ndo I = 1, N\n  S1: A(I) = f(I)\nenddo",
+                        spec="reverse(I)")
+        p1 = save_repro(tmp_path, case, expect="equivalent")
+        p2 = save_repro(tmp_path, case, expect="equivalent")
+        assert p1 == p2
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        # metadata does not change the address; the payload does
+        p3 = save_repro(tmp_path, case.with_(spec="reverse(I); reverse(I)"),
+                        expect="equivalent")
+        assert p3 != p1
+
+    def test_corpus_files_are_normalized_json(self):
+        for path, *_ in corpus_entries():
+            record = json.loads(path.read_text())
+            expected = json.dumps(record, indent=2, sort_keys=True) + "\n"
+            assert path.read_text() == expected, f"{path.name} not normalized"

@@ -1,0 +1,135 @@
+"""Shrinker unit tests: monotonic size, fixed-point termination, and
+preservation of the failure predicate."""
+
+import pytest
+
+from repro.fuzz import FuzzCase, case_size, known_illegal_case, run_case, shrink_case
+from repro.fuzz.shrink import shrink_candidates
+from repro.ir import parse_program
+from repro.kernels import random_program
+from repro.ir.printer import program_to_str
+from repro.util.errors import ReproError
+
+
+def _case_from_seed(seed: int, spec: str, n: int = 4) -> FuzzCase:
+    return FuzzCase(
+        program_src=program_to_str(random_program(seed)),
+        spec=spec,
+        params=(("N", n),),
+    )
+
+
+class TestCandidates:
+    def test_candidates_are_strictly_smaller_or_filtered(self):
+        """shrink_case only accepts strictly smaller candidates; here we
+        check the generator itself mostly proposes smaller ones and every
+        proposal is well-formed enough to size."""
+        case = _case_from_seed(3, "reverse(V1); skew(V1,V2,-2)")
+        size = case_size(case)
+        candidates = list(shrink_candidates(case))
+        assert candidates, "a non-trivial case must have reductions"
+        for cand in candidates:
+            assert case_size(cand) < 10**9  # all parse
+        assert any(case_size(c) < size for c in candidates)
+
+    def test_candidate_programs_parse_and_validate(self):
+        case = _case_from_seed(7, "reverse(V1)")
+        for cand in shrink_candidates(case):
+            parse_program(cand.program_src, "cand")  # label/scope validation
+
+    def test_dropping_statement_drops_spec_ops_naming_it(self):
+        case = _case_from_seed(3, "align(S1,V1,1); reverse(V1)")
+        specs = {c.spec for c in shrink_candidates(case) if "S1:" not in c.program_src}
+        assert specs  # S1 was droppable
+        assert all("S1" not in s for s in specs)
+
+
+class TestShrinkEngine:
+    def test_monotonic_and_preserved_predicate(self):
+        """Every accepted step strictly decreases case_size, and the
+        minimum still satisfies the failure predicate."""
+        case = known_illegal_case(n=6)
+        target = run_case(case).verdict
+        assert target == "divergence-oracle"
+        accepted_sizes = [case_size(case)]
+
+        def failing(cand: FuzzCase) -> bool:
+            ok = run_case(cand).verdict == target
+            if ok:
+                accepted_sizes.append(case_size(cand))
+            return ok
+
+        minimal, steps = shrink_case(case, failing)
+        # the engine only evaluates candidates strictly smaller than the
+        # current case, so the chain of accepted sizes must be strictly
+        # decreasing
+        assert steps >= 1
+        assert case_size(minimal) < case_size(case)
+        assert run_case(minimal).verdict == target
+        assert all(
+            b < a for a, b in zip(accepted_sizes, accepted_sizes[1:])
+        ), accepted_sizes
+
+    def test_fixed_point_termination(self):
+        """Re-shrinking an already-minimal case accepts zero steps."""
+        case = known_illegal_case(n=6)
+        target = run_case(case).verdict
+        minimal, steps1 = shrink_case(case, lambda c: run_case(c).verdict == target)
+        again, steps2 = shrink_case(minimal, lambda c: run_case(c).verdict == target)
+        assert steps2 == 0
+        assert again == minimal
+
+    def test_attempt_budget_respected(self):
+        case = known_illegal_case(n=6)
+        target = run_case(case).verdict
+        calls = [0]
+
+        def failing(cand):
+            calls[0] += 1
+            return run_case(cand).verdict == target
+
+        shrink_case(case, failing, max_attempts=3)
+        assert calls[0] <= 3
+
+    def test_never_failing_case_is_returned_unchanged(self):
+        case = _case_from_seed(5, "reverse(V1)")
+        minimal, steps = shrink_case(case, lambda c: False)
+        assert steps == 0
+        assert minimal == case
+
+    def test_synthetic_predicate_structural_minimum(self):
+        """With a pipeline-free predicate ('program still contains S2'),
+        the shrinker must strip everything not needed to keep S2."""
+        case = _case_from_seed(3, "reverse(V1)")
+        assert "S2:" in case.program_src
+
+        def failing(cand: FuzzCase) -> bool:
+            try:
+                parse_program(cand.program_src, "p")
+            except ReproError:
+                return False
+            return "S2:" in cand.program_src
+
+        minimal, steps = shrink_case(case, failing)
+        assert steps >= 1
+        program = parse_program(minimal.program_src, "min")
+        assert [s.label for s in program.statements()] == ["S2"]
+        # every surviving loop is structurally required (top-level anchor)
+        assert len(program.all_loops()) <= 1
+
+
+class TestSizeMetric:
+    def test_positive_and_sensitive(self):
+        small = known_illegal_case(n=2)
+        large = _case_from_seed(3, "reverse(V1); skew(V1,V2,-2)", n=5)
+        assert 0 < case_size(small) < case_size(large)
+
+    def test_unparseable_is_worst(self):
+        junk = FuzzCase(program_src="do I = ", spec="reverse(I)")
+        assert case_size(junk) == 10**9
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_param_shrink_reflected(self, n):
+        base = known_illegal_case(n=n)
+        if n > 2:
+            assert case_size(known_illegal_case(n=n - 1)) < case_size(base)

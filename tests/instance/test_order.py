@@ -1,6 +1,5 @@
 """Theorem 1 as executable tests: L is one-to-one and order-preserving."""
 
-import itertools
 
 from hypothesis import given, settings, strategies as st
 

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.cli import main, parse_spec
-from repro.instance import Layout
-from repro.kernels import simplified_cholesky
 from repro.util.errors import ReproError
 
 SRC = """param N

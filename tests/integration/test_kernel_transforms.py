@@ -74,7 +74,7 @@ def test_matmul_fully_permutable():
         # realize the permutation as a product of interchanges
         t = None
         current = ["I", "J", "K"]
-        from repro.transform import compose, identity
+        from repro.transform import identity
 
         t = identity(layout)
         for target_pos, v in enumerate(perm):

@@ -8,9 +8,7 @@ from repro.codegen import generate_code
 from repro.codegen.simplify import simplify_program
 from repro.completion import complete_transformation
 from repro.dependence import analyze_dependences
-from repro.instance import (
-    DynamicInstance, Layout, check_order_isomorphism, instance_vector,
-)
+from repro.instance import DynamicInstance, Layout, instance_vector
 from repro.interp import ArrayStore, execute, execute_compiled, outputs_close
 from repro.ir import program_to_str
 from repro.kernels import cholesky, running_example

@@ -1,15 +1,14 @@
 """End-to-end reproduction of the paper's worked examples (E1-E9)."""
 
 import numpy as np
-import pytest
 
 from repro import (
     IntMatrix, Layout, analyze_dependences, check_equivalence, check_legality,
-    complete_transformation, generate_code, parse_program, peel_iteration,
-    permutation, program_to_str, simplify_program, skew, symbolic_vector,
+    complete_transformation, generate_code, peel_iteration, program_to_str,
+    simplify_program, skew, symbolic_vector,
 )
 from repro.interp import ArrayStore, execute, outputs_close
-from repro.kernels import CHOLESKY_VARIANTS, cholesky, cholesky_variant
+from repro.kernels import CHOLESKY_VARIANTS, cholesky_variant
 from repro.polyhedra import System, ge, var
 
 ASSUME = System([ge(var("N"), 1)])

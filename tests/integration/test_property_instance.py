@@ -8,7 +8,6 @@ from repro.instance import (
     DynamicInstance, Layout, check_order_isomorphism, from_vector,
     instance_vector,
 )
-from repro.instance.layout import EdgeCoord, LoopCoord
 from repro.instance.order import injectivity_violations
 from repro.interp import execute
 from repro.kernels import random_program

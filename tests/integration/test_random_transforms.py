@@ -13,7 +13,7 @@ from repro import (
 )
 from repro.kernels import random_program
 from repro.transform import (
-    alignment, compose, identity, permutation, reversal, skew, statement_reorder,
+    alignment, identity, permutation, reversal, skew, statement_reorder,
 )
 from repro.util.errors import ReproError, TransformError
 

@@ -1,11 +1,10 @@
 """Equivalence oracles and the trace-based dependence ground truth."""
 
 import numpy as np
-import pytest
 
 from repro.interp import (
-    check_equivalence, dependences_preserved, execute, ground_truth_dependences,
-    outputs_close, same_instances,
+    check_equivalence, execute, ground_truth_dependences, outputs_close,
+    same_instances,
 )
 from repro.interp.equivalence import instance_keys
 from repro.ir import parse_program

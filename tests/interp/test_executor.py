@@ -5,7 +5,7 @@ import pytest
 
 from repro.interp import ArrayStore, execute
 from repro.ir import Guard, parse_program
-from repro.polyhedra import eq, ge0, var
+from repro.polyhedra import eq, var
 from repro.util.errors import InterpError
 
 

@@ -6,7 +6,7 @@ from repro.ir import (
     ArrayDecl, BoundSet, Guard, HullBound, IntLit, Loop, Program, Statement,
     VarRef, parse_program, simplify_hull,
 )
-from repro.ir.expr import ArrayRef, BinOp
+from repro.ir.expr import ArrayRef
 from repro.polyhedra import ge0, var
 from repro.polyhedra.bounds import Bound
 from repro.util.errors import IRError

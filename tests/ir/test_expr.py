@@ -3,8 +3,8 @@
 import pytest
 
 from repro.ir import (
-    ArrayRef, BinOp, Call, FloatLit, IntLit, UnaryOp, VarRef, affine_to_expr,
-    as_affine, parse_expr,
+    BinOp, Call, IntLit, UnaryOp, VarRef, affine_to_expr, as_affine,
+    parse_expr,
 )
 from repro.polyhedra import LinExpr, var
 from repro.util.errors import IRError

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.ir import (
-    ArrayRef, BinOp, Call, IntLit, Loop, Statement, UnaryOp, VarRef,
-    parse_expr, parse_program, program_to_str,
+    ArrayRef, BinOp, Call, Loop, UnaryOp, VarRef, parse_expr, parse_program,
+    program_to_str,
 )
 from repro.util.errors import ParseError
 

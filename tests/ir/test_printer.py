@@ -1,10 +1,9 @@
 """Pretty-printer tests."""
 
-import pytest
 
 from repro.ir import (
-    BoundSet, ExprCondition, Guard, HullBound, IntLit, Loop, Program,
-    Statement, VarRef, node_to_str, parse_expr, parse_program, program_to_str,
+    BoundSet, ExprCondition, Guard, HullBound, IntLit, Loop, Statement,
+    VarRef, node_to_str, parse_expr, parse_program, program_to_str,
 )
 from repro.ir.expr import ArrayRef
 from repro.polyhedra import eq, ge0, var

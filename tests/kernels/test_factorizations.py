@@ -1,13 +1,24 @@
 """Kernel corpus correctness: the six Cholesky orders, LU, solves."""
 
+import os
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro.interp import ArrayStore, execute
+from repro.ir import program_to_str
 from repro.kernels import (
     CHOLESKY_VARIANTS, cholesky, cholesky_variant, forward_substitution,
     lu_factorization, matmul, triangular_solve,
 )
+
+
+def _src_path() -> str:
+    """The repo's src/ directory, for PYTHONPATH in subprocess tests."""
+    import repro
+
+    return str(pathlib.Path(repro.__file__).resolve().parent.parent)
 
 
 @pytest.fixture(scope="module")
@@ -55,7 +66,6 @@ class TestCholeskyVariants:
 
 class TestLU:
     def test_lu_matches_scipy(self):
-        import scipy.linalg
 
         p = lu_factorization()
         base = ArrayStore(p, {"N": 7}).snapshot()
@@ -116,6 +126,61 @@ class TestGenerator:
         p = random_program(seed)
         store, t = execute(p, {"N": 5}, trace=True)
         assert len(t) >= 1
+
+    def test_deterministic_across_processes(self):
+        """Same seed ⇒ identical printed program even in a fresh process
+        (guards against module-level random.* or hash-salt leakage that
+        would make --jobs fuzzing irreproducible per-seed)."""
+        import subprocess
+        import sys
+
+        from repro.kernels import random_program
+
+        code = (
+            "from repro.kernels import random_program\n"
+            "from repro.ir import program_to_str\n"
+            "for s in (0, 7, 23):\n"
+            "    for shape in ('mixed', 'perfect', 'deep', 'triangular', 'multi'):\n"
+            "        print(program_to_str(random_program(s, shape=shape)))\n"
+            "        print('===')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONPATH": _src_path(), "PYTHONHASHSEED": "random"},
+        ).stdout
+        expected = []
+        for s in (0, 7, 23):
+            for shape in ("mixed", "perfect", "deep", "triangular", "multi"):
+                expected.append(program_to_str(random_program(s, shape=shape)))
+                expected.append("===")
+        assert out.rstrip("\n") == "\n".join(expected)
+
+    def test_array_init_deterministic_across_processes(self):
+        """default_init must not depend on the per-process str hash salt."""
+        import subprocess
+        import sys
+
+        from repro.interp.executor import default_init
+
+        code = (
+            "from repro.interp.executor import default_init\n"
+            "print(repr(default_init('R0', (3,)).tolist()))\n"
+        )
+        outs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONPATH": _src_path(), "PYTHONHASHSEED": seed},
+            ).stdout
+            for seed in ("0", "1", "random")
+        }
+        assert len(outs) == 1
+        assert outs.pop().strip() == repr(default_init("R0", (3,)).tolist())
 
     @pytest.mark.parametrize("seed", range(5))
     def test_generated_programs_analyzable(self, seed):

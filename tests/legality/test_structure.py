@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.instance import Layout
 from repro.legality import recover_structure
 from repro.linalg import IntMatrix
-from repro.transform import permutation, skew, statement_reorder
+from repro.transform import skew, statement_reorder
 from repro.util.errors import CodegenError
 
 

@@ -1,0 +1,121 @@
+"""Unit tests for the benchmark regression gate (benchmarks/compare.py)."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR.parent))
+
+from benchmarks.compare import compare_results, main  # noqa: E402
+
+
+def result(bench_means=(), spans=()):
+    return {
+        "schema": 1,
+        "benchmarks": [
+            {"name": name, "mean_s": mean_s} for name, mean_s in bench_means
+        ],
+        "pipeline": {"span_last_ns": dict(spans)},
+    }
+
+
+class TestCompareResults:
+    def test_clean_when_identical(self):
+        payload = result(
+            bench_means=[("t_a", 0.01)], spans=[("codegen.generate", 5_000_000)]
+        )
+        regressions, compared, skipped = compare_results(payload, payload)
+        assert not regressions
+        assert len(compared) == 2
+        assert not skipped
+
+    def test_flags_over_factor_regression(self):
+        base = result(spans=[("dependence.analyze", 10_000_000)])
+        fresh = result(spans=[("dependence.analyze", 25_000_000)])
+        regressions, _, _ = compare_results(base, fresh, factor=2.0)
+        assert [r.metric for r in regressions] == ["pipeline:dependence.analyze"]
+        assert regressions[0].ratio == pytest.approx(2.5)
+
+    def test_within_factor_passes(self):
+        base = result(bench_means=[("t", 0.010)])
+        fresh = result(bench_means=[("t", 0.019)])
+        regressions, _, _ = compare_results(base, fresh, factor=2.0)
+        assert not regressions
+
+    def test_sub_floor_noise_ignored(self):
+        """A 40us span tripling is scheduler noise, not a regression."""
+        base = result(spans=[("interp.cache_sim", 40_000)])
+        fresh = result(spans=[("interp.cache_sim", 120_000)])
+        regressions, compared, _ = compare_results(base, fresh)
+        assert compared and not regressions
+
+    def test_one_sided_metrics_skipped_not_failed(self):
+        base = result(bench_means=[("old_bench", 0.01)])
+        fresh = result(bench_means=[("new_bench", 9.99)])
+        regressions, compared, skipped = compare_results(base, fresh)
+        assert not regressions
+        assert not compared
+        assert skipped == ["bench:new_bench", "bench:old_bench"]
+
+    def test_improvements_never_fail(self):
+        base = result(spans=[("codegen.generate", 50_000_000)])
+        fresh = result(spans=[("codegen.generate", 5_000_000)])
+        regressions, _, _ = compare_results(base, fresh)
+        assert not regressions
+
+
+class TestCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        payload = result(spans=[("codegen.generate", 5_000_000)])
+        rc = main(
+            [
+                self._write(tmp_path, "base.json", payload),
+                self._write(tmp_path, "fresh.json", payload),
+            ]
+        )
+        assert rc == 0
+        assert "benchmark gate passed" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base = result(spans=[("codegen.generate", 5_000_000)])
+        fresh = result(spans=[("codegen.generate", 50_000_000)])
+        rc = main(
+            [
+                self._write(tmp_path, "base.json", base),
+                self._write(tmp_path, "fresh.json", fresh),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "REGRESSION" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_missing_file_exit_two(self, tmp_path, capsys):
+        rc = main([str(tmp_path / "nope.json"), str(tmp_path / "nada.json")])
+        assert rc == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_factor_flag_respected(self, tmp_path):
+        base = result(spans=[("codegen.generate", 5_000_000)])
+        fresh = result(spans=[("codegen.generate", 12_000_000)])
+        argv = [
+            self._write(tmp_path, "base.json", base),
+            self._write(tmp_path, "fresh.json", fresh),
+        ]
+        assert main(argv) == 1
+        assert main(argv + ["--factor", "3.0"]) == 0
+
+    def test_gate_accepts_committed_baseline_format(self, tmp_path, capsys):
+        """The real committed BENCH_result.json must be self-comparable."""
+        committed = BENCH_DIR.parent / "BENCH_result.json"
+        rc = main([str(committed), str(committed)])
+        assert rc == 0
+        assert "compared" in capsys.readouterr().out

@@ -116,7 +116,7 @@ class TestAblationA2:
         ],
     )
     def test_agreement_on_perfect_nests(self, cols, matrix_rows, expect):
-        from repro.dependence import DependenceMatrix, DepVector, analyze_dependences
+        from repro.dependence import DependenceMatrix, DepVector
         from repro.instance import Layout
         from repro.ir import parse_program
         from repro.legality import check_legality

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.polyhedra import Constraint, Feasibility, System, eq, ge, ge0, le, var
+from repro.polyhedra import Feasibility, System, eq, ge, ge0, le, var
 from repro.polyhedra.constraint import eq0, gt, lt
 from repro.util.errors import PolyhedronError
 

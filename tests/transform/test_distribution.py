@@ -5,7 +5,6 @@ import pytest
 from repro.dependence import analyze_dependences
 from repro.interp import ArrayStore, execute, outputs_close
 from repro.ir import Loop, parse_program
-from repro.linalg import IntMatrix
 from repro.transform import (
     distribute, distribution_legal, distribution_matrix, jam, jamming_matrix,
 )

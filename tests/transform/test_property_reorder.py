@@ -1,9 +1,7 @@
 """Property tests: statement reordering and structure recovery are
 mutually inverse on random programs."""
 
-import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.instance import Layout
