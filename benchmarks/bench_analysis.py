@@ -86,6 +86,44 @@ def test_e14_transformation_search(benchmark, chol):
     assert results[0].lead_var == "L"
 
 
+def test_e15_reuse_distance_engine(benchmark, chol):
+    """Guard for the O(n log n) Fenwick reuse-distance engine: correct
+    against the textbook O(n²) LRU stack on a modest trace, benchmarked
+    on a long one (compare.py's wall-clock gate catches regressions —
+    the old ``stack.index`` scan was ~50x slower at this trace length)."""
+    import numpy as np
+
+    from repro.analysis.locality import reuse_distances
+    from repro.interp import execute
+    from repro.interp.cache import trace_addresses
+
+    def naive(trace, store, line_bytes=64):
+        lines = (trace_addresses(trace, store) // line_bytes).tolist()
+        stack, seen = [], set()
+        out = np.empty(len(lines), dtype=np.int64)
+        for i, ln in enumerate(lines):
+            if ln in seen:
+                idx = stack.index(ln)
+                out[i] = len(stack) - 1 - idx
+                stack.pop(idx)
+            else:
+                out[i] = -1
+                seen.add(ln)
+            stack.append(ln)
+        return out
+
+    small_store, small_trace = execute(chol, {"N": 12}, trace=True)
+    assert np.array_equal(
+        reuse_distances(small_trace, small_store), naive(small_trace, small_store)
+    )
+
+    store, trace = execute(chol, {"N": 40}, trace=True)
+    distances = benchmark(reuse_distances, trace, store)
+    print(f"\n[E15] reuse distances over {len(distances)} accesses "
+          f"(cold fraction {float((distances < 0).mean()):.3f})")
+    assert len(distances) > 40_000
+
+
 def test_e12_wavefront_parallelization(benchmark):
     """§7's point in action on Gauss–Seidel: no loop is parallel as
     written; after a legal skew the inner loop is DOALL — found by

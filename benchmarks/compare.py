@@ -21,6 +21,13 @@ Metrics present on only one side are reported but never fail the gate
 (benchmarks come and go across PRs).  Timings below ``--min-ns`` are
 skipped: a 40us span doubling to 80us is scheduler noise, not a
 regression.
+
+A third, absolute gate reads the fresh result's ``backend`` table (the
+E16 execution-backend comparison, see benchmarks/bench_backend.py):
+every ``source``/``source-vec`` row must be output-equivalent to the
+reference interpreter (``ok``) and at least as fast (speedup >= 1).
+This one needs no baseline — a lowered kernel slower than the tree
+walker it replaces is wrong on any machine.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Comparison", "compare_results", "main"]
+__all__ = ["Comparison", "compare_results", "backend_gate", "backend_table", "main"]
 
 DEFAULT_FACTOR = 2.0
 DEFAULT_MIN_NS = 1_000_000  # ignore sub-millisecond timings entirely
@@ -93,6 +100,44 @@ def compare_results(
     return regressions, compared, uncomparable
 
 
+def backend_gate(fresh: dict) -> list[str]:
+    """Absolute checks on the E16 backend table; returns failures."""
+    failures = []
+    for row in fresh.get("backend", []):
+        name = f"{row.get('kernel')}/{row.get('backend')}"
+        if row.get("backend") not in ("source", "source-vec"):
+            continue
+        if row.get("error"):
+            failures.append(f"{name}: backend error: {row['error']}")
+        elif row.get("ok") is not True:
+            failures.append(f"{name}: outputs differ from reference")
+        elif not (isinstance(row.get("speedup"), (int, float)) and row["speedup"] >= 1.0):
+            failures.append(
+                f"{name}: lowered code slower than the reference "
+                f"interpreter ({row.get('speedup')}x)"
+            )
+    return failures
+
+
+def backend_table(fresh: dict) -> str:
+    """The E16 table as a GitHub-flavoured markdown summary."""
+    rows = fresh.get("backend", [])
+    if not rows:
+        return ""
+    lines = [
+        "| kernel | backend | seconds | speedup | ok |",
+        "|---|---|---:|---:|---|",
+    ]
+    for r in rows:
+        secs = f"{r['seconds']:.6f}" if isinstance(r.get("seconds"), (int, float)) else "-"
+        speed = f"{r['speedup']:.2f}x" if isinstance(r.get("speedup"), (int, float)) else "-"
+        ok = {True: "yes", False: "NO", None: "-"}[r.get("ok")]
+        lines.append(
+            f"| {r.get('kernel')} | {r.get('backend')} | {secs} | {speed} | {ok} |"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="compare.py", description="benchmark regression gate"
@@ -111,6 +156,13 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_MIN_NS,
         help="ignore metrics where both sides are below this many ns "
         f"(default {int(DEFAULT_MIN_NS)})",
+    )
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        help="append the E16 backend speedup table (markdown) to this "
+        "file — CI points it at $GITHUB_STEP_SUMMARY",
     )
     args = parser.parse_args(argv)
 
@@ -134,10 +186,22 @@ def main(argv: list[str] | None = None) -> int:
         for name in uncomparable:
             print(f"  [   skipped] {name}")
 
-    if regressions:
+    backend_failures = backend_gate(fresh)
+    table = backend_table(fresh)
+    if table:
+        print("\nexecution-backend comparison (E16):")
+        print(table)
+    for failure in backend_failures:
+        print(f"  [BACKEND FAIL] {failure}")
+    if args.summary is not None and table:
+        with args.summary.open("a") as f:
+            f.write("### Execution-backend speedups (E16)\n\n" + table + "\n")
+
+    if regressions or backend_failures:
         print(
             f"FAIL: {len(regressions)} metric(s) regressed beyond "
-            f"{args.factor:.1f}x",
+            f"{args.factor:.1f}x, {len(backend_failures)} backend gate "
+            "failure(s)",
             file=sys.stderr,
         )
         return 1

@@ -22,7 +22,10 @@ import platform
 import sys
 from pathlib import Path
 
-__all__ = ["collect_pipeline_counters", "collect_benchmark_stats", "write_bench_result"]
+__all__ = [
+    "collect_pipeline_counters", "collect_backend_speedups",
+    "collect_benchmark_stats", "write_bench_result",
+]
 
 RESULT_NAME = "BENCH_result.json"
 
@@ -60,6 +63,32 @@ def collect_pipeline_counters() -> dict:
             for sp, _ in root.walk()
         }
     return {"counters": counters, "gauges": gauges, "span_last_ns": span_ns}
+
+
+def collect_backend_speedups() -> list[dict]:
+    """The execution-backend comparison table (E16): wall clock and
+    speedup-vs-reference for every backend on a dense factorization and
+    a stencil.  ``compare.py`` gates on the ``source`` rows staying at
+    least as fast as the reference interpreter."""
+    from repro.backend import bench_backends
+    from repro.kernels import cholesky, jacobi_1d
+
+    rows = []
+    for program, params in (
+        (cholesky(), {"N": 40}),
+        (jacobi_1d(), {"N": 1000, "T": 10}),
+    ):
+        for r in bench_backends(program, params, repeat=2):
+            rows.append({
+                "kernel": program.name,
+                "params": dict(params),
+                "backend": r.backend,
+                "seconds": None if r.error else r.seconds,
+                "speedup": r.speedup,
+                "ok": r.ok,
+                "error": r.error,
+            })
+    return rows
 
 
 def collect_benchmark_stats(config) -> list[dict]:
@@ -100,6 +129,7 @@ def write_bench_result(config, path: str | Path | None = None) -> Path:
         "platform": platform.platform(),
         "benchmarks": collect_benchmark_stats(config),
         "pipeline": collect_pipeline_counters(),
+        "backend": collect_backend_speedups(),
     }
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return target

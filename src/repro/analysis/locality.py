@@ -21,22 +21,45 @@ def reuse_distances(trace: Trace, store: ArrayStore, line_bytes: int = 64) -> np
 
     Computed over cache lines, so spatial locality counts: touching the
     neighbour of a recently used element is a distance-0 reuse.
+
+    Uses the classic Fenwick-tree formulation (Olken/Bennett–Kruskal):
+    a bit is set at the position of the *most recent* access of each
+    line, so the stack distance of an access at position ``i`` whose
+    line was last touched at ``q`` is the number of set bits strictly
+    between them — O(n log n) overall, vs the O(n²) ``stack.index``
+    scan this replaced (benchmarks/bench_analysis.py guards it).
     """
     addrs = trace_addresses(trace, store)
     lines = (addrs // line_bytes).tolist()
-    stack: list[int] = []
-    seen: set[int] = set()
-    out = np.empty(len(lines), dtype=np.int64)
+    n = len(lines)
+    out = np.empty(n, dtype=np.int64)
+    tree = [0] * (n + 1)
+
+    def add(pos: int, delta: int) -> None:
+        pos += 1
+        while pos <= n:
+            tree[pos] += delta
+            pos += pos & -pos
+
+    def prefix(pos: int) -> int:  # set bits in [0, pos]
+        pos += 1
+        total = 0
+        while pos > 0:
+            total += tree[pos]
+            pos -= pos & -pos
+        return total
+
+    last: dict[int, int] = {}
     for i, ln in enumerate(lines):
-        if ln in seen:
-            # distance = number of distinct lines above it on the stack
-            idx = stack.index(ln)
-            out[i] = len(stack) - 1 - idx
-            stack.pop(idx)
-        else:
+        q = last.get(ln)
+        if q is None:
             out[i] = -1
-            seen.add(ln)
-        stack.append(ln)
+        else:
+            # distinct lines touched since q = set bits in (q, i)
+            out[i] = prefix(i - 1) - prefix(q)
+            add(q, -1)
+        add(i, 1)
+        last[ln] = i
     return out
 
 

@@ -39,10 +39,11 @@ from repro.completion import complete_transformation
 from repro.dependence import analyze_dependences, refine_dependences
 from repro.instance import Layout, symbolic_vector
 from repro.interp import execute
-from repro.ir import parse_program, program_to_str
+from repro.ir import Program, parse_program, program_to_str
 from repro.legality import check_legality
 from repro.linalg import IntMatrix
 from repro.polyhedra import System, ge, var
+from repro.backend import BACKENDS as _BACKEND_CHOICES
 from repro.transform.spec import parse_spec
 from repro.util.errors import ReproError
 
@@ -55,11 +56,36 @@ def _load(path: str):
     return parse_program(src, path)
 
 
+def _load_flexible(name: str):
+    """Resolve a program argument: a file path, a path missing its
+    ``.loop`` extension, or a bundled kernel name (``repro.kernels``)."""
+    import os
+
+    for candidate in (name, name + ".loop"):
+        if os.path.isfile(candidate):
+            return _load(candidate)
+    base = os.path.basename(name)
+    from repro import kernels
+
+    factory = getattr(kernels, base, None)
+    if callable(factory) and not base.startswith("_"):
+        try:
+            program = factory()
+        except TypeError:
+            program = None
+        if isinstance(program, Program):
+            return program
+    raise ReproError(f"no such file or bundled kernel: {name!r}")
+
+
 def _params(pairs: list[str]) -> dict[str, int]:
     out = {}
     for p in pairs or []:
-        k, _, v = p.partition("=")
-        out[k] = int(v)
+        for item in p.split(","):
+            if not item:
+                continue
+            k, _, v = item.partition("=")
+            out[k.strip()] = int(v)
     return out
 
 
@@ -136,7 +162,15 @@ def cmd_complete(args) -> int:
 
 def cmd_run(args) -> int:
     program = _load(args.file)
-    store, trace = execute(program, _params(args.param), trace=args.trace)
+    trace = None
+    if args.backend == "reference":
+        store, trace = execute(program, _params(args.param), trace=args.trace)
+    else:
+        if args.trace:
+            raise ReproError("--trace requires --backend reference")
+        from repro.backend import run as backend_run
+
+        store = backend_run(program, _params(args.param), backend=args.backend)
     for name, arr in store.arrays.items():
         print(f"{name} =")
         with np.printoptions(precision=4, suppress=True, linewidth=100):
@@ -144,6 +178,47 @@ def cmd_run(args) -> int:
     if trace is not None:
         print(f"\n{len(trace)} statement instances executed")
     return 0
+
+
+def cmd_bench(args) -> int:
+    """Wall-clock comparison of the execution backends on one program,
+    with every backend's outputs cross-checked against the reference."""
+    from repro.backend import BACKENDS, bench_backends
+
+    program = _load_flexible(args.file)
+    params = _params(args.param) or {p: 40 for p in program.params}
+    backends = tuple(args.backend) if args.backend else BACKENDS
+    rows = bench_backends(program, params, backends=backends, repeat=args.repeat)
+    print(f"program {program.name}  params {params}  (best of {args.repeat})")
+    print(f"{'backend':<12} {'seconds':>12} {'speedup':>9}  ok")
+    failed = False
+    for r in rows:
+        if r.error:
+            print(f"{r.backend:<12} {'-':>12} {'-':>9}  error: {r.error}")
+            failed = True
+            continue
+        speed = f"{r.speedup:.2f}x" if r.speedup is not None else "1.00x"
+        ok = "-" if r.ok is None else ("yes" if r.ok else "NO")
+        print(f"{r.backend:<12} {r.seconds:>12.6f} {speed:>9}  {ok}")
+        if r.ok is False:
+            failed = True
+    if args.json:
+        import json
+
+        payload = [
+            {
+                "backend": r.backend,
+                "seconds": None if r.error else r.seconds,
+                "speedup": r.speedup,
+                "ok": r.ok,
+                "error": r.error,
+            }
+            for r in rows
+        ]
+        with open(args.json, "w") as f:
+            json.dump({"program": program.name, "params": params, "rows": payload}, f, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
 
 
 def cmd_report(args) -> int:
@@ -174,9 +249,13 @@ def cmd_report(args) -> int:
         verdict = "splittable" if len(groups) > 1 else "unsplittable"
         print(f"  loop {node.var}@{path}: {groups} ({verdict})")
     params = _params(args.param) or {p: 16 for p in program.params}
-    print(f"\n=== loop-order search (params {params}) ===")
+    backend = getattr(args, "backend", None)
+    ranking = f", ranked by {backend} wall clock" if backend else ""
+    print(f"\n=== loop-order search (params {params}{ranking}) ===")
     try:
-        results = search_loop_orders(program, params, verify=False, jobs=args.jobs)
+        results = search_loop_orders(
+            program, params, verify=False, jobs=args.jobs, backend=backend
+        )
     except Exception as exc:  # pragma: no cover - workload-dependent
         print(f"  search unavailable: {exc}")
         results = []
@@ -204,6 +283,7 @@ def cmd_fuzz(args) -> int:
         minimize=args.minimize,
         inject=inject,
         strict_illegal=args.strict_illegal,
+        backends=tuple(args.backend or ()),
     )
     print(session.summary())
     if not session.ok:
@@ -295,9 +375,34 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("run", help="interpret a program", parents=[obsflags])
     p.add_argument("file")
-    p.add_argument("-p", "--param", action="append", help="e.g. N=8")
+    p.add_argument("-p", "--param", "--params", action="append", dest="param",
+                   help="e.g. N=8 or N=8,M=4")
     p.add_argument("--trace", action="store_true")
+    p.add_argument(
+        "--backend",
+        default="reference",
+        choices=_BACKEND_CHOICES,
+        help="execution backend (see docs/BACKENDS.md)",
+    )
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "bench",
+        help="wall-clock comparison of the execution backends",
+        parents=[obsflags],
+    )
+    p.add_argument("file", help="a .loop file (extension optional) or bundled kernel name")
+    p.add_argument("-p", "--param", "--params", action="append", dest="param",
+                   help="e.g. N=60 or N=60,M=4")
+    p.add_argument(
+        "--backend",
+        action="append",
+        choices=_BACKEND_CHOICES,
+        help="backend to time (repeatable; default: all)",
+    )
+    p.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    p.add_argument("--json", metavar="PATH", help="also write the table as JSON")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("parallel", help="per-loop DOALL verdicts")
     p.add_argument("file")
@@ -335,13 +440,28 @@ def main(argv: list[str] | None = None) -> int:
         help="treat rejected-but-equivalent transformations (legality "
         "precision gaps) as divergences",
     )
+    p.add_argument(
+        "--backend",
+        action="append",
+        choices=("compiled", "source", "source-vec"),
+        help="also cross-check every legal case's execution against this "
+        "backend (repeatable; see docs/BACKENDS.md)",
+    )
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(
         "report", help="full analysis report", parents=[obsflags, jobsflags]
     )
     p.add_argument("file")
-    p.add_argument("-p", "--param", action="append", help="e.g. N=16")
+    p.add_argument("-p", "--param", "--params", action="append", dest="param",
+                   help="e.g. N=16 or N=16,M=4")
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=_BACKEND_CHOICES,
+        help="rank the loop-order search by measured wall clock on this "
+        "backend instead of simulated cache misses",
+    )
     p.set_defaults(fn=cmd_report)
 
     args = parser.parse_args(argv)

@@ -273,8 +273,21 @@ def generate_code(
         if isinstance(node, Statement):
             plan = plans[node.label]
             inner: Node = node.substituted(plan.rewrite)
-            # augmented innermost loops, inside-out
             n_shared = len(plan.loop_names)
+            conds = _residual_guards(plan, plans, skeleton, name_of, depth_of_stmt=n_shared)
+            all_conds = tuple(plan.lattice_conditions) + tuple(conds)
+            # a condition mentioning an augmented loop variable is only
+            # evaluable inside that loop; the rest hoist above them
+            extra = set(plan.extra_names)
+            inner_conds = tuple(
+                c for c in all_conds if set(c.expr.variables()) & extra
+            )
+            outer_conds = tuple(c for c in all_conds if c not in inner_conds)
+            if all_conds:
+                counter("codegen.guards_emitted", len(all_conds))
+            if inner_conds:
+                inner = Guard(inner_conds, (inner,))
+            # augmented innermost loops, inside-out
             for lvl in reversed(range(n_shared, n_shared + len(plan.extra_names))):
                 lb = plan.bounds[lvl]
                 inner = Loop(
@@ -283,11 +296,8 @@ def generate_code(
                     BoundSet(lb.uppers, False),
                     (inner,),
                 )
-            conds = _residual_guards(plan, plans, skeleton, name_of, depth_of_stmt=n_shared)
-            all_conds = tuple(plan.lattice_conditions) + tuple(conds)
-            if all_conds:
-                counter("codegen.guards_emitted", len(all_conds))
-                inner = Guard(all_conds, (inner,))
+            if outer_conds:
+                inner = Guard(outer_conds, (inner,))
             return inner
         assert isinstance(node, Loop)
         under = [s.label for s in node.statements()]

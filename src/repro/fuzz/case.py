@@ -36,8 +36,9 @@ __all__ = [
 ]
 
 #: Contract violations: the pipeline produced wrong code for a
-#: transformation it accepted (or was told to accept), or crashed.
-DIVERGENCE_VERDICTS = ("divergence-oracle", "divergence-crash")
+#: transformation it accepted (or was told to accept), crashed, or an
+#: execution backend disagreed with the reference interpreter.
+DIVERGENCE_VERDICTS = ("divergence-oracle", "divergence-crash", "divergence-backend")
 
 #: Outcomes that uphold the two-sided contract.
 PASS_VERDICTS = (
@@ -62,6 +63,7 @@ class FuzzCase:
     params: tuple[tuple[str, int], ...] = (("N", 4),)
     claim_legal: bool = False           # force codegen as if legal (injection)
     note: str = ""                      # free-form provenance
+    backends: tuple[str, ...] = ()      # cross-backend differential oracle
 
     def params_dict(self) -> dict[str, int]:
         return dict(self.params)
@@ -70,7 +72,8 @@ class FuzzCase:
         t = self.spec if self.kind == "spec" else f"complete(lead={self.lead})"
         p = ", ".join(f"{k}={v}" for k, v in self.params)
         claimed = " [claimed legal]" if self.claim_legal else ""
-        return f"{t} @ {{{p}}}{claimed}"
+        vs = f" [vs {', '.join(self.backends)}]" if self.backends else ""
+        return f"{t} @ {{{p}}}{claimed}{vs}"
 
     def with_(self, **changes) -> "FuzzCase":
         return replace(self, **changes)
@@ -133,6 +136,14 @@ def run_case(case: FuzzCase, *, strict_illegal: bool = False) -> CaseResult:
 
 def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
     program = parse_program(case.program_src, "fuzz_case")
+
+    # -- cross-backend oracle on the source program --------------------
+    if case.backends:
+        detail = _backend_divergence(program, case.params_dict(), case.backends)
+        if detail is not None:
+            counter("fuzz.divergences")
+            return CaseResult(case, "divergence-backend", f"source program: {detail}")
+
     layout = Layout(program)
     deps = analyze_dependences(program, layout=layout)
 
@@ -178,6 +189,15 @@ def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
         rep = check_equivalence(
             program, g.program, case.params_dict(), env_map=g.env_map()
         )
+        if rep["ok"] and case.backends:
+            # guard-heavy generated code is the interesting lowering input
+            detail = _backend_divergence(g.program, case.params_dict(), case.backends)
+            if detail is not None:
+                counter("fuzz.divergences")
+                return CaseResult(
+                    case, "divergence-backend", f"generated program: {detail}",
+                    legal=legal, oracle=rep,
+                )
         if rep["ok"]:
             if legal:
                 return CaseResult(case, "pass-legal", legal=True, oracle=rep)
@@ -219,6 +239,48 @@ def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
         "rejected transformation is equivalent on this input (precision gap)",
         legal=False, oracle=rep,
     )
+
+
+def _backend_divergence(program, params: dict, backends: tuple[str, ...]) -> str | None:
+    """Cross-backend differential oracle.
+
+    Runs ``program`` through the reference interpreter and through each
+    requested backend on identical inputs; returns a human-readable
+    detail string on the first disagreement, or ``None``.  Comparison is
+    sound only when the reference run succeeds: reference success means
+    every subscript was in its declared range, so an unchecked backend
+    executes the same accesses.  A :class:`BackendError` (the lowering
+    refusing a program, e.g. reserved identifiers) is a skip, not a
+    divergence.
+    """
+    from repro.backend import run as backend_run
+    from repro.interp import execute
+    from repro.interp.equivalence import outputs_close
+    from repro.util.errors import BackendError
+
+    try:
+        ref, _ = execute(program, params)
+    except ReproError:
+        counter("fuzz.backend_skips")
+        return None
+    ref_out = ref.snapshot()
+    for b in backends:
+        counter(f"fuzz.backend_checks.{b}")
+        try:
+            store = backend_run(program, params, backend=b)
+        except BackendError:
+            counter("fuzz.backend_skips")
+            continue
+        except ReproError as exc:
+            return f"backend {b} raised {type(exc).__name__}: {exc}"
+        if not outputs_close(ref_out, store.snapshot()):
+            return f"backend {b}: final array contents differ from reference"
+        if set(store.scalars) != set(ref.scalars) or any(
+            abs(store.scalars[k] - v) > 1e-9 * max(1.0, abs(v))
+            for k, v in ref.scalars.items()
+        ):
+            return f"backend {b}: scalar values differ from reference"
+    return None
 
 
 def _oracle_detail(rep: dict) -> str:

@@ -14,6 +14,14 @@ pipeline behaviour on this input is:
 * ``"illegal-flagged"`` — the transformation violates a dependence; the
   legality test must reject it **and** the forced-through-codegen run
   must be caught by the trace oracles (the two-sided contract).
+* ``"backend-equivalent"`` — a repro of a lowering bug found by the
+  cross-backend oracle (``repro fuzz --backend``); it replays green once
+  every backend named in the case agrees with the reference interpreter.
+* ``"no-divergence"`` — a repro of a pipeline crash (or other
+  divergence) on an input whose *correct* verdict is one of the benign
+  ones (e.g. a rejected transformation that merely needed a clean
+  rejection); it replays green as long as the case produces any
+  non-divergent verdict.
 
 ``tests/fuzz/test_corpus_replay.py`` replays every committed file on
 every tier-1 run.  See docs/FUZZING.md for the triage workflow.
@@ -38,6 +46,10 @@ SCHEMA = 1
 
 def expected_for(result: CaseResult) -> str:
     """The correct-behaviour expectation to record for a divergence."""
+    if result.verdict == "divergence-backend":
+        # a lowering bug: correct behaviour is simply that no backend
+        # disagrees with the reference, whatever the legality verdict
+        return "backend-equivalent"
     if result.case.claim_legal:
         # the case was forced past legality; correct behaviour is for the
         # legality test to reject it and the oracles to confirm
@@ -57,6 +69,7 @@ def case_to_dict(case: FuzzCase, *, expect: str, detail: str = "",
         "params": dict(case.params),
         "claim_legal": case.claim_legal,
         "note": case.note,
+        "backends": list(case.backends),
         "detail": detail,
         "seed": seed,
         "shrink_steps": shrink_steps,
@@ -76,6 +89,7 @@ def case_from_dict(d: dict) -> tuple[FuzzCase, str]:
         params=tuple(sorted((k, int(v)) for k, v in d.get("params", {}).items())),
         claim_legal=bool(d.get("claim_legal", False)),
         note=d.get("note", ""),
+        backends=tuple(d.get("backends", ())),
     )
     return case, d.get("expect", "equivalent")
 
@@ -129,6 +143,16 @@ def replay_entry(case: FuzzCase, expect: str) -> tuple[bool, str]:
         result = run_case(case.with_(claim_legal=False))
         ok = result.verdict == "pass-legal"
         return ok, f"{result.verdict}: {result.detail}"
+    if expect == "backend-equivalent":
+        # repro of a lowering bug: green once no backend diverges from
+        # the reference interpreter, whatever the legality outcome
+        result = run_case(case)
+        return not result.divergent, f"{result.verdict}: {result.detail}"
+    if expect == "no-divergence":
+        # repro of a pipeline crash: green once the case resolves to any
+        # benign verdict (pass, rejection, precision gap, ...)
+        result = run_case(case)
+        return not result.divergent, f"{result.verdict}: {result.detail}"
     if expect == "illegal-flagged":
         # side A: legality must reject it (no claim override)
         honest = run_case(case.with_(claim_legal=False))

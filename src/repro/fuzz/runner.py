@@ -70,17 +70,26 @@ def fuzz_run(
     strict_illegal: bool = False,
     max_shrink_attempts: int = 400,
     progress: Callable[[int, CaseResult], None] | None = None,
+    backends: tuple[str, ...] = (),
 ) -> FuzzSession:
     """Run ``runs`` sampled cases; shrink and serialize any divergence.
 
     ``inject`` maps case indices to hand-built cases that replace the
     sampled ones (the CLI's ``--inject-illegal`` puts a known-illegal,
     claimed-legal case at index 0 to exercise the failure path).
+
+    ``backends`` arms the cross-backend differential oracle: every case
+    additionally executes its source (and, when legal, generated)
+    program through the named backends and compares against the
+    reference interpreter; disagreements are ``divergence-backend``.
     """
     inject = dict(inject or {})
+    backends = tuple(backends)
     session = FuzzSession(runs=runs, seed=seed)
     with span("fuzz.run", runs=runs, seed=seed):
-        results = _run_all(runs, seed, inject, strict_illegal, resolve_jobs(jobs))
+        results = _run_all(
+            runs, seed, inject, strict_illegal, resolve_jobs(jobs), backends
+        )
         for index, result in enumerate(results):
             session.verdict_counts[result.verdict] = (
                 session.verdict_counts.get(result.verdict, 0) + 1
@@ -124,10 +133,14 @@ def _minimize(result: CaseResult, strict_illegal: bool,
 # parallel execution
 # ---------------------------------------------------------------------------
 
-def _case_at(seed: int, index: int, inject: Mapping[int, FuzzCase]) -> FuzzCase:
-    if index in inject:
-        return inject[index]
-    return sample_case(seed, index)
+def _case_at(
+    seed: int, index: int, inject: Mapping[int, FuzzCase],
+    backends: tuple[str, ...] = (),
+) -> FuzzCase:
+    case = inject[index] if index in inject else sample_case(seed, index)
+    if backends and not case.backends:
+        case = case.with_(backends=backends)
+    return case
 
 
 def _run_all(
@@ -136,11 +149,12 @@ def _run_all(
     inject: dict[int, FuzzCase],
     strict_illegal: bool,
     jobs: int,
+    backends: tuple[str, ...],
 ) -> list[CaseResult]:
     indices = list(range(runs))
     if jobs <= 1 or runs < 2:
         return [
-            run_case(_case_at(seed, i, inject), strict_illegal=strict_illegal)
+            run_case(_case_at(seed, i, inject, backends), strict_illegal=strict_illegal)
             for i in indices
         ]
     chunks = chunk_round_robin(runs, jobs)
@@ -148,7 +162,8 @@ def _run_all(
         (i, _case_payload(c)) for i, c in sorted(inject.items())
     )
     tasks = [
-        (seed, tuple(chunk), inject_items, strict_illegal) for chunk in chunks
+        (seed, tuple(chunk), inject_items, strict_illegal, backends)
+        for chunk in chunks
     ]
     by_index: dict[int, CaseResult] = {}
     for chunk_results, delta in map_in_processes(_run_chunk, tasks, jobs=jobs):
@@ -162,7 +177,7 @@ def _run_all(
 def _case_payload(case: FuzzCase) -> tuple:
     return (
         case.program_src, case.kind, case.spec, case.lead, case.params,
-        case.claim_legal, case.note,
+        case.claim_legal, case.note, case.backends,
     )
 
 
@@ -170,6 +185,7 @@ def _case_from_payload(p: tuple) -> FuzzCase:
     return FuzzCase(
         program_src=p[0], kind=p[1], spec=p[2], lead=p[3],
         params=tuple(tuple(x) for x in p[4]), claim_legal=p[5], note=p[6],
+        backends=tuple(p[7]),
     )
 
 
@@ -188,12 +204,12 @@ def _run_chunk(task: tuple) -> tuple[list[tuple[int, tuple]], dict[str, int]]:
 
     Returns ``(results, counter_delta)`` where results carry only
     picklable payloads (the oracle report dicts stay worker-side)."""
-    seed, indices, inject_items, strict_illegal = task
+    seed, indices, inject_items, strict_illegal, backends = task
     inject = {i: _case_from_payload(p) for i, p in inject_items}
     out: list[tuple[int, tuple]] = []
     with capture_counters() as cap:
         for index in indices:
-            case = _case_at(seed, index, inject)
+            case = _case_at(seed, index, inject, tuple(backends))
             result = run_case(case, strict_illegal=strict_illegal)
             out.append((index, _result_payload(result)))
     return out, cap.delta

@@ -80,3 +80,8 @@ class ObsError(ReproError):
 class InterpError(ReproError):
     """Raised by the loop-nest interpreter (unbound variable, bad array
     access, non-affine expression where one is required, ...)."""
+
+
+class BackendError(ReproError):
+    """Raised by the source-lowering backend (unloweable program,
+    reserved identifier, unknown backend name, ...)."""

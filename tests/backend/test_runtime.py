@@ -1,0 +1,101 @@
+"""The backend registry: ``run()`` dispatch, the lowering cache, and the
+``bench_backends`` comparison harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKENDS, bench_backends, lower_cached, run,
+)
+from repro.interp import ArrayStore, execute
+from repro.ir import parse_program
+from repro.kernels import cholesky, simplified_cholesky
+from repro.obs import session, snapshot
+from repro.util.errors import BackendError, InterpError
+
+
+class TestRunDispatch:
+    def test_all_backends_agree_on_cholesky(self):
+        p = cholesky()
+        params = {"N": 9}
+        base = ArrayStore(p, dict(params)).snapshot()
+        ref, _ = execute(p, params, arrays=base)
+        for b in BACKENDS:
+            store = run(p, params, arrays=base, backend=b)
+            np.testing.assert_allclose(
+                store.arrays["A"], ref.arrays["A"], rtol=1e-9, atol=1e-12
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            run(cholesky(), {"N": 4}, backend="llvm")
+
+    def test_reference_backend_is_the_interpreter(self):
+        p = simplified_cholesky()
+        ref, _ = execute(p, {"N": 6})
+        store = run(p, {"N": 6}, backend="reference")
+        assert np.array_equal(store.arrays["A"], ref.arrays["A"])
+
+    def test_array_shape_mismatch_rejected(self):
+        p = simplified_cholesky()
+        bad = {"A": np.zeros((3, 3))}
+        with pytest.raises(InterpError, match="shape"):
+            run(p, {"N": 6}, arrays=bad, backend="source")
+
+    def test_initial_arrays_not_mutated(self):
+        p = simplified_cholesky()
+        base = ArrayStore(p, {"N": 6}).snapshot()
+        before = {k: v.copy() for k, v in base.items()}
+        run(p, {"N": 6}, arrays=base, backend="source-vec")
+        for k in base:
+            assert np.array_equal(base[k], before[k])
+
+
+class TestLowerCache:
+    def test_same_program_object_hits_cache(self):
+        p = cholesky()
+        with session():
+            first = lower_cached(p)
+            second = lower_cached(p)
+            counters, _ = snapshot()
+        assert first is second
+        assert counters.get("backend.lower_cache_hits", 0) >= 1
+
+    def test_vectorize_flag_is_part_of_the_key(self):
+        p = cholesky()
+        scalar = lower_cached(p, vectorize=False)
+        vec = lower_cached(p, vectorize=True)
+        assert scalar is not vec
+        assert scalar.vectorized_loops == 0 and vec.vectorized_loops > 0
+
+
+class TestBenchBackends:
+    def test_rows_cover_requested_backends(self):
+        rows = bench_backends(
+            simplified_cholesky(), {"N": 12},
+            backends=("source", "source-vec"), repeat=1,
+        )
+        assert [r.backend for r in rows] == ["reference", "source", "source-vec"]
+        ref = rows[0]
+        assert ref.speedup is None and ref.ok is None and ref.seconds > 0
+        for r in rows[1:]:
+            assert r.ok is True and r.speedup > 0 and not r.error
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            bench_backends(simplified_cholesky(), {"N": 6}, backends=("jit",))
+
+    def test_backend_error_becomes_row_not_crash(self):
+        # `range` as a loop variable: the source backends refuse it but
+        # the reference interpreter is happy — bench must report the
+        # refusal as an error row, not raise
+        p = parse_program(
+            "param N\nreal A(N)\ndo range = 1..N\n  S1: A(range) = 1.0\nenddo"
+        )
+        rows = bench_backends(p, {"N": 5}, backends=("source",), repeat=1)
+        by = {r.backend: r for r in rows}
+        assert by["reference"].error == ""
+        assert "reserved" in by["source"].error
+        assert math.isnan(by["source"].seconds)

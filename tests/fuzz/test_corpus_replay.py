@@ -33,7 +33,9 @@ class TestReplay:
 
     def test_record_is_well_formed(self, path, case, expect, record):
         assert record["schema"] == SCHEMA
-        assert expect in ("equivalent", "illegal-flagged")
+        assert expect in (
+            "equivalent", "illegal-flagged", "backend-equivalent", "no-divergence",
+        )
         assert case.program_src.strip()
         assert case.kind in ("spec", "complete")
 
