@@ -28,6 +28,14 @@ every ``source``/``source-vec`` row must be output-equivalent to the
 reference interpreter (``ok``) and at least as fast (speedup >= 1).
 This one needs no baseline — a lowered kernel slower than the tree
 walker it replaces is wrong on any machine.
+
+A fourth gate reads the fresh ``tune`` table (the E17 autotuner
+comparison, see benchmarks/bench_tune.py): the tuned schedule must
+never be slower than the untuned default order.  The tuner always
+measures the baseline alongside the survivors and returns the overall
+minimum, so speedup >= 1 by construction; the gate allows 5% slack
+(``TUNE_MIN_SPEEDUP``) purely for timer granularity and exists to
+catch a driver that stopped ranking the baseline.
 """
 
 from __future__ import annotations
@@ -38,10 +46,14 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Comparison", "compare_results", "backend_gate", "backend_table", "main"]
+__all__ = [
+    "Comparison", "compare_results", "backend_gate", "backend_table",
+    "tune_gate", "tune_table", "main",
+]
 
 DEFAULT_FACTOR = 2.0
 DEFAULT_MIN_NS = 1_000_000  # ignore sub-millisecond timings entirely
+TUNE_MIN_SPEEDUP = 0.95  # tuned-vs-default floor; slack for timer noise only
 
 
 @dataclass(frozen=True)
@@ -138,6 +150,50 @@ def backend_table(fresh: dict) -> str:
     return "\n".join(lines)
 
 
+def tune_gate(fresh: dict) -> list[str]:
+    """Absolute checks on the E17 autotuner table; returns failures."""
+    failures = []
+    for row in fresh.get("tune", []):
+        name = f"{row.get('kernel')}@{row.get('params')}"
+        if row.get("error"):
+            failures.append(f"{name}: tuner error: {row['error']}")
+        elif row.get("ok") is not True:
+            failures.append(f"{name}: tuning run had failed rows")
+        elif not (
+            isinstance(row.get("speedup"), (int, float))
+            and row["speedup"] >= TUNE_MIN_SPEEDUP
+        ):
+            failures.append(
+                f"{name}: tuned schedule slower than the untuned default "
+                f"order ({row.get('speedup')}x, floor {TUNE_MIN_SPEEDUP})"
+            )
+    return failures
+
+
+def tune_table(fresh: dict) -> str:
+    """The E17 table as a GitHub-flavoured markdown summary."""
+    rows = fresh.get("tune", [])
+    if not rows:
+        return ""
+    lines = [
+        "| kernel | winner | default s | tuned s | speedup | pruned | ok |",
+        "|---|---|---:|---:|---:|---:|---|",
+    ]
+    for r in rows:
+        base = f"{r['baseline_seconds']:.6f}" if isinstance(
+            r.get("baseline_seconds"), (int, float)) else "-"
+        best = f"{r['best_seconds']:.6f}" if isinstance(
+            r.get("best_seconds"), (int, float)) else "-"
+        speed = f"{r['speedup']:.3f}x" if isinstance(
+            r.get("speedup"), (int, float)) else "-"
+        ok = {True: "yes", False: "NO", None: "-"}[r.get("ok")]
+        lines.append(
+            f"| {r.get('kernel')} | {r.get('winner') or '-'} | {base} "
+            f"| {best} | {speed} | {r.get('pruned', '-')} | {ok} |"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="compare.py", description="benchmark regression gate"
@@ -193,15 +249,27 @@ def main(argv: list[str] | None = None) -> int:
         print(table)
     for failure in backend_failures:
         print(f"  [BACKEND FAIL] {failure}")
+
+    tune_failures = tune_gate(fresh)
+    ttable = tune_table(fresh)
+    if ttable:
+        print("\nguided autotuner comparison (E17):")
+        print(ttable)
+    for failure in tune_failures:
+        print(f"  [TUNE FAIL] {failure}")
+
     if args.summary is not None and table:
         with args.summary.open("a") as f:
             f.write("### Execution-backend speedups (E16)\n\n" + table + "\n")
+    if args.summary is not None and ttable:
+        with args.summary.open("a") as f:
+            f.write("\n### Guided autotuner vs default order (E17)\n\n" + ttable + "\n")
 
-    if regressions or backend_failures:
+    if regressions or backend_failures or tune_failures:
         print(
             f"FAIL: {len(regressions)} metric(s) regressed beyond "
             f"{args.factor:.1f}x, {len(backend_failures)} backend gate "
-            "failure(s)",
+            f"failure(s), {len(tune_failures)} tune gate failure(s)",
             file=sys.stderr,
         )
         return 1

@@ -24,7 +24,7 @@ from pathlib import Path
 
 __all__ = [
     "collect_pipeline_counters", "collect_backend_speedups",
-    "collect_benchmark_stats", "write_bench_result",
+    "collect_tune_results", "collect_benchmark_stats", "write_bench_result",
 ]
 
 RESULT_NAME = "BENCH_result.json"
@@ -91,6 +91,55 @@ def collect_backend_speedups() -> list[dict]:
     return rows
 
 
+def collect_tune_results() -> list[dict]:
+    """The autotuner comparison table (E17): one small guided search per
+    kernel, recording the winner against the always-measured untuned
+    default.  ``compare.py`` gates on the tuned schedule never losing to
+    the default (the baseline is in the measured set, so speedup < 1
+    means the driver stopped ranking it).  Runs cache-less so the
+    emitted numbers are always a fresh search."""
+    import tempfile
+
+    from repro.kernels import cholesky, simplified_cholesky
+    from repro.tune import TuneStore, tune
+
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for program, params in (
+            (cholesky(), {"N": 40}),
+            (simplified_cholesky(), {"N": 40}),
+        ):
+            try:
+                res = tune(
+                    program, params, store=TuneStore(tmp),
+                    backend="source-vec", beam_width=2, depth=1, top_k=2,
+                    repeat=3, use_cache=False,
+                )
+            except Exception as exc:
+                rows.append({
+                    "kernel": program.name, "params": dict(params),
+                    "backend": "source-vec", "winner": None,
+                    "baseline_seconds": None, "best_seconds": None,
+                    "speedup": None, "ok": False, "error": str(exc),
+                })
+                continue
+            rows.append({
+                "kernel": program.name,
+                "params": dict(params),
+                "backend": res.backend,
+                "winner": res.best.description if res.best else None,
+                "baseline_seconds": res.baseline_seconds,
+                "best_seconds": res.best.seconds if res.best else None,
+                "speedup": res.speedup,
+                "enumerated": res.enumerated,
+                "pruned": res.pruned,
+                "scored": res.scored,
+                "ok": res.ok,
+                "error": "",
+            })
+    return rows
+
+
 def collect_benchmark_stats(config) -> list[dict]:
     """Per-benchmark timing stats from pytest-benchmark, if it ran."""
     bsession = getattr(config, "_benchmarksession", None)
@@ -130,6 +179,7 @@ def write_bench_result(config, path: str | Path | None = None) -> Path:
         "benchmarks": collect_benchmark_stats(config),
         "pipeline": collect_pipeline_counters(),
         "backend": collect_backend_speedups(),
+        "tune": collect_tune_results(),
     }
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return target

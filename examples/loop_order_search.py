@@ -6,6 +6,12 @@ the variants with the cache model.  On Cholesky this discovers that the
 left-looking variant (which the §6 completion derives) wins once the
 matrix exceeds the cache.
 
+Then the same search, generalized: `repro tune` (docs/AUTOTUNING.md)
+widens the space beyond lead loops — skews, reversals, reorderings,
+distribution/jamming variants, compositions — prunes illegality before
+any execution, ranks with a static cost model, measures the survivors
+on a compiled backend, and caches the winner for `repro run --tuned`.
+
 Also demonstrates the §7 future-work extension: completion that applies
 *enabling* loop distributions/fusions when the plain procedure cannot
 realize the requested loop order.
@@ -34,6 +40,24 @@ def main(n: int = 44) -> None:
     print(f"\nwinner: lead={best.lead_var} — "
           f"{'left' if best.lead_var == 'L' else 'right'}-looking Cholesky\n")
     print(program_to_str(best.program, header=False))
+
+    # --- the guided autotuner over the full candidate space -------------
+    print("\n--- repro tune: measured search over all legal schedules ---")
+    from repro.tune import TuneStore, tune
+
+    res = tune(cholesky(), {"N": n}, store=TuneStore(".repro_tune"),
+               beam_width=2, depth=1, top_k=2)
+    tag = "cache HIT, search skipped" if res.from_cache else (
+        f"{res.enumerated} candidates, {res.pruned} pruned illegal, "
+        f"{res.scored} scored")
+    print(f"({tag})")
+    for row in sorted(res.rows, key=lambda r: r.seconds or float("inf")):
+        mark = "*" if row is res.best else " "
+        print(f"  {mark} {row.description:30s} {row.seconds * 1e3:9.3f} ms")
+    print(f"winner: {res.best.description} "
+          f"({res.speedup:.3f}x vs default order)")
+    print("replay it with: python -m repro run examples/cholesky.loop "
+          f"--tuned -p N={n}")
 
     # --- §7 future work: distribution-enabled completion ----------------
     print("\n--- enabling restructurings ---")

@@ -12,6 +12,14 @@ function call::
 
     best = search_loop_orders(cholesky(), {"N": 30})
     print(best[0].program)
+
+Historically this module owned the candidate construction; it is now a
+thin compatibility shim over the :mod:`repro.tune` subsystem, which
+generalizes the lead-loop scan to a full beam search over skews,
+reversals, reorderings and structural variants (docs/AUTOTUNING.md).
+``search_loop_orders`` keeps its interface, ranking and counters, and
+delegates lead completion to :func:`repro.tune.space.lead_candidate`
+and measured timing to :func:`repro.backend.runtime.time_backend`.
 """
 
 from __future__ import annotations
@@ -22,7 +30,6 @@ from typing import Mapping, Sequence
 from repro.analysis.parallel_exec import map_in_threads, resolve_jobs
 from repro.codegen.generate import GeneratedProgram, generate_code
 from repro.codegen.simplify import simplify_program
-from repro.completion.complete import complete_transformation
 from repro.dependence.analyze import analyze_dependences
 from repro.dependence.depvector import DependenceMatrix
 from repro.instance.layout import Layout
@@ -32,7 +39,6 @@ from repro.interp.executor import ArrayStore, execute
 from repro.ir.ast import Program
 from repro.obs import counter, span, timed
 from repro.polyhedra import System, ge, var
-from repro.util.errors import CompletionError, ReproError
 
 __all__ = ["SearchResult", "search_loop_orders"]
 
@@ -78,10 +84,11 @@ def search_loop_orders(
     the generated variants by simulated cache misses (best first).
 
     ``backend`` switches the ranking from the simulated-cache model to
-    *measured* wall clock: each variant is additionally executed through
-    :func:`repro.backend.run` with that backend (``best of repeat``
-    timing) and variants are ordered by seconds instead of misses.  The
-    cache statistics are still collected and reported.
+    *measured* wall clock: each variant is additionally timed through
+    :func:`repro.backend.runtime.time_backend` with that backend (the
+    median of at least three repetitions, so a single noisy run cannot
+    reorder the ranking) and variants are ordered by seconds instead of
+    misses.  The cache statistics are still collected and reported.
 
     ``leads`` restricts the candidate lead loop variables (default: all
     loop coordinates).  With ``verify`` (default) every variant is also
@@ -94,10 +101,12 @@ def search_loop_orders(
     dependence matrix and the process-wide polyhedral query-engine cache;
     ranking is deterministic, so the result order matches serial runs.
     """
+    from repro.tune.space import lead_candidate, make_context
+
     layout = Layout(program)
     if deps is None:
         deps = analyze_dependences(program, layout=layout, jobs=jobs)
-    n = layout.dimension
+    ctx = make_context(program, deps, layout=layout)
     candidates = (
         [layout.loop_coord_by_var(v) for v in leads]
         if leads is not None
@@ -113,15 +122,12 @@ def search_loop_orders(
 
     def evaluate(coord) -> SearchResult | None:
         counter("search.leads_tried")
-        pos = layout.index(coord)
-        partial = [[1 if j == pos else 0 for j in range(n)]]
-        try:
-            with span("search.variant", lead=coord.var):
-                completed = complete_transformation(program, partial, deps, layout=layout)
-                generated = generate_code(program, completed.matrix, deps)
-        except (CompletionError, ReproError):
-            counter("search.leads_rejected")
-            return None
+        with span("search.variant", lead=coord.var):
+            cand = lead_candidate(ctx, coord)
+            if cand is None:
+                counter("search.leads_rejected")
+                return None
+            generated = generate_code(program, cand.matrix, deps)
         if verify:
             rep = check_equivalence(
                 program, generated.program, params, env_map=generated.env_map()
@@ -132,7 +138,15 @@ def search_loop_orders(
         stats = simulate_cache(trace_addresses(trace, store), cache)
         seconds = None
         if backend is not None:
-            seconds = _measure(generated.program, params, base, backend, repeat)
+            # Local import: repro.backend depends on repro.analysis for
+            # its DOALL verdicts, so the dependency cannot also point the
+            # other way at module scope.
+            from repro.backend.runtime import time_backend
+
+            seconds = time_backend(
+                generated.program, params, arrays=base,
+                backend=backend, repeat=repeat,
+            )
         assume = System([ge(var(p), 1) for p in program.params])
         pretty = simplify_program(generated.program, assume)
         counter("search.variants_ranked")
@@ -147,21 +161,3 @@ def search_loop_orders(
     else:
         results.sort(key=lambda r: (r.misses, r.lead_var))
     return results
-
-
-def _measure(program: Program, params, base, backend: str, repeat: int) -> float:
-    """Best-of-``repeat`` wall clock of one generated variant."""
-    import time
-
-    # Local import: repro.backend depends on repro.analysis for its
-    # DOALL verdicts, so the dependency cannot also point the other way
-    # at module scope.
-    from repro.backend import run as backend_run
-
-    backend_run(program, params, arrays=base, backend=backend)  # warm-up
-    best = float("inf")
-    for _ in range(max(1, repeat)):
-        t0 = time.perf_counter()
-        backend_run(program, params, arrays=base, backend=backend)
-        best = min(best, time.perf_counter() - t0)
-    return best

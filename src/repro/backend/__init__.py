@@ -10,11 +10,12 @@ and the lower-level :func:`lower_program`.
 from repro.backend.lower import LoweredProgram, lower_program
 from repro.backend.runtime import (
     BACKENDS, BackendTiming, bench_backends, lower_cached, run, run_lowered,
+    time_backend,
 )
 from repro.backend.vectorize import VecPlan, doall_loop_vars, plan_vector_loop
 
 __all__ = [
     "BACKENDS", "BackendTiming", "LoweredProgram", "VecPlan",
     "bench_backends", "doall_loop_vars", "lower_cached", "lower_program",
-    "plan_vector_loop", "run", "run_lowered",
+    "plan_vector_loop", "run", "run_lowered", "time_backend",
 ]

@@ -26,6 +26,7 @@ them on identical inputs and cross-checks their outputs.
 from __future__ import annotations
 
 import math
+import statistics
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -43,7 +44,7 @@ from repro.util.errors import BackendError, InterpError, ReproError
 
 __all__ = [
     "BACKENDS", "run", "run_lowered", "lower_cached", "bench_backends",
-    "BackendTiming",
+    "BackendTiming", "time_backend", "MIN_TIMING_REPS",
 ]
 
 #: Registry order is also the presentation order in `repro bench`.
@@ -133,6 +134,39 @@ def run_lowered(
         except IndexError as exc:
             raise InterpError(f"array index out of declared range: {exc}") from None
     return store
+
+
+#: Measured rankings never trust fewer repetitions than this: a single
+#: run is one scheduler hiccup away from reordering a whole search.
+MIN_TIMING_REPS = 3
+
+
+def time_backend(
+    program: Program,
+    params: Mapping[str, int] | None = None,
+    arrays: Mapping[str, np.ndarray] | None = None,
+    *,
+    backend: str = "source",
+    repeat: int = MIN_TIMING_REPS,
+    deps=None,
+) -> float:
+    """Median wall clock of ``max(MIN_TIMING_REPS, repeat)`` runs, after
+    one untimed warm-up (which also pays any lowering cost).
+
+    This is the shared timing primitive behind every *ranking* decision
+    (``search_loop_orders`` measured mode, the ``repro tune`` driver):
+    the median of at least three repetitions, not a single run or a
+    best-of, so one noisy repetition cannot reorder a search.
+    """
+    reps = max(MIN_TIMING_REPS, int(repeat))
+    run(program, params, arrays=arrays, backend=backend, deps=deps)  # warm-up
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        run(program, params, arrays=arrays, backend=backend, deps=deps)
+        times.append(time.perf_counter() - t0)
+    counter(f"backend.timings.{backend}")
+    return statistics.median(times)
 
 
 @dataclass

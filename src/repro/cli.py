@@ -9,6 +9,9 @@ check       test a transformation spec for legality
 transform   generate code for a legal transformation spec
 complete    complete a partial transformation (lead loop) and generate
 run         interpret a program and print final array contents
+            (``--tuned`` applies the cached best schedule)
+tune        autotune: search legal schedules, measure the best with a
+            real backend, persist the winner (docs/AUTOTUNING.md)
 parallel    per-loop DOALL verdicts
 report      full analysis report (deps, DOALL, distribution plan, search)
 fuzz        differential fuzzing of the pipeline against the trace
@@ -160,9 +163,33 @@ def cmd_complete(args) -> int:
     return 0
 
 
+def _tuned_program(program, params, cache_dir):
+    """Swap in the cached tuned schedule for ``program`` or fail loudly."""
+    from repro.tune import TuneStore, apply_entry, load_tuned
+    from repro.util.errors import TuneError
+
+    store = TuneStore(cache_dir) if cache_dir else TuneStore()
+    entry = load_tuned(program, params, store=store)
+    if entry is None:
+        raise TuneError(
+            f"no cached tuning entry for {program.name!r} at params {params} "
+            f"in {store.root} — run `repro tune` first (same --params)"
+        )
+    return apply_entry(entry), entry
+
+
 def cmd_run(args) -> int:
-    program = _load(args.file)
+    program = _load_flexible(args.file)
     trace = None
+    if getattr(args, "tuned", False):
+        from repro.tune.driver import DEFAULT_PARAM
+
+        params = _params(args.param) or {p: DEFAULT_PARAM for p in program.params}
+        program, entry = _tuned_program(program, params, args.cache_dir)
+        w = entry["winner"]
+        print(f"applying tuned schedule: {w['description']} "
+              f"(measured {w['seconds']:.6f}s on {entry['backend']})")
+        args.param = [f"{k}={v}" for k, v in params.items()]
     if args.backend == "reference":
         store, trace = execute(program, _params(args.param), trace=args.trace)
     else:
@@ -221,13 +248,104 @@ def cmd_bench(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_tune(args) -> int:
+    """Autotune a program: search the legal transformation space, rank
+    with the static cost model, measure the top survivors on the chosen
+    backend, and persist the winner (docs/AUTOTUNING.md)."""
+    from repro.tune import TuneStore, tune
+
+    program = _load_flexible(args.file)
+    params = _params(args.param) or None
+    store = TuneStore(args.cache_dir) if args.cache_dir else TuneStore()
+    result = tune(
+        program,
+        params,
+        backend=args.backend,
+        beam_width=args.beam,
+        depth=args.depth,
+        top_k=args.top_k,
+        repeat=args.repeat,
+        jobs=args.jobs,
+        store=store,
+        use_cache=not args.no_cache,
+        force=args.force,
+        include_structural=args.structural,
+    )
+    print(f"program {program.name}  params {result.params}  backend {result.backend}")
+    if result.from_cache:
+        print(f"cache: HIT ({result.cache_path}) — search skipped")
+    else:
+        print(f"cache: MISS — enumerated {result.enumerated} candidates, "
+              f"pruned {result.pruned} illegal before execution, "
+              f"scored {result.scored}")
+        if result.cache_path:
+            print(f"cached winner -> {result.cache_path}")
+    print(f"{'':2}{'schedule':<36} {'score':>8} {'seconds':>12} {'vs default':>11}  ok")
+    failed = False
+    ordered = sorted(
+        result.rows,
+        key=lambda r: (r.seconds is None, r.seconds if r.seconds is not None else 0.0),
+    )
+    for r in ordered:
+        mark = "*" if r is result.best else " "
+        if r.error:
+            print(f"{mark} {r.description:<36} {'-':>8} {'-':>12} {'-':>11}  error: {r.error}")
+            failed = True
+            continue
+        score = f"{r.score:.4f}" if r.score is not None else "-"
+        vs = (f"{result.baseline_seconds / r.seconds:.3f}x"
+              if result.baseline_seconds and r.seconds else "-")
+        ok = "-" if r.ok is None else ("yes" if r.ok else "NO")
+        print(f"{mark} {r.description:<36} {score:>8} {r.seconds:>12.6f} {vs:>11}  {ok}")
+        if r.ok is False:
+            failed = True
+    if result.best is not None:
+        speed = f"  ({result.speedup:.3f}x vs default order)" if result.speedup else ""
+        print(f"winner: {result.best.description}{speed}")
+    else:
+        print("winner: none (no candidate survived measurement)")
+        failed = True
+    if args.json:
+        import json
+
+        payload = {
+            "program": program.name,
+            "params": result.params,
+            "backend": result.backend,
+            "from_cache": result.from_cache,
+            "cache_key": result.cache_key,
+            "cache_path": result.cache_path,
+            "enumerated": result.enumerated,
+            "pruned": result.pruned,
+            "scored": result.scored,
+            "baseline_seconds": result.baseline_seconds,
+            "speedup": result.speedup,
+            "rows": [r.to_json(winner=(r is result.best)) for r in result.rows],
+        }
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
 def cmd_report(args) -> int:
     """Full analysis report: layout, dependences, DOALL verdicts,
     distribution plan, and the legal lead-loop variants ranked by the
     cache model."""
     from repro.analysis import distribution_plan, search_loop_orders
 
-    program = _load(args.file)
+    program = _load_flexible(args.file)
+    if getattr(args, "tuned", False):
+        from repro.tune.driver import DEFAULT_PARAM
+
+        tparams = _params(args.param) or {p: DEFAULT_PARAM for p in program.params}
+        tuned, entry = _tuned_program(program, tparams, args.cache_dir)
+        w = entry["winner"]
+        print("=== tuned schedule (from cache) ===")
+        print(f"winner: {w['description']}  measured {w['seconds']:.6f}s "
+              f"on {entry['backend']} at params {entry['params']}")
+        print(f"(report below analyzes the tuned program)\n")
+        program = tuned
     layout = Layout(program)
     deps = analyze_dependences(program, jobs=args.jobs)
     print("=== program ===")
@@ -384,6 +502,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=_BACKEND_CHOICES,
         help="execution backend (see docs/BACKENDS.md)",
     )
+    p.add_argument(
+        "--tuned",
+        action="store_true",
+        help="apply the cached best schedule from `repro tune` "
+        "(same --params; see docs/AUTOTUNING.md)",
+    )
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="tuning cache directory (default: .repro_tune or $REPRO_TUNE_DIR)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -403,6 +529,42 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
     p.add_argument("--json", metavar="PATH", help="also write the table as JSON")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune: search legal schedules, measure, cache the winner",
+        parents=[obsflags, jobsflags],
+    )
+    p.add_argument("file", help="a .loop file (extension optional) or bundled kernel name")
+    p.add_argument("-p", "--param", "--params", action="append", dest="param",
+                   help="e.g. N=96 or N=96,M=4 (default: 96 for every param)")
+    p.add_argument(
+        "--backend",
+        default="source-vec",
+        choices=_BACKEND_CHOICES,
+        help="backend the survivors are measured on (default: source-vec)",
+    )
+    p.add_argument("--beam", type=int, default=4, help="beam width (default 4)")
+    p.add_argument("--depth", type=int, default=2,
+                   help="beam-search depth in elementary steps (default 2)")
+    p.add_argument("--top-k", type=int, default=3,
+                   help="survivors measured with the real backend (default 3)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timing repetitions per measurement round (median; min 3)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="tuning cache directory (default: .repro_tune or $REPRO_TUNE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="neither read nor write the tuning cache")
+    p.add_argument("--force", action="store_true",
+                   help="re-search even on a cache hit (overwrites the entry)")
+    p.add_argument(
+        "--structural",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="include distribution/jamming structural variants",
+    )
+    p.add_argument("--json", metavar="PATH", help="also write the table as JSON")
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("parallel", help="per-loop DOALL verdicts")
     p.add_argument("file")
@@ -462,6 +624,14 @@ def main(argv: list[str] | None = None) -> int:
         help="rank the loop-order search by measured wall clock on this "
         "backend instead of simulated cache misses",
     )
+    p.add_argument(
+        "--tuned",
+        action="store_true",
+        help="analyze the cached tuned schedule instead of the original "
+        "(same --params as the `repro tune` run)",
+    )
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="tuning cache directory (default: .repro_tune or $REPRO_TUNE_DIR)")
     p.set_defaults(fn=cmd_report)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,163 @@
+"""Static cost model: rank *legal* schedules without timing them.
+
+Scoring a candidate is cheap relative to measuring it — code is
+generated once and interpreted at small *model* parameter sizes, never
+at the user's real sizes — but it still captures the two effects the
+measured backends reward:
+
+* **locality** — the O(n log n) Fenwick reuse-distance profile
+  (:func:`repro.analysis.locality.reuse_distances`) of the generated
+  program's trace, summarized by :func:`locality_score` (the hit rate
+  of an ideal LRU cache);
+* **parallelism / vectorizability** — DOALL verdicts from
+  :func:`repro.analysis.parallel.parallel_loops` on the candidate's
+  matrix, and the number of innermost loops
+  :func:`repro.backend.vectorize.plan_vector_loop` actually turns into
+  NumPy slice assignments when the program is lowered with
+  ``vectorize=True`` (counted by the lowering itself).
+
+The combined score is dominated by locality, with vectorized and DOALL
+loop fractions as tie-breakers; weights are module constants so the
+benchmarks can ablate them.  ``score_candidate`` must only ever be
+called on candidates that already passed the Theorem-2 legality test —
+code generation re-asserts legality, so an illegal candidate raises
+before a single statement instance runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.locality import locality_score, reuse_distances
+from repro.analysis.parallel import parallel_loops
+from repro.backend.lower import lower_program
+from repro.codegen.generate import generate_code
+from repro.codegen.simplify import simplify_program
+from repro.interp.executor import execute
+from repro.ir.ast import Program
+from repro.obs import counter, span
+from repro.tune.space import Candidate
+from repro.util.errors import ReproError
+
+__all__ = ["CostReport", "score_candidate", "model_params_for", "realize"]
+
+
+def realize(candidate: Candidate) -> Program:
+    """Generate + simplify the candidate's transformed program.
+
+    Simplification (§5.5 standard optimizations) is not cosmetic here:
+    codegen emits residual guards that are often implied by the
+    enclosing loop bounds, and an un-pruned guard blocks the vectorizer.
+    Scoring or measuring the raw codegen output would systematically
+    penalize *every* transformed schedule against the guard-free
+    original program.  ``generate_code`` re-asserts Theorem-2 legality,
+    so this never executes an unchecked schedule.
+    """
+    ctx = candidate.context
+    generated = generate_code(ctx.program, candidate.matrix, ctx.deps)
+    return simplify_program(generated.program)
+
+#: Default per-parameter size for the model execution; large enough for
+#: the reuse profile to separate loop orders, small enough to score
+#: dozens of candidates per second.  Calibrated together with
+#: CAPACITY_LINES: the model working set must *exceed* the model cache,
+#: or every loop order ties at a perfect hit rate.
+MODEL_PARAM = 16
+
+#: Ideal-LRU capacity (in cache lines) the locality score is taken at —
+#: deliberately a fraction of the MODEL_PARAM working set so reuse
+#: order, not footprint, decides the score.
+CAPACITY_LINES = 16
+
+#: Score weights: locality leads, vectorization and DOALL break ties.
+W_LOCALITY = 1.0
+W_VECTORIZED = 0.15
+W_DOALL = 0.05
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Features and combined score of one legal candidate."""
+
+    score: float
+    locality: float
+    vectorized_loops: int
+    fallback_loops: int
+    doall_loops: int
+    total_loops: int
+    instances: int
+
+    def features(self) -> dict:
+        return {
+            "score": self.score,
+            "locality": self.locality,
+            "vectorized_loops": self.vectorized_loops,
+            "fallback_loops": self.fallback_loops,
+            "doall_loops": self.doall_loops,
+            "total_loops": self.total_loops,
+            "instances": self.instances,
+        }
+
+
+def model_params_for(
+    program_params: tuple[str, ...] | list[str],
+    params: Mapping[str, int] | None = None,
+    *,
+    cap: int = MODEL_PARAM,
+) -> dict[str, int]:
+    """Model-execution sizes: the user's binding clamped to ``cap`` (the
+    cost model only needs the reuse *shape*, not the real volume)."""
+    params = dict(params or {})
+    return {p: min(int(params.get(p, cap)), cap) for p in program_params}
+
+
+def score_candidate(
+    candidate: Candidate,
+    params: Mapping[str, int] | None = None,
+    *,
+    capacity_lines: int = CAPACITY_LINES,
+    realized: Program | None = None,
+) -> CostReport:
+    """Score a legality-checked candidate.  Raises :class:`ReproError`
+    (never returns a junk score) when code generation or the model
+    execution fails — the driver treats that as "candidate infeasible".
+
+    ``realized`` lets the caller pass an already realized program so
+    codegen is not repeated between scoring and measurement.
+    """
+    ctx = candidate.context
+    with span("tune.score", candidate=candidate.description):
+        program = realized if realized is not None else realize(candidate)
+        mparams = model_params_for(ctx.program.params, params)
+        store, trace = execute(program, mparams, trace=True)
+        dists = reuse_distances(trace, store)
+        locality = locality_score(dists, capacity_lines)
+
+        marks = parallel_loops(ctx.layout, candidate.matrix, ctx.deps)
+        total = max(1, len(marks))
+        doall = sum(1 for m in marks if m.is_parallel)
+        try:
+            lowered = lower_program(program, vectorize=True)
+            vectorized, fallback = lowered.vectorized_loops, lowered.fallback_loops
+        except ReproError:
+            # unlowerable programs still get a locality score; they will
+            # lose the vectorization term and (rightly) rank lower
+            counter("tune.score.lowering_failures")
+            vectorized, fallback = 0, 0
+
+        score = (
+            W_LOCALITY * locality
+            + W_VECTORIZED * (vectorized / total)
+            + W_DOALL * (doall / total)
+        )
+    counter("tune.candidates.scored")
+    return CostReport(
+        score=score,
+        locality=locality,
+        vectorized_loops=vectorized,
+        fallback_loops=fallback,
+        doall_loops=doall,
+        total_loops=len(marks),
+        instances=len(trace),
+    )

@@ -1,0 +1,477 @@
+"""The autotuning driver: beam search, measurement, cache round-trip.
+
+The pipeline per ``tune()`` call::
+
+    cache lookup ── hit ──────────────────────────────► TuneResult
+         │ miss
+         ▼
+    enumerate (space.py) ─► legality filter (Theorem 2) ─► static score
+         │                        │ illegal: pruned,          (cost.py)
+         │                        ▼ never executed
+         │                     discarded
+         ▼
+    beam extension × depth ─► top-K survivors ─► measure (median wall
+         │                                       clock, backend/runtime)
+         │                                       + reference cross-check
+         ▼
+    winner ─► persist (store.py) ─► TuneResult
+
+Two invariants the tests pin:
+
+* **nothing illegal ever executes** — every candidate is
+  legality-checked *before* the cost model interprets it and before the
+  measured backend runs it; ``TuneResult.executed`` is the audit trail
+  (program text + matrix of everything that ran) so the property tests
+  can re-verify each entry independently;
+* **the tuned schedule is never slower than the default order** — the
+  default order is itself measured as a candidate, so the winner is at
+  worst the program the user already had.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.backend.runtime import MIN_TIMING_REPS, run as backend_run, time_backend
+from repro.codegen.generate import generate_code
+from repro.codegen.simplify import simplify_program
+from repro.dependence.analyze import analyze_dependences
+from repro.interp.equivalence import outputs_close
+from repro.interp.executor import ArrayStore, execute
+from repro.ir.ast import Program
+from repro.ir.parser import parse_program
+from repro.ir.printer import program_to_str
+from repro.legality.check import check_legality
+from repro.linalg.intmat import IntMatrix
+from repro.obs import counter, span, timed
+from repro.tune.cost import CostReport, realize, score_candidate
+from repro.tune.space import (
+    Candidate, compose_candidate, elementary_candidates, enumerate_candidates,
+)
+from repro.tune.store import TuneStore
+from repro.util.errors import ReproError, TuneError
+from repro.util.parallel_exec import map_in_threads, resolve_jobs
+
+__all__ = [
+    "TunedRow", "TuneResult", "tune", "apply_entry", "load_tuned",
+    "DEFAULT_BACKEND",
+]
+
+#: Measured ranking happens on the fastest backend by default; the
+#: winner is whatever wins *there*, wall-clock, not in the model.
+DEFAULT_BACKEND = "source-vec"
+
+#: Default real-size binding when the caller provides none.  Large
+#: enough that loop-order effects clear measurement noise on the
+#: lowered backends (at ~40 the bundled kernels' variants are within
+#: jitter of each other).
+DEFAULT_PARAM = 96
+
+#: Interleaved measurement rounds per schedule (see the measurement
+#: stage in :func:`tune`); each round contributes one median-of-
+#: ``repeat`` sample per schedule.
+MEASURE_ROUNDS = 3
+
+
+@dataclass
+class TunedRow:
+    """One measured (or cache-reloaded) schedule."""
+
+    description: str
+    kind: str
+    steps: tuple[str, ...]
+    score: float | None
+    seconds: float | None
+    ok: bool | None          # outputs match the reference interpreter
+    error: str = ""
+    baseline: bool = False   # the untransformed default order
+    candidate: Candidate | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.error) or self.ok is False
+
+    def to_json(self, *, winner: bool = False) -> dict:
+        return {
+            "description": self.description,
+            "kind": self.kind,
+            "steps": list(self.steps),
+            "score": self.score,
+            "seconds": self.seconds,
+            "ok": self.ok,
+            "error": self.error,
+            "baseline": self.baseline,
+            "winner": winner,
+        }
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one ``tune()`` call (searched or cache-served)."""
+
+    program: Program
+    params: dict[str, int]
+    backend: str
+    rows: list[TunedRow]
+    best: TunedRow | None
+    baseline_seconds: float | None
+    from_cache: bool
+    cache_key: str
+    cache_path: str | None = None
+    enumerated: int = 0
+    pruned: int = 0
+    scored: int = 0
+    executed: list[dict] = field(default_factory=list)
+    entry: dict | None = None
+
+    @property
+    def speedup(self) -> float | None:
+        """Measured default-order seconds over winner seconds."""
+        if self.best is None or not self.best.seconds or not self.baseline_seconds:
+            return None
+        return self.baseline_seconds / self.best.seconds
+
+    @property
+    def ok(self) -> bool:
+        """No error rows, no cross-check failures, and a winner exists."""
+        return self.best is not None and not any(r.failed for r in self.rows)
+
+
+def _assess(cand: Candidate, params: Mapping[str, int], audit: list[dict]):
+    """Legality-gate then statically score one candidate.
+
+    Returns ``("scored", cand, cost)``, ``("pruned", ...)`` for illegal
+    candidates (never executed), or ``("infeasible", ...)`` when codegen
+    or the model execution fails.
+    """
+    report = check_legality(cand.context.layout, cand.matrix, cand.context.deps)
+    if not report.legal:
+        counter("tune.candidates.pruned")
+        return ("pruned", cand, None)
+    try:
+        audit.append(_audit_record(cand, "score"))
+        cost = score_candidate(cand, params)
+    except ReproError:
+        counter("tune.candidates.infeasible")
+        return ("infeasible", cand, None)
+    return ("scored", cand, cost)
+
+
+def _audit_record(cand: Candidate, stage: str) -> dict:
+    return {
+        "stage": stage,
+        "description": cand.description,
+        "program": program_to_str(cand.context.program),
+        "matrix": [list(r) for r in cand.matrix.rows()],
+        "steps": list(cand.context.origin + cand.steps),
+    }
+
+
+def _rank_key(item: tuple[Candidate, CostReport]):
+    cand, cost = item
+    return (-cost.score, cand.description)
+
+
+@timed("tune.tune", attr_fn=lambda program, *a, **kw: {"program": program.name})
+def tune(
+    program: Program,
+    params: Mapping[str, int] | None = None,
+    *,
+    backend: str = DEFAULT_BACKEND,
+    beam_width: int = 4,
+    depth: int = 2,
+    top_k: int = 3,
+    repeat: int = MIN_TIMING_REPS,
+    jobs: int | None = None,
+    store: TuneStore | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+    include_structural: bool = True,
+) -> TuneResult:
+    """Find the fastest legal schedule of ``program`` at ``params``.
+
+    Beam search over the :mod:`repro.tune.space` candidates: level 1 is
+    the full enumeration, deeper levels compose beam survivors with one
+    more elementary transformation.  Candidates are pruned by the
+    Theorem-2 legality test *before* any execution, ranked statically by
+    the :mod:`repro.tune.cost` model, and the ``top_k`` survivors (plus
+    the default order) are measured on ``backend`` with the shared
+    median-of-``repeat`` timer and cross-checked against the reference
+    interpreter.  Results persist in ``store`` (default:
+    ``.repro_tune/``); a warm call with the same (program, params,
+    version) key returns without searching.
+
+    ``jobs`` fans the legality+scoring stage out over threads (``0`` =
+    one per CPU); ranking stays deterministic.  ``force`` re-searches
+    even on a cache hit (and overwrites the entry); ``use_cache=False``
+    skips the store entirely.
+    """
+    params = dict(params) if params else {p: DEFAULT_PARAM for p in program.params}
+    params = {k: int(v) for k, v in params.items()}
+    key = TuneStore.key_for(program, params)
+    store = store if store is not None else TuneStore()
+
+    if use_cache and not force:
+        entry = store.get(key)
+        if entry is not None:
+            counter("tune.cache.hit")
+            return _result_from_entry(program, params, key, store, entry)
+    counter("tune.cache.miss")
+
+    audit: list[dict] = []
+    with span("tune.search", program=program.name, backend=backend):
+        candidates = enumerate_candidates(
+            program, include_structural=include_structural
+        )
+        enumerated = len(candidates)
+        counter("tune.candidates.enumerated", enumerated)
+        root_identity = candidates[0]  # identity of the original context
+
+        outcomes = map_in_threads(
+            lambda c: _assess(c, params, audit), candidates, jobs=resolve_jobs(jobs)
+        )
+        pruned = sum(1 for s, *_ in outcomes if s == "pruned")
+        pool: dict[tuple, tuple[Candidate, CostReport]] = {}
+        for status, cand, cost in outcomes:
+            if status == "scored":
+                pool[cand.canonical_key()] = (cand, cost)
+
+        beam = sorted(pool.values(), key=_rank_key)[:beam_width]
+        elem_cache: dict[int, list[Candidate]] = {}
+        for _level in range(1, max(1, depth)):
+            extensions: list[Candidate] = []
+            for cand, _cost in beam:
+                ctx_id = id(cand.context)
+                if ctx_id not in elem_cache:
+                    elem_cache[ctx_id] = elementary_candidates(cand.context)
+                for step in elem_cache[ctx_id]:
+                    ext = compose_candidate(cand, step)
+                    if ext.canonical_key() not in pool:
+                        extensions.append(ext)
+            # dedupe among the new extensions themselves
+            fresh: dict[tuple, Candidate] = {}
+            for ext in extensions:
+                fresh.setdefault(ext.canonical_key(), ext)
+            outcomes = map_in_threads(
+                lambda c: _assess(c, params, audit),
+                list(fresh.values()),
+                jobs=resolve_jobs(jobs),
+            )
+            enumerated += len(fresh)
+            counter("tune.candidates.enumerated", len(fresh))
+            pruned += sum(1 for s, *_ in outcomes if s == "pruned")
+            for status, cand, cost in outcomes:
+                if status == "scored":
+                    pool[cand.canonical_key()] = (cand, cost)
+            beam = sorted(pool.values(), key=_rank_key)[:beam_width]
+
+        survivors = sorted(pool.values(), key=_rank_key)[: max(1, top_k)]
+
+    # -- measurement -------------------------------------------------------
+    # Interleaved rounds: each round times every schedule once (rotating
+    # the visit order), and a schedule's ranking time is the median of
+    # its per-round medians.  Back-to-back sequential timing would let a
+    # slow drift in machine load (thermal throttle, a neighbour process)
+    # masquerade as a schedule difference; rotation cancels both drift
+    # and position bias.
+    identity_key = root_identity.canonical_key()
+    identity_cost = pool.get(identity_key)
+    sched: list[tuple[TunedRow, Program]] = []
+    rows: list[TunedRow] = []
+    with span("tune.measure", program=program.name, n=len(survivors) + 1):
+        base = ArrayStore(program, params).snapshot()
+        for arr in base.values():
+            arr.setflags(write=False)
+        ref_out = execute(program, params, arrays=base)[0].snapshot()
+
+        audit.append(_audit_record(root_identity, "measure"))
+        baseline_row = TunedRow(
+            "default order", "identity", (),
+            identity_cost[1].score if identity_cost else None,
+            None, None, baseline=True, candidate=root_identity,
+        )
+        rows.append(baseline_row)
+        sched.append((baseline_row, program))
+
+        for cand, cost in survivors:
+            if cand.canonical_key() == identity_key:
+                continue  # already measured as the baseline
+            row = TunedRow(
+                cand.description, cand.kind, cand.context.origin + cand.steps,
+                cost.score, None, None, candidate=cand,
+            )
+            rows.append(row)
+            try:
+                tuned_prog = realize(cand)
+            except ReproError as exc:
+                counter("tune.measure_errors")
+                row.error = str(exc)
+                continue
+            audit.append(_audit_record(cand, "measure"))
+            sched.append((row, tuned_prog))
+
+        samples: dict[int, list[float]] = {id(r): [] for r, _ in sched}
+        broken: set[int] = set()
+        for rnd in range(MEASURE_ROUNDS):
+            shift = rnd % len(sched)
+            for row, prog_ in sched[shift:] + sched[:shift]:
+                if id(row) in broken:
+                    continue
+                try:
+                    with span("tune.measure.candidate", candidate=row.description):
+                        secs = time_backend(
+                            prog_, params, arrays=base,
+                            backend=backend, repeat=repeat,
+                        )
+                    samples[id(row)].append(secs)
+                except ReproError as exc:
+                    counter("tune.measure_errors")
+                    row.error = str(exc)
+                    broken.add(id(row))
+
+        for row, prog_ in sched:
+            if id(row) in broken:
+                continue
+            row.seconds = statistics.median(samples[id(row)])
+            try:
+                out = backend_run(
+                    prog_, params, arrays=base, backend=backend
+                ).snapshot()
+                row.ok = outputs_close(ref_out, out)
+            except ReproError as exc:
+                counter("tune.measure_errors")
+                row.error = str(exc)
+                continue
+            if not row.ok:
+                counter("tune.cross_check_failures")
+            counter("tune.candidates.measured")
+
+    baseline_seconds = baseline_row.seconds
+    measurable = [r for r in rows if r.seconds is not None and r.ok]
+    best = min(measurable, key=lambda r: (r.seconds, r.description), default=None)
+
+    result = TuneResult(
+        program=program,
+        params=params,
+        backend=backend,
+        rows=rows,
+        best=best,
+        baseline_seconds=baseline_seconds,
+        from_cache=False,
+        cache_key=key,
+        enumerated=enumerated,
+        pruned=pruned,
+        scored=len(pool),
+        executed=audit,
+    )
+
+    if use_cache and best is not None:
+        entry = _entry_from_result(result)
+        path = store.put(key, entry)
+        result.cache_path = str(path)
+        result.entry = entry
+    return result
+
+
+# -- persistence glue -------------------------------------------------------
+
+
+def _entry_from_result(result: TuneResult) -> dict:
+    from repro import __version__
+
+    best = result.best
+    assert best is not None and best.candidate is not None
+    winner_ctx = best.candidate.context
+    return {
+        "version": __version__,
+        "program": result.program.name,
+        "program_text": program_to_str(result.program),
+        "params": dict(result.params),
+        "backend": result.backend,
+        "baseline_seconds": result.baseline_seconds,
+        "enumerated": result.enumerated,
+        "pruned": result.pruned,
+        "scored": result.scored,
+        "rows": [r.to_json(winner=(r is best)) for r in result.rows],
+        "winner": {
+            "description": best.description,
+            "steps": list(best.steps),
+            "seconds": best.seconds,
+            "score": best.score,
+            "baseline": best.baseline,
+            "context_program": program_to_str(winner_ctx.program),
+            "matrix": [list(r) for r in best.candidate.matrix.rows()],
+        },
+        "created": time.time(),
+    }
+
+
+def _result_from_entry(
+    program: Program,
+    params: dict[str, int],
+    key: str,
+    store: TuneStore,
+    entry: dict,
+) -> TuneResult:
+    rows: list[TunedRow] = []
+    best = None
+    for r in entry.get("rows", []):
+        row = TunedRow(
+            r.get("description", "?"), r.get("kind", ""),
+            tuple(r.get("steps", ())), r.get("score"), r.get("seconds"),
+            r.get("ok"), r.get("error", ""), bool(r.get("baseline")),
+        )
+        rows.append(row)
+        if r.get("winner"):
+            best = row
+    return TuneResult(
+        program=program,
+        params=params,
+        backend=entry.get("backend", DEFAULT_BACKEND),
+        rows=rows,
+        best=best,
+        baseline_seconds=entry.get("baseline_seconds"),
+        from_cache=True,
+        cache_key=key,
+        cache_path=str(store.path_for(key)),
+        enumerated=int(entry.get("enumerated", 0)),
+        pruned=int(entry.get("pruned", 0)),
+        scored=int(entry.get("scored", 0)),
+        entry=entry,
+    )
+
+
+def load_tuned(
+    program: Program,
+    params: Mapping[str, int],
+    store: TuneStore | None = None,
+) -> dict | None:
+    """The cached entry for (program, params, version), or None."""
+    store = store if store is not None else TuneStore()
+    entry = store.get(TuneStore.key_for(program, dict(params)))
+    if entry is not None:
+        counter("tune.cache.hit")
+    return entry
+
+
+def apply_entry(entry: dict):
+    """Regenerate the tuned program from a cached entry.
+
+    The entry stores the winner's *source* context (original or
+    distributed program text) and transformation matrix; code is
+    regenerated deterministically rather than trusting a serialized
+    generated AST, so a corrupted or hand-edited entry can only fail
+    loudly (parse/legality error), never run wrong code silently.
+    """
+    winner = entry.get("winner")
+    if not winner:
+        raise TuneError("cache entry has no winner")
+    prog = parse_program(winner["context_program"], entry.get("program", "tuned"))
+    matrix = IntMatrix([[int(x) for x in row] for row in winner["matrix"]])
+    deps = analyze_dependences(prog)
+    generated = generate_code(prog, matrix, deps)
+    tuned = simplify_program(generated.program)
+    return tuned.with_body(tuned.body, name=(entry.get("program", "program") + "_tuned"))

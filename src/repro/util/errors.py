@@ -85,3 +85,8 @@ class InterpError(ReproError):
 class BackendError(ReproError):
     """Raised by the source-lowering backend (unloweable program,
     reserved identifier, unknown backend name, ...)."""
+
+
+class TuneError(ReproError):
+    """Raised by the schedule autotuner (no cached entry for --tuned,
+    no measurable candidate survived, ...)."""

@@ -1,0 +1,123 @@
+"""CLI surface of the autotuner: ``repro tune``, ``run --tuned``,
+``report --tuned``, and the pinned non-zero exit codes of ``bench`` and
+``tune`` on error rows."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.util.errors import BackendError, ReproError
+
+KERNEL = "simplified_cholesky"
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def _tune_args(cache, *extra):
+    return [
+        "tune", KERNEL, "-p", "N=10", "--backend", "source",
+        "--beam", "2", "--depth", "1", "--top-k", "2",
+        "--cache-dir", cache, *extra,
+    ]
+
+
+class TestTuneVerb:
+    def test_cold_run_exits_zero(self, cache, capsys):
+        assert main(_tune_args(cache)) == 0
+        out = capsys.readouterr().out
+        assert "cache: MISS" in out
+        assert "pruned" in out
+        assert "winner:" in out
+
+    def test_warm_run_hits_cache(self, cache, capsys):
+        assert main(_tune_args(cache)) == 0
+        capsys.readouterr()
+        assert main(_tune_args(cache)) == 0
+        out = capsys.readouterr().out
+        assert "cache: HIT" in out
+        assert "search skipped" in out
+
+    def test_force_ignores_cache(self, cache, capsys):
+        assert main(_tune_args(cache)) == 0
+        capsys.readouterr()
+        assert main(_tune_args(cache, "--force")) == 0
+        assert "cache: MISS" in capsys.readouterr().out
+
+    def test_json_output(self, cache, tmp_path, capsys):
+        out_json = str(tmp_path / "tune.json")
+        assert main(_tune_args(cache, "--json", out_json)) == 0
+        payload = json.loads(open(out_json).read())
+        assert payload["params"] == {"N": 10}
+        assert payload["pruned"] > 0
+        winners = [r for r in payload["rows"] if r["winner"]]
+        assert len(winners) == 1
+
+    def test_loop_file_argument(self, cache, tmp_path, capsys):
+        f = tmp_path / "p.loop"
+        f.write_text(
+            "param N\nreal A(N)\ndo I = 1, N\n  S1: A(I) = A(I) + 1.0\nenddo\n"
+        )
+        assert main(["tune", str(f), "-p", "N=8", "--backend", "source",
+                     "--cache-dir", cache]) == 0
+
+
+class TestExitCodes:
+    def test_tune_exits_nonzero_on_error_rows(self, cache, monkeypatch, capsys):
+        import repro.tune.driver as driver
+
+        def boom(*a, **kw):
+            raise BackendError("injected measurement failure")
+
+        monkeypatch.setattr(driver, "time_backend", boom)
+        rc = main(_tune_args(cache, "--no-cache"))
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "error: injected measurement failure" in out
+        assert "winner: none" in out
+
+    def test_bench_exits_nonzero_on_error_rows(self, monkeypatch, capsys):
+        import repro.backend.runtime as runtime
+
+        real_run = runtime.run
+
+        def flaky(program, params=None, arrays=None, *, backend="source", **kw):
+            if backend == "source-vec":
+                raise BackendError("injected backend failure")
+            return real_run(program, params, arrays, backend=backend, **kw)
+
+        monkeypatch.setattr(runtime, "run", flaky)
+        rc = main(["bench", KERNEL, "-p", "N=8"])
+        assert rc == 1
+        assert "error: injected backend failure" in capsys.readouterr().out
+
+    def test_bench_all_ok_exits_zero(self, capsys):
+        assert main(["bench", KERNEL, "-p", "N=8"]) == 0
+
+
+class TestTunedFlag:
+    def test_run_tuned_applies_winner(self, cache, capsys):
+        assert main(_tune_args(cache)) == 0
+        capsys.readouterr()
+        rc = main(["run", KERNEL, "--tuned", "-p", "N=10", "--cache-dir", cache])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "applying tuned schedule:" in out
+        assert "A =" in out
+
+    def test_run_tuned_without_entry_fails(self, cache, capsys):
+        rc = main(["run", KERNEL, "--tuned", "-p", "N=10", "--cache-dir", cache])
+        assert rc == 2
+        assert "no cached tuning entry" in capsys.readouterr().err
+
+    def test_report_tuned_shows_winner(self, cache, capsys):
+        assert main(_tune_args(cache)) == 0
+        capsys.readouterr()
+        rc = main(["report", KERNEL, "--tuned", "-p", "N=10", "--cache-dir", cache])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "=== tuned schedule (from cache) ===" in out
+        assert "=== dependences ===" in out

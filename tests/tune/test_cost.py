@@ -1,0 +1,87 @@
+"""Static cost model: feature extraction, discrimination between loop
+orders, and the realize() generate+simplify pipeline."""
+
+import pytest
+
+from repro.ir import program_to_str
+from repro.kernels import cholesky, matmul
+from repro.legality.check import check_legality
+from repro.tune.cost import (
+    CAPACITY_LINES, MODEL_PARAM, model_params_for, realize, score_candidate,
+)
+from repro.tune.space import (
+    enumerate_candidates, identity_candidate, lead_candidates, make_context,
+)
+from repro.util.errors import ReproError
+
+
+class TestModelParams:
+    def test_clamped_to_cap(self):
+        assert model_params_for(("N",), {"N": 4000}) == {"N": MODEL_PARAM}
+
+    def test_small_sizes_kept(self):
+        assert model_params_for(("N",), {"N": 4}) == {"N": 4}
+
+    def test_missing_params_default_to_cap(self):
+        assert model_params_for(("N", "M"), {}) == {"N": MODEL_PARAM, "M": MODEL_PARAM}
+
+
+class TestRealize:
+    def test_identity_realizes_to_original(self):
+        # simplification must fold codegen's residual guards/hulls away,
+        # or every transformed schedule would be unfairly penalized
+        # against the guard-free original (see cost.realize docstring)
+        prog = cholesky()
+        ctx = make_context(prog)
+        realized = realize(identity_candidate(ctx))
+        assert program_to_str(realized, header=False) == program_to_str(
+            prog, header=False
+        )
+
+    def test_illegal_candidate_raises_before_execution(self):
+        ctx = make_context(cholesky())
+        illegal = [
+            c for c in enumerate_candidates(cholesky())
+            if not check_legality(ctx.layout, c.matrix, ctx.deps).legal
+        ]
+        assert illegal, "expected some illegal candidates in the space"
+        with pytest.raises(ReproError):
+            realize(illegal[0])
+
+
+class TestScoring:
+    def test_report_features_complete(self):
+        ctx = make_context(matmul())
+        rep = score_candidate(identity_candidate(ctx))
+        feats = rep.features()
+        assert set(feats) == {
+            "score", "locality", "vectorized_loops", "fallback_loops",
+            "doall_loops", "total_loops", "instances",
+        }
+        assert 0.0 <= rep.locality <= 1.0
+        assert rep.instances > 0
+
+    def test_discriminates_cholesky_orders(self):
+        # the model working set exceeds the model cache by construction,
+        # so loop orders must separate: the left-looking L-led order has
+        # strictly better locality than the right-looking default
+        ctx = make_context(cholesky())
+        ident = score_candidate(identity_candidate(ctx))
+        lead_l = [c for c in lead_candidates(ctx) if c.lead == "L"][0]
+        assert score_candidate(lead_l).locality > ident.locality
+
+    def test_capacity_affects_locality(self):
+        ctx = make_context(cholesky())
+        cand = identity_candidate(ctx)
+        tight = score_candidate(cand, capacity_lines=2)
+        loose = score_candidate(cand, capacity_lines=CAPACITY_LINES * 64)
+        assert tight.locality < loose.locality
+
+    def test_illegal_scoring_raises(self):
+        ctx = make_context(cholesky())
+        illegal = [
+            c for c in enumerate_candidates(cholesky())
+            if not check_legality(ctx.layout, c.matrix, ctx.deps).legal
+        ]
+        with pytest.raises(ReproError):
+            score_candidate(illegal[0])

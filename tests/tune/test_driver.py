@@ -1,0 +1,124 @@
+"""The beam-search driver: pruning before execution, measured ranking,
+cache round-trip, and the cache hit/miss counters."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.dependence import analyze_dependences
+from repro.instance import Layout
+from repro.interp.executor import execute
+from repro.ir import parse_program
+from repro.kernels import simplified_cholesky
+from repro.legality.check import check_legality
+from repro.linalg import IntMatrix
+from repro.tune import TuneStore, apply_entry, load_tuned, tune
+from repro.util.errors import TuneError
+
+PARAMS = {"N": 10}
+FAST = dict(backend="source", beam_width=2, depth=1, top_k=2, repeat=3)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return TuneStore(tmp_path / "cache")
+
+
+class TestSearch:
+    def test_finds_a_winner(self, store):
+        res = tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+        assert res.ok
+        assert res.best is not None
+        assert res.best.seconds is not None
+        assert not res.from_cache
+        assert res.enumerated > res.scored  # something was pruned or deduped
+        assert res.pruned > 0
+
+    def test_baseline_always_measured(self, store):
+        res = tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+        baselines = [r for r in res.rows if r.baseline]
+        assert len(baselines) == 1
+        assert baselines[0].description == "default order"
+        assert res.baseline_seconds == baselines[0].seconds
+
+    def test_winner_never_slower_than_default(self, store):
+        res = tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+        assert res.best.seconds <= res.baseline_seconds
+
+    def test_every_executed_candidate_was_legal(self, store):
+        # re-verify the audit trail independently of the driver
+        res = tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+        assert res.executed
+        for record in res.executed:
+            prog = parse_program(record["program"], "audit")
+            layout = Layout(prog)
+            deps = analyze_dependences(prog)
+            matrix = IntMatrix([[int(x) for x in row] for row in record["matrix"]])
+            assert check_legality(layout, matrix, deps).legal, record["description"]
+
+    def test_default_params_applied(self, store):
+        from repro.tune.driver import DEFAULT_PARAM
+
+        res = tune(simplified_cholesky(), None, store=store, **FAST)
+        assert res.params == {"N": DEFAULT_PARAM}
+
+
+class TestCache:
+    def test_miss_then_hit_counters(self, store):
+        with obs.session() as sess:
+            tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+            assert sess.counters.get("tune.cache.miss") == 1
+            assert "tune.cache.hit" not in sess.counters
+        with obs.session() as sess:
+            res = tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+            assert sess.counters.get("tune.cache.hit") == 1
+            assert res.from_cache
+            # a cache hit must skip the search and every execution
+            assert "tune.candidates.scored" not in sess.counters
+            assert "tune.candidates.measured" not in sess.counters
+
+    def test_warm_result_matches_cold(self, store):
+        cold = tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+        warm = tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+        assert warm.from_cache
+        assert warm.best.description == cold.best.description
+        assert warm.best.seconds == cold.best.seconds
+        assert [r.description for r in warm.rows] == [r.description for r in cold.rows]
+
+    def test_force_researches(self, store):
+        tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+        with obs.session() as sess:
+            res = tune(simplified_cholesky(), PARAMS, store=store, force=True, **FAST)
+            assert not res.from_cache
+            assert sess.counters.get("tune.cache.miss") == 1
+
+    def test_use_cache_false_writes_nothing(self, store):
+        res = tune(simplified_cholesky(), PARAMS, store=store, use_cache=False, **FAST)
+        assert not res.from_cache
+        assert len(store) == 0
+        assert res.cache_path is None
+
+    def test_params_change_is_a_miss(self, store):
+        tune(simplified_cholesky(), PARAMS, store=store, **FAST)
+        res = tune(simplified_cholesky(), {"N": 11}, store=store, **FAST)
+        assert not res.from_cache
+
+
+class TestApplyEntry:
+    def test_apply_reproduces_reference_outputs(self, store):
+        program = simplified_cholesky()
+        res = tune(program, PARAMS, store=store, **FAST)
+        entry = load_tuned(program, PARAMS, store=store)
+        assert entry is not None
+        tuned = apply_entry(entry)
+        ref = execute(program, PARAMS)[0].snapshot()
+        out = execute(tuned, PARAMS)[0].snapshot()
+        for name in ref:
+            np.testing.assert_allclose(out[name], ref[name], rtol=1e-12)
+
+    def test_load_tuned_miss_is_none(self, store):
+        assert load_tuned(simplified_cholesky(), {"N": 999}, store=store) is None
+
+    def test_apply_entry_without_winner_raises(self):
+        with pytest.raises(TuneError):
+            apply_entry({"rows": []})

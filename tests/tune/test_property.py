@@ -1,0 +1,109 @@
+"""Property tests for the autotuner's two safety contracts:
+
+1. every candidate the tuner *executes* (for scoring or measurement)
+   passed the Theorem-2 legality check — verified independently here by
+   re-running the check over the driver's audit trail on random nests;
+2. the tuner's winner computes bit-identical outputs to the reference
+   interpreter on the bundled kernels (the ``source`` backend is
+   bit-exact, so no tolerance is needed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dependence import analyze_dependences
+from repro.instance import Layout
+from repro.interp.executor import execute
+from repro.ir import parse_program
+from repro.kernels import (
+    cholesky, lu_factorization, matmul, random_program, running_example,
+    simplified_cholesky, triangular_solve,
+)
+from repro.legality.check import check_legality
+from repro.linalg import IntMatrix
+from repro.tune import TuneStore, tune
+from repro.tune.cost import realize
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+FAST = dict(backend="source", beam_width=2, depth=1, top_k=2, use_cache=False)
+
+BUNDLED = [
+    simplified_cholesky, cholesky, matmul, triangular_solve,
+    lu_factorization, running_example,
+]
+
+
+def _assert_audit_legal(result):
+    assert result.executed, "tuner executed nothing"
+    for record in result.executed:
+        prog = parse_program(record["program"], "audit")
+        matrix = IntMatrix([[int(x) for x in row] for row in record["matrix"]])
+        report = check_legality(Layout(prog), matrix, analyze_dependences(prog))
+        assert report.legal, (
+            f"executed an unchecked candidate: {record['description']} "
+            f"at stage {record['stage']}"
+        )
+
+
+class TestOnlyLegalCandidatesExecute:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        shape=st.sampled_from(["mixed", "perfect", "triangular"]),
+    )
+    def test_random_nests(self, seed, shape):
+        # small nests (depth/children 2) keep the space in the dozens so
+        # six examples stay inside the CI budget; the audit contract is
+        # size-independent
+        program = random_program(seed, shape=shape, max_depth=2, max_children=2)
+        params = {p: 5 for p in program.params}
+        result = tune(program, params, include_structural=False, **FAST)
+        _assert_audit_legal(result)
+
+    @pytest.mark.parametrize("factory", BUNDLED, ids=lambda f: f.__name__)
+    def test_bundled_kernels(self, factory):
+        program = factory()
+        params = {p: 8 for p in program.params}
+        result = tune(program, params, **FAST)
+        _assert_audit_legal(result)
+
+
+class TestWinnerBitIdentical:
+    @pytest.mark.parametrize("factory", BUNDLED, ids=lambda f: f.__name__)
+    def test_winner_matches_reference_exactly(self, factory):
+        from repro.backend import run as backend_run
+
+        program = factory()
+        params = {p: 8 for p in program.params}
+        result = tune(program, params, **FAST)
+        assert result.best is not None
+        ref = execute(program, params)[0].snapshot()
+        winner = result.best
+        if winner.baseline:
+            tuned_prog = program
+        else:
+            tuned_prog = realize(winner.candidate)
+        out = backend_run(tuned_prog, params, backend="source").snapshot()
+        for name in ref:
+            assert np.array_equal(out[name], ref[name]), (
+                f"{factory.__name__}: array {name} diverged under "
+                f"{winner.description}"
+            )
+
+
+class TestCacheRoundTripProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_key_stability_under_reparse(self, seed):
+        # parse(print(p)) must hit the same cache key — content
+        # addressing depends on the printer being a canonical form
+        from repro.ir import program_to_str
+
+        program = random_program(seed)
+        params = {p: 5 for p in program.params}
+        reparsed = parse_program(program_to_str(program), "other_name")
+        assert TuneStore.key_for(program, params) == TuneStore.key_for(
+            reparsed, params
+        )

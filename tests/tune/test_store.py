@@ -1,0 +1,124 @@
+"""Persistent tuning cache: content addressing, atomicity, corruption
+tolerance, bounded size, and the env/CLI directory override."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.ir import parse_program
+from repro.kernels import cholesky, simplified_cholesky
+from repro.tune.store import DEFAULT_DIR, ENV_DIR, STORE_SCHEMA, TuneStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return TuneStore(tmp_path / "cache")
+
+
+class TestKeying:
+    def test_deterministic(self):
+        k1 = TuneStore.key_for(cholesky(), {"N": 40})
+        k2 = TuneStore.key_for(cholesky(), {"N": 40})
+        assert k1 == k2
+        assert len(k1) == 64  # sha256 hex
+
+    def test_program_text_changes_key(self):
+        assert TuneStore.key_for(cholesky(), {"N": 40}) != TuneStore.key_for(
+            simplified_cholesky(), {"N": 40}
+        )
+
+    def test_params_change_key(self):
+        assert TuneStore.key_for(cholesky(), {"N": 40}) != TuneStore.key_for(
+            cholesky(), {"N": 41}
+        )
+
+    def test_version_changes_key(self):
+        a = TuneStore.key_for(cholesky(), {"N": 40}, version="1")
+        b = TuneStore.key_for(cholesky(), {"N": 40}, version="2")
+        assert a != b
+
+    def test_name_does_not_change_key(self):
+        # content addressing: same text under a different name hits
+        src = "param N\nreal A(N)\ndo I = 1, N\n  S1: A(I) = A(I) + 1.0\nenddo\n"
+        p1 = parse_program(src, "one")
+        p2 = parse_program(src, "two")
+        assert TuneStore.key_for(p1, {"N": 8}) == TuneStore.key_for(p2, {"N": 8})
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        key = TuneStore.key_for(cholesky(), {"N": 8})
+        path = store.put(key, {"winner": {"description": "x"}})
+        assert path.exists()
+        entry = store.get(key)
+        assert entry["winner"]["description"] == "x"
+        assert entry["schema"] == STORE_SCHEMA
+        assert entry["key"] == key
+
+    def test_missing_key_is_none(self, store):
+        assert store.get("0" * 64) is None
+
+    def test_no_partial_files_after_put(self, store):
+        store.put("a" * 64, {"x": 1})
+        names = os.listdir(store.root)
+        assert names == ["a" * 64 + ".json"]
+
+    def test_clear_and_len(self, store):
+        store.put("a" * 64, {})
+        store.put("b" * 64, {})
+        assert len(store) == 2
+        store.clear()
+        assert len(store) == 0
+
+
+class TestCorruption:
+    def test_bad_json_dropped_and_unlinked(self, store):
+        key = "c" * 64
+        store.put(key, {"x": 1})
+        store.path_for(key).write_text("{not json")
+        with obs.session() as sess:
+            assert store.get(key) is None
+            assert sess.counters.get("tune.cache.corrupt") == 1
+        assert not store.path_for(key).exists()
+
+    def test_schema_mismatch_dropped(self, store):
+        key = "d" * 64
+        store.put(key, {"x": 1})
+        entry = json.loads(store.path_for(key).read_text())
+        entry["schema"] = STORE_SCHEMA + 999
+        store.path_for(key).write_text(json.dumps(entry))
+        assert store.get(key) is None
+        assert not store.path_for(key).exists()
+
+    def test_non_dict_payload_dropped(self, store):
+        key = "e" * 64
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).write_text(json.dumps([1, 2, 3]))
+        assert store.get(key) is None
+
+
+class TestEviction:
+    def test_oldest_evicted_beyond_cap(self, tmp_path):
+        store = TuneStore(tmp_path, max_entries=3)
+        keys = [ch * 64 for ch in "abcde"]
+        for i, k in enumerate(keys):
+            store.put(k, {"i": i})
+            # distinct mtimes so eviction order is well-defined
+            os.utime(store.path_for(k), (1000 + i, 1000 + i))
+        assert len(store) == 3
+        assert store.get(keys[0]) is None
+        assert store.get(keys[-1]) is not None
+
+
+class TestDirectoryResolution:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_DIR, str(tmp_path / "envcache"))
+        store = TuneStore()
+        assert str(store.root) == str(tmp_path / "envcache")
+
+    def test_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(ENV_DIR, raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert TuneStore().root.name == DEFAULT_DIR
