@@ -36,6 +36,15 @@ measures the baseline alongside the survivors and returns the overall
 minimum, so speedup >= 1 by construction; the gate allows 5% slack
 (``TUNE_MIN_SPEEDUP``) purely for timer granularity and exists to
 catch a driver that stopped ranking the baseline.
+
+A fifth, opt-in gate (``--trend BENCH_history.jsonl``) checks the fresh
+run's backend/tune metrics against the *rolling median* of prior ledger
+snapshots (see benchmarks/history.py): any metric more than 25% worse
+than its trend fails.  Point-to-point factor gates miss slow drift — a
+1.4x creep over five PRs never trips a 2x gate; the rolling median
+catches it.  Because emitting a result appends its own row to the
+ledger, the gate excludes a trailing row matching the fresh run before
+computing the trend.
 """
 
 from __future__ import annotations
@@ -48,7 +57,7 @@ from pathlib import Path
 
 __all__ = [
     "Comparison", "compare_results", "backend_gate", "backend_table",
-    "tune_gate", "tune_table", "main",
+    "tune_gate", "tune_table", "trend_gate", "main",
 ]
 
 DEFAULT_FACTOR = 2.0
@@ -194,6 +203,40 @@ def tune_table(fresh: dict) -> str:
     return "\n".join(lines)
 
 
+def trend_gate(
+    fresh: dict,
+    history_path: Path,
+    *,
+    tolerance: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """The rolling-median trend gate; returns (failures, report lines).
+
+    The fresh payload's trend metrics are compared against prior ledger
+    rows.  Emission appends the fresh run's own row to the ledger first,
+    so a trailing row whose metrics equal the fresh run's is excluded
+    from "prior".
+    """
+    try:
+        from benchmarks.history import (
+            DEFAULT_TOLERANCE, load_history, metrics_from_result, trend_failures,
+        )
+    except ImportError:  # invoked as `python benchmarks/compare.py`
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+        from benchmarks.history import (
+            DEFAULT_TOLERANCE, load_history, metrics_from_result, trend_failures,
+        )
+
+    fresh_metrics = metrics_from_result(fresh)
+    rows = load_history(history_path)
+    if rows and rows[-1].get("metrics") == fresh_metrics:
+        rows = rows[:-1]
+    return trend_failures(
+        {"metrics": fresh_metrics},
+        rows,
+        tolerance=DEFAULT_TOLERANCE if tolerance is None else tolerance,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="compare.py", description="benchmark regression gate"
@@ -219,6 +262,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="append the E16 backend speedup table (markdown) to this "
         "file — CI points it at $GITHUB_STEP_SUMMARY",
+    )
+    parser.add_argument(
+        "--trend",
+        type=Path,
+        default=None,
+        metavar="LEDGER",
+        help="also gate the fresh backend/tune metrics against the "
+        "rolling median of this BENCH_history.jsonl ledger "
+        "(see benchmarks/history.py)",
+    )
+    parser.add_argument(
+        "--trend-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="trend-gate tolerance as a fraction (default 0.25 = 25%%)",
     )
     args = parser.parse_args(argv)
 
@@ -258,6 +317,17 @@ def main(argv: list[str] | None = None) -> int:
     for failure in tune_failures:
         print(f"  [TUNE FAIL] {failure}")
 
+    trend_fails: list[str] = []
+    if args.trend is not None:
+        trend_fails, trend_report = trend_gate(
+            fresh, args.trend, tolerance=args.trend_tolerance
+        )
+        print(f"\ntrend gate against {args.trend}:")
+        for line in trend_report:
+            print(line)
+        if not trend_report:
+            print("  (no trend metrics in the fresh result)")
+
     if args.summary is not None and table:
         with args.summary.open("a") as f:
             f.write("### Execution-backend speedups (E16)\n\n" + table + "\n")
@@ -265,11 +335,12 @@ def main(argv: list[str] | None = None) -> int:
         with args.summary.open("a") as f:
             f.write("\n### Guided autotuner vs default order (E17)\n\n" + ttable + "\n")
 
-    if regressions or backend_failures or tune_failures:
+    if regressions or backend_failures or tune_failures or trend_fails:
         print(
             f"FAIL: {len(regressions)} metric(s) regressed beyond "
             f"{args.factor:.1f}x, {len(backend_failures)} backend gate "
-            f"failure(s), {len(tune_failures)} tune gate failure(s)",
+            f"failure(s), {len(tune_failures)} tune gate failure(s), "
+            f"{len(trend_fails)} trend gate failure(s)",
             file=sys.stderr,
         )
         return 1

@@ -182,4 +182,15 @@ def write_bench_result(config, path: str | Path | None = None) -> Path:
         "tune": collect_tune_results(),
     }
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    try:
+        try:
+            from benchmarks.history import append_snapshot
+        except ImportError:
+            sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+            from benchmarks.history import append_snapshot
+
+        history_path, _ = append_snapshot(payload)
+        print(f"appended snapshot row to {history_path}")
+    except Exception as exc:  # the ledger must never block result emission
+        print(f"warning: could not append to bench history: {exc}", file=sys.stderr)
     return target

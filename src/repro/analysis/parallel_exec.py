@@ -15,6 +15,7 @@ from repro.util.parallel_exec import (
     map_in_processes,
     map_in_threads,
     merge_counters,
+    merge_metrics,
     resolve_jobs,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "map_in_processes",
     "map_in_threads",
     "merge_counters",
+    "merge_metrics",
     "resolve_jobs",
 ]

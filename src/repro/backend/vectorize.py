@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.ir.ast import ArrayDecl, Loop, Program, Statement
 from repro.ir.expr import ArrayRef, BinOp, Call, Expr, UnaryOp, VarRef, as_affine
-from repro.obs import counter
+from repro.obs import counter, event
 from repro.util.errors import IRError, ReproError
 
 __all__ = ["VecPlan", "doall_loop_vars", "plan_vector_loop", "VEC_FUNCTIONS"]
@@ -98,9 +98,23 @@ def doall_loop_vars(program: Program, deps=None) -> frozenset[str]:
         if deps is None:
             deps = analyze_dependences(program, layout=layout)
         marks = parallel_loops(layout, IntMatrix.identity(layout.dimension), deps)
-    except ReproError:
+    except ReproError as exc:
         counter("backend.doall_analysis_failures")
+        event(
+            "vectorize", "reject",
+            "dependence analysis cannot describe this program; "
+            "every loop stays scalar",
+            program=program.name, detail=str(exc),
+        )
         return frozenset()
+    for m in marks:
+        if m.is_parallel:
+            event("vectorize", "accept", "loop is DOALL (no carried dependence)",
+                  loop=m.var)
+        else:
+            event("vectorize", "reject",
+                  f"loop carries dependence(s): {', '.join(m.carried)}",
+                  loop=m.var)
     return frozenset(m.var for m in marks if m.is_parallel)
 
 
@@ -141,43 +155,72 @@ def plan_vector_loop(
     * every intrinsic call has an elementwise equivalent in
       :data:`VEC_FUNCTIONS`.
     """
+    v = loop.var
+
+    def declined(reason: str, **attrs) -> None:
+        event("vectorize", "reject", reason, loop=v, **attrs)
+
     if loop.step != 1:
+        declined(f"non-unit step {loop.step}; slice assignment needs stride 1")
         return None
     if len(loop.body) != 1 or not isinstance(loop.body[0], Statement):
+        declined("body is not a single statement")
         return None
     st = loop.body[0]
     if not isinstance(st.lhs, ArrayRef):
+        declined("scalar LHS; dependence analysis does not track scalars",
+                 access=str(st.lhs))
         return None
-    v = loop.var
     allowed = frozenset(scope) | {v}
 
-    def ref_ok(ref: ArrayRef, *, is_lhs: bool) -> bool:
+    def ref_block_reason(ref: ArrayRef, *, is_lhs: bool) -> str | None:
         decl = arrays.get(ref.array)
         if decl is None or len(ref.subscripts) != decl.rank:
-            return False
+            return "undeclared array or rank mismatch"
         vdims = 0
         for sub in ref.subscripts:
             try:
                 lin = as_affine(sub)
             except IRError:
-                return False
+                return f"subscript {sub} is not affine"
             if not (lin.variables() <= allowed):
-                return False
+                return f"subscript {sub} uses variables bound inside the loop"
             if lin[v] != 0:
                 vdims += 1
-        return vdims == 1 if is_lhs else vdims <= 1
+        if is_lhs and vdims != 1:
+            return (
+                f"LHS varies with {v} in {vdims} dimensions; "
+                "each iteration must write one distinct cell"
+            )
+        if not is_lhs and vdims > 1:
+            return (
+                f"reference varies with {v} in {vdims} dimensions; "
+                "no single strided slice maps it"
+            )
+        return None
 
-    if not ref_ok(st.lhs, is_lhs=True):
+    why = ref_block_reason(st.lhs, is_lhs=True)
+    if why is not None:
+        declined(why, access=str(st.lhs))
         return None
     for ref in st.rhs.array_refs():
-        if not ref_ok(ref, is_lhs=False):
+        why = ref_block_reason(ref, is_lhs=False)
+        if why is not None:
+            declined(why, access=str(ref))
             return None
     vals = value_vars(st.rhs)
     if not (vals <= allowed):
+        declined(
+            f"scalar read(s) {', '.join(sorted(vals - allowed))} in value position",
+        )
         return None
     for fn in _calls(st.rhs):
         if fn not in VEC_FUNCTIONS:
+            declined(f"intrinsic {fn}() has no elementwise equivalent", call=fn)
             return None
+    event("vectorize", "accept",
+          "innermost DOALL loop rewritten as one NumPy slice assignment",
+          loop=v, target=str(st.lhs))
     return VecPlan(v, needs_iota=(v in vals))
 
 

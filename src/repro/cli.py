@@ -14,6 +14,8 @@ tune        autotune: search legal schedules, measure the best with a
             real backend, persist the winner (docs/AUTOTUNING.md)
 parallel    per-loop DOALL verdicts
 report      full analysis report (deps, DOALL, distribution plan, search)
+explain     decision provenance: why legality / completion /
+            vectorization / tuning accepted or rejected each candidate
 fuzz        differential fuzzing of the pipeline against the trace
             oracles, with shrinking and a regression corpus
 
@@ -348,42 +350,48 @@ def cmd_report(args) -> int:
         program = tuned
     layout = Layout(program)
     deps = analyze_dependences(program, jobs=args.jobs)
-    print("=== program ===")
-    print(program_to_str(program))
-    print("\n=== instance-vector layout ===")
-    print(layout.describe())
-    print("\n=== dependences ===")
-    print(deps.summary() or "(none)")
-    print("\n=== DOALL verdicts ===")
-    for m in parallel_loops(layout, IntMatrix.identity(layout.dimension), deps):
-        tag = "DOALL" if m.is_parallel else f"carries {', '.join(m.carried)}"
-        print(f"  loop {m.var}: {tag}")
-    print("\n=== distribution plan (SCC groups per loop) ===")
+    marks = parallel_loops(layout, IntMatrix.identity(layout.dimension), deps)
     plan = distribution_plan(program, deps)
-    if not plan:
-        print("  (no multi-statement loops)")
-    for path, groups in sorted(plan.items()):
-        node = layout.node_at(path)
-        verdict = "splittable" if len(groups) > 1 else "unsplittable"
-        print(f"  loop {node.var}@{path}: {groups} ({verdict})")
     params = _params(args.param) or {p: 16 for p in program.params}
     backend = getattr(args, "backend", None)
-    ranking = f", ranked by {backend} wall clock" if backend else ""
-    print(f"\n=== loop-order search (params {params}{ranking}) ===")
+    search_error = None
     try:
         results = search_loop_orders(
             program, params, verify=False, jobs=args.jobs, backend=backend
         )
     except Exception as exc:  # pragma: no cover - workload-dependent
-        print(f"  search unavailable: {exc}")
+        search_error = str(exc)
         results = []
-    for r in results:
-        print(f"  {r}")
     sess = obs.current_session()
-    if sess is not None:
-        print("\n=== observability metrics ===")
-        print(obs.render_metrics(sess.counters, sess.gauges))
+    print(
+        obs.render_full_report(
+            program_text=program_to_str(program),
+            layout_text=layout.describe(),
+            deps_summary=deps.summary(),
+            marks=marks,
+            layout=layout,
+            plan=plan,
+            params=params,
+            backend=backend,
+            search_results=results,
+            search_error=search_error,
+            counters=sess.counters if sess is not None else None,
+            gauges=sess.gauges if sess is not None else None,
+            hists=sess.histograms if sess is not None else None,
+        )
+    )
     return 0
+
+
+#: kept in sync with :data:`repro.explain.PHASES` (literal here so the
+#: argparse setup does not import the tune stack on every CLI start)
+_EXPLAIN_PHASES = ("legality", "complete", "vectorize", "tune")
+
+
+def _cmd_explain(args) -> int:
+    from repro.explain import cmd_explain
+
+    return cmd_explain(args)
 
 
 def cmd_fuzz(args) -> int:
@@ -612,6 +620,34 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(
+        "explain",
+        help="decision provenance: why each phase accepted or rejected "
+        "(see docs/OBSERVABILITY.md)",
+        parents=[obsflags, jobsflags],
+    )
+    p.add_argument("file", help="a .loop file (extension optional) or bundled kernel name")
+    p.add_argument(
+        "--phase",
+        choices=_EXPLAIN_PHASES,
+        default=None,
+        help="explain one phase (default: every phase runnable with the "
+        "given flags)",
+    )
+    p.add_argument("--spec", default=None,
+                   help='transformation spec for the legality phase, e.g. "permute(I,J)"')
+    p.add_argument("--lead", default=None,
+                   help="lead loop variable for the complete phase")
+    p.add_argument("-p", "--param", "--params", action="append", dest="param",
+                   help="e.g. N=96 or N=96,M=4 (tune phase: must match the tune run)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="tuning cache directory (default: .repro_tune or $REPRO_TUNE_DIR)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the events/ranking as JSON instead of the narrative")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print the program text")
+    p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser(
         "report", help="full analysis report", parents=[obsflags, jobsflags]
     )
     p.add_argument("file")
@@ -637,9 +673,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     profile = getattr(args, "profile", False)
     trace_json = getattr(args, "trace_json", None)
-    # `report` always collects metrics for its metrics section; the other
-    # commands only pay for observability when asked.
-    want_obs = profile or trace_json is not None or args.command == "report"
+    # `report` always collects metrics for its metrics section and
+    # `explain` needs the decision events; the other commands only pay
+    # for observability when asked.
+    want_obs = (
+        profile or trace_json is not None or args.command in ("report", "explain")
+    )
 
     mem = None
     sess = None
@@ -658,7 +697,9 @@ def main(argv: list[str] | None = None) -> int:
                 obs.uninstall()
                 if profile:
                     print(
-                        obs.render_report(mem.roots, sess.counters, sess.gauges),
+                        obs.render_report(
+                            mem.roots, sess.counters, sess.gauges, sess.histograms
+                        ),
                         file=sys.stderr,
                     )
     except ReproError as exc:

@@ -92,7 +92,11 @@ class GeneratedProgram:
         return f
 
 
-@timed("codegen.generate", attr_fn=lambda program, *a, **kw: {"program": program.name})
+@timed(
+    "codegen.generate",
+    attr_fn=lambda program, *a, **kw: {"program": program.name},
+    hist="codegen.generate_ns",
+)
 def generate_code(
     program: Program,
     matrix: IntMatrix,

@@ -31,7 +31,7 @@ from repro.dependence.entry import zip_dot
 from repro.instance.layout import EdgeCoord, Layout, LoopCoord, Path
 from repro.ir.ast import Loop, Node, Program, Statement
 from repro.linalg.intmat import IntMatrix
-from repro.obs import counter, timed
+from repro.obs import counter, event, timed
 from repro.util.errors import CompletionError
 
 __all__ = ["complete_transformation", "CompletionResult"]
@@ -257,19 +257,24 @@ def complete_transformation(
                 # Definition-6 screening for deps whose statements share
                 # this loop (i.e. both inside this node).
                 new_pending = set(pending)
-                bad = False
+                bad: DepVector | None = None
                 for d_i in pending:
                     d = dep_list[d_i]
                     if not _inside(layout, d, path):
                         continue
                     entry = row_entry(row, d)
                     if entry.may_be_negative():
-                        bad = True
+                        bad = d
                         break
                     if entry.definitely_positive():
                         new_pending.discard(d_i)
-                if bad:
+                if bad is not None:
                     counter("completion.rows_pruned")
+                    event(
+                        "complete", "reject",
+                        "row would let a dependence run backwards at this level",
+                        row=str(list(row)), dep=str(bad), at=str(path),
+                    )
                     continue
                 used_here = _unit_loop_col(row, loop_cols)
                 if used_here is not None and used_here in used_loop_cols:
@@ -289,11 +294,23 @@ def complete_transformation(
 
     all_pending = frozenset(range(len(dep_list)))
     if not solve((), all_pending):
+        event(
+            "complete", "reject",
+            "no legal completion in the permutation/reversal fragment",
+            program=program.name,
+        )
         raise CompletionError(
             "no legal completion in the permutation/reversal fragment; "
             "pass extra_candidates for skewed completions"
         )
     matrix = IntMatrix(rows)
+    event(
+        "complete", "accept",
+        "completion found in the permutation/reversal fragment",
+        program=program.name,
+        matrix=str([list(r) for r in rows]),
+        child_order=str({str(k): v for k, v in sorted(child_order.items())}),
+    )
     if matrix.shape != (n, n):  # pragma: no cover - structural invariant
         raise CompletionError("internal error: completed matrix has wrong shape")
     return CompletionResult(matrix, dict(child_order))

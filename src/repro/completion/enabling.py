@@ -24,6 +24,7 @@ from repro.completion.complete import CompletionResult, complete_transformation
 from repro.dependence.analyze import analyze_dependences
 from repro.instance.layout import Layout, Path
 from repro.ir.ast import Loop, Program
+from repro.obs import event
 from repro.transform.distribution import distribute, distribution_legal, jam
 from repro.util.errors import CompletionError, ReproError, TransformError
 
@@ -156,7 +157,19 @@ def complete_with_restructuring(
         for prog, moves in frontier:
             result = _try_complete(prog, lead_var, **kw)
             if result is not None:
+                if moves:
+                    event(
+                        "complete", "accept",
+                        "enabling restructuring made the lead loop realizable",
+                        lead=lead_var, moves=" ; ".join(moves),
+                    )
                 return EnabledCompletion(prog, result, moves)
+            event(
+                "complete", "reject",
+                "plain completion cannot realize the lead loop on this program"
+                + (" variant" if moves else "; trying enabling restructurings"),
+                lead=lead_var, moves=" ; ".join(moves) or "(none)",
+            )
             if len(moves) < max_moves:
                 for new_prog, desc in list(_distribution_moves(prog)) + list(
                     _fusion_moves(prog)

@@ -15,7 +15,7 @@ import itertools
 from typing import Iterator
 
 from repro.util.parallel_exec import (
-    capture_counters, chunk_round_robin, map_in_processes, merge_counters, resolve_jobs,
+    capture_counters, chunk_round_robin, map_in_processes, merge_metrics, resolve_jobs,
 )
 from repro.dependence.depvector import DepKind, DependenceMatrix, DepVector
 from repro.dependence.entry import NEG_INF, POS_INF, DepEntry
@@ -163,10 +163,10 @@ def analyze_dependences(
             (program, base_assume, include_unknown, indices)
             for indices in chunk_round_robin(len(pairs), njobs)
         ]
-        for results, counters_delta in map_in_processes(
+        for results, metrics in map_in_processes(
             _analyze_pairs_task, payloads, jobs=njobs
         ):
-            merge_counters(counters_delta)
+            merge_metrics(metrics)
             for i, vectors in results:
                 per_pair[i] = vectors
         for i in range(len(pairs)):
@@ -210,7 +210,7 @@ def _analyze_pairs_task(payload) -> tuple[list[tuple[int, list[DepVector]]], dic
                     ),
                 )
             )
-    return results, cap.delta
+    return results, cap.metrics
 
 
 def _pair_vectors(

@@ -1,0 +1,216 @@
+"""``repro explain`` — decision provenance as a per-phase narrative.
+
+Where ``repro report`` answers "what did the analysis conclude",
+``explain`` answers "*why* did the pipeline accept or reject each
+thing": which dependence vector and projection failed the Theorem-2
+test, which loop was disqualified from vectorization by which access,
+which enabling restructuring the completion procedure chose, and how
+the autotuner's cost ranking compared to the measured ranking
+(Kendall tau).
+
+The first three phases re-run the relevant pipeline stage under the
+CLI's observability session and render the typed decision events it
+emits (:mod:`repro.obs.events`); the ``tune`` phase reads the persisted
+cache entry a prior ``repro tune`` wrote, so explaining a tuning run
+never re-searches or re-measures.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.instance import Layout
+from repro.ir import program_to_str
+from repro.tune.ranking import RankReport, rank_report
+from repro.util.errors import ReproError
+
+__all__ = ["cmd_explain", "PHASES", "render_tune_ranking"]
+
+#: Phases ``--phase`` accepts, in pipeline order.
+PHASES = ("legality", "complete", "vectorize", "tune")
+
+
+def _phase_events(phase: str):
+    sess = obs.current_session()
+    return [ev for ev in (sess.events if sess else []) if ev.kind == phase]
+
+
+# -- phase drivers: each runs one pipeline stage and returns a narrative ----
+
+
+def _explain_legality(program, args) -> tuple[str, list]:
+    from repro.dependence import analyze_dependences
+    from repro.legality import check_legality
+    from repro.transform.spec import parse_spec
+
+    if not args.spec:
+        raise ReproError(
+            "explain --phase legality needs --spec (the transformation "
+            'whose legality verdict you want explained, e.g. --spec "permute(I,J)")'
+        )
+    layout = Layout(program)
+    deps = analyze_dependences(program, jobs=args.jobs)
+    t = parse_spec(layout, args.spec)
+    report = check_legality(layout, t.matrix, deps)
+    events = _phase_events("legality")
+    head = (
+        f"spec: {args.spec}\n"
+        f"verdict: {'LEGAL' if report.legal else 'ILLEGAL'} "
+        f"({len(report.violations)} violated, "
+        f"{len(report.unsatisfied())} unsatisfied of {len(report.statuses)} dependences)"
+    )
+    return head + "\n" + obs.render_events(events, kind="legality"), events
+
+
+def _explain_complete(program, args) -> tuple[str, list]:
+    from repro.completion.enabling import complete_with_restructuring
+    from repro.util.errors import CompletionError
+
+    if not args.lead:
+        raise ReproError(
+            "explain --phase complete needs --lead (the loop variable the "
+            "completion should scan outermost, e.g. --lead K)"
+        )
+    try:
+        enabled = complete_with_restructuring(program, args.lead)
+        head = (
+            f"lead: {args.lead}\n"
+            f"verdict: completed"
+            + (f" after restructuring [{' ; '.join(enabled.moves)}]"
+               if enabled.restructured else " without restructuring")
+        )
+    except CompletionError as exc:
+        head = f"lead: {args.lead}\nverdict: failed — {exc}"
+    events = _phase_events("complete")
+    return head + "\n" + obs.render_events(events, kind="complete"), events
+
+
+def _explain_vectorize(program, args) -> tuple[str, list]:
+    from repro.backend.lower import lower_program
+
+    try:
+        lowered = lower_program(program, vectorize=True)
+        head = (
+            f"verdict: {lowered.vectorized_loops} loop(s) vectorized, "
+            f"{lowered.fallback_loops} innermost DOALL loop(s) stayed scalar"
+        )
+    except ReproError as exc:
+        head = f"verdict: program cannot be lowered — {exc}"
+    events = _phase_events("vectorize")
+    return head + "\n" + obs.render_events(events, kind="vectorize"), events
+
+
+def render_tune_ranking(entry: dict) -> str:
+    """The cost-rank vs measured-rank table of a persisted tune entry."""
+    report = (
+        RankReport.from_json(entry["ranking"])
+        if entry.get("ranking")
+        else rank_report(entry.get("rows", []))  # entries from older runs
+    )
+    if not report.candidates:
+        return "(no candidate was both scored and measured)"
+    rows = [("candidate", "score", "cost rank", "measured rank", "seconds")]
+    for c in sorted(report.candidates, key=lambda c: c.measured_rank):
+        rows.append(
+            (
+                c.description,
+                f"{c.score:.4f}",
+                str(c.cost_rank),
+                str(c.measured_rank),
+                f"{c.seconds:.6f}",
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = [
+        "  "
+        + "  ".join(
+            (f"{c:<{widths[0]}}" if i == 0 else f"{c:>{widths[i]}}")
+            for i, c in enumerate(r)
+        ).rstrip()
+        for r in rows
+    ]
+    tau = (
+        "undefined (fewer than two distinct ranks)"
+        if report.tau is None
+        else f"{report.tau:+.3f}"
+    )
+    lines.append(
+        f"  Kendall tau (cost rank vs measured rank): {tau} "
+        f"over {len(report.candidates)} measured candidate(s)"
+    )
+    return "\n".join(lines)
+
+
+def _explain_tune(program, args) -> tuple[str, dict | None]:
+    from repro.tune import TuneStore, load_tuned
+    from repro.tune.driver import DEFAULT_PARAM
+
+    params = args.params or {p: DEFAULT_PARAM for p in program.params}
+    store = TuneStore(args.cache_dir) if args.cache_dir else TuneStore()
+    entry = load_tuned(program, params, store=store)
+    if entry is None:
+        return (
+            f"no cached tuning entry for {program.name!r} at params {params} "
+            f"in {store.root} — run `repro tune` first (same --params)",
+            None,
+        )
+    winner = entry.get("winner", {})
+    head = (
+        f"params: {entry.get('params')}  backend: {entry.get('backend')}\n"
+        f"winner: {winner.get('description', '?')} "
+        f"(measured {winner.get('seconds', float('nan')):.6f}s; "
+        f"enumerated {entry.get('enumerated')}, pruned {entry.get('pruned')} "
+        f"illegal before execution, scored {entry.get('scored')})"
+    )
+    return head + "\n" + render_tune_ranking(entry), entry
+
+
+def cmd_explain(args) -> int:
+    """Render decision provenance for one phase (or every runnable one)."""
+    from repro.cli import _load_flexible, _params
+
+    program = _load_flexible(args.file)
+    args.params = _params(args.param)
+
+    phases = [args.phase] if args.phase else [
+        p
+        for p in PHASES
+        if (p != "legality" or args.spec) and (p != "complete" or args.lead)
+    ]
+
+    sections: list[tuple[str, str]] = []
+    payload: dict = {"program": program.name, "phases": {}}
+    for phase in phases:
+        if phase == "tune":
+            text, entry = _explain_tune(program, args)
+            payload["phases"]["tune"] = {
+                "entry": {
+                    k: entry[k]
+                    for k in ("params", "backend", "winner", "ranking")
+                    if entry and k in entry
+                }
+                if entry
+                else None,
+            }
+        else:
+            fn = {
+                "legality": _explain_legality,
+                "complete": _explain_complete,
+                "vectorize": _explain_vectorize,
+            }[phase]
+            text, events = fn(program, args)
+            payload["phases"][phase] = {"events": [ev.to_dict() for ev in events]}
+        sections.append((phase, text))
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"=== explain: {program.name} ===")
+    if args.verbose:
+        print(program_to_str(program))
+    for phase, text in sections:
+        print(f"\n--- {phase} ---")
+        print(text)
+    return 0

@@ -22,9 +22,9 @@ from repro.fuzz.case import CaseResult, FuzzCase, run_case
 from repro.fuzz.corpus import expected_for, save_repro
 from repro.fuzz.sample import sample_case
 from repro.fuzz.shrink import shrink_case
-from repro.obs import counter, span
+from repro.obs import counter, event, span
 from repro.util.parallel_exec import (
-    capture_counters, chunk_round_robin, map_in_processes, merge_counters,
+    capture_counters, chunk_round_robin, map_in_processes, merge_metrics,
     resolve_jobs,
 )
 
@@ -93,6 +93,16 @@ def fuzz_run(
         for index, result in enumerate(results):
             session.verdict_counts[result.verdict] = (
                 session.verdict_counts.get(result.verdict, 0) + 1
+            )
+            # per-case provenance is emitted here in the parent, in index
+            # order, so a --jobs run records the same events as a serial one
+            event(
+                "fuzz",
+                "reject" if result.divergent else "accept",
+                result.verdict,
+                index=index,
+                case_kind=result.case.kind,
+                detail=result.detail or "(none)",
             )
             if progress is not None:
                 progress(index, result)
@@ -166,8 +176,8 @@ def _run_all(
         for chunk in chunks
     ]
     by_index: dict[int, CaseResult] = {}
-    for chunk_results, delta in map_in_processes(_run_chunk, tasks, jobs=jobs):
-        merge_counters(delta)
+    for chunk_results, metrics in map_in_processes(_run_chunk, tasks, jobs=jobs):
+        merge_metrics(metrics)
         for index, payload in chunk_results:
             by_index[index] = _result_from_payload(payload)
     counter("fuzz.parallel_chunks", len(chunks))
@@ -199,11 +209,13 @@ def _result_from_payload(p: tuple) -> CaseResult:
     )
 
 
-def _run_chunk(task: tuple) -> tuple[list[tuple[int, tuple]], dict[str, int]]:
+def _run_chunk(task: tuple) -> tuple[list[tuple[int, tuple]], dict]:
     """Process-pool worker: run one hand of case indices.
 
-    Returns ``(results, counter_delta)`` where results carry only
-    picklable payloads (the oracle report dicts stay worker-side)."""
+    Returns ``(results, metrics_payload)`` where results carry only
+    picklable payloads (the oracle report dicts stay worker-side) and
+    the metrics payload bundles counter/gauge/histogram deltas for the
+    parent to merge."""
     seed, indices, inject_items, strict_illegal, backends = task
     inject = {i: _case_from_payload(p) for i, p in inject_items}
     out: list[tuple[int, tuple]] = []
@@ -212,4 +224,4 @@ def _run_chunk(task: tuple) -> tuple[list[tuple[int, tuple]], dict[str, int]]:
             case = _case_at(seed, index, inject, tuple(backends))
             result = run_case(case, strict_illegal=strict_illegal)
             out.append((index, _result_payload(result)))
-    return out, cap.delta
+    return out, cap.metrics

@@ -24,7 +24,7 @@ from repro.dependence.entry import DepEntry, zip_dot
 from repro.instance.layout import Layout
 from repro.legality.structure import NewStructure, recover_structure
 from repro.linalg.intmat import IntMatrix
-from repro.obs import counter, timed
+from repro.obs import counter, event, timed
 from repro.util.errors import CodegenError, LegalityError
 
 __all__ = ["LegalityReport", "DepStatus", "check_legality", "lex_status", "assert_legal"]
@@ -93,8 +93,13 @@ def check_legality(
     counter("legality.checks")
     try:
         structure = recover_structure(layout, matrix)
-    except CodegenError:
+    except CodegenError as exc:
         counter("legality.structure_rejections")
+        event(
+            "legality", "reject",
+            "matrix lacks the Figure-5 block structure",
+            program=layout.program.name, detail=str(exc),
+        )
         return LegalityReport(False, None)
 
     new_layout = structure.new_layout
@@ -122,8 +127,31 @@ def check_legality(
         if status is DepStatus.VIOLATED:
             counter("legality.violations")
             report.legal = False
+            reason = (
+                "transformed dependence projects lexicographically "
+                f"{'negative' if sign == 'may-be-negative' else 'zero with no syntactic order'} "
+                "onto the common loops (Theorem 2)"
+            )
+            event(
+                "legality", "reject", reason,
+                dep=str(d),
+                projection="(" + ", ".join(str(e) for e in projected) + ")",
+                sign=sign,
+                src=d.src, dst=d.dst,
+            )
         elif status is DepStatus.UNSATISFIED:
             counter("legality.unsatisfied")
+            event(
+                "legality", "info",
+                "self-dependence unsatisfied by loops; needs augmentation (§5.4)",
+                dep=str(d),
+                projection="(" + ", ".join(str(e) for e in projected) + ")",
+            )
+        else:
+            event(
+                "legality", "accept", status.value,
+                dep=str(d), sign=sign,
+            )
         report.statuses.append((d, status))
     return report
 

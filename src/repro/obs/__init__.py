@@ -1,4 +1,5 @@
-"""Observability substrate (system S16): spans, counters, sinks, reports.
+"""Observability substrate (system S16): spans, counters, histograms,
+decision events, sinks, reports.
 
 Quickstart::
 
@@ -8,6 +9,7 @@ Quickstart::
     with obs.session(mem):
         deps = analyze_dependences(program)      # instrumented entry point
     print(mem.render())                          # span tree + metrics
+    mem.events_for("legality", "reject")         # decision provenance
 
 Naming conventions (see docs/OBSERVABILITY.md):
 
@@ -17,27 +19,42 @@ Naming conventions (see docs/OBSERVABILITY.md):
 * counters: ``<layer>.<plural-noun>`` — ``dependence.pairs_tested``,
   ``fm.eliminations``, ``codegen.ast_nodes``, ``cache.misses`` ...
 * gauges: ``<layer>.<noun>`` — last value wins.
+* histograms: ``<layer>.<noun>_ns`` — log2-bucketed nanosecond
+  distributions, mergeable across ``--jobs`` workers.
+* events: ``event(kind, verdict, reason, **attrs)`` — one per decision,
+  ``kind`` is the pipeline phase, ``verdict`` in accept/reject/measure/
+  info; rendered by ``repro explain``.
 
 The default state (no session installed) is a no-op with near-zero
 overhead; instrumented library code never needs to guard its calls.
 """
 
 from repro.obs.core import (
-    ObsSession, Span, counter, current_session, gauge, install, session,
-    snapshot, span, uninstall,
+    Histogram, ObsSession, Span, counter, current_session, gauge, histogram,
+    install, session, snapshot, snapshot_histograms, span, uninstall,
 )
 from repro.obs.decorators import timed
-from repro.obs.report import format_ns, render_metrics, render_report, render_span_tree
+from repro.obs.events import Event, event, events_for
+from repro.obs.report import (
+    format_ns, render_distribution_plan, render_doall_marks, render_events,
+    render_full_report, render_histograms, render_metrics, render_report,
+    render_span_tree,
+)
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
 
 __all__ = [
     # core
-    "Span", "ObsSession", "current_session", "install", "uninstall", "session",
-    "span", "counter", "gauge", "snapshot",
+    "Span", "Histogram", "ObsSession", "current_session", "install",
+    "uninstall", "session", "span", "counter", "gauge", "histogram",
+    "snapshot", "snapshot_histograms",
+    # events
+    "Event", "event", "events_for",
     # decorator
     "timed",
     # sinks
     "Sink", "NullSink", "MemorySink", "JsonlSink",
     # rendering
-    "render_span_tree", "render_metrics", "render_report", "format_ns",
+    "render_span_tree", "render_metrics", "render_histograms",
+    "render_events", "render_report", "render_doall_marks",
+    "render_distribution_plan", "render_full_report", "format_ns",
 ]

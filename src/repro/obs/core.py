@@ -1,6 +1,6 @@
 """Core of the observability substrate (system S16).
 
-Three primitives, all near-zero-cost when no session is installed:
+Four metric primitives, all near-zero-cost when no session is installed:
 
 * :func:`span` — a hierarchical trace region timed with
   ``time.perf_counter_ns()``; nesting is tracked through a
@@ -11,13 +11,21 @@ Three primitives, all near-zero-cost when no session is installed:
   emitted, ...).
 * :func:`gauge` — a last-value-wins named number (matrix dimension,
   trace length, ...).
+* :func:`histogram` — a latency distribution over fixed log2 buckets
+  (FM query latency, per-candidate measurement spread, codegen time),
+  summarized as p50/p90/p99/max and mergeable bucket-wise across
+  ``--jobs`` workers exactly like counters.
 
-Events flow into the installed :class:`ObsSession`: counters and gauges
-aggregate in the session itself, finished spans are forwarded to every
-attached sink (see :mod:`repro.obs.sinks`).  When no session is
-installed — the default — every primitive returns immediately after a
-single global load and ``None`` check, so instrumented library code pays
-essentially nothing.
+A fifth primitive, the typed decision :func:`~repro.obs.events.event`,
+lives in :mod:`repro.obs.events` and records *why* the pipeline accepted
+or rejected something rather than how long it took.
+
+Events flow into the installed :class:`ObsSession`: counters, gauges and
+histograms aggregate in the session itself, finished spans and decision
+events are forwarded to every attached sink (see
+:mod:`repro.obs.sinks`).  When no session is installed — the default —
+every primitive returns immediately after a single global load and
+``None`` check, so instrumented library code pays essentially nothing.
 
 Sessions are process-global and single-threaded by design (the pipeline
 itself is single-threaded); nesting :func:`install` raises
@@ -34,6 +42,7 @@ from repro.util.errors import ObsError
 
 __all__ = [
     "Span",
+    "Histogram",
     "ObsSession",
     "current_session",
     "install",
@@ -42,7 +51,9 @@ __all__ = [
     "span",
     "counter",
     "gauge",
+    "histogram",
     "snapshot",
+    "snapshot_histograms",
 ]
 
 
@@ -100,15 +111,143 @@ class Span:
         return f"Span({self.name!r}, id={self.id}, dur={self.duration_ns}ns)"
 
 
-class ObsSession:
-    """The active collection context: counters, gauges and sinks."""
+class Histogram:
+    """A latency distribution over fixed log2 buckets.
 
-    __slots__ = ("sinks", "counters", "gauges", "_next_id")
+    Bucket ``i`` holds samples whose integer value has bit length ``i``,
+    i.e. bucket 0 is exactly 0, bucket ``i >= 1`` covers
+    ``[2**(i-1), 2**i - 1]``.  The bucket layout is the same for every
+    histogram in every process, so worker histograms merge by bucket-wise
+    summation (see :meth:`merge`) without any rebinning — the property
+    ``--jobs`` fan-out relies on for serial == parallel metrics.
+
+    Percentiles are bucket upper bounds clamped to the exact tracked
+    ``max``: cheap, deterministic, and within 2x of the true value by
+    construction of the log2 buckets.
+    """
+
+    __slots__ = ("buckets", "count", "total", "max")
+
+    def __init__(self):
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max = 0
+
+    def add(self, value) -> None:
+        v = int(value)
+        if v < 0:
+            v = 0
+        idx = v.bit_length()
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total += v
+        if v > self.max:
+            self.max = v
+
+    def percentile(self, q: float) -> int:
+        """The smallest bucket upper bound covering fraction ``q`` of the
+        samples (clamped to the exact maximum); 0 for an empty histogram."""
+        if self.count == 0:
+            return 0
+        rank = max(1, -(-int(q * self.count * 1000) // 1000))  # ceil without float drift
+        cum = 0
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            if cum >= rank:
+                upper = 0 if idx == 0 else (1 << idx) - 1
+                return min(upper, self.max)
+        return self.max
+
+    @property
+    def p50(self) -> int:
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> int:
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> int:
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram | Mapping[str, Any]") -> None:
+        """Bucket-wise sum of another histogram (or its ``to_dict`` form)
+        into this one — the worker-to-parent merge operation."""
+        if isinstance(other, Histogram):
+            buckets, count, total, mx = other.buckets, other.count, other.total, other.max
+        else:
+            buckets = {int(k): int(v) for k, v in other.get("buckets", {}).items()}
+            count = int(other.get("count", 0))
+            total = int(other.get("total", 0))
+            mx = int(other.get("max", 0))
+        for idx, n in buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += count
+        self.total += total
+        if mx > self.max:
+            self.max = mx
+
+    def copy(self) -> "Histogram":
+        out = Histogram()
+        out.merge(self)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Histogram":
+        out = cls()
+        out.merge(payload)
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.count == other.count
+            and self.total == other.total
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, p50={self.p50}, "
+            f"p99={self.p99}, max={self.max})"
+        )
+
+
+#: Hard cap on retained decision events per session; beyond it events are
+#: dropped (still streamed to sinks) and ``obs.events_dropped`` counts them.
+MAX_EVENTS = 100_000
+
+
+class ObsSession:
+    """The active collection context: counters, gauges, histograms,
+    decision events and sinks."""
+
+    __slots__ = ("sinks", "counters", "gauges", "histograms", "events", "_next_id")
 
     def __init__(self, sinks: tuple = ()):
         self.sinks = tuple(sinks)
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.events: list = []
         self._next_id = 0
 
     def new_id(self) -> int:
@@ -119,10 +258,20 @@ class ObsSession:
         for sink in self.sinks:
             sink.span(sp)
 
+    def emit_event(self, ev) -> None:
+        if len(self.events) < MAX_EVENTS:
+            self.events.append(ev)
+        else:
+            c = self.counters
+            c["obs.events_dropped"] = c.get("obs.events_dropped", 0) + 1
+        for sink in self.sinks:
+            sink.event(ev)
+
     def flush(self) -> None:
         """Push aggregated metrics to every sink and close them."""
         for sink in self.sinks:
             sink.metrics(dict(self.counters), dict(self.gauges))
+            sink.histograms(dict(self.histograms))
         for sink in self.sinks:
             sink.close()
 
@@ -244,9 +393,28 @@ def gauge(name: str, value) -> None:
         sess.gauges[name] = value
 
 
+def histogram(name: str, value) -> None:
+    """Add one sample (by convention: nanoseconds) to the named
+    histogram (no-op without a session)."""
+    sess = _session
+    if sess is not None:
+        h = sess.histograms.get(name)
+        if h is None:
+            h = sess.histograms[name] = Histogram()
+        h.add(value)
+
+
 def snapshot() -> tuple[Mapping[str, int], Mapping[str, float]]:
     """Copies of the current counters and gauges (empty when off)."""
     sess = _session
     if sess is None:
         return {}, {}
     return dict(sess.counters), dict(sess.gauges)
+
+
+def snapshot_histograms() -> dict[str, Histogram]:
+    """Independent copies of the current histograms (empty when off)."""
+    sess = _session
+    if sess is None:
+        return {}
+    return {name: h.copy() for name, h in sess.histograms.items()}

@@ -25,23 +25,36 @@ from repro.obs import core
 __all__ = ["timed"]
 
 
-def timed(name: str | Callable | None = None, *, attr_fn: Callable[..., dict[str, Any]] | None = None):
+def timed(
+    name: str | Callable | None = None,
+    *,
+    attr_fn: Callable[..., dict[str, Any]] | None = None,
+    hist: str | None = None,
+):
     """Wrap a function in a :func:`repro.obs.core.span`.
 
     ``name`` defaults to ``<module-tail>.<function-name>``.  ``attr_fn``,
     when given, is called with the function's arguments (only while a
     session is installed) and must return the span's attribute dict.
+    ``hist`` names a histogram that additionally records every call's
+    duration in nanoseconds (a span keeps only the *last* duration per
+    name; the histogram keeps the distribution).
     """
     if callable(name):  # bare @timed
-        return _wrap(name, None, None)
+        return _wrap(name, None, None, None)
 
     def deco(fn: Callable) -> Callable:
-        return _wrap(fn, name, attr_fn)
+        return _wrap(fn, name, attr_fn, hist)
 
     return deco
 
 
-def _wrap(fn: Callable, name: str | None, attr_fn: Callable[..., dict] | None) -> Callable:
+def _wrap(
+    fn: Callable,
+    name: str | None,
+    attr_fn: Callable[..., dict] | None,
+    hist: str | None,
+) -> Callable:
     span_name = name or f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}"
 
     @functools.wraps(fn)
@@ -49,8 +62,12 @@ def _wrap(fn: Callable, name: str | None, attr_fn: Callable[..., dict] | None) -
         if core._session is None:
             return fn(*args, **kwargs)
         attrs = attr_fn(*args, **kwargs) if attr_fn is not None else {}
-        with core.span(span_name, **attrs):
-            return fn(*args, **kwargs)
+        with core.span(span_name, **attrs) as sp:
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                if hist is not None:
+                    core.histogram(hist, sp.duration_ns)
 
     wrapper.__obs_span_name__ = span_name
     return wrapper

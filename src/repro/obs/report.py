@@ -1,17 +1,29 @@
-"""Human-readable rendering of span trees and metrics tables.
+"""Human-readable rendering of span trees, metrics and decision events.
 
-Pure formatting: takes the structures a :class:`~repro.obs.sinks.MemorySink`
-(or the live session) holds and returns strings.  Used by the CLI's
-``--profile`` flag and the ``report`` command's metrics section.
+Pure formatting plus the shared section renderers behind the CLI's
+``--profile`` flag, the ``report`` command and the ``explain`` command.
+The full-report assembly (:func:`render_full_report`) takes already
+computed analysis artifacts — it never runs the pipeline itself — so
+``report`` and ``explain`` share one renderer and the CLI stays thin.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
-from repro.obs.core import Span
+from repro.obs.core import Histogram, Span
 
-__all__ = ["format_ns", "render_span_tree", "render_metrics", "render_report"]
+__all__ = [
+    "format_ns",
+    "render_span_tree",
+    "render_metrics",
+    "render_histograms",
+    "render_events",
+    "render_report",
+    "render_doall_marks",
+    "render_distribution_plan",
+    "render_full_report",
+]
 
 
 def format_ns(ns: int) -> str:
@@ -27,6 +39,17 @@ def format_ns(ns: int) -> str:
 
 def _attr_str(attrs: Mapping[str, Any]) -> str:
     return " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+def _table(rows: list[tuple[str, ...]]) -> str:
+    """Align columns: first column left, the rest right."""
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    out = []
+    for r in rows:
+        cells = [f"{r[0]:<{widths[0]}}"]
+        cells += [f"{c:>{w}}" for c, w in zip(r[1:], widths[1:])]
+        out.append("  ".join(cells).rstrip())
+    return "\n".join(out)
 
 
 def render_span_tree(roots: Iterable[Span]) -> str:
@@ -47,28 +70,154 @@ def render_span_tree(roots: Iterable[Span]) -> str:
 
 
 def render_metrics(
-    counters: Mapping[str, int], gauges: Mapping[str, Any] | None = None
+    counters: Mapping[str, int],
+    gauges: Mapping[str, Any] | None = None,
+    hists: Mapping[str, Histogram] | None = None,
 ) -> str:
-    """Aligned name/value table, counters then gauges, each sorted."""
+    """Aligned name/value table, counters then gauges, each sorted;
+    followed by the histogram table when any histograms were recorded."""
     gauges = gauges or {}
     items: list[tuple[str, str]] = [(k, str(counters[k])) for k in sorted(counters)]
     items += [(k, str(gauges[k])) for k in sorted(gauges)]
-    if not items:
+    if not items and not hists:
         return "(no metrics recorded)"
-    width = max(len(k) for k, _ in items)
-    vwidth = max(len(v) for _, v in items)
-    return "\n".join(f"{k:<{width}}  {v:>{vwidth}}" for k, v in items)
+    parts = []
+    if items:
+        width = max(len(k) for k, _ in items)
+        vwidth = max(len(v) for _, v in items)
+        parts.append("\n".join(f"{k:<{width}}  {v:>{vwidth}}" for k, v in items))
+    if hists:
+        parts.append(render_histograms(hists))
+    return "\n".join(parts)
+
+
+def render_histograms(hists: Mapping[str, Histogram]) -> str:
+    """The latency-distribution table: count / p50 / p90 / p99 / max."""
+    if not hists:
+        return "(no histograms recorded)"
+    rows: list[tuple[str, ...]] = [("histogram", "count", "p50", "p90", "p99", "max")]
+    for name in sorted(hists):
+        h = hists[name]
+        rows.append(
+            (
+                name,
+                str(h.count),
+                format_ns(h.p50),
+                format_ns(h.p90),
+                format_ns(h.p99),
+                format_ns(h.max),
+            )
+        )
+    return _table(rows)
+
+
+def render_events(events: Iterable, kind: str | None = None) -> str:
+    """The decision-event narrative: one line per event, grouped by kind.
+
+    With ``kind`` given, only that phase's events render (ungrouped);
+    otherwise each phase gets a small headed block in emission order.
+    """
+    events = list(events)
+    if kind is not None:
+        events = [ev for ev in events if ev.kind == kind]
+        if not events:
+            return f"(no {kind} events recorded)"
+        return "\n".join("  " + ev.describe() for ev in events)
+    if not events:
+        return "(no events recorded)"
+    order: list[str] = []
+    by_kind: dict[str, list] = {}
+    for ev in events:
+        if ev.kind not in by_kind:
+            order.append(ev.kind)
+            by_kind[ev.kind] = []
+        by_kind[ev.kind].append(ev)
+    blocks = []
+    for k in order:
+        lines = [f"{k}:"] + ["  " + ev.describe() for ev in by_kind[k]]
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks)
 
 
 def render_report(
     roots: Iterable[Span],
     counters: Mapping[str, int],
     gauges: Mapping[str, Any] | None = None,
+    hists: Mapping[str, Histogram] | None = None,
 ) -> str:
     """The full ``--profile`` report: span tree, then metrics table."""
     return (
         "--- span tree (wall time) ---\n"
         + render_span_tree(roots)
         + "\n--- metrics ---\n"
-        + render_metrics(counters, gauges)
+        + render_metrics(counters, gauges, hists)
     )
+
+
+# -- analysis-report sections (shared by `report` and `explain`) ------------
+
+
+def render_doall_marks(marks) -> str:
+    """Per-loop DOALL verdict lines (``repro parallel`` / report section)."""
+    lines = []
+    for m in marks:
+        tag = "DOALL" if m.is_parallel else f"carries {', '.join(m.carried)}"
+        lines.append(f"  loop {m.var}: {tag}")
+    return "\n".join(lines)
+
+
+def render_distribution_plan(layout, plan: Mapping) -> str:
+    """The SCC-groups-per-loop section of the analysis report."""
+    if not plan:
+        return "  (no multi-statement loops)"
+    lines = []
+    for path, groups in sorted(plan.items()):
+        node = layout.node_at(path)
+        verdict = "splittable" if len(groups) > 1 else "unsplittable"
+        lines.append(f"  loop {node.var}@{path}: {groups} ({verdict})")
+    return "\n".join(lines)
+
+
+def render_full_report(
+    *,
+    program_text: str,
+    layout_text: str,
+    deps_summary: str,
+    marks,
+    layout,
+    plan: Mapping,
+    params: Mapping[str, int],
+    backend: str | None,
+    search_results: list,
+    search_error: str | None,
+    counters: Mapping[str, int] | None = None,
+    gauges: Mapping[str, Any] | None = None,
+    hists: Mapping[str, Histogram] | None = None,
+) -> str:
+    """Assemble the ``repro report`` body from computed artifacts.
+
+    Behavior-preserving extraction of what accreted in ``cli.py``: the
+    section order, headers and line formats match the original command
+    output exactly.
+    """
+    out = [
+        "=== program ===",
+        program_text,
+        "\n=== instance-vector layout ===",
+        layout_text,
+        "\n=== dependences ===",
+        deps_summary or "(none)",
+        "\n=== DOALL verdicts ===",
+        render_doall_marks(marks),
+        "\n=== distribution plan (SCC groups per loop) ===",
+        render_distribution_plan(layout, plan),
+    ]
+    ranking = f", ranked by {backend} wall clock" if backend else ""
+    out.append(f"\n=== loop-order search (params {dict(params)}{ranking}) ===")
+    if search_error is not None:
+        out.append(f"  search unavailable: {search_error}")
+    out.extend(f"  {r}" for r in search_results)
+    if counters is not None:
+        out.append("\n=== observability metrics ===")
+        out.append(render_metrics(counters, gauges or {}, hists))
+    return "\n".join(out)

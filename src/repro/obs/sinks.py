@@ -1,19 +1,25 @@
 """Pluggable sinks for the observability session.
 
 A sink receives every *finished* span (children before parents, since
-inner regions exit first) plus one final ``metrics`` call with the
-session's aggregated counters and gauges when the session is
+inner regions exit first) and every decision event as it is emitted,
+plus one final ``metrics`` + ``histograms`` call pair with the session's
+aggregated counters, gauges and histograms when the session is
 uninstalled.  The base :class:`Sink` ignores everything, so subclasses
 override only what they need.
 
 * :class:`NullSink` — explicit do-nothing sink (the implicit default is
   no session at all, which is cheaper still).
 * :class:`MemorySink` — in-memory collector keeping completed root span
-  trees and the final metrics; what the CLI's ``--profile`` report and
-  the tests read.
-* :class:`JsonlSink` — streams one JSON object per line: a ``span``
-  record per finished span, then ``counter``/``gauge`` records at
-  flush.  Every line is independently ``json.loads``-able.
+  trees, the event stream and the final metrics; what the CLI's
+  ``--profile`` report, ``repro explain`` and the tests read.
+* :class:`JsonlSink` — streams one JSON object per line: a ``span`` or
+  ``event`` record as each occurs, then ``counter``/``gauge``/
+  ``histogram`` records at flush.  Every line is independently
+  ``json.loads``-able.  The sink flushes the underlying file every
+  ``FLUSH_EVERY`` records, so a killed run (nightly fuzz timeouts, CI
+  job cancellation) truncates at most the last handful of lines rather
+  than the whole buffered trace; ``close()`` is idempotent and always
+  flushes first.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 import json
 from typing import Any, IO, Mapping
 
-from repro.obs.core import Span
+from repro.obs.core import Histogram, Span
 from repro.util.errors import ObsError
 
 __all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink"]
@@ -33,7 +39,13 @@ class Sink:
     def span(self, sp: Span) -> None:  # noqa: ARG002 - interface
         pass
 
+    def event(self, ev) -> None:  # noqa: ARG002 - interface
+        pass
+
     def metrics(self, counters: Mapping[str, int], gauges: Mapping[str, Any]) -> None:
+        pass
+
+    def histograms(self, hists: Mapping[str, Histogram]) -> None:
         pass
 
     def close(self) -> None:
@@ -45,38 +57,57 @@ class NullSink(Sink):
 
 
 class MemorySink(Sink):
-    """Collect finished span trees and final metrics in memory."""
+    """Collect finished span trees, events and final metrics in memory."""
 
     def __init__(self):
         self.roots: list[Span] = []
         self.spans: list[Span] = []
+        self.events: list = []
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, Any] = {}
+        self.hists: dict[str, Histogram] = {}
 
     def span(self, sp: Span) -> None:
         self.spans.append(sp)
         if sp.parent is None:
             self.roots.append(sp)
 
+    def event(self, ev) -> None:
+        self.events.append(ev)
+
     def metrics(self, counters: Mapping[str, int], gauges: Mapping[str, Any]) -> None:
         self.counters.update(counters)
         self.gauges.update(gauges)
+
+    def histograms(self, hists: Mapping[str, Histogram]) -> None:
+        self.hists.update(hists)
 
     def find(self, name: str) -> list[Span]:
         """All collected spans with this name, in completion order."""
         return [s for s in self.spans if s.name == name]
 
+    def events_for(self, kind: str | None = None, verdict: str | None = None) -> list:
+        """The collected events filtered by kind/verdict, in order."""
+        from repro.obs.events import events_for
+
+        return events_for(self.events, kind, verdict)
+
     def render(self) -> str:
         """Human-readable span-tree + metrics report."""
         from repro.obs.report import render_report
 
-        return render_report(self.roots, self.counters, self.gauges)
+        return render_report(self.roots, self.counters, self.gauges, self.hists)
+
+
+#: Flush the JSONL file every this many records so killed runs lose at
+#: most a tail, never the whole OS-buffered trace.
+FLUSH_EVERY = 32
 
 
 class JsonlSink(Sink):
     """Write each event as one JSON line to a path or file object."""
 
-    def __init__(self, target: str | IO[str]):
+    def __init__(self, target: str | IO[str], *, flush_every: int = FLUSH_EVERY):
         if isinstance(target, str):
             try:
                 self._fh: IO[str] = open(target, "w")
@@ -86,25 +117,45 @@ class JsonlSink(Sink):
         else:
             self._fh = target
             self._owns = False
+        self._flush_every = max(1, int(flush_every))
+        self._pending = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _write(self, payload: dict) -> None:
+        if self._closed:
+            return
+        self._fh.write(json.dumps(payload, sort_keys=True, default=str) + "\n")
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self._fh.flush()
+            self._pending = 0
 
     def span(self, sp: Span) -> None:
-        self._fh.write(json.dumps(sp.to_dict(), sort_keys=True, default=str) + "\n")
+        self._write(sp.to_dict())
+
+    def event(self, ev) -> None:
+        self._write(ev.to_dict())
 
     def metrics(self, counters: Mapping[str, int], gauges: Mapping[str, Any]) -> None:
         for name in sorted(counters):
-            self._fh.write(
-                json.dumps({"type": "counter", "name": name, "value": counters[name]})
-                + "\n"
-            )
+            self._write({"type": "counter", "name": name, "value": counters[name]})
         for name in sorted(gauges):
-            self._fh.write(
-                json.dumps(
-                    {"type": "gauge", "name": name, "value": gauges[name]}, default=str
-                )
-                + "\n"
-            )
+            self._write({"type": "gauge", "name": name, "value": gauges[name]})
+
+    def histograms(self, hists: Mapping[str, Histogram]) -> None:
+        for name in sorted(hists):
+            self._write({"type": "histogram", "name": name, **hists[name].to_dict()})
 
     def close(self) -> None:
+        """Flush and (when the sink opened the file) close it.  Safe to
+        call more than once; writes after close are discarded."""
+        if self._closed:
+            return
+        self._closed = True
         self._fh.flush()
         if self._owns:
             self._fh.close()

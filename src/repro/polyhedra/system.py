@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import enum
 import itertools
+import time
 from typing import Iterable, Mapping, Sequence
 
-from repro.obs import counter
+from repro.obs import counter, current_session, histogram
 from repro.polyhedra import engine as _engine
 from repro.polyhedra.affine import LinExpr
 from repro.polyhedra.constraint import Constraint, ge0
@@ -41,6 +42,17 @@ def _ceil_div(a: int, b: int) -> int:
 
 def _floor_div(a: int, b: int) -> int:
     return a // b
+
+
+def _fm_clock() -> int | None:
+    """``perf_counter_ns`` when an obs session is live, else ``None`` —
+    the FM latency histograms cost nothing when nobody is listening."""
+    return time.perf_counter_ns() if current_session() is not None else None
+
+
+def _fm_record(name: str, t0: int | None) -> None:
+    if t0 is not None:
+        histogram(name, time.perf_counter_ns() - t0)
 
 
 class System:
@@ -287,9 +299,12 @@ class System:
         """Eliminate every variable not in ``keep``; returns (system, exact)."""
         if self._false:
             return self, True
+        t0 = _fm_clock()
         eng = _engine.active()
         if eng is None:
-            return self._project_onto_impl(keep, dark_shadow)
+            result = self._project_onto_impl(keep, dark_shadow)
+            _fm_record("fm.query_ns", t0)
+            return result
         key = (
             "proj",
             self.canonical_key(),
@@ -298,9 +313,11 @@ class System:
         )
         hit = eng.get(key)
         if hit is not _engine.MISS:
+            _fm_record("fm.cache_hit_ns", t0)
             return hit
         result = self._project_onto_impl(keep, dark_shadow)
         eng.put(key, result)
+        _fm_record("fm.query_ns", t0)
         return result
 
     def _project_onto_impl(self, keep: Sequence[str], dark_shadow: bool) -> tuple["System", bool]:
@@ -341,15 +358,20 @@ class System:
         counter("fm.feasibility_queries")
         if self._false:
             return Feasibility.INFEASIBLE
+        t0 = _fm_clock()
         eng = _engine.active()
         if eng is None:
-            return self._feasible_impl()
+            result = self._feasible_impl()
+            _fm_record("fm.query_ns", t0)
+            return result
         key = ("feas", self.canonical_key())
         hit = eng.get(key)
         if hit is not _engine.MISS:
+            _fm_record("fm.cache_hit_ns", t0)
             return hit
         result = self._feasible_impl()
         eng.put(key, result)
+        _fm_record("fm.query_ns", t0)
         return result
 
     def _feasible_impl(self) -> Feasibility:

@@ -36,7 +36,7 @@ from repro.codegen.generate import generate_code
 from repro.codegen.simplify import simplify_program
 from repro.interp.executor import execute
 from repro.ir.ast import Program
-from repro.obs import counter, span
+from repro.obs import counter, event, span
 from repro.tune.space import Candidate
 from repro.util.errors import ReproError
 
@@ -152,6 +152,15 @@ def score_candidate(
             + W_DOALL * (doall / total)
         )
     counter("tune.candidates.scored")
+    event(
+        "tune", "accept",
+        "legal candidate statically scored by the cost model",
+        candidate=candidate.description,
+        score=f"{score:.6f}",
+        locality=f"{locality:.4f}",
+        vectorized_loops=vectorized,
+        doall_loops=doall,
+    )
     return CostReport(
         score=score,
         locality=locality,

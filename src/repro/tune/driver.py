@@ -46,8 +46,9 @@ from repro.ir.parser import parse_program
 from repro.ir.printer import program_to_str
 from repro.legality.check import check_legality
 from repro.linalg.intmat import IntMatrix
-from repro.obs import counter, span, timed
+from repro.obs import counter, event, histogram, span, timed
 from repro.tune.cost import CostReport, realize, score_candidate
+from repro.tune.ranking import rank_report
 from repro.tune.space import (
     Candidate, compose_candidate, elementary_candidates, enumerate_candidates,
 )
@@ -150,12 +151,24 @@ def _assess(cand: Candidate, params: Mapping[str, int], audit: list[dict]):
     report = check_legality(cand.context.layout, cand.matrix, cand.context.deps)
     if not report.legal:
         counter("tune.candidates.pruned")
+        bad = report.violations
+        event(
+            "tune", "reject",
+            "pruned by the Theorem-2 legality test; never executed",
+            candidate=cand.description,
+            pruned_by=("; ".join(str(d) for d in bad) or "block structure"),
+        )
         return ("pruned", cand, None)
     try:
         audit.append(_audit_record(cand, "score"))
         cost = score_candidate(cand, params)
-    except ReproError:
+    except ReproError as exc:
         counter("tune.candidates.infeasible")
+        event(
+            "tune", "reject",
+            "codegen or model execution failed; candidate infeasible",
+            candidate=cand.description, detail=str(exc),
+        )
         return ("infeasible", cand, None)
     return ("scored", cand, cost)
 
@@ -269,6 +282,16 @@ def tune(
             beam = sorted(pool.values(), key=_rank_key)[:beam_width]
 
         survivors = sorted(pool.values(), key=_rank_key)[: max(1, top_k)]
+        for rank, (cand, cost) in enumerate(sorted(pool.values(), key=_rank_key), 1):
+            event(
+                "tune", "accept" if rank <= max(1, top_k) else "info",
+                "survived beam search; selected for measurement"
+                if rank <= max(1, top_k)
+                else "scored but below the measurement cut",
+                candidate=cand.description,
+                score=f"{cost.score:.6f}",
+                cost_rank=rank,
+            )
 
     # -- measurement -------------------------------------------------------
     # Interleaved rounds: each round times every schedule once (rotating
@@ -327,6 +350,7 @@ def tune(
                             backend=backend, repeat=repeat,
                         )
                     samples[id(row)].append(secs)
+                    histogram("tune.measure_ns", secs * 1e9)
                 except ReproError as exc:
                     counter("tune.measure_errors")
                     row.error = str(exc)
@@ -335,7 +359,17 @@ def tune(
         for row, prog_ in sched:
             if id(row) in broken:
                 continue
-            row.seconds = statistics.median(samples[id(row)])
+            got = samples[id(row)]
+            row.seconds = statistics.median(got)
+            if len(got) > 1:
+                histogram("tune.measure_spread_ns", (max(got) - min(got)) * 1e9)
+            event(
+                "tune", "measure",
+                f"median of {len(got)} interleaved rounds on {backend}",
+                candidate=row.description,
+                seconds=f"{row.seconds:.6g}",
+                baseline=str(row.baseline).lower(),
+            )
             try:
                 out = backend_run(
                     prog_, params, arrays=base, backend=backend
@@ -368,6 +402,15 @@ def tune(
         executed=audit,
     )
 
+    ranking = rank_report(rows)
+    if ranking.candidates:
+        event(
+            "tune", "info",
+            "cost-rank vs measured-rank agreement over the measured candidates",
+            tau="n/a" if ranking.tau is None else f"{ranking.tau:+.3f}",
+            measured=len(ranking.candidates),
+        )
+
     if use_cache and best is not None:
         entry = _entry_from_result(result)
         path = store.put(key, entry)
@@ -396,6 +439,7 @@ def _entry_from_result(result: TuneResult) -> dict:
         "pruned": result.pruned,
         "scored": result.scored,
         "rows": [r.to_json(winner=(r is best)) for r in result.rows],
+        "ranking": rank_report(result.rows).to_json(),
         "winner": {
             "description": best.description,
             "steps": list(best.steps),

@@ -1,0 +1,147 @@
+"""Cost-rank vs measured-rank agreement: is the cost model predictive?
+
+Acharya & Bondhugula ("Finding Permutations Quickly", PAPERS.md) make
+the cost-model-vs-measurement comparison the centerpiece of their
+evaluation; this module turns it into a number the repo can watch.  The
+tune driver records, for every candidate that was both statically scored
+and actually measured, its **cost rank** (descending score — rank 1 is
+the model's favourite) and its **measured rank** (ascending wall-clock
+seconds — rank 1 is the fastest), and summarizes their agreement with
+the Kendall rank correlation coefficient (tau-b, tie-corrected):
+
+* ``tau = +1`` — the model orders candidates exactly like the hardware;
+* ``tau =  0`` — the model is no better than a coin flip;
+* ``tau = -1`` — the model is anti-correlated (actively misleading).
+
+The report is persisted into every tune cache entry so ``repro explain
+--phase tune`` can reconstruct the comparison without re-searching, and
+the CI tune-smoke job surfaces the tau in its job summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["kendall_tau", "RankedCandidate", "RankReport", "rank_report"]
+
+
+def kendall_tau(xs: list[float], ys: list[float]) -> float | None:
+    """Kendall's tau-b of two equal-length sequences (tie-corrected).
+
+    Returns ``None`` when fewer than two pairs exist or either sequence
+    is entirely tied (the correlation is undefined there, not zero).
+    O(n^2) pair counting — candidate lists are tens of entries, never
+    thousands.
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError(f"length mismatch: {n} vs {len(ys)}")
+    if n < 2:
+        return None
+    concordant = discordant = 0
+    ties_x = ties_y = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            if dx == 0 and dy == 0:
+                ties_x += 1
+                ties_y += 1
+            elif dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    pairs = n * (n - 1) // 2
+    denom_x = pairs - ties_x
+    denom_y = pairs - ties_y
+    if denom_x <= 0 or denom_y <= 0:
+        return None
+    return (concordant - discordant) / (denom_x * denom_y) ** 0.5
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One candidate that was both scored and measured."""
+
+    description: str
+    score: float
+    seconds: float
+    cost_rank: int       # 1 = model's favourite (highest score)
+    measured_rank: int   # 1 = fastest measured
+
+    def to_json(self) -> dict:
+        return {
+            "description": self.description,
+            "score": self.score,
+            "seconds": self.seconds,
+            "cost_rank": self.cost_rank,
+            "measured_rank": self.measured_rank,
+        }
+
+
+@dataclass(frozen=True)
+class RankReport:
+    """The cost-vs-measured ranking comparison of one tune run."""
+
+    candidates: tuple[RankedCandidate, ...]
+    tau: float | None
+
+    def to_json(self) -> dict:
+        return {
+            "tau": self.tau,
+            "candidates": [c.to_json() for c in self.candidates],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RankReport":
+        return cls(
+            candidates=tuple(
+                RankedCandidate(
+                    description=c.get("description", "?"),
+                    score=float(c.get("score", 0.0)),
+                    seconds=float(c.get("seconds", 0.0)),
+                    cost_rank=int(c.get("cost_rank", 0)),
+                    measured_rank=int(c.get("measured_rank", 0)),
+                )
+                for c in payload.get("candidates", [])
+            ),
+            tau=payload.get("tau"),
+        )
+
+
+def _dense_ranks(values: list[float], *, reverse: bool) -> list[int]:
+    """Competition ranks (1-based, ties share the smallest rank)."""
+    order = sorted(values, reverse=reverse)
+    return [1 + order.index(v) for v in values]
+
+
+def rank_report(rows) -> RankReport:
+    """Build the comparison from tune rows (anything with ``description``,
+    ``score`` and ``seconds`` attributes or keys); rows missing either
+    number are excluded — they were never both scored and measured."""
+    usable = []
+    for r in rows:
+        get = (lambda k, rr=r: rr.get(k)) if isinstance(r, dict) else (
+            lambda k, rr=r: getattr(rr, k, None)
+        )
+        score, seconds = get("score"), get("seconds")
+        if isinstance(score, (int, float)) and isinstance(seconds, (int, float)):
+            usable.append((str(get("description")), float(score), float(seconds)))
+    if not usable:
+        return RankReport(candidates=(), tau=None)
+    scores = [u[1] for u in usable]
+    seconds = [u[2] for u in usable]
+    cost_ranks = _dense_ranks(scores, reverse=True)       # high score = rank 1
+    measured_ranks = _dense_ranks(seconds, reverse=False)  # low seconds = rank 1
+    cands = tuple(
+        RankedCandidate(desc, s, sec, cr, mr)
+        for (desc, s, sec), cr, mr in zip(usable, cost_ranks, measured_ranks)
+    )
+    # tau over the ranks themselves (ties preserved by dense ranking)
+    tau = kendall_tau([float(c.cost_rank) for c in cands],
+                      [float(c.measured_rank) for c in cands])
+    return RankReport(candidates=cands, tau=tau)

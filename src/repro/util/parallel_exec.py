@@ -26,7 +26,10 @@ from __future__ import annotations
 import os
 from typing import Callable, Sequence, TypeVar
 
-from repro.obs import counter, current_session, install, snapshot, uninstall
+from repro.obs import (
+    counter, current_session, gauge, install, snapshot, snapshot_histograms,
+    uninstall,
+)
 
 __all__ = [
     "resolve_jobs",
@@ -35,6 +38,7 @@ __all__ = [
     "map_in_threads",
     "capture_counters",
     "merge_counters",
+    "merge_metrics",
 ]
 
 T = TypeVar("T")
@@ -64,30 +68,88 @@ def chunk_round_robin(n_tasks: int, n_chunks: int) -> list[list[int]]:
 
 
 class capture_counters:
-    """Context manager that measures the obs-counter delta of its body.
+    """Context manager that measures the obs-metric delta of its body.
 
     Works whether or not a session is already installed (a private,
-    sink-less session is installed if needed); the delta is exposed as
-    ``.delta`` after exit.  Workers use this to ship their counters back
-    to the parent process.
+    sink-less session is installed if needed).  After exit:
+
+    * ``.delta`` — the counter delta (kept under this name for
+      backwards compatibility with older worker payloads);
+    * ``.gauges`` — gauges written or changed inside the body
+      (last-write-wins, like gauges themselves: when several workers
+      set the same gauge the merge order decides, exactly as serial
+      execution order would);
+    * ``.histograms`` — bucket-wise histogram deltas, serialized with
+      :meth:`Histogram.to_dict` so they pickle across processes;
+    * ``.metrics`` — the three bundled into one picklable payload for
+      :func:`merge_metrics`.
+
+    Workers use this to ship their metrics back to the parent process;
+    merging every worker's payload makes a ``--jobs`` run report the
+    same counters, gauges and histogram buckets as a serial run.
     """
 
     def __init__(self):
         self.delta: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, dict] = {}
         self._installed = False
         self._before: dict[str, int] = {}
+        self._before_gauges: dict[str, float] = {}
+        self._before_hists: dict = {}
+
+    @property
+    def metrics(self) -> dict:
+        return {
+            "counters": self.delta,
+            "gauges": self.gauges,
+            "histograms": self.histograms,
+        }
 
     def __enter__(self) -> "capture_counters":
         if current_session() is None:
             install()
             self._installed = True
-        self._before = dict(snapshot()[0])
+        counters, gauges = snapshot()
+        self._before = dict(counters)
+        self._before_gauges = dict(gauges)
+        self._before_hists = snapshot_histograms()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        after = dict(snapshot()[0])
+        after, after_gauges = snapshot()
         before = self._before
-        self.delta = {k: v - before.get(k, 0) for k, v in after.items() if v != before.get(k, 0)}
+        self.delta = {
+            k: v - before.get(k, 0) for k, v in after.items() if v != before.get(k, 0)
+        }
+        self.gauges = {
+            k: v
+            for k, v in after_gauges.items()
+            if k not in self._before_gauges or self._before_gauges[k] != v
+        }
+        self.histograms = {}
+        for name, h in snapshot_histograms().items():
+            prev = self._before_hists.get(name)
+            if prev is None:
+                if h.count:
+                    self.histograms[name] = h.to_dict()
+                continue
+            if h.count == prev.count:
+                continue
+            # bucket-wise subtraction; ``max`` keeps the after-value (the
+            # worker path always starts from a fresh session, where this
+            # is exact)
+            diff = {
+                "count": h.count - prev.count,
+                "total": h.total - prev.total,
+                "max": h.max,
+                "buckets": {
+                    str(k): n - prev.buckets.get(k, 0)
+                    for k, n in h.buckets.items()
+                    if n != prev.buckets.get(k, 0)
+                },
+            }
+            self.histograms[name] = diff
         if self._installed:
             uninstall()
         return False
@@ -98,6 +160,26 @@ def merge_counters(delta: dict[str, int]) -> None:
     observability is off)."""
     for name, n in delta.items():
         counter(name, n)
+
+
+def merge_metrics(payload: dict) -> None:
+    """Merge a worker's full :attr:`capture_counters.metrics` payload —
+    counters, gauges and histograms — into the current session (no-op
+    when observability is off)."""
+    sess = current_session()
+    if sess is None:
+        return
+    merge_counters(payload.get("counters", {}))
+    for name, value in payload.get("gauges", {}).items():
+        gauge(name, value)
+    if payload.get("histograms"):
+        from repro.obs import Histogram
+
+        for name, hdict in payload["histograms"].items():
+            h = sess.histograms.get(name)
+            if h is None:
+                h = sess.histograms[name] = Histogram()
+            h.merge(hdict)
 
 
 def map_in_processes(

@@ -11,7 +11,7 @@ from repro import obs
 from repro.analysis import search_loop_orders
 from repro.analysis.parallel_exec import (
     capture_counters, chunk_round_robin, map_in_processes, map_in_threads,
-    merge_counters, resolve_jobs,
+    merge_counters, merge_metrics, resolve_jobs,
 )
 from repro.cli import main
 from repro.dependence import analyze_dependences
@@ -82,6 +82,106 @@ class TestCaptureCounters:
             assert cap.delta == {"t.example": 2}
             merge_counters(cap.delta)
             assert sess.counters["t.example"] == 9  # 5 + 2 + merged 2
+
+
+def _emit_fixed_metrics(task):
+    """Process-pool worker with a deterministic metric footprint: the
+    values depend only on the task index, never on timing."""
+    index, reps = task
+    with capture_counters() as cap:
+        for k in range(reps):
+            obs.counter("t.work", 1)
+            obs.histogram("t.latency_ns", 100 * (index + 1) + k)
+        obs.gauge("t.size", reps)
+    return index, cap.metrics
+
+
+class TestCaptureMetrics:
+    def test_metrics_payload_bundles_all_three(self):
+        with obs.session():
+            with capture_counters() as cap:
+                obs.counter("t.c", 2)
+                obs.gauge("t.g", 7.5)
+                obs.histogram("t.h", 64)
+        assert cap.metrics["counters"] == {"t.c": 2}
+        assert cap.metrics["gauges"] == {"t.g": 7.5}
+        h = cap.metrics["histograms"]["t.h"]
+        assert h["count"] == 1 and h["buckets"] == {"7": 1}
+
+    def test_histogram_delta_excludes_prior_samples(self):
+        with obs.session() as sess:
+            obs.histogram("t.h", 1)
+            with capture_counters() as cap:
+                obs.histogram("t.h", 1)
+                obs.histogram("t.h", 1024)
+            delta = cap.metrics["histograms"]["t.h"]
+            assert delta["count"] == 2
+            assert delta["buckets"] == {"1": 1, "11": 1}
+            assert sess.histograms["t.h"].count == 3
+
+    def test_unchanged_metrics_not_shipped(self):
+        with obs.session():
+            obs.counter("t.before", 1)
+            obs.gauge("t.g", 5)
+            obs.histogram("t.h", 9)
+            with capture_counters() as cap:
+                obs.gauge("t.g", 5)  # rewritten with the same value
+        assert cap.metrics == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_merge_metrics_reconstructs_serial_state(self):
+        # the acceptance property: run the same deterministic workload
+        # serially and via worker payload merging; every counter, gauge
+        # and histogram bucket must come out identical
+        tasks = [(i, 3) for i in range(6)]
+
+        with obs.session() as serial:
+            for t in tasks:
+                _emit_fixed_metrics(t)
+        with obs.session() as merged:
+            for _, metrics in map_in_processes(
+                _emit_fixed_metrics, tasks, jobs=2
+            ):
+                merge_metrics(metrics)
+
+        assert merged.counters == serial.counters
+        assert merged.gauges == serial.gauges
+        assert set(merged.histograms) == set(serial.histograms)
+        for name, h in serial.histograms.items():
+            assert merged.histograms[name] == h, name
+            assert merged.histograms[name].to_dict() == h.to_dict(), name
+
+    def test_merge_metrics_noop_without_session(self):
+        assert obs.current_session() is None
+        merge_metrics({"counters": {"x": 1}, "gauges": {"g": 2},
+                       "histograms": {"h": {"count": 1, "total": 5, "max": 5,
+                                            "buckets": {"3": 1}}}})
+        assert obs.snapshot() == ({}, {})
+
+
+class TestFuzzJobsMetricsParity:
+    def test_serial_and_parallel_fuzz_report_identical_events(self):
+        from repro.fuzz.runner import fuzz_run
+
+        with obs.session() as s1:
+            fuzz_run(8, seed=3, corpus_dir=None)
+        with obs.session() as s2:
+            fuzz_run(8, seed=3, corpus_dir=None, jobs=2)
+
+        ev1 = [(e.kind, e.verdict, e.reason, e.attrs) for e in s1.events
+               if e.kind == "fuzz"]
+        ev2 = [(e.kind, e.verdict, e.reason, e.attrs) for e in s2.events
+               if e.kind == "fuzz"]
+        assert ev1 == ev2
+        # the cache-independent pipeline counters match too (fm.* hit/miss
+        # splits legitimately differ: workers start with cold memo caches)
+        deterministic = ("dependence.", "legality.", "completion.",
+                         "codegen.", "interp.")
+
+        def picked(counters):
+            return {k: v for k, v in counters.items()
+                    if k.startswith(deterministic)}
+
+        assert picked(s2.counters) == picked(s1.counters)
 
 
 # -- dependence analysis fan-out -------------------------------------------

@@ -1,0 +1,136 @@
+"""Histogram math: log2 buckets, percentiles, bucket-wise merging."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import Histogram
+from repro.obs.report import render_histograms
+
+
+def hist_of(*values) -> Histogram:
+    h = Histogram()
+    for v in values:
+        h.add(v)
+    return h
+
+
+class TestBuckets:
+    def test_bucket_index_is_bit_length(self):
+        h = hist_of(0, 1, 2, 3, 4, 1024)
+        # bucket 0 = exactly 0; bucket i covers [2**(i-1), 2**i - 1]
+        assert h.buckets == {0: 1, 1: 1, 2: 2, 3: 1, 11: 1}
+
+    def test_count_total_max(self):
+        h = hist_of(5, 10, 3)
+        assert (h.count, h.total, h.max) == (3, 18, 10)
+        assert h.mean == 6.0
+
+    def test_negative_values_clamp_to_zero(self):
+        h = hist_of(-7)
+        assert h.buckets == {0: 1}
+        assert h.max == 0
+
+
+class TestPercentiles:
+    def test_empty_is_zero(self):
+        h = Histogram()
+        assert (h.p50, h.p90, h.p99, h.mean) == (0, 0, 0, 0.0)
+
+    def test_single_sample_clamps_to_exact_max(self):
+        # bucket upper bound for 1000 is 1023, but the tracked max wins
+        h = hist_of(1000)
+        assert h.p50 == h.p99 == 1000
+
+    def test_known_distribution(self):
+        # values 1,2,4,8 land in buckets 1..4 with one sample each:
+        # p50 rank 2 -> bucket 2 upper bound 3; p99 rank 4 -> clamped max
+        h = hist_of(1, 2, 4, 8)
+        assert h.p50 == 3
+        assert h.p99 == 8
+
+    def test_within_2x_of_true_value(self):
+        values = [17, 33, 129, 511, 2000, 65, 90, 1023]
+        h = hist_of(*values)
+        for q in (0.5, 0.9, 0.99):
+            est = h.percentile(q)
+            assert est <= max(values)
+            # log2 buckets: the estimate is at most 2x any sample <= it
+            assert any(v <= est < 2 * max(v, 1) for v in values)
+
+    def test_percentiles_monotone_in_q(self):
+        h = hist_of(1, 5, 9, 200, 3000)
+        assert h.p50 <= h.p90 <= h.p99 <= h.max
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        a_vals, b_vals = [1, 7, 7, 300], [0, 2, 300, 5000]
+        merged = hist_of(*a_vals)
+        merged.merge(hist_of(*b_vals))
+        assert merged == hist_of(*(a_vals + b_vals))
+
+    def test_merge_from_dict_form(self):
+        # workers ship histograms as to_dict() payloads across pickling
+        merged = hist_of(1, 2)
+        merged.merge(hist_of(4, 9000).to_dict())
+        assert merged == hist_of(1, 2, 4, 9000)
+
+    def test_merge_order_independent(self):
+        parts = [hist_of(1, 2), hist_of(1024), hist_of(0, 0, 63)]
+        fwd, rev = Histogram(), Histogram()
+        for p in parts:
+            fwd.merge(p)
+        for p in reversed(parts):
+            rev.merge(p)
+        assert fwd == rev
+
+    def test_to_from_dict_round_trip(self):
+        h = hist_of(3, 99, 4096)
+        clone = Histogram.from_dict(h.to_dict())
+        assert clone == h
+        assert clone.to_dict() == h.to_dict()
+
+    def test_copy_is_independent(self):
+        h = hist_of(5)
+        c = h.copy()
+        c.add(1_000_000)
+        assert h == hist_of(5)
+        assert c != h
+
+
+class TestSessionPrimitive:
+    def test_noop_without_session(self):
+        assert obs.current_session() is None
+        obs.histogram("ignored", 5)  # must not raise
+        assert obs.snapshot_histograms() == {}
+
+    def test_aggregates_in_session(self, mem):
+        obs.histogram("fm.query_ns", 100)
+        obs.histogram("fm.query_ns", 200)
+        obs.histogram("codegen.generate_ns", 7)
+        sess = obs.current_session()
+        assert sess.histograms["fm.query_ns"].count == 2
+        assert sess.histograms["codegen.generate_ns"].count == 1
+
+    def test_snapshot_copies_are_independent(self, mem):
+        obs.histogram("h", 1)
+        snap = obs.snapshot_histograms()
+        obs.histogram("h", 2)
+        assert snap["h"].count == 1
+        assert obs.current_session().histograms["h"].count == 2
+
+    def test_flushed_to_sink_on_uninstall(self, mem):
+        obs.histogram("h", 64)
+        obs.uninstall()
+        assert mem.hists["h"] == hist_of(64)
+
+
+class TestRender:
+    def test_render_shows_percentile_columns(self):
+        text = render_histograms({"fm.query_ns": hist_of(100, 2000, 90000)})
+        assert "fm.query_ns" in text
+        for col in ("count", "p50", "p90", "p99", "max"):
+            assert col in text
+
+    def test_render_empty(self):
+        assert render_histograms({}) == "(no histograms recorded)"

@@ -1,0 +1,230 @@
+"""The bench history ledger and the rolling-median trend gate."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+
+from benchmarks.compare import main as compare_main, trend_gate  # noqa: E402
+from benchmarks.history import (  # noqa: E402
+    MIN_PRIOR, append_snapshot, git_sha, load_history, metrics_from_result,
+    snapshot_row, trend_failures,
+)
+
+
+def payload(source_seconds=0.01, speedup=2.0, tune_best=0.02):
+    """A minimal BENCH_result payload with backend + tune tables.
+
+    ``speedup`` is independent of ``source_seconds`` so CLI tests can
+    inject a seconds trend regression without tripping the absolute
+    backend gate (which requires source speedup >= 1).
+    """
+    return {
+        "schema": 1,
+        "repro_version": "1.0.0",
+        "python": "3.12.0",
+        "benchmarks": [],
+        "pipeline": {"span_last_ns": {}},
+        "backend": [
+            {"kernel": "cholesky", "backend": "source",
+             "seconds": source_seconds, "speedup": speedup,
+             "ok": True, "error": ""},
+            {"kernel": "cholesky", "backend": "reference",
+             "seconds": None, "speedup": None, "ok": True, "error": ""},
+        ],
+        "tune": [
+            {"kernel": "cholesky", "params": {"N": 40}, "backend": "source-vec",
+             "winner": "lead(J)", "baseline_seconds": 0.03,
+             "best_seconds": tune_best, "speedup": 0.03 / tune_best,
+             "ok": True, "error": ""},
+        ],
+    }
+
+
+class TestSnapshotRows:
+    def test_metrics_flattening(self):
+        metrics = metrics_from_result(payload())
+        assert metrics["backend:cholesky/source:seconds"] == 0.01
+        assert metrics["backend:cholesky/source:speedup"] == pytest.approx(2.0)
+        assert metrics["tune:cholesky:best_seconds"] == 0.02
+        assert metrics["tune:cholesky:baseline_seconds"] == 0.03
+        # the reference row has no numbers -> contributes nothing
+        assert not any("reference" in k for k in metrics)
+
+    def test_snapshot_row_schema(self):
+        row = snapshot_row(payload(), sha="abc123", created=1000.0)
+        assert row["schema"] == 1
+        assert row["sha"] == "abc123"
+        assert row["created"] == 1000.0
+        assert row["version"] == "1.0.0"
+        assert row["python"] == "3.12.0"
+        assert isinstance(row["metrics"], dict) and row["metrics"]
+
+    def test_git_sha_in_this_repo(self):
+        sha = git_sha()
+        assert sha == "unknown" or (
+            len(sha) == 40 and all(c in "0123456789abcdef" for c in sha)
+        )
+
+    def test_git_sha_outside_repo(self, tmp_path):
+        assert git_sha(tmp_path) == "unknown"
+
+
+class TestLedgerIo:
+    def test_append_and_load_round_trip(self, tmp_path):
+        ledger = tmp_path / "BENCH_history.jsonl"
+        path1, row1 = append_snapshot(payload(0.01), ledger, sha="s1")
+        path2, row2 = append_snapshot(payload(0.02), ledger, sha="s2")
+        assert path1 == path2 == ledger
+        rows = load_history(ledger)
+        assert [r["sha"] for r in rows] == ["s1", "s2"]
+        assert rows[0]["metrics"] == row1["metrics"]
+        # every line is independently parseable
+        for line in ledger.read_text().splitlines():
+            json.loads(line)
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        ledger = tmp_path / "h.jsonl"
+        append_snapshot(payload(), ledger, sha="good")
+        with ledger.open("a") as f:
+            f.write("{truncated\n")
+            f.write("42\n")
+            f.write("\n")
+        append_snapshot(payload(), ledger, sha="good2")
+        assert [r["sha"] for r in load_history(ledger)] == ["good", "good2"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+
+def rows_at(*source_seconds):
+    return [snapshot_row(payload(s), sha=f"r{i}", created=float(i))
+            for i, s in enumerate(source_seconds)]
+
+
+class TestTrendFailures:
+    def test_bootstrap_never_fails(self):
+        fails, report = trend_failures(
+            snapshot_row(payload(9.9), sha="f", created=0.0),
+            rows_at(0.01)[: MIN_PRIOR - 1],
+        )
+        assert not fails
+        assert any("bootstrap" in line for line in report)
+
+    def test_injected_2x_seconds_regression_fails(self):
+        fresh = snapshot_row(payload(0.02), sha="f", created=0.0)
+        fails, report = trend_failures(fresh, rows_at(0.01, 0.01, 0.01))
+        assert any("backend:cholesky/source:seconds" in f for f in fails)
+        assert any("TREND  FAIL" in line for line in report)
+
+    def test_speedup_drop_fails(self):
+        # speedup metrics regress downward (lower is worse)
+        fresh = snapshot_row(payload(speedup=1.0), sha="f", created=0.0)
+        fails, _ = trend_failures(fresh, rows_at(0.01, 0.01, 0.01))
+        assert any("backend:cholesky/source:speedup" in f for f in fails)
+        assert any("below the trend" in f for f in fails)
+
+    def test_improvement_passes(self):
+        fresh = snapshot_row(payload(0.005), sha="f", created=0.0)
+        fails, _ = trend_failures(fresh, rows_at(0.01, 0.01, 0.01))
+        assert not any("seconds" in f for f in fails)
+
+    def test_within_tolerance_passes(self):
+        fresh = snapshot_row(payload(0.012), sha="f", created=0.0)
+        fails, report = trend_failures(
+            fresh, rows_at(0.01, 0.01, 0.01), tolerance=0.25
+        )
+        assert not any("backend:cholesky/source:seconds" in f for f in fails)
+        assert any("[         ok]" in line for line in report)
+
+    def test_rolling_window_ages_out_old_era(self):
+        # ancient slow rows fall outside the window: the median comes
+        # from the recent fast rows, so a return to the slow value fails
+        prior = rows_at(0.08, 0.08, 0.01, 0.01, 0.01)
+        fresh = snapshot_row(payload(0.08), sha="f", created=9.0)
+        fails, _ = trend_failures(fresh, prior, window=3)
+        assert any("backend:cholesky/source:seconds" in f for f in fails)
+
+    def test_median_robust_to_one_outlier(self):
+        prior = rows_at(0.01, 0.5, 0.01)  # one lucky/cursed snapshot
+        fresh = snapshot_row(payload(0.011), sha="f", created=9.0)
+        fails, _ = trend_failures(fresh, prior)
+        assert not any("backend:cholesky/source:seconds" in f for f in fails)
+
+
+class TestTrendGate:
+    def test_excludes_own_trailing_row(self, tmp_path):
+        # emission appends the fresh run's row before compare runs; the
+        # gate must not compare the run against itself
+        ledger = tmp_path / "h.jsonl"
+        for s in (0.01, 0.01):
+            append_snapshot(payload(s), ledger)
+        fresh = payload(0.05)
+        append_snapshot(fresh, ledger)  # the run's own row
+        fails, _ = trend_gate(fresh, ledger)
+        assert any("backend:cholesky/source:seconds" in f for f in fails)
+        # with only bootstrap-depth priors remaining, nothing passes
+        # silently: remove one prior row and the gate reports bootstrap
+        short = tmp_path / "short.jsonl"
+        append_snapshot(payload(0.01), short)
+        append_snapshot(fresh, short)
+        fails2, report2 = trend_gate(fresh, short)
+        assert not fails2
+        assert any("bootstrap" in line for line in report2)
+
+
+class TestCompareCliTrend:
+    def _write(self, tmp_path, name, data):
+        p = tmp_path / name
+        p.write_text(json.dumps(data))
+        return str(p)
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        ledger = tmp_path / "h.jsonl"
+        for _ in range(3):
+            append_snapshot(payload(0.01), ledger)
+        fresh = payload(0.02)  # 2x slower than the trend
+        rc = compare_main(
+            [
+                self._write(tmp_path, "base.json", fresh),
+                self._write(tmp_path, "fresh.json", fresh),
+                "--trend", str(ledger),
+            ]
+        )
+        out = capsys.readouterr()
+        assert rc == 1
+        assert "TREND  FAIL" in out.out
+        assert "trend gate failure(s)" in out.err
+
+    def test_steady_trend_passes(self, tmp_path, capsys):
+        ledger = tmp_path / "h.jsonl"
+        for _ in range(3):
+            append_snapshot(payload(0.01), ledger)
+        fresh = payload(0.0101)
+        rc = compare_main(
+            [
+                self._write(tmp_path, "base.json", fresh),
+                self._write(tmp_path, "fresh.json", fresh),
+                "--trend", str(ledger),
+            ]
+        )
+        assert rc == 0
+        assert "benchmark gate passed" in capsys.readouterr().out
+
+    def test_trend_tolerance_flag(self, tmp_path):
+        ledger = tmp_path / "h.jsonl"
+        for _ in range(3):
+            append_snapshot(payload(0.01), ledger)
+        fresh = payload(0.013)  # 30% above trend
+        argv = [
+            self._write(tmp_path, "base.json", fresh),
+            self._write(tmp_path, "fresh.json", fresh),
+            "--trend", str(ledger),
+        ]
+        assert compare_main(argv) == 1
+        assert compare_main(argv + ["--trend-tolerance", "0.5"]) == 0

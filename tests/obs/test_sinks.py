@@ -77,6 +77,49 @@ class TestJsonlSink:
         assert isinstance(rec["attrs"]["obj"], str)
 
 
+class TestJsonlFlushAndClose:
+    def test_flush_every_record_visible_before_session_end(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = obs.JsonlSink(str(path), flush_every=1)
+        with obs.session(sink):
+            with obs.span("early"):
+                pass
+            # the span record must already be durable on disk
+            lines = path.read_text().splitlines()
+            assert [json.loads(l)["name"] for l in lines] == ["early"]
+
+    def test_pending_records_flushed_by_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = obs.JsonlSink(str(path), flush_every=10_000)
+        with obs.session(sink):
+            with obs.span("buffered"):
+                pass
+        # session teardown closed the sink, which flushes the tail
+        assert sink.closed
+        assert any(
+            json.loads(l)["name"] == "buffered"
+            for l in path.read_text().splitlines()
+            if json.loads(l)["type"] == "span"
+        )
+
+    def test_close_is_idempotent_and_discards_late_writes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = obs.JsonlSink(str(path), flush_every=1)
+        _emit_sample_session(sink)
+        n_lines = len(path.read_text().splitlines())
+        sink.close()  # second close: no error
+        sink.metrics({"late.counter": 1}, {})  # write after close: dropped
+        assert len(path.read_text().splitlines()) == n_lines
+
+    def test_caller_owned_handle_flushed_not_closed(self):
+        buf = io.StringIO()
+        sink = obs.JsonlSink(buf, flush_every=10_000)
+        _emit_sample_session(sink)
+        assert sink.closed
+        assert not buf.closed
+        assert any(json.loads(l) for l in buf.getvalue().splitlines())
+
+
 class TestNullSinkTransparency:
     def test_pipeline_results_identical(self):
         def run_once():

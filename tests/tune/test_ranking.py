@@ -1,0 +1,114 @@
+"""Kendall tau and the cost-rank vs measured-rank report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tune.ranking import (
+    RankedCandidate, RankReport, kendall_tau, rank_report,
+)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_no_correlation(self):
+        # two concordant, two discordant, two mixed pairs
+        assert kendall_tau([1, 2, 3, 4], [2, 1, 4, 3]) == pytest.approx(1 / 3)
+
+    def test_tie_correction(self):
+        # tau-b shrinks the denominator for tied pairs instead of
+        # treating ties as disagreement
+        tau = kendall_tau([1, 1, 2], [1, 2, 3])
+        assert tau == pytest.approx(2 / (2 * 3) ** 0.5)
+
+    def test_undefined_cases(self):
+        assert kendall_tau([], []) is None
+        assert kendall_tau([1], [1]) is None
+        assert kendall_tau([5, 5, 5], [1, 2, 3]) is None  # x fully tied
+        assert kendall_tau([1, 2, 3], [7, 7, 7]) is None  # y fully tied
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1])
+
+
+class TestRankReport:
+    def rows(self):
+        # model's favourite (highest score) is the slowest: tau = -1
+        return [
+            {"description": "a", "score": 3.0, "seconds": 0.9},
+            {"description": "b", "score": 2.0, "seconds": 0.5},
+            {"description": "c", "score": 1.0, "seconds": 0.1},
+        ]
+
+    def test_ranks_and_tau(self):
+        rep = rank_report(self.rows())
+        by_desc = {c.description: c for c in rep.candidates}
+        assert (by_desc["a"].cost_rank, by_desc["a"].measured_rank) == (1, 3)
+        assert (by_desc["c"].cost_rank, by_desc["c"].measured_rank) == (3, 1)
+        assert rep.tau == pytest.approx(-1.0)
+
+    def test_ties_share_smallest_rank(self):
+        rep = rank_report(
+            [
+                {"description": "a", "score": 2.0, "seconds": 0.1},
+                {"description": "b", "score": 2.0, "seconds": 0.2},
+                {"description": "c", "score": 1.0, "seconds": 0.3},
+            ]
+        )
+        cost_ranks = [c.cost_rank for c in rep.candidates]
+        assert cost_ranks == [1, 1, 3]
+
+    def test_rows_missing_numbers_excluded(self):
+        rep = rank_report(
+            [
+                {"description": "scored only", "score": 1.0, "seconds": None},
+                {"description": "measured", "score": 2.0, "seconds": 0.2},
+                {"description": "also measured", "score": 3.0, "seconds": 0.1},
+            ]
+        )
+        assert {c.description for c in rep.candidates} == {"measured", "also measured"}
+        assert rep.tau == pytest.approx(1.0)
+
+    def test_attr_objects_accepted(self):
+        class Row:
+            def __init__(self, description, score, seconds):
+                self.description = description
+                self.score = score
+                self.seconds = seconds
+
+        rep = rank_report([Row("x", 2.0, 0.1), Row("y", 1.0, 0.2)])
+        assert [c.description for c in rep.candidates] == ["x", "y"]
+        assert rep.tau == pytest.approx(1.0)
+
+    def test_empty_report(self):
+        rep = rank_report([])
+        assert rep.candidates == () and rep.tau is None
+
+    def test_json_round_trip(self):
+        rep = rank_report(self.rows())
+        clone = RankReport.from_json(rep.to_json())
+        assert clone == rep
+        assert all(isinstance(c, RankedCandidate) for c in clone.candidates)
+
+    def test_driver_persists_ranking_in_cache_entry(self, tmp_path):
+        from repro.kernels import simplified_cholesky
+        from repro.tune import TuneStore, load_tuned, tune
+
+        program = simplified_cholesky()
+        store = TuneStore(tmp_path)
+        tune(program, {"N": 8}, store=store, backend="source",
+             beam_width=2, depth=1, top_k=2)
+        entry = load_tuned(program, {"N": 8}, store=store)
+        ranking = entry["ranking"]
+        assert ranking["candidates"], "no scored+measured candidate persisted"
+        for c in ranking["candidates"]:
+            assert {"description", "score", "seconds",
+                    "cost_rank", "measured_rank"} <= set(c)
+        measured = {c["measured_rank"] for c in ranking["candidates"]}
+        assert 1 in measured  # somebody is the fastest
