@@ -37,7 +37,15 @@ minimum, so speedup >= 1 by construction; the gate allows 5% slack
 (``TUNE_MIN_SPEEDUP``) purely for timer granularity and exists to
 catch a driver that stopped ranking the baseline.
 
-A fifth, opt-in gate (``--trend BENCH_history.jsonl``) checks the fresh
+A fifth gate reads the fresh ``scaling`` table (the E18 tiling/fusion
+scaling curves, see benchmarks/emit.py): at every measured N the tuned
+winner must beat the *untuned default order* by at least
+``SCALING_MIN_SPEEDUP`` (1.2x), and any row flagged ``require_tiled``
+(the trmm N=1024 point of a full local run) must have a tiled winner.
+The section is opt-in at collection time (``REPRO_BENCH_SCALING=1``),
+so a result without it passes this gate vacuously.
+
+A sixth, opt-in gate (``--trend BENCH_history.jsonl``) checks the fresh
 run's backend/tune metrics against the *rolling median* of prior ledger
 snapshots (see benchmarks/history.py): any metric more than 25% worse
 than its trend fails.  Point-to-point factor gates miss slow drift — a
@@ -57,12 +65,14 @@ from pathlib import Path
 
 __all__ = [
     "Comparison", "compare_results", "backend_gate", "backend_table",
-    "tune_gate", "tune_table", "trend_gate", "main",
+    "tune_gate", "tune_table", "scaling_gate", "scaling_table",
+    "trend_gate", "main",
 ]
 
 DEFAULT_FACTOR = 2.0
 DEFAULT_MIN_NS = 1_000_000  # ignore sub-millisecond timings entirely
 TUNE_MIN_SPEEDUP = 0.95  # tuned-vs-default floor; slack for timer noise only
+SCALING_MIN_SPEEDUP = 1.2  # E18 floor: tuning must actually win, not tie
 
 
 @dataclass(frozen=True)
@@ -203,6 +213,56 @@ def tune_table(fresh: dict) -> str:
     return "\n".join(lines)
 
 
+def scaling_gate(fresh: dict) -> list[str]:
+    """Absolute checks on the E18 scaling table; returns failures."""
+    failures = []
+    for row in fresh.get("scaling", []):
+        name = f"{row.get('kernel')}@N={row.get('n')}"
+        if row.get("error"):
+            failures.append(f"{name}: scaling tune error: {row['error']}")
+            continue
+        if row.get("ok") is not True:
+            failures.append(f"{name}: scaling tune run had failed rows")
+        elif not (
+            isinstance(row.get("speedup"), (int, float))
+            and row["speedup"] >= SCALING_MIN_SPEEDUP
+        ):
+            failures.append(
+                f"{name}: tuned winner only {row.get('speedup')}x vs the "
+                f"untuned default order (floor {SCALING_MIN_SPEEDUP})"
+            )
+        if row.get("require_tiled") and row.get("winner_tiled") is not True:
+            failures.append(
+                f"{name}: winner {row.get('winner')!r} is not a tiled "
+                "schedule (this point requires blocking to win)"
+            )
+    return failures
+
+
+def scaling_table(fresh: dict) -> str:
+    """The E18 table as a GitHub-flavoured markdown summary."""
+    rows = fresh.get("scaling", [])
+    if not rows:
+        return ""
+    lines = [
+        "| kernel | N | untuned s | tuned s | speedup | winner | tiled |",
+        "|---|---:|---:|---:|---:|---|---|",
+    ]
+    for r in rows:
+        untuned = f"{r['untuned_seconds']:.4f}" if isinstance(
+            r.get("untuned_seconds"), (int, float)) else "-"
+        tuned = f"{r['tuned_seconds']:.4f}" if isinstance(
+            r.get("tuned_seconds"), (int, float)) else "-"
+        speed = f"{r['speedup']:.2f}x" if isinstance(
+            r.get("speedup"), (int, float)) else "-"
+        tiled = {True: "yes", False: "no", None: "-"}[r.get("winner_tiled")]
+        lines.append(
+            f"| {r.get('kernel')} | {r.get('n')} | {untuned} | {tuned} "
+            f"| {speed} | {r.get('winner') or '-'} | {tiled} |"
+        )
+    return "\n".join(lines)
+
+
 def trend_gate(
     fresh: dict,
     history_path: Path,
@@ -317,6 +377,14 @@ def main(argv: list[str] | None = None) -> int:
     for failure in tune_failures:
         print(f"  [TUNE FAIL] {failure}")
 
+    scaling_failures = scaling_gate(fresh)
+    stable = scaling_table(fresh)
+    if stable:
+        print("\ntiling/fusion scaling curves (E18):")
+        print(stable)
+    for failure in scaling_failures:
+        print(f"  [SCALING FAIL] {failure}")
+
     trend_fails: list[str] = []
     if args.trend is not None:
         trend_fails, trend_report = trend_gate(
@@ -334,12 +402,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.summary is not None and ttable:
         with args.summary.open("a") as f:
             f.write("\n### Guided autotuner vs default order (E17)\n\n" + ttable + "\n")
+    if args.summary is not None and stable:
+        with args.summary.open("a") as f:
+            f.write("\n### Tiling/fusion scaling curves (E18)\n\n" + stable + "\n")
 
-    if regressions or backend_failures or tune_failures or trend_fails:
+    if (regressions or backend_failures or tune_failures or scaling_failures
+            or trend_fails):
         print(
             f"FAIL: {len(regressions)} metric(s) regressed beyond "
             f"{args.factor:.1f}x, {len(backend_failures)} backend gate "
             f"failure(s), {len(tune_failures)} tune gate failure(s), "
+            f"{len(scaling_failures)} scaling gate failure(s), "
             f"{len(trend_fails)} trend gate failure(s)",
             file=sys.stderr,
         )

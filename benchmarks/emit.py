@@ -24,10 +24,17 @@ from pathlib import Path
 
 __all__ = [
     "collect_pipeline_counters", "collect_backend_speedups",
-    "collect_tune_results", "collect_benchmark_stats", "write_bench_result",
+    "collect_tune_results", "collect_scaling_results",
+    "collect_benchmark_stats", "write_bench_result",
 ]
 
 RESULT_NAME = "BENCH_result.json"
+
+#: N ladder of the blocking/fusion scaling curves (E18); CI runs the
+#: first two points, REPRO_BENCH_FULL=1 adds the third (its untuned
+#: baselines alone run for minutes).
+SCALING_SIZES = (256, 512)
+SCALING_FULL_SIZES = (256, 512, 1024)
 
 
 def collect_pipeline_counters() -> dict:
@@ -140,6 +147,71 @@ def collect_tune_results() -> list[dict]:
     return rows
 
 
+def collect_scaling_results() -> list[dict]:
+    """The tiling/fusion scaling curves (E18): tuned-vs-untuned seconds
+    at growing N for the two kernels where loop order (and at the top
+    size, blocking) decides the constant factor.  ``compare.py`` gates
+    each point on the tuned winner beating the untuned default order by
+    at least :data:`benchmarks.compare.SCALING_MIN_SPEEDUP`.
+
+    Opt-in via ``REPRO_BENCH_SCALING=1`` — every point measures its
+    real-size untuned baseline, so this section costs minutes, not
+    seconds (CI sets it only for the real benchmark pass).
+    ``REPRO_BENCH_FULL=1`` extends the ladder to N=1024 and additionally
+    requires the trmm winner there to be a *tiled* schedule — the one
+    regime on this suite where blocking beats every untiled order
+    (docs/TILING.md has the honest analysis of where it does not, and
+    of why the full-mode pass is an hour-scale job)."""
+    import os
+    import tempfile
+
+    if os.environ.get("REPRO_BENCH_SCALING", "0") != "1":
+        return []
+    from repro.kernels import cholesky_variant, trmm
+    from repro.transform.tiling import TILE_LADDER
+    from repro.tune import TuneStore, tune
+
+    full = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+    sizes = SCALING_FULL_SIZES if full else SCALING_SIZES
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for program in (cholesky_variant("jik"), trmm()):
+            for n in sizes:
+                try:
+                    res = tune(
+                        program, {"N": n}, store=TuneStore(tmp),
+                        backend="source-vec", tile_sizes=TILE_LADDER,
+                        cross_check="model", repeat=1, use_cache=False,
+                    )
+                except Exception as exc:
+                    rows.append({
+                        "kernel": program.name, "n": n,
+                        "untuned_seconds": None, "tuned_seconds": None,
+                        "speedup": None, "winner": None,
+                        "winner_tiled": None, "require_tiled": False,
+                        "ok": False, "error": str(exc),
+                    })
+                    continue
+                winner_tiled = bool(
+                    res.best is not None
+                    and res.best.candidate is not None
+                    and res.best.candidate.context.is_tiled
+                )
+                rows.append({
+                    "kernel": program.name,
+                    "n": n,
+                    "untuned_seconds": res.baseline_seconds,
+                    "tuned_seconds": res.best.seconds if res.best else None,
+                    "speedup": res.speedup,
+                    "winner": res.best.description if res.best else None,
+                    "winner_tiled": winner_tiled,
+                    "require_tiled": full and program.name == "trmm" and n == 1024,
+                    "ok": res.ok,
+                    "error": "",
+                })
+    return rows
+
+
 def collect_benchmark_stats(config) -> list[dict]:
     """Per-benchmark timing stats from pytest-benchmark, if it ran."""
     bsession = getattr(config, "_benchmarksession", None)
@@ -180,6 +252,7 @@ def write_bench_result(config, path: str | Path | None = None) -> Path:
         "pipeline": collect_pipeline_counters(),
         "backend": collect_backend_speedups(),
         "tune": collect_tune_results(),
+        "scaling": collect_scaling_results(),
     }
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     try:

@@ -21,11 +21,15 @@ Row schema (one JSON object per line)::
         "backend:<kernel>/<backend>:speedup": 4.56,
         "tune:<kernel>:baseline_seconds": ...,
         "tune:<kernel>:best_seconds": ...,
-        "tune:<kernel>:speedup": ...
+        "tune:<kernel>:speedup": ...,
+        "scaling:<kernel>@<n>:tuned_seconds": ...,
+        "scaling:<kernel>@<n>:untuned_seconds": ...,
+        "scaling:<kernel>@<n>:speedup": ...
       }
     }
 
-Only the backend (E16) and tune (E17) tables feed the ledger — they are
+Only the backend (E16), tune (E17) and scaling (E18) tables feed the
+ledger — they are
 the medians-of-medians the repo actually optimises for; pytest-benchmark
 means and one-shot span timings stay in ``BENCH_result.json`` under the
 existing 2x factor gate.
@@ -98,6 +102,11 @@ def metrics_from_result(payload: dict) -> dict[str, float]:
     for row in payload.get("tune", []):
         name = f"tune:{row.get('kernel')}"
         for key in ("baseline_seconds", "best_seconds", "speedup"):
+            if isinstance(row.get(key), (int, float)):
+                metrics[f"{name}:{key}"] = float(row[key])
+    for row in payload.get("scaling", []):
+        name = f"scaling:{row.get('kernel')}@{row.get('n')}"
+        for key in ("untuned_seconds", "tuned_seconds", "speedup"):
             if isinstance(row.get(key), (int, float)):
                 metrics[f"{name}:{key}"] = float(row[key])
     return metrics

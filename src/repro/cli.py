@@ -24,9 +24,11 @@ accept ``--profile`` (print a hierarchical span tree and metrics table
 to stderr) and ``--trace-json PATH`` (write the spans and metrics as
 JSON lines); see :mod:`repro.obs` and docs/OBSERVABILITY.md.
 
-Transformation specs are semicolon-separated elementary transformations::
+Transformation specs are semicolon-separated elementary transformations;
+structural ``tile``/``fuse`` ops rewrite the program and must come first
+(docs/TILING.md)::
 
-    permute(I,J); skew(I,J,-1); reverse(J); scale(I,2); align(S1,I,1)
+    tile(I,16); fuse(J); permute(I,J); skew(I,J,-1); align(S1,I,1)
 """
 
 from __future__ import annotations
@@ -49,7 +51,7 @@ from repro.legality import check_legality
 from repro.linalg import IntMatrix
 from repro.polyhedra import System, ge, var
 from repro.backend import BACKENDS as _BACKEND_CHOICES
-from repro.transform.spec import parse_spec
+from repro.transform.spec import parse_schedule, parse_spec
 from repro.util.errors import ReproError
 
 __all__ = ["main", "parse_spec"]
@@ -121,20 +123,24 @@ def cmd_deps(args) -> int:
 
 def cmd_check(args) -> int:
     program = _load(args.file)
-    layout = Layout(program)
-    deps = analyze_dependences(program, jobs=args.jobs)
-    t = parse_spec(layout, args.spec)
-    report = check_legality(layout, t.matrix, deps)
+    schedule = parse_schedule(program, args.spec)
+    if schedule.is_structural:
+        verdict = "legal" if schedule.structural_legal else "ILLEGAL"
+        print(f"structural prefix {'; '.join(schedule.structural)}: {verdict}")
+    report = check_legality(schedule.layout, schedule.matrix, schedule.deps)
     print(report)
-    return 0 if report.legal else 1
+    return 0 if report.legal and schedule.structural_legal else 1
 
 
 def cmd_transform(args) -> int:
     program = _load(args.file)
-    layout = Layout(program)
-    deps = analyze_dependences(program, jobs=args.jobs)
-    t = parse_spec(layout, args.spec)
-    g = generate_code(program, t.matrix, deps)
+    schedule = parse_schedule(program, args.spec)
+    if not schedule.structural_legal:
+        raise ReproError(
+            f"structural prefix {'; '.join(schedule.structural)} fails the "
+            "Theorem-2 fusion test"
+        )
+    g = generate_code(schedule.program, schedule.matrix, schedule.deps)
     out = g.program
     if args.simplify:
         assume = System([ge(var(p), 1) for p in program.params])
@@ -255,10 +261,18 @@ def cmd_tune(args) -> int:
     with the static cost model, measure the top survivors on the chosen
     backend, and persist the winner (docs/AUTOTUNING.md)."""
     from repro.tune import TuneStore, tune
+    from repro.transform.tiling import TILE_LADDER
 
     program = _load_flexible(args.file)
     params = _params(args.param) or None
     store = TuneStore(args.cache_dir) if args.cache_dir else TuneStore()
+    tile_sizes = None
+    if args.tile_sizes:
+        tile_sizes = tuple(
+            int(s) for chunk in args.tile_sizes for s in chunk.split(",") if s
+        )
+    elif args.tile:
+        tile_sizes = TILE_LADDER
     result = tune(
         program,
         params,
@@ -272,6 +286,9 @@ def cmd_tune(args) -> int:
         use_cache=not args.no_cache,
         force=args.force,
         include_structural=args.structural,
+        tile_sizes=tile_sizes,
+        max_candidates=args.max_candidates,
+        cross_check=args.cross_check,
     )
     print(f"program {program.name}  params {result.params}  backend {result.backend}")
     if result.from_cache:
@@ -569,7 +586,36 @@ def main(argv: list[str] | None = None) -> int:
         "--structural",
         action=argparse.BooleanOptionalAction,
         default=True,
-        help="include distribution/jamming structural variants",
+        help="include distribution/jamming/fusion structural variants",
+    )
+    p.add_argument(
+        "--tile",
+        action="store_true",
+        help="also enumerate strip-mined (tiled) variants over the "
+        "default tile ladder (docs/TILING.md)",
+    )
+    p.add_argument(
+        "--tile-sizes",
+        action="append",
+        metavar="SIZES",
+        help="explicit tile ladder, e.g. 16,32 (repeatable; implies --tile)",
+    )
+    p.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard cap on enumerated candidates per stage; excess is "
+        "truncated with a kind=tune verdict=truncated event "
+        "(default 96, or $REPRO_TUNE_MAX)",
+    )
+    p.add_argument(
+        "--cross-check",
+        choices=("full", "model"),
+        default="full",
+        help="equivalence-check measured survivors at the real params "
+        "(full) or at model-capped params (model; keeps huge-N tuning "
+        "runs affordable, timing still happens at the real params)",
     )
     p.add_argument("--json", metavar="PATH", help="also write the table as JSON")
     p.set_defaults(fn=cmd_tune)

@@ -21,13 +21,13 @@ from repro.dependence.depvector import DepKind, DependenceMatrix, DepVector
 from repro.dependence.entry import NEG_INF, POS_INF, DepEntry
 from repro.instance.layout import EdgeCoord, Layout, LoopCoord
 from repro.instance.vectors import symbolic_vector
-from repro.ir.ast import Program, Statement
+from repro.ir.ast import BoundSet, Program, Statement
 from repro.ir.expr import ArrayRef, VarRef
 from repro.obs import counter, timed
 from repro.polyhedra.affine import LinExpr, var
 from repro.polyhedra.constraint import eq, ge, le
 from repro.polyhedra.system import Feasibility, System
-from repro.util.errors import DependenceError, IRError
+from repro.util.errors import DependenceError
 
 __all__ = ["analyze_dependences", "AccessInfo", "statement_domain", "iter_conflicting_pairs"]
 
@@ -89,7 +89,16 @@ def _is_array_name(program: Program, name: str) -> bool:
 
 def statement_domain(program: Program, label: str, prefix: str = "") -> System:
     """The iteration-space constraints of a statement's surrounding
-    loops, with loop variables optionally renamed by ``prefix``."""
+    loops, with loop variables optionally renamed by ``prefix``.
+
+    Bounds may be max/min sets of ceil/floor-divided affine terms
+    (:class:`~repro.ir.ast.BoundSet`) — e.g. the bounds strip-mining
+    produces.  Each term translates *exactly* into a linear constraint:
+    a lower term ``ceil(e/d)`` becomes ``d*v >= e`` and an upper term
+    ``floor(e/d)`` becomes ``d*v <= e``, and max-lower / min-upper sets
+    are conjunctions of their terms.  Hull bounds (disjunctive unions
+    from code generation) stay out of scope.
+    """
     constraints = []
     rename: dict[str, str] = {}
     for loop in program.enclosing_loops(label):
@@ -97,18 +106,21 @@ def statement_domain(program: Program, label: str, prefix: str = "") -> System:
             raise DependenceError(
                 f"dependence analysis requires unit steps (loop {loop.var} has {loop.step})"
             )
-        try:
-            lo = loop.lower.single_affine()
-            hi = loop.upper.single_affine()
-        except IRError as exc:
+        if not isinstance(loop.lower, BoundSet) or not isinstance(loop.upper, BoundSet):
             raise DependenceError(
-                f"loop {loop.var} bounds are not single affine expressions"
-            ) from exc
+                f"loop {loop.var} has hull bounds; dependence analysis needs "
+                "per-statement (BoundSet) bounds"
+            )
         v = prefix + loop.var
-        lo_r = lo.rename(rename)
-        hi_r = hi.rename(rename)
-        constraints.append(ge(var(v), lo_r))
-        constraints.append(le(var(v), hi_r))
+        vv = var(v)
+        for term in loop.lower.terms:
+            # v >= ceil(e/d)  <=>  d*v >= e  (d >= 1, integer v)
+            lhs = vv if term.div == 1 else vv * term.div
+            constraints.append(ge(lhs, term.expr.rename(rename)))
+        for term in loop.upper.terms:
+            # v <= floor(e/d)  <=>  d*v <= e
+            lhs = vv if term.div == 1 else vv * term.div
+            constraints.append(le(lhs, term.expr.rename(rename)))
         rename[loop.var] = v
     return System(constraints)
 

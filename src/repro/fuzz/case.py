@@ -27,7 +27,7 @@ from repro.interp import check_equivalence
 from repro.ir import parse_program
 from repro.legality import check_legality
 from repro.obs import counter, span
-from repro.transform.spec import parse_spec
+from repro.transform.spec import parse_schedule
 from repro.util.errors import CompletionError, ReproError
 
 __all__ = [
@@ -147,13 +147,23 @@ def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
     layout = Layout(program)
     deps = analyze_dependences(program, layout=layout)
 
-    # -- build the candidate matrix ------------------------------------
+    # -- build the candidate transformation ----------------------------
+    # Spec cases go through parse_schedule so structural tile/fuse
+    # prefixes rewrite the program first; the matrix is then over the
+    # rewritten program, and the equivalence oracles compare against the
+    # *original* through the schedule's instance-space pullback.
+    schedule = None
+    work_program, work_layout, work_deps = program, layout, deps
     if case.kind == "spec":
         try:
-            matrix = parse_spec(layout, case.spec).matrix
+            schedule = parse_schedule(program, case.spec)
         except ReproError as exc:
             counter("fuzz.spec_rejections")
             return CaseResult(case, "spec-rejected", str(exc))
+        work_program = schedule.program
+        work_layout = schedule.layout
+        work_deps = schedule.deps
+        matrix = schedule.matrix
     elif case.kind == "complete":
         try:
             pos = layout.loop_index_by_var(case.lead)
@@ -171,14 +181,21 @@ def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
     else:
         raise ReproError(f"unknown fuzz case kind {case.kind!r}")
 
-    report = check_legality(layout, matrix, deps)
-    legal = report.legal
+    report = check_legality(work_layout, matrix, work_deps)
+    structural_legal = schedule.structural_legal if schedule is not None else True
+    legal = report.legal and structural_legal
     counter("fuzz.legal" if legal else "fuzz.illegal")
+
+    def oracle_env_map(g):
+        em = g.env_map()
+        if schedule is not None and schedule.is_structural:
+            return lambda lbl, env: schedule.pullback(lbl, em(lbl, env))
+        return em
 
     # -- side 1: accepted (or claimed) transformations must be equivalent
     if legal or case.claim_legal:
         try:
-            g = generate_code(program, matrix, deps, require_legal=legal)
+            g = generate_code(work_program, matrix, work_deps, require_legal=legal)
         except ReproError as exc:
             if legal:
                 # documented limits (e.g. rank-deficient augmentation edge
@@ -187,7 +204,7 @@ def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
                 return CaseResult(case, "codegen-skipped", str(exc), legal=True)
             return CaseResult(case, "illegal-rejected", str(exc), legal=False)
         rep = check_equivalence(
-            program, g.program, case.params_dict(), env_map=g.env_map()
+            program, g.program, case.params_dict(), env_map=oracle_env_map(g)
         )
         if rep["ok"] and case.backends:
             # guard-heavy generated code is the interesting lowering input
@@ -213,14 +230,16 @@ def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
         )
 
     # -- side 2: rejected transformations, forced, should be flagged ----
-    if report.structure is None:
+    if not report.legal and report.structure is None:
         return CaseResult(case, "illegal-rejected", "no Figure-5 block structure",
                           legal=False)
     try:
-        g = generate_code(program, matrix, deps, require_legal=False)
+        g = generate_code(work_program, matrix, work_deps, require_legal=False)
     except ReproError as exc:
         return CaseResult(case, "illegal-rejected", str(exc), legal=False)
-    rep = check_equivalence(program, g.program, case.params_dict(), env_map=g.env_map())
+    rep = check_equivalence(
+        program, g.program, case.params_dict(), env_map=oracle_env_map(g)
+    )
     if not rep["ok"]:
         counter("fuzz.illegal_confirmed")
         return CaseResult(

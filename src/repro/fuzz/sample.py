@@ -12,7 +12,11 @@ weighted shape mix (perfect nests, deep imperfect nests, triangular
 bounds, wide multi-statement bodies); transformations are either random
 compositions of the elementary spec operations (validated against the
 layout at sample time, so the reject rate stays low) or completion
-requests for a random lead loop.
+requests for a random lead loop.  A slice of the spec stream carries a
+structural ``tile``/``fuse`` prefix (validated via
+:func:`~repro.transform.spec.parse_schedule`), so the strip-mine
+bookkeeping, the fusion legality test and the schedule pullback all sit
+on the differential-testing path.
 """
 
 from __future__ import annotations
@@ -22,8 +26,12 @@ import random
 from repro.fuzz.case import FuzzCase
 from repro.instance import Layout
 from repro.ir import program_to_str
+from repro.ir.ast import Loop
 from repro.kernels import random_program
 from repro.transform.spec import parse_spec
+from repro.transform.tiling import (
+    fuse, fuse_site_offset, loop_path_by_var, strip_mine,
+)
 from repro.util.errors import ReproError
 
 __all__ = ["sample_case", "sample_spec", "SHAPE_WEIGHTS"]
@@ -49,6 +57,15 @@ _OP_WEIGHTS = (
 #: fraction of cases that exercise the completion procedure instead of
 #: an explicit spec
 _COMPLETE_SHARE = 0.15
+
+#: fraction of spec cases that try to lead with a structural tile/fuse
+#: op (the draw is dropped when no site on the sampled program admits
+#: one, so the realized share is a bit lower)
+_STRUCTURAL_SHARE = 0.35
+
+#: tile sizes the fuzzer strip-mines with — deliberately tiny so tile
+#: loops have several iterations at fuzz-sized N in (3..5)
+_TILE_SIZES = (2, 3, 4)
 
 
 def _weighted(rng: random.Random, table) -> str:
@@ -84,7 +101,7 @@ def sample_case(master_seed: int, index: int) -> FuzzCase:
             params=(("N", n),),
             note=f"seed={master_seed} index={index} shape={shape}",
         )
-    spec = sample_spec(layout, rng)
+    spec = sample_spec(layout, rng, program=program)
     return FuzzCase(
         program_src=program_to_str(program),
         kind="spec",
@@ -94,32 +111,106 @@ def sample_case(master_seed: int, index: int) -> FuzzCase:
     )
 
 
-def sample_spec(layout: Layout, rng: random.Random, max_ops: int = 3) -> str:
-    """A random composition of 1..max_ops elementary transformations,
-    each validated against ``layout`` at sample time (invalid draws are
+def sample_spec(
+    layout: Layout,
+    rng: random.Random,
+    max_ops: int = 3,
+    program=None,
+) -> str:
+    """A random composition of 1..max_ops transformations, each
+    validated against ``layout`` at sample time (invalid draws are
     re-rolled a bounded number of times, keeping runner-side rejects
-    rare but still possible)."""
-    loops = [c.var for c in layout.loop_coords()]
-    labels = layout.statement_labels()
+    rare but still possible).
+
+    When ``program`` is given, a :data:`_STRUCTURAL_SHARE` slice of
+    draws leads with one ``tile``/``fuse`` op; the linear ops are then
+    sampled over the *rewritten* program's layout and the whole spec is
+    re-validated through :func:`parse_schedule`.  A fuse whose site
+    exists but fails the Theorem-2 test is kept — those cases exercise
+    the oracles' illegal-schedule side."""
+    structural: list[str] = []
+    work_layout = layout
+    if program is not None and rng.random() < _STRUCTURAL_SHARE:
+        for _ in range(6):
+            drawn = _sample_structural(rng, layout, program)
+            if drawn is None:
+                break
+            op, rewrite = drawn
+            try:
+                # apply the rewrite directly — parse_schedule would also
+                # run dependence analysis and the fusion legality test,
+                # which sampling neither needs (illegal fuses are kept
+                # for the oracles) nor can afford per draw
+                rewritten = rewrite(program)
+            except ReproError:
+                continue  # no such site on this program; re-roll
+            structural.append(op)
+            work_layout = Layout(rewritten)
+            break
+    loops = [c.var for c in work_layout.loop_coords()]
+    labels = work_layout.statement_labels()
     ops: list[str] = []
-    n_ops = rng.randint(1, max_ops)
+    n_ops = rng.randint(1, max_ops) - len(structural)
     attempts = 0
     while len(ops) < n_ops and attempts < 8 * max_ops:
         attempts += 1
         op = _sample_op(rng, loops, labels)
         if op is None:
             continue
+        # the structural prefix is already validated, so the linear
+        # suffix only needs to parse over the *rewritten* layout —
+        # re-running parse_schedule (and its dependence analysis) per
+        # draw would dominate sampling time
         candidate = "; ".join(ops + [op])
         try:
-            parse_spec(layout, candidate)
+            parse_spec(work_layout, candidate)
         except ReproError:
             continue
         ops.append(op)
-    if not ops:
+    if not ops and not structural:
         # every draw failed to validate (e.g. single-loop program where
         # only align could apply); reversal is always expressible
         ops.append(f"reverse({rng.choice(loops)})" if loops else "reverse(I)")
-    return "; ".join(ops)
+    return "; ".join(structural + ops)
+
+
+def _sample_structural(rng: random.Random, layout: Layout, program):
+    """Draw one structural op; returns ``(spec_text, rewrite_fn)`` where
+    ``rewrite_fn(program)`` applies it (raising :class:`ReproError` when
+    the named site does not admit it), or ``None`` on a loop-less
+    layout.  Fuse targets are drawn from the loops that actually lead a
+    fusable sibling pair — a uniformly random loop almost never does, so
+    fuse would otherwise vanish from the stream."""
+    loops = [c.var for c in layout.loop_coords()]
+    if not loops:
+        return None
+    fusable = _fuse_vars(program)
+    if rng.random() < 0.7 or not fusable:
+        var = rng.choice(loops)
+        size = rng.choice(_TILE_SIZES)
+        return (
+            f"tile({var},{size})",
+            lambda p: strip_mine(p, loop_path_by_var(p, var), size),
+        )
+    var = rng.choice(fusable)
+    return f"fuse({var})", lambda p: fuse(p, loop_path_by_var(p, var))
+
+
+def _fuse_vars(program) -> list[str]:
+    """Variables of loops followed by a sibling they can fuse with."""
+    out: list[str] = []
+
+    def walk(body) -> None:
+        for i, node in enumerate(body):
+            if not isinstance(node, Loop):
+                continue
+            nxt = body[i + 1] if i + 1 < len(body) else None
+            if isinstance(nxt, Loop) and fuse_site_offset(node, nxt) is not None:
+                out.append(node.var)
+            walk(node.body)
+
+    walk(program.body)
+    return out
 
 
 def _sample_op(rng: random.Random, loops: list[str], labels: list[str]) -> str | None:

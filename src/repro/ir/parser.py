@@ -15,6 +15,12 @@ conveniences::
 Comments run from ``!`` or ``#`` to end of line.  Identifiers used with
 parentheses are array references unless they name a builtin function
 (``sqrt``, ``min``, ``f``...), which makes them calls.
+
+Loop bounds additionally accept the forms the printer emits for
+strip-mined and generated loops — ``max(t, ...)`` (lower) / ``min(t,
+...)`` (upper) of terms, where a term is an affine expression or
+``ceild(expr, d)`` (lower) / ``floord(expr, d)`` (upper) — so tiled
+programs round-trip through text (the tune cache depends on this).
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.ir.expr import (
     VarRef, as_affine,
 )
 from repro.obs import span
+from repro.polyhedra.bounds import Bound
 from repro.util.errors import ParseError
 
 __all__ = ["parse_program", "parse_expr"]
@@ -185,12 +192,12 @@ class _Parser:
         self.expect("do")
         var = self.expect("ident").text
         self.expect("op", "=")
-        lower = self.parse_expr()
+        lower = self.parse_bound(is_lower=True)
         if self.at("dots"):
             self.next()
         else:
             self.expect("op", ",")
-        upper = self.parse_expr()
+        upper = self.parse_bound(is_lower=False)
         step = 1
         if self.at("op", ","):
             self.next()
@@ -207,13 +214,47 @@ class _Parser:
         else:
             self.expect("end")
             self.expect("do")
-        return Loop(
-            var,
-            BoundSet.affine(as_affine(lower), True),
-            BoundSet.affine(as_affine(upper), False),
-            tuple(body),
-            step,
-        )
+        return Loop(var, lower, upper, tuple(body), step)
+
+    # bound grammar (round-trips the printer's output for strip-mined /
+    # generated loops):
+    #   bound := term | max(term, ...)   -- lower bounds
+    #          | term | min(term, ...)   -- upper bounds
+    #   term  := expr | ceild(expr, int) -- lower
+    #          | expr | floord(expr, int)-- upper
+    def parse_bound(self, is_lower: bool) -> BoundSet:
+        setname = "max" if is_lower else "min"
+        t = self.peek()
+        if t.kind == "ident" and t.text == setname and self._lparen_follows():
+            self.next()
+            self.expect("op", "(")
+            terms = [self.parse_bound_term(is_lower)]
+            while self.at("op", ","):
+                self.next()
+                terms.append(self.parse_bound_term(is_lower))
+            self.expect("op", ")")
+            return BoundSet(tuple(terms), is_lower)
+        return BoundSet((self.parse_bound_term(is_lower),), is_lower)
+
+    def parse_bound_term(self, is_lower: bool) -> Bound:
+        divname = "ceild" if is_lower else "floord"
+        t = self.peek()
+        if t.kind == "ident" and t.text == divname and self._lparen_follows():
+            self.next()
+            self.expect("op", "(")
+            e = self.parse_expr()
+            self.expect("op", ",")
+            d = self.expect("int")
+            self.expect("op", ")")
+            div = int(d.text)
+            if div < 1:
+                raise ParseError(f"{divname} divisor must be positive", t.line, t.col)
+            return Bound(as_affine(e), div, is_lower)
+        return Bound(as_affine(self.parse_expr()), 1, is_lower)
+
+    def _lparen_follows(self) -> bool:
+        nxt = self.toks[self.i + 1]
+        return nxt.kind == "op" and nxt.text == "("
 
     def parse_assign(self) -> Statement:
         t = self.peek()

@@ -2,8 +2,8 @@
 
 from repro.kernels.factorizations import (
     CHOLESKY_VARIANTS, augmentation_example, cholesky, cholesky_variant,
-    forward_substitution, lu_factorization, matmul, running_example,
-    simplified_cholesky, triangular_solve,
+    forward_substitution, lu, lu_factorization, matmul, running_example,
+    simplified_cholesky, triangular_solve, trmm,
 )
 from repro.kernels.generator import random_program
 from repro.kernels.stencils import (
@@ -12,8 +12,9 @@ from repro.kernels.stencils import (
 
 __all__ = [
     "simplified_cholesky", "cholesky", "cholesky_variant", "CHOLESKY_VARIANTS",
-    "running_example", "augmentation_example", "lu_factorization",
-    "triangular_solve", "forward_substitution", "matmul", "random_program",
+    "running_example", "augmentation_example", "lu_factorization", "lu",
+    "triangular_solve", "trmm", "forward_substitution", "matmul",
+    "random_program",
     "jacobi_1d", "gauss_seidel_1d", "blur_2d", "gemver_like", "sweep_pair",
     "syrk_like",
 ]

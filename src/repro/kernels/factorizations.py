@@ -21,7 +21,9 @@ __all__ = [
     "running_example",
     "augmentation_example",
     "lu_factorization",
+    "lu",
     "triangular_solve",
+    "trmm",
     "matmul",
     "forward_substitution",
 ]
@@ -232,6 +234,32 @@ def lu_factorization() -> Program:
         enddo
         """,
         "lu",
+    )
+
+
+def lu() -> Program:
+    """Alias for :func:`lu_factorization` under the bench/tune kernel
+    name (``repro bench lu`` resolves kernels by attribute name)."""
+    return lu_factorization()
+
+
+def trmm() -> Program:
+    """Triangular matrix-matrix multiply C += tril(A)·B — a triangular
+    nest whose K extent grows with I, so row panels of B are reused
+    across I and blocking the I loop pays at sizes past L2."""
+    return parse_program(
+        """
+        param N
+        real A(N,N), B(N,N), C(N,N)
+        do I = 1..N
+          do J = 1..N
+            do K = 1..I
+              S1: C(I,J) = C(I,J) + A(I,K)*B(K,J)
+            enddo
+          enddo
+        enddo
+        """,
+        "trmm",
     )
 
 

@@ -1,0 +1,319 @@
+"""Strip-mining (tiling) and offset loop fusion.
+
+Both transformations leave the paper's *linear* fragment and are
+therefore modelled, like §4.2 distribution/jamming, as structural
+program rewrites with non-square bookkeeping matrices rather than as
+square layout transformations:
+
+* **tile** — strip-mines one loop into a ``(tile, point)`` pair::
+
+      do I = lo, hi                do IT = 0, floord(hi - lo, B)
+        body            ==>          do I = lo + B*IT, min(hi, lo + B*IT + B - 1)
+                                       body
+
+  The rewrite is *exact* affine arithmetic — no new loop steps, no
+  parameters — so the expanded iteration space flows unchanged through
+  dependence analysis (:func:`repro.dependence.analyze.statement_domain`
+  lowers the divided/min bounds to conjunctions of linear constraints),
+  Theorem-2 legality, and §5 code generation.  Strip-mining itself is
+  always legal: ``I -> (floor((I - lo)/B), I)`` is an order-preserving
+  bijection of the iteration space, so every dependence keeps its
+  direction.  The *interchange* that turns a strip-mined nest into a
+  blocked one is an ordinary square transformation of the new layout
+  and goes through the standard projection test.
+
+  The tile coordinate ``IT = floor((I - lo)/B)`` is a floor division —
+  outside the linear-transformation fragment — which is exactly why
+  tiling is a context rewrite and why :func:`tiling_matrix` is §4-style
+  *bookkeeping* (which old coordinate each new coordinate derives from,
+  the same role the §4.2 non-square matrices play for distribution),
+  not an exact linear map.
+
+* **fuse** — the inverse of distribution, generalized to headers that
+  match up to a constant offset δ (per-statement §4.3 alignment folded
+  into the rewrite)::
+
+      do I = lo, hi        |  do J = lo + d, hi + d
+        A-body             |    B-body(J)
+                  ==>  do I = lo, hi
+                         A-body
+                         B-body(I + d)
+
+  Fusion is legal iff *distributing the fused loop back* is legal
+  (:func:`repro.transform.distribution.distribution_legal` on the fused
+  program's dependences) — the same inverse argument the tuner already
+  uses to admit jamming variants.
+"""
+
+from __future__ import annotations
+
+from repro.dependence.analyze import analyze_dependences
+from repro.dependence.depvector import DependenceMatrix
+from repro.instance.layout import EdgeCoord, Layout, LoopCoord, Path
+from repro.ir.ast import BoundSet, Loop, Node, Program
+from repro.ir.expr import BinOp, Expr, IntLit, VarRef
+from repro.linalg.intmat import IntMatrix
+from repro.obs import counter, event
+from repro.polyhedra.affine import LinExpr, var
+from repro.polyhedra.bounds import Bound
+from repro.transform.distribution import (
+    _coord_matrix, _loop_at, _remap, _replace_at, distribution_legal,
+)
+from repro.util.errors import IRError, TransformError
+
+__all__ = [
+    "tile", "strip_mine", "fuse", "fuse_site_offset", "fuse_legal",
+    "tiling_matrix", "loop_path_by_var", "tile_var_for",
+]
+
+#: Tile sizes the tuner enumerates (power-of-two ladder spanning the
+#: L1-to-L2 range for double-precision panels; see docs/TILING.md).
+TILE_LADDER = (16, 32, 64, 128)
+
+
+def loop_path_by_var(program: Program, name: str) -> Path:
+    """The path of the unique loop named ``name``; raises when the name
+    is missing or names several (non-nested) loops."""
+    matches: list[Path] = []
+
+    def walk(children, path: Path) -> None:
+        for j, child in enumerate(children):
+            if isinstance(child, Loop):
+                cpath = path + (j,)
+                if child.var == name:
+                    matches.append(cpath)
+                walk(child.body, cpath)
+
+    walk(program.body, ())
+    if not matches:
+        raise TransformError(f"no loop named {name!r}")
+    if len(matches) > 1:
+        raise TransformError(
+            f"loop name {name!r} is ambiguous ({len(matches)} loops); "
+            "tile/fuse need a unique loop variable"
+        )
+    return matches[0]
+
+
+def tile_var_for(program: Program, name: str) -> str:
+    """A fresh tile-loop variable derived from ``name`` (``IT``,
+    ``IT2``, ...) that collides with no loop variable, parameter or
+    array name."""
+    used = {l.var for l in program.all_loops()}
+    used |= set(program.params)
+    used |= {a.name for a in program.arrays}
+    base = f"{name}T"
+    if base not in used:
+        return base
+    k = 2
+    while f"{base}{k}" in used:
+        k += 1
+    return f"{base}{k}"
+
+
+def strip_mine(program: Program, path: Path, size: int) -> Program:
+    """Strip-mine the loop at ``path`` by ``size``: replace it with a
+    ``(tile, point)`` loop pair covering the identical iteration set in
+    the identical order.  Requires a unit-step loop with plain affine
+    bounds (an already strip-mined loop's ``min``/``floord`` bounds
+    cannot be strip-mined again)."""
+    if size < 2:
+        raise TransformError(f"tile size must be >= 2, got {size}")
+    loop = _loop_at(program, path)
+    if loop.step != 1:
+        raise TransformError(
+            f"tiling requires a unit-step loop (loop {loop.var} has step {loop.step})"
+        )
+    try:
+        lo = loop.lower.single_affine()
+        hi = loop.upper.single_affine()
+    except IRError as exc:
+        raise TransformError(
+            f"tiling requires plain affine bounds on loop {loop.var}: {exc}"
+        ) from exc
+
+    tvar = tile_var_for(program, loop.var)
+    start = lo + var(tvar) * size  # first iteration of tile tvar
+    point = Loop(
+        loop.var,
+        BoundSet.affine(start, True),
+        BoundSet(
+            (Bound(hi, 1, False), Bound(start + LinExpr({}, size - 1), 1, False)),
+            False,
+        ),
+        loop.body,
+        1,
+    )
+    tile_loop = Loop(
+        tvar,
+        BoundSet.affine(0, True),
+        BoundSet((Bound(hi - lo, size, False),), False),
+        (point,),
+        1,
+    )
+    out = _replace_at(program, path, [tile_loop])
+    counter("transform.tiles")
+    return out
+
+
+#: ``tile`` is strip-mining; the interchange that moves the tile loop
+#: outward is a separate (square, Theorem-2-checked) step.
+tile = strip_mine
+
+
+def tiling_matrix(program: Program, path: Path, size: int) -> tuple[IntMatrix, Program]:
+    """The §4-style non-square bookkeeping matrix for a strip-mine, plus
+    the new program.
+
+    Rows are the new layout's coordinates; both the tile and the point
+    loop coordinate derive from the old loop coordinate (the tile row is
+    the floor-divided image — pseudo-linear, see the module docstring),
+    mirroring how §4.2 distribution matrices replicate the distributed
+    loop's coordinate into each copy.
+    """
+    old_layout = Layout(program)
+    new_program = strip_mine(program, path, size)
+    new_layout = Layout(new_program)
+    loop = _loop_at(program, path)
+    tvar = _loop_at(new_program, path).var
+    point_path = path + (0,)
+
+    def coord_map(nc):
+        p = nc.path
+        if p == path:
+            # the tile loop itself: its only child is the point loop, so
+            # only its LoopCoord exists at this path
+            assert isinstance(nc, LoopCoord) and nc.var == tvar
+            return LoopCoord(path, loop.var)
+        if p == point_path:
+            if isinstance(nc, LoopCoord):
+                return LoopCoord(path, loop.var)
+            return EdgeCoord(path, nc.child)
+        if p[: len(point_path)] == point_path:
+            return _remap(nc, path + p[len(point_path):])
+        return nc
+
+    return _coord_matrix(old_layout, new_layout, coord_map), new_program
+
+
+# -- fusion ------------------------------------------------------------------
+
+
+def fuse_site_offset(a: Node, b: Node) -> int | None:
+    """The constant alignment offset δ such that loop ``b`` iterates
+    ``a``'s range shifted by δ — or ``None`` when the pair is not
+    fusable (not both unit-step loops with plain affine bounds whose
+    lower *and* upper bounds differ by the same constant)."""
+    if not (isinstance(a, Loop) and isinstance(b, Loop)):
+        return None
+    if a.step != 1 or b.step != 1:
+        return None
+    try:
+        alo, ahi = a.lower.single_affine(), a.upper.single_affine()
+        blo, bhi = b.lower.single_affine(), b.upper.single_affine()
+    except IRError:
+        return None
+    dlo = blo - alo
+    dhi = bhi - ahi
+    if dlo.variables() or dhi.variables():
+        return None
+    delta = dlo.eval({})
+    if dhi.eval({}) != delta:
+        return None
+    return delta
+
+
+def _shift_expr(name: str, delta: int) -> Expr:
+    if delta == 0:
+        return VarRef(name)
+    op = "+" if delta > 0 else "-"
+    return BinOp(op, VarRef(name), IntLit(abs(delta)))
+
+
+def fuse(program: Program, path: Path) -> Program:
+    """Fuse the loop at ``path`` with its immediately following sibling.
+
+    Generalizes :func:`repro.transform.distribution.jam` to headers that
+    match up to a constant offset δ: the second loop's body is rewritten
+    with its variable substituted by ``first.var + δ`` (per-statement
+    alignment), then appended to the first loop's body.  Purely
+    structural — legality is :func:`fuse_legal`.
+    """
+    parent, idx = path[:-1], path[-1]
+    siblings = program.body if not parent else _loop_at(program, parent).body
+    if idx + 1 >= len(siblings):
+        raise TransformError("no following sibling loop to fuse with")
+    a, b = siblings[idx], siblings[idx + 1]
+    delta = fuse_site_offset(a, b)
+    if delta is None:
+        raise TransformError(
+            "fuse requires adjacent unit-step loops whose bounds differ "
+            "by one constant offset"
+        )
+    assert isinstance(a, Loop) and isinstance(b, Loop)
+    if b.var != a.var:
+        for inner in _inner_loops(b.body):
+            if inner.var == a.var:
+                raise TransformError(
+                    f"cannot fuse: inner loop variable {a.var!r} of the second "
+                    "loop would shadow the fused loop variable"
+                )
+    if b.var == a.var and delta == 0:
+        moved = b.body
+    else:
+        mapping = {b.var: _shift_expr(a.var, delta)}
+        moved = tuple(child.substituted(mapping) for child in b.body)
+    fused = a.with_body(a.body + moved)
+    from repro.transform.distribution import _drop_child
+
+    without_b = _drop_child(program, parent, idx + 1)
+    out = _replace_at(without_b, parent + (idx,), [fused])
+    counter("transform.fusions")
+    return out
+
+
+def _inner_loops(children) -> list[Loop]:
+    out: list[Loop] = []
+    for c in children:
+        if isinstance(c, Loop):
+            out.append(c)
+            out.extend(_inner_loops(c.body))
+    return out
+
+
+def fuse_legal(
+    program: Program,
+    path: Path,
+    *,
+    fused: Program | None = None,
+    fused_deps: DependenceMatrix | None = None,
+) -> bool:
+    """Theorem-2 legality of fusing at ``path``, by the inverse-of-
+    distribution argument: the fusion is legal iff distributing the
+    fused loop back apart is legal on the *fused* program's dependence
+    matrix.  Emits a ``legality`` accept/reject event either way.
+    """
+    a = _loop_at(program, path)
+    split = len(a.body)
+    if fused is None:
+        fused = fuse(program, path)
+    if fused_deps is None:
+        fused_deps = analyze_dependences(fused)
+    ok = distribution_legal(fused_deps, path, split)
+    site = ".".join(map(str, path)) or "root"
+    if ok:
+        event(
+            "legality", "accept",
+            "fusion admitted: distributing the fused loop back is legal",
+            site=site, loop=a.var, split=split,
+        )
+    else:
+        counter("legality.fusion_rejections")
+        event(
+            "legality", "reject",
+            "fusion would reverse a dependence between the fused bodies: "
+            "the inverse distribution's projection onto the outer loops is "
+            "not lexicographically positive (Theorem 2)",
+            site=site, loop=a.var, split=split,
+        )
+    return ok

@@ -16,12 +16,19 @@ measured backends reward:
   NumPy slice assignments when the program is lowered with
   ``vectorize=True`` (counted by the lowering itself).
 
+* **tile footprint** — an *analytic* working-set estimate at the
+  user's **real** parameter sizes (:func:`footprint_lines`): the reuse
+  profile above runs at model sizes where every schedule's working set
+  fits any real cache, so it cannot see why blocking pays at N=1024 but
+  not N=256.  The footprint term can — it is the one term evaluated at
+  real scale.
+
 The combined score is dominated by locality, with vectorized and DOALL
-loop fractions as tie-breakers; weights are module constants so the
-benchmarks can ablate them.  ``score_candidate`` must only ever be
-called on candidates that already passed the Theorem-2 legality test —
-code generation re-asserts legality, so an illegal candidate raises
-before a single statement instance runs.
+loop fractions and the footprint term as tie-breakers; weights are
+module constants so the benchmarks can ablate them.  ``score_candidate``
+must only ever be called on candidates that already passed the
+Theorem-2 legality test — code generation re-asserts legality, so an
+illegal candidate raises before a single statement instance runs.
 """
 
 from __future__ import annotations
@@ -35,12 +42,16 @@ from repro.backend.lower import lower_program
 from repro.codegen.generate import generate_code
 from repro.codegen.simplify import simplify_program
 from repro.interp.executor import execute
-from repro.ir.ast import Program
+from repro.ir.ast import Guard, Loop, Node, Program, Statement
+from repro.ir.expr import ArrayRef
 from repro.obs import counter, event, span
 from repro.tune.space import Candidate
 from repro.util.errors import ReproError
 
-__all__ = ["CostReport", "score_candidate", "model_params_for", "realize"]
+__all__ = [
+    "CostReport", "score_candidate", "model_params_for", "realize",
+    "footprint_lines",
+]
 
 
 def realize(candidate: Candidate) -> Program:
@@ -70,10 +81,30 @@ MODEL_PARAM = 16
 #: order, not footprint, decides the score.
 CAPACITY_LINES = 16
 
-#: Score weights: locality leads, vectorization and DOALL break ties.
+#: Model-size ceiling for strip-mined candidates: MODEL_PARAM would make
+#: every tile loop a singleton (a 16-wide tile covers all of N=16), so
+#: tiled contexts are modelled at two tiles' worth of iterations, capped
+#: to keep the trace volume scorable (a tiled model trace at 32 is
+#: already ~8x the untiled one).
+TILED_MODEL_CAP = 32
+
+#: Score weights: locality leads; vectorization, DOALL and the
+#: real-size footprint term break ties.
 W_LOCALITY = 1.0
 W_VECTORIZED = 0.15
 W_DOALL = 0.05
+W_FOOTPRINT = 0.2
+
+#: Cache capacity (64-byte lines) the footprint term scores against —
+#: roughly an L1d of doubles.  A window footprint far above this means
+#: the inner loops cycle data out of cache between reuses.
+FOOTPRINT_CAP_LINES = 512
+
+#: Doubles per cache line for the footprint estimate.
+LINE_DOUBLES = 8
+
+#: Real-size default when the caller binds no parameter value.
+FOOTPRINT_PARAM_DEFAULT = 96
 
 
 @dataclass(frozen=True)
@@ -87,6 +118,7 @@ class CostReport:
     doall_loops: int
     total_loops: int
     instances: int
+    footprint_lines: float = -1.0  # -1 when the estimate was unavailable
 
     def features(self) -> dict:
         return {
@@ -97,7 +129,99 @@ class CostReport:
             "doall_loops": self.doall_loops,
             "total_loops": self.total_loops,
             "instances": self.instances,
+            "footprint_lines": self.footprint_lines,
         }
+
+
+def footprint_lines(
+    program: Program, params: Mapping[str, int]
+) -> float | None:
+    """Estimated working set, in cache lines, of the innermost two loop
+    levels of the busiest nest, at the given (real) parameter sizes.
+
+    For each innermost loop, the estimate takes the window of the
+    deepest two loop levels and counts the distinct elements each array
+    reference touches while the window runs (product of the window
+    loops' trip counts the reference's subscripts depend on), with outer
+    loop variables frozen at their midpoints.  References whose last
+    subscript varies with the window scan lines contiguously and are
+    charged ``elements / LINE_DOUBLES``; others are charged a full line
+    per element.  The program-level figure is the worst window — the
+    nest that evicts its own reuse first.  Returns ``None`` when some
+    bound cannot be evaluated numerically.
+    """
+
+    def trip_count(loop: Loop, env: dict[str, int]) -> int:
+        lo = loop.lower.eval(env)
+        hi = loop.upper.eval(env)
+        if loop.step > 0:
+            return max(0, (hi - lo) // loop.step + 1)
+        return max(0, (lo - hi) // -loop.step + 1)
+
+    def window_lines(chain: list[tuple[Loop, int]], body: tuple[Node, ...]) -> float:
+        window = chain[-2:]
+        wvars = {loop.var for loop, _ in window}
+        refs: dict[tuple, tuple[ArrayRef, int]] = {}
+        elements = {loop.var: count for loop, count in window}
+
+        def collect(nodes) -> None:
+            for node in nodes:
+                if isinstance(node, Statement):
+                    seen = list(node.reads())
+                    if isinstance(node.lhs, ArrayRef):
+                        seen.append(node.lhs)
+                    for r in seen:
+                        key = (r.array, tuple(str(s) for s in r.subscripts))
+                        if key in refs:
+                            continue
+                        n = 1
+                        deps = frozenset()
+                        for s in r.subscripts:
+                            deps |= s.variables()
+                        for v in wvars & deps:
+                            n *= elements[v]
+                        refs[key] = (r, n)
+                elif isinstance(node, Guard):
+                    collect(node.body)
+
+        collect(body)
+        total = 0.0
+        for r, n in refs.values():
+            last_vars = r.subscripts[-1].variables() if r.subscripts else frozenset()
+            if last_vars & wvars:
+                total += n / LINE_DOUBLES
+            else:
+                total += float(n)
+        return total
+
+    worst = 0.0
+
+    def walk(nodes, env: dict[str, int], chain: list[tuple[Loop, int]]) -> None:
+        nonlocal worst
+        for node in nodes:
+            if isinstance(node, Loop):
+                count = trip_count(node, env)
+                inner = dict(env)
+                lo = node.lower.eval(env)
+                hi = node.upper.eval(env)
+                inner[node.var] = (lo + hi) // 2
+                sub_loops = any(isinstance(c, Loop) for c in node.body) or any(
+                    isinstance(c, Guard) and any(isinstance(g, Loop) for g in c.body)
+                    for c in node.body
+                )
+                if not sub_loops and count > 0:
+                    worst = max(
+                        worst, window_lines(chain + [(node, count)], node.body)
+                    )
+                walk(node.body, inner, chain + [(node, count)])
+            elif isinstance(node, Guard):
+                walk(node.body, env, chain)
+
+    try:
+        walk(program.body, dict(params), [])
+    except (ReproError, KeyError, ZeroDivisionError, OverflowError):
+        return None
+    return worst
 
 
 def model_params_for(
@@ -129,10 +253,23 @@ def score_candidate(
     ctx = candidate.context
     with span("tune.score", candidate=candidate.description):
         program = realized if realized is not None else realize(candidate)
-        mparams = model_params_for(ctx.program.params, params)
+        cap = MODEL_PARAM
+        if ctx.tile is not None:
+            cap = min(2 * ctx.tile[1], TILED_MODEL_CAP)
+        mparams = model_params_for(ctx.program.params, params, cap=cap)
         store, trace = execute(program, mparams, trace=True)
         dists = reuse_distances(trace, store)
         locality = locality_score(dists, capacity_lines)
+
+        real_params = {
+            p: int((params or {}).get(p, FOOTPRINT_PARAM_DEFAULT))
+            for p in ctx.program.params
+        }
+        footprint = footprint_lines(program, real_params)
+        if footprint is None:
+            fterm = 0.0
+        else:
+            fterm = FOOTPRINT_CAP_LINES / (FOOTPRINT_CAP_LINES + footprint)
 
         marks = parallel_loops(ctx.layout, candidate.matrix, ctx.deps)
         total = max(1, len(marks))
@@ -150,6 +287,7 @@ def score_candidate(
             W_LOCALITY * locality
             + W_VECTORIZED * (vectorized / total)
             + W_DOALL * (doall / total)
+            + W_FOOTPRINT * fterm
         )
     counter("tune.candidates.scored")
     event(
@@ -160,6 +298,7 @@ def score_candidate(
         locality=f"{locality:.4f}",
         vectorized_loops=vectorized,
         doall_loops=doall,
+        footprint_lines=-1.0 if footprint is None else round(footprint, 1),
     )
     return CostReport(
         score=score,
@@ -169,4 +308,5 @@ def score_candidate(
         doall_loops=doall,
         total_loops=len(marks),
         instances=len(trace),
+        footprint_lines=-1.0 if footprint is None else footprint,
     )

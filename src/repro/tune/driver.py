@@ -33,7 +33,7 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.backend.runtime import MIN_TIMING_REPS, run as backend_run, time_backend
 from repro.codegen.generate import generate_code
@@ -50,7 +50,8 @@ from repro.obs import counter, event, histogram, span, timed
 from repro.tune.cost import CostReport, realize, score_candidate
 from repro.tune.ranking import rank_report
 from repro.tune.space import (
-    Candidate, compose_candidate, elementary_candidates, enumerate_candidates,
+    Candidate, cap_candidates, compose_candidate, elementary_candidates,
+    enumerate_candidates, resolve_max_candidates,
 )
 from repro.tune.store import TuneStore
 from repro.util.errors import ReproError, TuneError
@@ -75,6 +76,30 @@ DEFAULT_PARAM = 96
 #: stage in :func:`tune`); each round contributes one median-of-
 #: ``repeat`` sample per schedule.
 MEASURE_ROUNDS = 3
+
+#: A schedule whose first-round sample exceeds the round's fastest by
+#: this factor is excluded from later rounds (its single sample stands):
+#: at real sizes a bad order can cost 30x the good one, and re-timing it
+#: twice more would dominate tune wall-clock without changing its rank.
+SLOW_DROP_FACTOR = 8.0
+
+#: Measured-seconds band treated as a tie: within it the winner is the
+#: candidate the static model ranks highest, not the one that happened
+#: to sample fastest.  Keeps the reported winner stable across runs on
+#: schedules the machine cannot distinguish.
+TIE_BAND = 1.03
+
+#: Extra beam/measurement slots reserved for the best *blocked* (tiled
+#: two-row) candidates when tiling is enabled.  The locality model runs
+#: at model sizes where every working set fits cache, so blocked
+#: schedules — whose payoff only exists at real sizes — would otherwise
+#: never survive static ranking to be measured at all.
+BLOCKED_SLOTS = 2
+
+#: Parameter cap for the reference cross-check in ``cross_check="model"``
+#: mode (full-size interpretation is infeasible past N≈128: the
+#: reference interpreter visits every statement instance).
+CROSS_CHECK_CAP = 64
 
 
 @dataclass
@@ -188,6 +213,23 @@ def _rank_key(item: tuple[Candidate, CostReport]):
     return (-cost.score, cand.description)
 
 
+def _is_blocked(cand: Candidate) -> bool:
+    return cand.context.is_tiled and "blocked" in cand.kind
+
+
+def _stratified(
+    ranked: list[tuple[Candidate, CostReport]], width: int, blocked_slots: int
+) -> list[tuple[Candidate, CostReport]]:
+    """The top ``width`` candidates, plus up to ``blocked_slots`` of the
+    best blocked candidates when none made the cut on score alone."""
+    head = ranked[:width]
+    if blocked_slots and not any(_is_blocked(c) for c, _ in head):
+        head = head + [
+            item for item in ranked[width:] if _is_blocked(item[0])
+        ][:blocked_slots]
+    return head
+
+
 @timed("tune.tune", attr_fn=lambda program, *a, **kw: {"program": program.name})
 def tune(
     program: Program,
@@ -203,6 +245,9 @@ def tune(
     use_cache: bool = True,
     force: bool = False,
     include_structural: bool = True,
+    tile_sizes: Sequence[int] | None = None,
+    max_candidates: int | None = None,
+    cross_check: str = "full",
 ) -> TuneResult:
     """Find the fastest legal schedule of ``program`` at ``params``.
 
@@ -221,7 +266,20 @@ def tune(
     one per CPU); ranking stays deterministic.  ``force`` re-searches
     even on a cache hit (and overwrites the entry); ``use_cache=False``
     skips the store entirely.
+
+    ``tile_sizes`` enables strip-mined variants (``--tile`` passes the
+    default ladder); when set, the beam and the measured set reserve
+    :data:`BLOCKED_SLOTS` for the best blocked candidates (see
+    :func:`_stratified`).  ``max_candidates`` caps every enumeration
+    level (default: ``REPRO_TUNE_MAX`` or 96), emitting a
+    ``tune/truncated`` event when the cap bites.  ``cross_check`` is
+    ``"full"`` (reference interpreter at the real sizes) or ``"model"``
+    (reference at sizes capped to :data:`CROSS_CHECK_CAP` — required
+    past N≈128, where full interpretation is infeasible; timing still
+    happens at the real sizes).
     """
+    if cross_check not in ("full", "model"):
+        raise TuneError(f"cross_check must be 'full' or 'model', got {cross_check!r}")
     params = dict(params) if params else {p: DEFAULT_PARAM for p in program.params}
     params = {k: int(v) for k, v in params.items()}
     key = TuneStore.key_for(program, params)
@@ -235,9 +293,14 @@ def tune(
     counter("tune.cache.miss")
 
     audit: list[dict] = []
+    cap = resolve_max_candidates(max_candidates)
+    blocked_slots = BLOCKED_SLOTS if tile_sizes else 0
     with span("tune.search", program=program.name, backend=backend):
         candidates = enumerate_candidates(
-            program, include_structural=include_structural
+            program,
+            include_structural=include_structural,
+            tile_sizes=tile_sizes,
+            max_candidates=max_candidates,
         )
         enumerated = len(candidates)
         counter("tune.candidates.enumerated", enumerated)
@@ -252,14 +315,26 @@ def tune(
             if status == "scored":
                 pool[cand.canonical_key()] = (cand, cost)
 
-        beam = sorted(pool.values(), key=_rank_key)[:beam_width]
+        beam = _stratified(
+            sorted(pool.values(), key=_rank_key), beam_width, blocked_slots
+        )
         elem_cache: dict[int, list[Candidate]] = {}
         for _level in range(1, max(1, depth)):
             extensions: list[Candidate] = []
             for cand, _cost in beam:
                 ctx_id = id(cand.context)
                 if ctx_id not in elem_cache:
-                    elem_cache[ctx_id] = elementary_candidates(cand.context)
+                    elems = elementary_candidates(cand.context)
+                    if cand.context.is_tiled:
+                        # blocking is strip-mine + interchange; skews and
+                        # reversals of a strip-mined nest only multiply
+                        # the (already larger) space without moving the
+                        # tile loop, so tiled contexts extend by loop
+                        # interchange and statement reorder alone
+                        elems = [
+                            s for s in elems if s.kind in ("permute", "reorder")
+                        ]
+                    elem_cache[ctx_id] = elems
                 for step in elem_cache[ctx_id]:
                     ext = compose_candidate(cand, step)
                     if ext.canonical_key() not in pool:
@@ -268,25 +343,33 @@ def tune(
             fresh: dict[tuple, Candidate] = {}
             for ext in extensions:
                 fresh.setdefault(ext.canonical_key(), ext)
+            level_cands = cap_candidates(
+                list(fresh.values()), cap, f"beam-level-{_level}"
+            )
             outcomes = map_in_threads(
                 lambda c: _assess(c, params, audit),
-                list(fresh.values()),
+                level_cands,
                 jobs=resolve_jobs(jobs),
             )
-            enumerated += len(fresh)
-            counter("tune.candidates.enumerated", len(fresh))
+            enumerated += len(level_cands)
+            counter("tune.candidates.enumerated", len(level_cands))
             pruned += sum(1 for s, *_ in outcomes if s == "pruned")
             for status, cand, cost in outcomes:
                 if status == "scored":
                     pool[cand.canonical_key()] = (cand, cost)
-            beam = sorted(pool.values(), key=_rank_key)[:beam_width]
+            beam = _stratified(
+                sorted(pool.values(), key=_rank_key), beam_width, blocked_slots
+            )
 
-        survivors = sorted(pool.values(), key=_rank_key)[: max(1, top_k)]
-        for rank, (cand, cost) in enumerate(sorted(pool.values(), key=_rank_key), 1):
+        ranked = sorted(pool.values(), key=_rank_key)
+        survivors = _stratified(ranked, max(1, top_k), blocked_slots)
+        cut = {c.canonical_key() for c, _ in survivors}
+        for rank, (cand, cost) in enumerate(ranked, 1):
+            selected = cand.canonical_key() in cut
             event(
-                "tune", "accept" if rank <= max(1, top_k) else "info",
+                "tune", "accept" if selected else "info",
                 "survived beam search; selected for measurement"
-                if rank <= max(1, top_k)
+                if selected
                 else "scored but below the measurement cut",
                 candidate=cand.description,
                 score=f"{cost.score:.6f}",
@@ -308,7 +391,17 @@ def tune(
         base = ArrayStore(program, params).snapshot()
         for arr in base.values():
             arr.setflags(write=False)
-        ref_out = execute(program, params, arrays=base)[0].snapshot()
+        if cross_check == "model":
+            check_params = {k: min(v, CROSS_CHECK_CAP) for k, v in params.items()}
+        else:
+            check_params = params
+        if check_params == params:
+            check_base = base
+        else:
+            check_base = ArrayStore(program, check_params).snapshot()
+            for arr in check_base.values():
+                arr.setflags(write=False)
+        ref_out = execute(program, check_params, arrays=check_base)[0].snapshot()
 
         audit.append(_audit_record(root_identity, "measure"))
         baseline_row = TunedRow(
@@ -338,10 +431,11 @@ def tune(
 
         samples: dict[int, list[float]] = {id(r): [] for r, _ in sched}
         broken: set[int] = set()
+        slow: set[int] = set()
         for rnd in range(MEASURE_ROUNDS):
             shift = rnd % len(sched)
             for row, prog_ in sched[shift:] + sched[:shift]:
-                if id(row) in broken:
+                if id(row) in broken or id(row) in slow:
                     continue
                 try:
                     with span("tune.measure.candidate", candidate=row.description):
@@ -355,6 +449,26 @@ def tune(
                     counter("tune.measure_errors")
                     row.error = str(exc)
                     broken.add(id(row))
+            if rnd == 0:
+                # drop far-off-the-pace schedules from later rounds: one
+                # sample already ranks them, and re-timing a 30x-slower
+                # order twice more would dominate tune wall-clock
+                timed_rows = [id(r) for r, _ in sched if samples[id(r)]]
+                if timed_rows:
+                    fastest = min(samples[i][0] for i in timed_rows)
+                    for row, _prog in sched:
+                        got = samples[id(row)]
+                        if got and got[0] > SLOW_DROP_FACTOR * fastest:
+                            slow.add(id(row))
+                            counter("tune.measure.slow_dropped")
+                            event(
+                                "tune", "info",
+                                "excluded from later timing rounds "
+                                f"(>{SLOW_DROP_FACTOR:g}x the round's fastest); "
+                                "its first-round sample stands",
+                                candidate=row.description,
+                                seconds=f"{got[0]:.6g}",
+                            )
 
         for row, prog_ in sched:
             if id(row) in broken:
@@ -372,7 +486,7 @@ def tune(
             )
             try:
                 out = backend_run(
-                    prog_, params, arrays=base, backend=backend
+                    prog_, check_params, arrays=check_base, backend=backend
                 ).snapshot()
                 row.ok = outputs_close(ref_out, out)
             except ReproError as exc:
@@ -385,7 +499,7 @@ def tune(
 
     baseline_seconds = baseline_row.seconds
     measurable = [r for r in rows if r.seconds is not None and r.ok]
-    best = min(measurable, key=lambda r: (r.seconds, r.description), default=None)
+    best = _pick_winner(measurable, baseline_seconds)
 
     result = TuneResult(
         program=program,
@@ -417,6 +531,40 @@ def tune(
         result.cache_path = str(path)
         result.entry = entry
     return result
+
+
+def _pick_winner(
+    measurable: list[TunedRow], baseline_seconds: float | None
+) -> TunedRow | None:
+    """The fastest measured row, with two refinements that keep the
+    driver's invariants and its reported winner stable:
+
+    * a row is only eligible when it is **no slower than the measured
+      default order** — the winner is at worst the program the user
+      already had;
+    * rows within :data:`TIE_BAND` of the fastest are a statistical tie,
+      resolved by the static cost score (then by seconds, then by
+      description for determinism) rather than by which one happened to
+      sample fastest this run.
+    """
+    if not measurable:
+        return None
+    eligible = [
+        r for r in measurable
+        if baseline_seconds is None or r.seconds <= baseline_seconds
+    ]
+    if not eligible:  # baseline itself failed cross-check / timing
+        eligible = measurable
+    fastest = min(r.seconds for r in eligible)
+    band = [r for r in eligible if r.seconds <= fastest * TIE_BAND]
+    return max(
+        band,
+        key=lambda r: (
+            r.score if r.score is not None else float("-inf"),
+            -r.seconds,
+            r.description,
+        ),
+    )
 
 
 # -- persistence glue -------------------------------------------------------

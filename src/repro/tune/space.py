@@ -31,6 +31,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import os
+
 from repro.completion.complete import complete_transformation
 from repro.dependence.analyze import analyze_dependences
 from repro.dependence.depvector import DependenceMatrix
@@ -38,18 +40,25 @@ from repro.instance.layout import Layout, LoopCoord, Path
 from repro.ir.ast import Loop, Node, Program
 from repro.ir.printer import program_to_str
 from repro.linalg.intmat import IntMatrix
-from repro.obs import counter, span
-from repro.transform.distribution import distribute, distribution_legal, jam
+from repro.obs import counter, event, span
+from repro.transform.distribution import (
+    _loop_at, distribute, distribution_legal, jam,
+)
 from repro.transform.matrices import (
     permutation, reversal, skew, statement_reorder,
 )
-from repro.util.errors import CompletionError, ReproError
+from repro.transform.tiling import (
+    TILE_LADDER, fuse, fuse_legal, fuse_site_offset, strip_mine,
+)
+from repro.util.errors import CompletionError, ReproError, TransformError
 
 __all__ = [
     "Context", "Candidate", "make_context", "base_contexts",
-    "identity_candidate", "lead_candidate", "lead_candidates",
-    "elementary_candidates", "enumerate_candidates", "compose_candidate",
-    "dedupe", "skew_factors_from_deps", "loop_paths",
+    "tiled_contexts", "identity_candidate", "lead_candidate",
+    "lead_candidates", "blocked_lead_candidates", "elementary_candidates",
+    "enumerate_candidates", "compose_candidate", "dedupe",
+    "skew_factors_from_deps", "loop_paths", "cap_candidates",
+    "resolve_max_candidates",
 ]
 
 #: Upper bound on |skew factor| accepted from dependence entries.
@@ -59,19 +68,69 @@ SKEW_FACTOR_BOUND = 2
 #: permutations; beyond that the space explodes factorially).
 MAX_REORDER_CHILDREN = 3
 
-#: Cap on distribution/jamming variant contexts per enumeration.
+#: Cap on distribution/jamming/fusion variant contexts per enumeration.
 MAX_STRUCTURAL_VARIANTS = 4
+
+#: Cap on strip-mined (tiled) variant contexts per enumeration — one
+#: context per (loop, tile size) pair survives up to this bound.
+MAX_TILED_VARIANTS = 8
+
+#: Default overall candidate cap per enumeration level; overridable by
+#: ``--max-candidates`` / the REPRO_TUNE_MAX environment variable.
+#: Tiling multiplies the context count by the ladder, so an unbounded
+#: enumeration could silently blow up tune wall-clock.
+DEFAULT_MAX_CANDIDATES = 96
+
+#: Environment override for the candidate cap.
+MAX_CANDIDATES_ENV = "REPRO_TUNE_MAX"
+
+
+def resolve_max_candidates(max_candidates: int | None = None) -> int:
+    """The effective candidate cap: the explicit argument, else the
+    ``REPRO_TUNE_MAX`` environment variable, else the default."""
+    if max_candidates is not None:
+        return max(1, int(max_candidates))
+    env = os.environ.get(MAX_CANDIDATES_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_MAX_CANDIDATES
+
+
+def cap_candidates(candidates: list["Candidate"], cap: int, stage: str) -> list["Candidate"]:
+    """Truncate an (ordered, deduplicated) candidate list to ``cap``,
+    emitting the ``kind=tune, verdict=truncated`` decision event with the
+    dropped count so the blowup is log-visible (``repro explain``)."""
+    if len(candidates) <= cap:
+        return candidates
+    dropped = len(candidates) - cap
+    counter("tune.candidates.truncated", dropped)
+    event(
+        "tune", "truncated",
+        f"candidate cap reached at the {stage} stage; raise --max-candidates "
+        f"or {MAX_CANDIDATES_ENV} to search the dropped tail",
+        stage=stage, cap=cap, enumerated=len(candidates), dropped=dropped,
+    )
+    return candidates[:cap]
 
 
 @dataclass(eq=False)
 class Context:
     """One program the tuner searches schedules *of*: the original, or a
-    semantically equivalent distribution/jamming variant."""
+    semantically equivalent structural variant (distribution, jamming,
+    fusion, strip-mining)."""
 
     program: Program
     layout: Layout
     deps: DependenceMatrix
     origin: tuple[str, ...] = ()  # structural steps that produced it
+    tile: tuple[str, int] | None = None  # (tile loop var, size) for strip-mined variants
+
+    @property
+    def is_tiled(self) -> bool:
+        return self.tile is not None
 
 
 @dataclass(eq=False)
@@ -106,11 +165,12 @@ def make_context(
     *,
     layout: Layout | None = None,
     origin: tuple[str, ...] = (),
+    tile: tuple[str, int] | None = None,
 ) -> Context:
     layout = layout or Layout(program)
     if deps is None:
         deps = analyze_dependences(program, layout=layout)
-    return Context(program, layout, deps, origin)
+    return Context(program, layout, deps, origin, tile)
 
 
 def loop_paths(program: Program) -> list[Path]:
@@ -186,7 +246,93 @@ def base_contexts(
                 continue
             contexts.append(ctx)
             counter("tune.space.jams")
+        # fusion: distribution contexts run in reverse, generalized to
+        # headers matching up to a constant offset (tiling.fuse); exact
+        # jam sites were handled above, so skip them here
+        jam_paths = {p for p, _ in _jam_sites(program)}
+        for path in _fuse_sites(program):
+            if path in jam_paths:
+                continue
+            if len(contexts) - 1 >= max_variants:
+                break
+            try:
+                fused = fuse(program, path)
+                fdeps = analyze_dependences(fused)
+                if not fuse_legal(program, path, fused=fused, fused_deps=fdeps):
+                    counter("tune.space.structural_rejected")
+                    continue
+                ctx = make_context(
+                    fused, fdeps, origin=(f"fuse({_fmt_path(path)})",)
+                )
+            except ReproError:
+                counter("tune.space.structural_rejected")
+                continue
+            contexts.append(ctx)
+            counter("tune.space.fusions")
     return contexts
+
+
+def _fuse_sites(program: Program) -> list[Path]:
+    """Paths whose loop can fuse with its next sibling: adjacent
+    unit-step loops whose bounds differ by one constant offset (the
+    generalization of :func:`_jam_sites` that tolerates different loop
+    variables and shifted ranges)."""
+    sites: list[Path] = []
+
+    def walk(children: Sequence[Node], path: Path) -> None:
+        for j, child in enumerate(children):
+            if not isinstance(child, Loop):
+                continue
+            cpath = path + (j,)
+            nxt = children[j + 1] if j + 1 < len(children) else None
+            if nxt is not None and fuse_site_offset(child, nxt) is not None:
+                sites.append(cpath)
+            walk(child.body, cpath)
+
+    walk(program.body, ())
+    return sites
+
+
+def tiled_contexts(
+    program: Program,
+    *,
+    tile_sizes: Sequence[int] = TILE_LADDER,
+    max_variants: int = MAX_TILED_VARIANTS,
+) -> list[Context]:
+    """Strip-mined variant contexts: one per (loop, tile size) pair, in
+    preorder loop order with the ladder innermost, capped at
+    ``max_variants``.
+
+    Strip-mining is always legal (an order-preserving bijection of the
+    iteration space), so there is no admission test here — only loops
+    the rewrite cannot express (non-unit step, already-divided bounds)
+    are skipped.  The *blocked* orders of each variant go through the
+    ordinary Theorem-2 projection test like any other schedule.
+    """
+    out: list[Context] = []
+    with span("tune.space.tiled", program=program.name):
+        for path in loop_paths(program):
+            for size in tile_sizes:
+                if len(out) >= max_variants:
+                    return out
+                try:
+                    variant = strip_mine(program, path, size)
+                except TransformError:
+                    counter("tune.space.tiles_rejected")
+                    break  # same loop fails for every size
+                var = _loop_at(program, path).var
+                try:
+                    ctx = make_context(
+                        variant,
+                        origin=(f"tile({var},{size})",),
+                        tile=(_loop_at(variant, path).var, size),
+                    )
+                except ReproError:
+                    counter("tune.space.tiles_rejected")
+                    continue
+                out.append(ctx)
+                counter("tune.space.tiles")
+    return out
 
 
 def _jam_sites(program: Program) -> list[tuple[Path, int]]:
@@ -248,6 +394,53 @@ def lead_candidates(ctx: Context) -> list[Candidate]:
         cand = lead_candidate(ctx, coord)
         if cand is not None:
             out.append(cand)
+    return out
+
+
+def blocked_lead_candidates(ctx: Context) -> list[Candidate]:
+    """Blocked orders of a strip-mined context: complete the two-row
+    partial "tile loop outermost, then coordinate X" for every other
+    loop coordinate X.
+
+    A single-row lead on the *tile* coordinate is usually completed with
+    the point loop immediately inside it — recovering the original order
+    plus tile overhead.  Pinning the second-outermost coordinate too is
+    what actually produces blocked schedules (e.g. ``(IT, K, I, J)`` for
+    a strip-mined ``(I, J, K)`` matmul-shaped nest); each completion
+    still passes through the Theorem-2 audit in the driver.
+    """
+    if ctx.tile is None:
+        return []
+    tvar = ctx.tile[0]
+    layout = ctx.layout
+    n = layout.dimension
+    coords = layout.loop_coords()
+    tile_coord = next((c for c in coords if c.var == tvar), None)
+    if tile_coord is None:
+        return []
+    tpos = layout.index(tile_coord)
+    out: list[Candidate] = []
+    for second in coords:
+        if second is tile_coord:
+            continue
+        spos = layout.index(second)
+        partial = [
+            [1 if j == tpos else 0 for j in range(n)],
+            [1 if j == spos else 0 for j in range(n)],
+        ]
+        try:
+            completed = complete_transformation(
+                ctx.program, partial, ctx.deps, layout=layout
+            )
+        except (CompletionError, ReproError):
+            counter("tune.space.completions_failed")
+            continue
+        out.append(
+            Candidate(
+                ctx, completed.matrix,
+                (f"lead({tvar},{second.var})",), "blocked", lead=tvar,
+            )
+        )
     return out
 
 
@@ -387,13 +580,19 @@ def enumerate_candidates(
     layout: Layout | None = None,
     include_structural: bool = True,
     max_variants: int = MAX_STRUCTURAL_VARIANTS,
+    tile_sizes: Sequence[int] | None = None,
+    max_tiled_variants: int = MAX_TILED_VARIANTS,
+    max_candidates: int | None = None,
 ) -> list[Candidate]:
     """The full level-1 candidate set: the default order, every
     completed loop order, every elementary transformation of the
-    original program, plus loop orders of each legal structural
-    (distribution/jamming) variant.  Deduplicated; legality is *not*
-    checked here — the driver prunes with the Theorem-2 test before
-    scoring or executing anything."""
+    original program, loop orders of each legal structural
+    (distribution/jamming/fusion) variant, and — when ``tile_sizes`` is
+    given — identity, loop orders, and blocked two-row orders of every
+    strip-mined variant.  Deduplicated and capped at
+    :func:`resolve_max_candidates`; legality is *not* checked here — the
+    driver prunes with the Theorem-2 test before scoring or executing
+    anything."""
     if include_structural:
         contexts = base_contexts(
             program, deps, layout=layout, max_variants=max_variants
@@ -406,6 +605,15 @@ def enumerate_candidates(
         out.extend(lead_candidates(ctx))
         if i == 0:
             out.extend(elementary_candidates(ctx))
-    out = dedupe(out)
+    if tile_sizes:
+        for ctx in tiled_contexts(
+            program, tile_sizes=tile_sizes, max_variants=max_tiled_variants
+        ):
+            out.append(identity_candidate(ctx))
+            out.extend(lead_candidates(ctx))
+            out.extend(blocked_lead_candidates(ctx))
+    out = cap_candidates(
+        dedupe(out), resolve_max_candidates(max_candidates), "enumerate"
+    )
     counter("tune.space.enumerated", len(out))
     return out

@@ -12,7 +12,7 @@ from repro.fuzz.sample import SHAPE_WEIGHTS, sample_spec
 from repro.instance import Layout
 from repro.ir import parse_program
 from repro.kernels import random_program
-from repro.transform.spec import parse_spec, spec_ops
+from repro.transform.spec import STRUCTURAL_OPS, parse_schedule, parse_spec, spec_ops
 
 
 def _src_path() -> str:
@@ -71,10 +71,25 @@ class TestCoverage:
             program = parse_program(case.program_src, "t")
             layout = Layout(program)
             if case.kind == "spec":
-                parse_spec(layout, case.spec)  # must not raise
+                parse_schedule(program, case.spec)  # must not raise
                 assert 1 <= len(spec_ops(case.spec)) <= 3
             else:
                 assert case.lead in [c.var for c in layout.loop_coords()]
+
+    def test_structural_ops_appear_in_stream(self):
+        """tile and fuse must both show up in a modest stream prefix."""
+        seen = set()
+        for i in range(300):
+            case = sample_case(5, i)
+            if case.kind != "spec":
+                continue
+            for op in spec_ops(case.spec):
+                name = op.split("(", 1)[0]
+                if name in STRUCTURAL_OPS:
+                    seen.add(name)
+            if seen == set(STRUCTURAL_OPS):
+                break
+        assert seen == {"tile", "fuse"}
 
     def test_sample_spec_on_single_loop_program(self):
         program = random_program(5, max_depth=1)

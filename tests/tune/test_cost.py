@@ -56,7 +56,7 @@ class TestScoring:
         feats = rep.features()
         assert set(feats) == {
             "score", "locality", "vectorized_loops", "fallback_loops",
-            "doall_loops", "total_loops", "instances",
+            "doall_loops", "total_loops", "instances", "footprint_lines",
         }
         assert 0.0 <= rep.locality <= 1.0
         assert rep.instances > 0
