@@ -45,7 +45,15 @@ winner must beat the *untuned default order* by at least
 The section is opt-in at collection time (``REPRO_BENCH_SCALING=1``),
 so a result without it passes this gate vacuously.
 
-A sixth, opt-in gate (``--trend BENCH_history.jsonl``) checks the fresh
+A sixth gate reads the fresh ``wavefront`` table (the E19 parallel
+wavefront comparison, see benchmarks/bench_wavefront.py): on the skewed
+stencil rows flagged ``gate``, the ``source-par`` backend must beat the
+scalar ``source`` backend by at least ``WAVEFRONT_MIN_SPEEDUP`` (1.2x)
+with bit-exact outputs.  Like the scaling section it is opt-in at
+collection time (``REPRO_BENCH_WAVEFRONT=1`` or
+``REPRO_BENCH_SCALING=1``), so a result without it passes vacuously.
+
+A seventh, opt-in gate (``--trend BENCH_history.jsonl``) checks the fresh
 run's backend/tune metrics against the *rolling median* of prior ledger
 snapshots (see benchmarks/history.py): any metric more than 25% worse
 than its trend fails.  Point-to-point factor gates miss slow drift — a
@@ -66,13 +74,14 @@ from pathlib import Path
 __all__ = [
     "Comparison", "compare_results", "backend_gate", "backend_table",
     "tune_gate", "tune_table", "scaling_gate", "scaling_table",
-    "trend_gate", "main",
+    "wavefront_gate", "wavefront_table", "trend_gate", "main",
 ]
 
 DEFAULT_FACTOR = 2.0
 DEFAULT_MIN_NS = 1_000_000  # ignore sub-millisecond timings entirely
 TUNE_MIN_SPEEDUP = 0.95  # tuned-vs-default floor; slack for timer noise only
 SCALING_MIN_SPEEDUP = 1.2  # E18 floor: tuning must actually win, not tie
+WAVEFRONT_MIN_SPEEDUP = 1.2  # E19 floor: source-par must beat scalar source
 
 
 @dataclass(frozen=True)
@@ -136,7 +145,15 @@ def backend_gate(fresh: dict) -> list[str]:
     failures = []
     for row in fresh.get("backend", []):
         name = f"{row.get('kernel')}/{row.get('backend')}"
-        if row.get("backend") not in ("source", "source-vec"):
+        if row.get("backend") == "reference":
+            # Baseline rows carry ok=true explicitly; anything else is
+            # an error row the gate must not silently skip.
+            if row.get("error"):
+                failures.append(f"{name}: baseline error: {row['error']}")
+            elif row.get("ok") is not True:
+                failures.append(f"{name}: baseline row not marked ok")
+            continue
+        if row.get("backend") not in ("source", "source-vec", "source-par"):
             continue
         if row.get("error"):
             failures.append(f"{name}: backend error: {row['error']}")
@@ -263,6 +280,62 @@ def scaling_table(fresh: dict) -> str:
     return "\n".join(lines)
 
 
+def wavefront_gate(fresh: dict) -> list[str]:
+    """Absolute checks on the E19 wavefront table; returns failures.
+
+    Every row must be bit-exact (``ok``); rows flagged ``gate`` must
+    additionally clear ``WAVEFRONT_MIN_SPEEDUP`` over the scalar
+    ``source`` backend.  Ungated rows (e.g. cholesky, whose fronts are
+    too narrow to amortise dispatch) appear in the table only.
+    """
+    failures = []
+    for row in fresh.get("wavefront", []):
+        name = f"{row.get('kernel')}@N={row.get('n')}"
+        if row.get("error"):
+            failures.append(f"{name}: wavefront bench error: {row['error']}")
+            continue
+        if row.get("ok") is not True:
+            failures.append(f"{name}: source-par output differs from reference")
+        elif row.get("gate") and not (
+            isinstance(row.get("speedup"), (int, float))
+            and row["speedup"] >= WAVEFRONT_MIN_SPEEDUP
+        ):
+            failures.append(
+                f"{name}: source-par only {row.get('speedup')}x vs the "
+                f"scalar source backend (floor {WAVEFRONT_MIN_SPEEDUP})"
+            )
+    return failures
+
+
+def wavefront_table(fresh: dict) -> str:
+    """The E19 table as a GitHub-flavoured markdown summary."""
+    rows = fresh.get("wavefront", [])
+    if not rows:
+        return ""
+    lines = [
+        "| kernel | N | source s | source-par s | speedup | fronts "
+        "| width p50/p99 | gated | ok |",
+        "|---|---:|---:|---:|---:|---:|---:|---|---|",
+    ]
+    for r in rows:
+        src = f"{r['source_seconds']:.4f}" if isinstance(
+            r.get("source_seconds"), (int, float)) else "-"
+        par = f"{r['par_seconds']:.4f}" if isinstance(
+            r.get("par_seconds"), (int, float)) else "-"
+        speed = f"{r['speedup']:.2f}x" if isinstance(
+            r.get("speedup"), (int, float)) else "-"
+        width = "-"
+        if r.get("front_width_p50") is not None:
+            width = f"{r['front_width_p50']:.0f}/{r.get('front_width_p99', 0):.0f}"
+        gated = "yes" if r.get("gate") else "no"
+        ok = {True: "yes", False: "NO", None: "-"}[r.get("ok")]
+        lines.append(
+            f"| {r.get('kernel')} | {r.get('n')} | {src} | {par} | {speed} "
+            f"| {r.get('fronts', '-')} | {width} | {gated} | {ok} |"
+        )
+    return "\n".join(lines)
+
+
 def trend_gate(
     fresh: dict,
     history_path: Path,
@@ -385,6 +458,14 @@ def main(argv: list[str] | None = None) -> int:
     for failure in scaling_failures:
         print(f"  [SCALING FAIL] {failure}")
 
+    wavefront_failures = wavefront_gate(fresh)
+    wtable = wavefront_table(fresh)
+    if wtable:
+        print("\nwavefront parallel comparison (E19):")
+        print(wtable)
+    for failure in wavefront_failures:
+        print(f"  [WAVEFRONT FAIL] {failure}")
+
     trend_fails: list[str] = []
     if args.trend is not None:
         trend_fails, trend_report = trend_gate(
@@ -405,14 +486,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.summary is not None and stable:
         with args.summary.open("a") as f:
             f.write("\n### Tiling/fusion scaling curves (E18)\n\n" + stable + "\n")
+    if args.summary is not None and wtable:
+        with args.summary.open("a") as f:
+            f.write("\n### Wavefront source-par vs source (E19)\n\n" + wtable + "\n")
 
     if (regressions or backend_failures or tune_failures or scaling_failures
-            or trend_fails):
+            or wavefront_failures or trend_fails):
         print(
             f"FAIL: {len(regressions)} metric(s) regressed beyond "
             f"{args.factor:.1f}x, {len(backend_failures)} backend gate "
             f"failure(s), {len(tune_failures)} tune gate failure(s), "
             f"{len(scaling_failures)} scaling gate failure(s), "
+            f"{len(wavefront_failures)} wavefront gate failure(s), "
             f"{len(trend_fails)} trend gate failure(s)",
             file=sys.stderr,
         )

@@ -25,7 +25,8 @@ from pathlib import Path
 __all__ = [
     "collect_pipeline_counters", "collect_backend_speedups",
     "collect_tune_results", "collect_scaling_results",
-    "collect_benchmark_stats", "write_bench_result",
+    "collect_wavefront_results", "collect_benchmark_stats",
+    "write_bench_result",
 ]
 
 RESULT_NAME = "BENCH_result.json"
@@ -212,6 +213,84 @@ def collect_scaling_results() -> list[dict]:
     return rows
 
 
+def collect_wavefront_results() -> list[dict]:
+    """The wavefront parallel comparison (E19): ``source-par`` versus the
+    scalar ``source`` backend on a skewed 2-D Gauss-Seidel stencil (the
+    canonical wavefront workload — ``skew(I,J,1)`` turns its diagonal
+    dependence pattern into DOALL fronts) and on cholesky (narrow
+    triangular fronts; reported for the table but not gated, since
+    dispatch overhead legitimately eats the win there).  ``compare.py``
+    gates the stencil rows on bit-exact outputs and on source-par
+    clearing :data:`benchmarks.compare.WAVEFRONT_MIN_SPEEDUP`.
+
+    Opt-in via ``REPRO_BENCH_WAVEFRONT=1`` (the CI par-smoke job, which
+    skips the minutes-long E18 scaling tune) or ``REPRO_BENCH_SCALING=1``
+    (full local runs get it alongside the scaling curves).
+    """
+    import os
+
+    if (os.environ.get("REPRO_BENCH_WAVEFRONT", "0") != "1"
+            and os.environ.get("REPRO_BENCH_SCALING", "0") != "1"):
+        return []
+    import numpy as np
+
+    from repro import obs
+    from repro.backend import run, time_backend
+    from repro.codegen import generate_code
+    from repro.codegen.simplify import simplify_program
+    from repro.kernels import cholesky, seidel_2d
+    from repro.transform.spec import parse_schedule
+
+    sched = parse_schedule(seidel_2d(), "skew(I, J, 1)")
+    generated = generate_code(sched.program, sched.matrix, sched.deps)
+    skewed = simplify_program(generated.program)
+    skewed = skewed.with_body(skewed.body, name="seidel_2d_skewed")
+
+    rows = []
+    for program, n, gated in (
+        (skewed, 256, True),
+        (cholesky(), 64, False),
+    ):
+        params = {"N": n}
+        try:
+            expected = run(program, params, backend="reference")
+            # Harvest front shape from one correctness run so the
+            # counters are per-run, not accumulated over timing reps.
+            mem = obs.MemorySink()
+            with obs.session(mem) as sess:
+                got = run(program, params, backend="source-par")
+                fronts = sess.counters.get("backend.wavefront.fronts", 0)
+                hist = sess.histograms.get("backend.wavefront.front_width")
+            ok = all(
+                np.array_equal(expected.arrays[k], got.arrays[k])
+                for k in expected.arrays
+            )
+            source_s = time_backend(program, params, backend="source", repeat=3)
+            par_s = time_backend(program, params, backend="source-par", repeat=3)
+            rows.append({
+                "kernel": program.name,
+                "n": n,
+                "source_seconds": source_s,
+                "par_seconds": par_s,
+                "speedup": source_s / par_s if par_s else None,
+                "fronts": fronts,
+                "front_width_p50": hist.p50 if hist else None,
+                "front_width_p99": hist.p99 if hist else None,
+                "gate": gated,
+                "ok": ok,
+                "error": "",
+            })
+        except Exception as exc:
+            rows.append({
+                "kernel": program.name, "n": n,
+                "source_seconds": None, "par_seconds": None,
+                "speedup": None, "fronts": None,
+                "front_width_p50": None, "front_width_p99": None,
+                "gate": gated, "ok": False, "error": str(exc),
+            })
+    return rows
+
+
 def collect_benchmark_stats(config) -> list[dict]:
     """Per-benchmark timing stats from pytest-benchmark, if it ran."""
     bsession = getattr(config, "_benchmarksession", None)
@@ -253,6 +332,7 @@ def write_bench_result(config, path: str | Path | None = None) -> Path:
         "backend": collect_backend_speedups(),
         "tune": collect_tune_results(),
         "scaling": collect_scaling_results(),
+        "wavefront": collect_wavefront_results(),
     }
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     try:

@@ -24,12 +24,15 @@ Row schema (one JSON object per line)::
         "tune:<kernel>:speedup": ...,
         "scaling:<kernel>@<n>:tuned_seconds": ...,
         "scaling:<kernel>@<n>:untuned_seconds": ...,
-        "scaling:<kernel>@<n>:speedup": ...
+        "scaling:<kernel>@<n>:speedup": ...,
+        "wavefront:<kernel>@<n>:source_seconds": ...,
+        "wavefront:<kernel>@<n>:par_seconds": ...,
+        "wavefront:<kernel>@<n>:speedup": ...
       }
     }
 
-Only the backend (E16), tune (E17) and scaling (E18) tables feed the
-ledger — they are
+Only the backend (E16), tune (E17), scaling (E18) and wavefront (E19)
+tables feed the ledger — they are
 the medians-of-medians the repo actually optimises for; pytest-benchmark
 means and one-shot span timings stay in ``BENCH_result.json`` under the
 existing 2x factor gate.
@@ -107,6 +110,11 @@ def metrics_from_result(payload: dict) -> dict[str, float]:
     for row in payload.get("scaling", []):
         name = f"scaling:{row.get('kernel')}@{row.get('n')}"
         for key in ("untuned_seconds", "tuned_seconds", "speedup"):
+            if isinstance(row.get(key), (int, float)):
+                metrics[f"{name}:{key}"] = float(row[key])
+    for row in payload.get("wavefront", []):
+        name = f"wavefront:{row.get('kernel')}@{row.get('n')}"
+        for key in ("source_seconds", "par_seconds", "speedup"):
             if isinstance(row.get(key), (int, float)):
                 metrics[f"{name}:{key}"] = float(row[key])
     return metrics

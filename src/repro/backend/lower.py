@@ -35,7 +35,16 @@ Lowering rules (see docs/BACKENDS.md for the full catalogue):
   ~3x faster than NumPy scalar ops);
 * innermost DOALL loops whose statement passes
   :func:`repro.backend.vectorize.plan_vector_loop` become a single NumPy
-  slice assignment (``vectorize=True`` only).
+  slice assignment (``vectorize=True`` only);
+* with ``parallel=True`` (the ``source-par`` backend), the outermost
+  DOALL loop of each subtree becomes a *wavefront* loop: its body is
+  emitted as a local function and every front (one value range of the
+  loop) is dispatched through
+  :func:`repro.backend.wavefront._wf_dispatch`, which chunks it across
+  a worker pool with a barrier per front.  Single-statement fronts
+  render as flat strided views (``_fview``/``_fread``), which — unlike
+  per-dimension slices — also map references varying with the front
+  variable in several dimensions (the diagonals skewing produces).
 
 The scalar path is *exact*: it produces bit-identical floats to the
 reference executor.  The backend does not re-validate subscript ranges
@@ -54,6 +63,9 @@ import numpy as np
 
 from repro.backend.vectorize import (
     VEC_FUNCTIONS, VecPlan, doall_loop_vars, plan_vector_loop,
+)
+from repro.backend.wavefront import (
+    FrontPlan, _fread, _fview, _wf_dispatch, collect_front_plans,
 )
 from repro.ir.ast import (
     ArrayDecl, BoundSet, ExprCondition, Guard, HullBound, Loop, Node, Program,
@@ -106,6 +118,9 @@ _EXEC_GLOBALS: dict[str, object] = {
     "_round_index": _round_index,
     "_exact_div": _exact_div,
     "_vslice": _vslice,
+    "_wf_dispatch": _wf_dispatch,
+    "_fview": _fview,
+    "_fread": _fread,
 }
 for _name, _fn in BUILTIN_FUNCTIONS.items():
     _EXEC_GLOBALS[f"_fn_{_name}"] = _fn
@@ -122,13 +137,14 @@ class _Ctx:
     scope: frozenset[str]
     arrays: dict[str, ArrayDecl]
     plans: dict[int, VecPlan]
+    fronts: dict[int, FrontPlan] = field(default_factory=dict)
     vec: VecPlan | None = None
 
     def bind(self, var: str) -> "_Ctx":
-        return _Ctx(self.scope | {var}, self.arrays, self.plans, self.vec)
+        return _Ctx(self.scope | {var}, self.arrays, self.plans, self.fronts, self.vec)
 
     def vectorizing(self, plan: VecPlan) -> "_Ctx":
-        return _Ctx(self.scope, self.arrays, self.plans, plan)
+        return _Ctx(self.scope, self.arrays, self.plans, self.fronts, plan)
 
 
 class _Emitter:
@@ -227,8 +243,14 @@ def _render_index(sub: Expr, lo: LinExpr, ctx: _Ctx) -> str:
     return f"(_round_index({_render_value(sub, ctx)}) - {_render_lin(lo)})"
 
 
-def _render_array_ref(ref: ArrayRef, ctx: _Ctx) -> tuple[str, bool]:
-    """Render a reference; returns ``(code, is_vector)``."""
+def _render_array_ref(ref: ArrayRef, ctx: _Ctx, *, target: bool = False) -> tuple[str, bool]:
+    """Render a reference; returns ``(code, is_vector)``.
+
+    ``target`` marks the LHS of an assignment; it only matters for flat
+    wavefront plans, where the write side renders as a ``_fview`` slice
+    target and the read side as ``_fread`` (whose zero-stride case
+    collapses to a broadcast scalar, legal for reads only).
+    """
     decl = ctx.arrays.get(ref.array)
     if decl is None:
         raise BackendError(f"undeclared array {ref.array!r}")
@@ -237,6 +259,25 @@ def _render_array_ref(ref: ArrayRef, ctx: _Ctx) -> tuple[str, bool]:
             f"{ref.array} has rank {decl.rank}, got {len(ref.subscripts)} subscripts"
         )
     vec = ctx.vec
+    if vec is not None and vec.flat:
+        # Wavefront front: the plan guaranteed affine subscripts.  A
+        # reference varying with the front variable in several
+        # dimensions has no per-dimension slice form, but its cells are
+        # an arithmetic progression of *flat* indices.
+        lins = [as_affine(sub) for sub in ref.subscripts]
+        if sum(1 for lin in lins if lin[vec.var] != 0) > 1:
+            cs: list[str] = []
+            offs: list[str] = []
+            for lin, (lo, _hi) in zip(lins, decl.dims):
+                c = lin[vec.var]
+                cs.append(str(c))
+                offs.append(_render_lin(lin + LinExpr({vec.var: -c}) - lo))
+            fn = "_fview" if target else "_fread"
+            code = (
+                f"{fn}(_a_{ref.array}, _l_{vec.var}, _h_{vec.var}, "
+                f"({', '.join(cs)}), ({', '.join(offs)}))"
+            )
+            return (code + "[:]" if target else code), True
     dims: list[str] = []
     is_vector = False
     for sub, (lo, _hi) in zip(ref.subscripts, decl.dims):
@@ -313,6 +354,35 @@ def _emit_guard(g: Guard, ctx: _Ctx, em: _Emitter, stats: dict) -> None:
 def _emit_loop(loop: Loop, ctx: _Ctx, em: _Emitter, stats: dict) -> None:
     lo = _render_bound(loop.lower)
     hi = _render_bound(loop.upper)
+    fplan = ctx.fronts.get(id(loop))
+    if fplan is not None:
+        stats["wavefront"] += 1
+        v = loop.var
+        em.line(f"_l_{v} = {lo}")
+        em.line(f"_h_{v} = {hi}")
+        # The front body as a local function: _wf_dispatch calls it once
+        # per chunk with a sub-range of [_l, _h] and blocks until every
+        # chunk returns (the inter-front barrier).  Parameter names
+        # shadow the bound temporaries so the slice renderer works
+        # unchanged on the chunk's own range.
+        em.line(f"def _wf_body_{v}(_l_{v}, _h_{v}):")
+        with em.indent():
+            if fplan.mode == "slice":
+                assert fplan.plan is not None
+                vctx = ctx.bind(v).vectorizing(fplan.plan)
+                if fplan.plan.needs_iota:
+                    em.line(f"_vv_{v} = _np.arange(_l_{v}, _h_{v} + 1, dtype=float)")
+                st = loop.body[0]
+                assert isinstance(st, Statement)
+                lhs, is_vector = _render_array_ref(st.lhs, vctx, target=True)
+                assert is_vector
+                em.line(f"{lhs} = {_render_value(st.rhs, vctx)}")
+            else:
+                em.line(f"for {v} in range(_l_{v}, _h_{v} + 1):")
+                with em.indent():
+                    _emit_block(loop.body, ctx.bind(v), em, stats)
+        em.line(f"_wf_dispatch(_l_{v}, _h_{v}, _wf_body_{v})")
+        return
     plan = ctx.plans.get(id(loop))
     if plan is not None:
         stats["vectorized"] += 1
@@ -364,7 +434,10 @@ class LoweredProgram:
 
     ``vectorized_loops`` counts loops emitted as slice assignments;
     ``fallback_loops`` counts innermost DOALL loops that had to stay
-    scalar (non-affine subscript, multi-statement body, scalar reads...).
+    scalar (non-affine subscript, multi-statement body, scalar reads...);
+    ``wavefront_loops`` counts loops dispatched as wavefront fronts
+    (``parallel=True`` only — zero means source-par degraded to the
+    serial source-vec emission).
     """
 
     program: Program
@@ -372,6 +445,8 @@ class LoweredProgram:
     vectorize: bool
     vectorized_loops: int
     fallback_loops: int
+    parallel: bool
+    wavefront_loops: int
     fn: Callable = field(repr=False)
 
 
@@ -391,8 +466,18 @@ def _check_identifiers(program: Program) -> None:
             raise BackendError(f"cannot lower {what}: reserved or invalid as a Python name")
 
 
-def _collect_plans(program: Program, doall: frozenset[str], stats: dict) -> dict[int, VecPlan]:
-    """Map id(loop) -> plan for every vectorizable innermost DOALL loop."""
+def _collect_plans(
+    program: Program,
+    doall: frozenset[str],
+    stats: dict,
+    exclude: frozenset[int] = frozenset(),
+) -> dict[int, VecPlan]:
+    """Map id(loop) -> plan for every vectorizable innermost DOALL loop.
+
+    ``exclude`` holds ids of loops already claimed as wavefront fronts —
+    they are emitted by the front path, so planning (or counting them as
+    scalar fallbacks) here would be wrong.
+    """
     arrays = {d.name: d for d in program.arrays}
     plans: dict[int, VecPlan] = {}
 
@@ -400,7 +485,7 @@ def _collect_plans(program: Program, doall: frozenset[str], stats: dict) -> dict
         if isinstance(node, Loop):
             inner = scope | {node.var}
             has_subloop = any(isinstance(c, (Loop, Guard)) for c in node.body)
-            if node.var in doall and not has_subloop:
+            if node.var in doall and not has_subloop and id(node) not in exclude:
                 plan = plan_vector_loop(node, scope, arrays)
                 if plan is not None:
                     plans[id(node)] = plan
@@ -418,21 +503,34 @@ def _collect_plans(program: Program, doall: frozenset[str], stats: dict) -> dict
     return plans
 
 
-def lower_program(program: Program, *, vectorize: bool = False, deps=None) -> LoweredProgram:
+def lower_program(
+    program: Program, *, vectorize: bool = False, parallel: bool = False, deps=None
+) -> LoweredProgram:
     """Lower ``program`` to a compiled Python function.
 
     With ``vectorize=True``, innermost DOALL loops (per this library's
     own dependence analysis — pass ``deps`` to reuse a precomputed
     matrix) are emitted as NumPy slice assignments when legal.
+
+    With ``parallel=True`` (the ``source-par`` backend), the outermost
+    DOALL loop of each subtree is additionally dispatched as wavefront
+    fronts over the worker pool (:mod:`repro.backend.wavefront`); when
+    no wavefront band exists the emission is identical to the serial
+    one — graceful degradation, recorded as ``wavefront_loops == 0``.
     """
-    with span("backend.lower", program=program.name, vectorize=vectorize):
+    with span("backend.lower", program=program.name, vectorize=vectorize,
+              parallel=parallel):
         _check_identifiers(program)
-        stats = {"vectorized": 0, "fallback": 0}
+        stats = {"vectorized": 0, "fallback": 0, "wavefront": 0}
         plans: dict[int, VecPlan] = {}
-        if vectorize:
+        fronts: dict[int, FrontPlan] = {}
+        if vectorize or parallel:
             doall = doall_loop_vars(program, deps)
-            if doall:
-                plans = _collect_plans(program, doall, stats)
+            if parallel:
+                fronts = collect_front_plans(program, doall)
+            if vectorize and doall:
+                plans = _collect_plans(program, doall, stats,
+                                       exclude=frozenset(fronts))
 
         em = _Emitter()
         em.line("_s = _scalars")
@@ -440,10 +538,14 @@ def lower_program(program: Program, *, vectorize: bool = False, deps=None) -> Lo
             em.line(f"{p} = _params[{p!r}]")
         for decl in program.arrays:
             em.line(f"_a_{decl.name} = _arrays[{decl.name!r}]")
-        ctx = _Ctx(frozenset(program.params), {d.name: d for d in program.arrays}, plans)
+        ctx = _Ctx(frozenset(program.params),
+                   {d.name: d for d in program.arrays}, plans, fronts)
         _emit_block(program.body, ctx, em, stats)
 
-        header = f"# lowered from {program.name!r} (vectorize={vectorize})\n"
+        header = (
+            f"# lowered from {program.name!r} "
+            f"(vectorize={vectorize}, parallel={parallel})\n"
+        )
         src = header + "def _kernel(_arrays, _params, _scalars):\n" + "\n".join(em.lines) + "\n"
         code = compile(src, f"<repro-backend:{program.name}>", "exec")
         g = dict(_EXEC_GLOBALS)
@@ -452,11 +554,15 @@ def lower_program(program: Program, *, vectorize: bool = False, deps=None) -> Lo
         counter("backend.lowerings")
         counter("backend.vectorized_loops", stats["vectorized"])
         counter("backend.scalar_fallbacks", stats["fallback"])
+        if parallel:
+            counter("backend.wavefront_loops", stats["wavefront"])
         return LoweredProgram(
             program=program,
             source=src,
             vectorize=vectorize,
             vectorized_loops=stats["vectorized"],
             fallback_loops=stats["fallback"],
+            parallel=parallel,
+            wavefront_loops=stats["wavefront"],
             fn=g["_kernel"],
         )

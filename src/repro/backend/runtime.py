@@ -1,6 +1,6 @@
 """Backend registry and the single execution entry point.
 
-Four backends run any IR program against the same
+Five backends run any IR program against the same
 :class:`~repro.interp.ArrayStore` inputs:
 
 ``reference``
@@ -18,6 +18,13 @@ Four backends run any IR program against the same
     reassociation in reductions — which DOALL loops do not have, so in
     practice also exact; the oracles still use the equivalence
     tolerance.
+``source-par``
+    ``source-vec`` plus wavefront execution
+    (:mod:`repro.backend.wavefront`): the outermost DOALL loop of each
+    subtree is dispatched as chunked fronts over a worker pool, with a
+    barrier between fronts and deterministic chunk order — bit-exact
+    for any ``--par-jobs`` value.  Programs with no wavefront band
+    degrade to the serial ``source-vec`` emission.
 
 :func:`run` is the one entry point; :func:`bench_backends` times all of
 them on identical inputs and cross-checks their outputs.
@@ -36,6 +43,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.backend.lower import LoweredProgram, lower_program
+from repro.backend.wavefront import par_jobs as _par_jobs_ctx
 from repro.interp.equivalence import outputs_close
 from repro.interp.executor import ArrayStore, execute
 from repro.ir.ast import Program
@@ -48,26 +56,30 @@ __all__ = [
 ]
 
 #: Registry order is also the presentation order in `repro bench`.
-BACKENDS: tuple[str, ...] = ("reference", "compiled", "source", "source-vec")
+BACKENDS: tuple[str, ...] = (
+    "reference", "compiled", "source", "source-vec", "source-par",
+)
 
 # Lowering cache: keyed by id(program) — safe because each cached
 # LoweredProgram keeps a strong reference to its Program, so an id
 # cannot be reused while its entry is alive.  Bounded LRU.
 _CACHE_SIZE = 64
-_lower_cache: "OrderedDict[tuple[int, bool], LoweredProgram]" = OrderedDict()
+_lower_cache: "OrderedDict[tuple[int, bool, bool], LoweredProgram]" = OrderedDict()
 _lower_lock = Lock()
 
 
-def lower_cached(program: Program, *, vectorize: bool = False, deps=None) -> LoweredProgram:
+def lower_cached(
+    program: Program, *, vectorize: bool = False, parallel: bool = False, deps=None
+) -> LoweredProgram:
     """Lower ``program``, memoizing on program identity."""
-    key = (id(program), bool(vectorize))
+    key = (id(program), bool(vectorize), bool(parallel))
     with _lower_lock:
         hit = _lower_cache.get(key)
         if hit is not None:
             _lower_cache.move_to_end(key)
             counter("backend.lower_cache_hits")
             return hit
-    low = lower_program(program, vectorize=vectorize, deps=deps)
+    low = lower_program(program, vectorize=vectorize, parallel=parallel, deps=deps)
     with _lower_lock:
         _lower_cache[key] = low
         while len(_lower_cache) > _CACHE_SIZE:
@@ -83,12 +95,16 @@ def run(
     backend: str = "source",
     init: Callable | None = None,
     deps=None,
+    par_jobs: int | None = None,
 ) -> ArrayStore:
     """Execute ``program`` with the chosen backend; returns the final store.
 
     ``arrays`` overrides initial contents (copied, never mutated), same
     contract as :func:`repro.interp.execute`.  ``deps`` optionally reuses
-    a precomputed dependence matrix for ``source-vec`` lowering.
+    a precomputed dependence matrix for ``source-vec``/``source-par``
+    lowering.  ``par_jobs`` sets the ``source-par`` worker count
+    (default: the ``REPRO_PAR_JOBS`` environment variable, then one per
+    CPU); other backends ignore it.
     """
     if backend not in BACKENDS:
         raise BackendError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
@@ -100,8 +116,14 @@ def run(
         from repro.interp.compiled import execute_compiled
 
         return execute_compiled(program, params, arrays, init=init)
-    lowered = lower_cached(program, vectorize=(backend == "source-vec"), deps=deps)
-    return run_lowered(lowered, params, arrays, init=init)
+    parallel = backend == "source-par"
+    lowered = lower_cached(
+        program,
+        vectorize=backend in ("source-vec", "source-par"),
+        parallel=parallel,
+        deps=deps,
+    )
+    return run_lowered(lowered, params, arrays, init=init, par_jobs=par_jobs)
 
 
 def run_lowered(
@@ -110,6 +132,7 @@ def run_lowered(
     arrays: Mapping[str, np.ndarray] | None = None,
     *,
     init: Callable | None = None,
+    par_jobs: int | None = None,
 ) -> ArrayStore:
     """Execute an already-lowered program against fresh inputs."""
     params = dict(params or {})
@@ -124,9 +147,13 @@ def run_lowered(
                 )
             store.arrays[k] = np.array(v, dtype=float)
     with span("backend.execute", program=lowered.program.name,
-              vectorize=lowered.vectorize):
+              vectorize=lowered.vectorize, parallel=lowered.parallel):
         try:
-            lowered.fn(store.arrays, store.params, store.scalars)
+            if lowered.parallel:
+                with _par_jobs_ctx(par_jobs):
+                    lowered.fn(store.arrays, store.params, store.scalars)
+            else:
+                lowered.fn(store.arrays, store.params, store.scalars)
         except ZeroDivisionError:
             raise InterpError("division by zero during execution") from None
         except KeyError as exc:
@@ -149,6 +176,7 @@ def time_backend(
     backend: str = "source",
     repeat: int = MIN_TIMING_REPS,
     deps=None,
+    par_jobs: int | None = None,
 ) -> float:
     """Median wall clock of ``max(MIN_TIMING_REPS, repeat)`` runs, after
     one untimed warm-up (which also pays any lowering cost).
@@ -159,11 +187,13 @@ def time_backend(
     best-of, so one noisy repetition cannot reorder a search.
     """
     reps = max(MIN_TIMING_REPS, int(repeat))
-    run(program, params, arrays=arrays, backend=backend, deps=deps)  # warm-up
+    run(program, params, arrays=arrays, backend=backend, deps=deps,
+        par_jobs=par_jobs)  # warm-up
     times = []
     for _ in range(reps):
         t0 = time.perf_counter()
-        run(program, params, arrays=arrays, backend=backend, deps=deps)
+        run(program, params, arrays=arrays, backend=backend, deps=deps,
+            par_jobs=par_jobs)
         times.append(time.perf_counter() - t0)
     counter(f"backend.timings.{backend}")
     return statistics.median(times)
@@ -176,7 +206,9 @@ class BackendTiming:
     backend: str
     seconds: float
     speedup: float | None  # vs reference; None for the reference row
-    ok: bool | None  # outputs match reference; None for reference / errors
+    ok: bool | None  # outputs match reference; True for the baseline row
+    # (it trivially matches itself), None only for error rows — gates
+    # must be able to tell "baseline" from "silently skipped".
     error: str = ""
 
 
@@ -187,6 +219,7 @@ def bench_backends(
     backends: tuple[str, ...] = BACKENDS,
     repeat: int = 3,
     rtol: float = 1e-9,
+    par_jobs: int | None = None,
 ) -> list[BackendTiming]:
     """Time each backend on identical inputs and cross-check outputs.
 
@@ -207,12 +240,14 @@ def bench_backends(
     with span("backend.bench", program=program.name, n=len(ordered)):
         for b in ordered:
             try:
-                run(program, params, arrays=base, backend=b)  # warm-up + lowering
+                run(program, params, arrays=base, backend=b,
+                    par_jobs=par_jobs)  # warm-up + lowering
                 best = math.inf
                 out = None
                 for _ in range(max(1, repeat)):
                     t0 = time.perf_counter()
-                    store = run(program, params, arrays=base, backend=b)
+                    store = run(program, params, arrays=base, backend=b,
+                                par_jobs=par_jobs)
                     best = min(best, time.perf_counter() - t0)
                     out = store.snapshot()
             except ReproError as exc:
@@ -220,7 +255,11 @@ def bench_backends(
                 continue
             if b == "reference":
                 ref_secs, ref_out = best, out
-                ok = None
+                # The baseline trivially matches itself: report ok=True,
+                # never None, so downstream gates can distinguish a
+                # healthy baseline row from an error row they must not
+                # silently skip.
+                ok = True
                 speedup = None
             else:
                 ok = outputs_close(ref_out, out, rtol) if ref_out is not None else None

@@ -125,10 +125,16 @@ class VecPlan:
     ``needs_iota`` records whether the loop variable appears in a value
     position of the RHS (not just inside subscripts), in which case the
     emitted code materializes ``arange(lo, hi+1)`` for it.
+
+    ``flat`` marks a wavefront front plan
+    (:func:`repro.backend.wavefront.plan_front_loop`): references may
+    vary with the loop variable in *several* dimensions and render as
+    flat strided views instead of per-dimension slices.
     """
 
     var: str
     needs_iota: bool
+    flat: bool = False
 
 
 def plan_vector_loop(

@@ -1,0 +1,479 @@
+"""Wavefront (DOACROSS) execution planning for the ``source-par`` backend.
+
+The paper's skewing machinery (§3, Theorem 2) exists to *expose*
+wavefront parallelism: after a skew, every iteration of some inner loop
+at a fixed outer-loop value — one hyperplane front — is independent.
+This module turns that structure into execution:
+
+1. :func:`collect_front_plans` walks an already-transformed program and,
+   using the same DOALL verdicts the vectorizer uses
+   (:func:`repro.backend.vectorize.doall_loop_vars`, which runs
+   :func:`repro.analysis.parallel.parallel_loops` on the identity of the
+   *transformed* program), selects the **outermost** DOALL loop of each
+   subtree as a wavefront loop.  Everything nested inside the chosen
+   loop belongs to its fronts; outer loops above it are the sequential
+   front schedule.  Every accept/reject decision is emitted as a
+   ``kind=wavefront`` event, surfaced by ``repro explain --phase
+   wavefront``.
+
+2. :func:`plan_front_loop` decides *how* a front executes:
+
+   * ``slice`` mode — the front body is a single statement whose array
+     references are affine in the front variable; each chunk of the
+     front becomes one NumPy assignment through a **flat strided view**
+     (:func:`_fview`/:func:`_fread`).  This generalizes the serial
+     vectorizer: a reference varying with the front variable in several
+     dimensions (the diagonal accesses skewing produces, e.g.
+     ``A(I-J, J)``) maps to a 1-D view of the flattened array with
+     combined stride ``sum(c_k * stride_k)`` — something per-dimension
+     slices cannot express, which is why ``source-vec`` leaves skewed
+     stencils scalar and ``source-par`` does not.
+   * ``chunk`` mode — anything else structurally safe (unit step, no
+     scalar writes in the body): the front function runs the ordinary
+     scalar loop over its chunk.
+
+3. :func:`_wf_dispatch` is the runtime the emitted code calls once per
+   front: it splits ``lo..hi`` into deterministic contiguous chunks,
+   runs them on a persistent thread pool, and **blocks until every
+   chunk finishes** — that blocking wait is the sequential barrier
+   between fronts.  Narrow fronts (below :func:`min_front_width`) and
+   ``--par-jobs 1`` runs execute inline, serially.
+
+Determinism: a DOALL verdict means no iteration of the front reads or
+writes a cell another iteration writes (Theorem 2's characterization),
+so the chunks touch disjoint data given disjoint index ranges and any
+chunk order — or full parallelism — produces bit-identical results.
+Chunk boundaries depend only on ``(width, jobs)``, never on timing.
+See docs/PARALLEL.md for the full argument and the honest GIL caveats.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from threading import Lock, local
+
+from repro.backend.vectorize import (
+    VEC_FUNCTIONS, VecPlan, _calls, value_vars,
+)
+from repro.ir.ast import ArrayDecl, Guard, Loop, Node, Program, Statement
+from repro.ir.expr import ArrayRef, as_affine
+from repro.obs import counter, event, gauge, histogram
+from repro.util.errors import InterpError, IRError
+
+__all__ = [
+    "FrontPlan", "plan_front_loop", "collect_front_plans",
+    "resolve_par_jobs", "par_jobs", "current_par_jobs",
+    "min_front_width", "PAR_JOBS_ENV", "MIN_FRONT_ENV",
+    "DEFAULT_MIN_FRONT_WIDTH",
+]
+
+#: Environment override for the worker count (the CLI ``--par-jobs``
+#: flag exports it so fuzz worker *processes* inherit the setting).
+PAR_JOBS_ENV = "REPRO_PAR_JOBS"
+
+#: Environment override for the narrow-front serial cutoff.
+MIN_FRONT_ENV = "REPRO_PAR_MIN_FRONT"
+
+#: Fronts narrower than this run inline on the dispatching thread: a
+#: pool round-trip costs ~100us, a narrow slice assignment ~1us.  Tests
+#: set :data:`MIN_FRONT_ENV` to 1 to force the pool on tiny fronts.
+DEFAULT_MIN_FRONT_WIDTH = 2048
+
+
+def resolve_par_jobs(jobs: int | None = None) -> int:
+    """Normalize a ``--par-jobs`` value: explicit count wins, then the
+    ``REPRO_PAR_JOBS`` environment variable, then one worker per CPU.
+    ``0`` or a negative count also means one per CPU."""
+    if jobs is None:
+        env = os.environ.get(PAR_JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+    if jobs is None or int(jobs) <= 0:
+        return max(1, os.cpu_count() or 1)
+    return int(jobs)
+
+
+def min_front_width() -> int:
+    """The serial cutoff, re-read per dispatch so tests can lower it."""
+    env = os.environ.get(MIN_FRONT_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_MIN_FRONT_WIDTH
+
+
+_PAR_JOBS: ContextVar[int | None] = ContextVar("repro_par_jobs", default=None)
+
+
+def current_par_jobs() -> int:
+    got = _PAR_JOBS.get()
+    return got if got is not None else resolve_par_jobs(None)
+
+
+@contextmanager
+def par_jobs(jobs: int | None):
+    """Bind the worker count for every ``_wf_dispatch`` in the body."""
+    token = _PAR_JOBS.set(resolve_par_jobs(jobs))
+    try:
+        yield
+    finally:
+        _PAR_JOBS.reset(token)
+
+
+# -- the persistent worker pool ----------------------------------------------
+
+_pool = None
+_pool_size = 0
+_pool_lock = Lock()
+_wf_tls = local()
+
+
+def _get_pool(jobs: int):
+    """The shared thread pool, grown (never shrunk) to ``jobs`` workers.
+    Returns ``None`` when a pool cannot be created (restricted envs)."""
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_size < jobs:
+            from concurrent.futures import ThreadPoolExecutor
+
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+                _pool = None
+            try:
+                _pool = ThreadPoolExecutor(
+                    max_workers=jobs, thread_name_prefix="repro-wf"
+                )
+            except Exception:
+                counter("parallel.thread_pool_fallbacks")
+                return None
+            _pool_size = jobs
+        return _pool
+
+
+def _run_chunk(fn, lo: int, hi: int) -> None:
+    # the in-front flag makes any (future) nested dispatch run inline in
+    # the worker instead of deadlocking on its own pool
+    _wf_tls.in_front = True
+    try:
+        fn(lo, hi)
+    finally:
+        _wf_tls.in_front = False
+
+
+def _wf_dispatch(lo: int, hi: int, fn) -> None:
+    """Execute one wavefront front: ``fn(c_lo, c_hi)`` over deterministic
+    contiguous chunks of ``lo..hi`` (inclusive), blocking until every
+    chunk completes — the inter-front barrier.
+
+    The DOALL property of the front loop guarantees chunks touch
+    disjoint cells, so results are bit-identical for any worker count.
+    """
+    if lo > hi:
+        counter("backend.wavefront.empty_fronts")
+        return
+    width = hi - lo + 1
+    counter("backend.wavefront.fronts")
+    histogram("backend.wavefront.front_width", width)
+    jobs = current_par_jobs()
+    if (
+        jobs <= 1
+        or width < min_front_width()
+        or getattr(_wf_tls, "in_front", False)
+    ):
+        counter("backend.wavefront.serial_fronts")
+        fn(lo, hi)
+        return
+    n = min(jobs, width)
+    q, r = divmod(width, n)
+    bounds = []
+    start = lo
+    for i in range(n):
+        size = q + (1 if i < r else 0)
+        bounds.append((start, start + size - 1))
+        start += size
+    pool = _get_pool(jobs)
+    if pool is None:  # restricted environment: serial is always correct
+        counter("backend.wavefront.serial_fronts")
+        fn(lo, hi)
+        return
+    t0 = time.perf_counter_ns()
+    futures = [pool.submit(_run_chunk, fn, c_lo, c_hi) for c_lo, c_hi in bounds]
+    err: BaseException | None = None
+    for fut in futures:  # in chunk order: the first failure wins, deterministically
+        try:
+            fut.result()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if err is None:
+                err = exc
+    counter("backend.wavefront.parallel_fronts")
+    counter("backend.wavefront.tasks", n)
+    histogram("backend.wavefront.front_ns", time.perf_counter_ns() - t0)
+    gauge("backend.wavefront.pool_utilization", n / jobs)
+    if err is not None:
+        raise err
+
+
+# -- flat strided views (the runtime half of slice-mode fronts) ---------------
+
+def _flatbase(a, cs, offs):
+    """(flat view, base element index, combined element stride) for a
+    reference whose dimension ``k`` is ``cs[k]*v + offs[k]``."""
+    if not a.flags.c_contiguous:
+        raise InterpError("wavefront flat view requires a C-contiguous array")
+    isz = a.itemsize
+    base = 0
+    step = 0
+    for c, o, s in zip(cs, offs, a.strides):
+        s //= isz
+        base += o * s
+        step += c * s
+    return a.reshape(-1), base, step
+
+
+def _fview(a, lo, hi, cs, offs):
+    """The writable 1-D view selecting the cells of a multi-dimension
+    reference for ``v`` in ``lo..hi`` — an arithmetic progression of
+    flat indices with stride ``sum(cs[k]*strides[k])``.
+
+    A zero combined stride with ``hi > lo`` would mean every iteration
+    writes the same cell — an output dependence the DOALL verdict rules
+    out for in-bounds subscripts — so it is reported, not silently
+    mis-executed.
+    """
+    flat, base, step = _flatbase(a, cs, offs)
+    if step == 0:
+        if lo == hi:
+            return flat[base : base + 1]
+        raise InterpError(
+            "wavefront front writes one cell from every iteration "
+            "(zero flat stride); subscripts outside declared bounds?"
+        )
+    start = base + step * lo
+    stop = base + step * hi
+    if step > 0:
+        return flat[start : stop + 1 : step]
+    stop -= 1
+    return flat[start : (stop if stop >= 0 else None) : step]
+
+
+def _fread(a, lo, hi, cs, offs):
+    """Read-side counterpart of :func:`_fview`: a zero combined stride
+    is legitimate for reads (the reference is front-invariant) and
+    collapses to a broadcast scalar."""
+    flat, base, step = _flatbase(a, cs, offs)
+    if step == 0:
+        return float(flat[base])
+    start = base + step * lo
+    stop = base + step * hi
+    if step > 0:
+        return flat[start : stop + 1 : step]
+    stop -= 1
+    return flat[start : (stop if stop >= 0 else None) : step]
+
+
+# -- planning -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrontPlan:
+    """One wavefront loop and how its fronts execute.
+
+    ``mode`` is ``"slice"`` (each chunk is one flat-view NumPy
+    assignment) or ``"chunk"`` (each chunk runs the scalar body).
+    ``plan`` carries the vectorization plan for slice mode (with
+    ``flat=True`` so multi-dimension-varying references render as flat
+    views).
+    """
+
+    var: str
+    mode: str
+    plan: VecPlan | None = None
+
+
+def _scalar_writes(nodes) -> list[str]:
+    """Names of scalars written anywhere under ``nodes``."""
+    out: list[str] = []
+
+    def walk(node: Node) -> None:
+        if isinstance(node, Statement):
+            if not isinstance(node.lhs, ArrayRef):
+                out.append(node.lhs.name)
+        elif isinstance(node, (Loop, Guard)):
+            for c in node.body:
+                walk(c)
+
+    for n in nodes:
+        walk(n)
+    return out
+
+
+def _slice_block_reason(
+    loop: Loop, scope: frozenset[str], arrays: dict[str, ArrayDecl]
+) -> str | None:
+    """Why the front body cannot be a flat-view slice assignment (the
+    ``chunk``-mode fallback reason), or ``None`` when slice mode works.
+
+    Mirrors :func:`repro.backend.vectorize.plan_vector_loop` but admits
+    references varying with the front variable in *several* dimensions —
+    the flat view handles those — and requires only that the LHS vary at
+    all (distinct iterations then write distinct cells, by the DOALL
+    verdict plus the bijectivity of C-order flattening).
+    """
+    v = loop.var
+    if len(loop.body) != 1 or not isinstance(loop.body[0], Statement):
+        return "body is not a single statement"
+    st = loop.body[0]
+    if not isinstance(st.lhs, ArrayRef):
+        return "scalar LHS"
+    allowed = frozenset(scope) | {v}
+
+    def ref_reason(ref: ArrayRef, *, is_lhs: bool) -> str | None:
+        decl = arrays.get(ref.array)
+        if decl is None or len(ref.subscripts) != decl.rank:
+            return "undeclared array or rank mismatch"
+        vdims = 0
+        for sub in ref.subscripts:
+            try:
+                lin = as_affine(sub)
+            except IRError:
+                return f"subscript {sub} is not affine"
+            if not (lin.variables() <= allowed):
+                return f"subscript {sub} uses variables bound inside the loop"
+            if lin[v] != 0:
+                vdims += 1
+        if is_lhs and vdims == 0:
+            return f"LHS does not vary with {v}"
+        return None
+
+    why = ref_reason(st.lhs, is_lhs=True)
+    if why is not None:
+        return why
+    for ref in st.rhs.array_refs():
+        why = ref_reason(ref, is_lhs=False)
+        if why is not None:
+            return why
+    vals = value_vars(st.rhs)
+    if not (vals <= allowed):
+        return f"scalar read(s) {', '.join(sorted(vals - allowed))} in value position"
+    for fn in _calls(st.rhs):
+        if fn not in VEC_FUNCTIONS:
+            return f"intrinsic {fn}() has no elementwise equivalent"
+    return None
+
+
+def plan_front_loop(
+    loop: Loop,
+    scope: frozenset[str] | set[str],
+    arrays: dict[str, ArrayDecl],
+) -> FrontPlan | None:
+    """Decide whether a DOALL loop can be dispatched as wavefront fronts
+    and in which mode.  Emits one ``kind=wavefront`` event either way.
+
+    Returns ``None`` — leave the loop as an ordinary (possibly
+    vectorized) sequential loop — when the structural safety conditions
+    fail: non-unit step (chunk arithmetic assumes stride 1) or scalar
+    writes in the body (worker threads share one scalar environment,
+    and the dependence analysis behind the DOALL verdict does not track
+    scalars).
+    """
+    v = loop.var
+    if loop.step != 1:
+        event(
+            "wavefront", "reject",
+            f"non-unit step {loop.step}; front chunking needs stride 1",
+            loop=v,
+        )
+        return None
+    written = _scalar_writes(loop.body)
+    if written:
+        event(
+            "wavefront", "reject",
+            "scalar write(s) inside the loop body; workers would race on "
+            "the shared scalar environment",
+            loop=v, scalars=", ".join(sorted(set(written))),
+        )
+        return None
+    why_not_slice = _slice_block_reason(loop, frozenset(scope), arrays)
+    if why_not_slice is None:
+        st = loop.body[0]
+        assert isinstance(st, Statement)
+        plan = VecPlan(v, needs_iota=(v in value_vars(st.rhs)), flat=True)
+        event(
+            "wavefront", "accept",
+            "outermost DOALL loop dispatched as wavefront fronts; each "
+            "chunk is one flat-strided NumPy assignment",
+            loop=v, mode="slice", target=str(st.lhs),
+        )
+        return FrontPlan(v, "slice", plan)
+    event(
+        "wavefront", "accept",
+        "outermost DOALL loop dispatched as wavefront fronts; chunks run "
+        f"the scalar body ({why_not_slice})",
+        loop=v, mode="chunk",
+    )
+    return FrontPlan(v, "chunk")
+
+
+def collect_front_plans(
+    program: Program, doall: frozenset[str]
+) -> dict[int, FrontPlan]:
+    """Map ``id(loop) -> FrontPlan`` for the outermost dispatchable DOALL
+    loop of every subtree.  Loops nested inside a chosen wavefront loop
+    are *not* planned again (nested dispatch would serialize anyway);
+    non-DOALL loops get a reject event explaining the sequential front
+    schedule above the band.
+    """
+    arrays = {d.name: d for d in program.arrays}
+    plans: dict[int, FrontPlan] = {}
+
+    def walk(node: Node, scope: frozenset[str], in_front: bool) -> None:
+        if isinstance(node, Loop):
+            inner = scope | {node.var}
+            if not in_front:
+                if node.var in doall:
+                    plan = plan_front_loop(node, scope, arrays)
+                    if plan is not None:
+                        plans[id(node)] = plan
+                        for c in node.body:
+                            walk(c, inner, True)
+                        return
+                else:
+                    event(
+                        "wavefront", "reject",
+                        "loop carries a dependence; it schedules fronts "
+                        "sequentially (skew the nest to move parallelism "
+                        "inward)",
+                        loop=node.var,
+                    )
+            elif node.var in doall:
+                event(
+                    "wavefront", "info",
+                    "DOALL loop already inside a wavefront band; executed "
+                    "within its front",
+                    loop=node.var,
+                )
+            for c in node.body:
+                walk(c, inner, in_front)
+        elif isinstance(node, Guard):
+            for c in node.body:
+                walk(c, scope, in_front)
+
+    base = frozenset(program.params)
+    for n in program.body:
+        walk(n, base, False)
+    if not plans:
+        event(
+            "wavefront", "reject",
+            "no wavefront band found; source-par degrades to the serial "
+            "source-vec emission",
+            program=program.name,
+        )
+    return plans

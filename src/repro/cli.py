@@ -34,6 +34,7 @@ structural ``tile``/``fuse`` ops rewrite the program and must come first
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -205,7 +206,8 @@ def cmd_run(args) -> int:
             raise ReproError("--trace requires --backend reference")
         from repro.backend import run as backend_run
 
-        store = backend_run(program, _params(args.param), backend=args.backend)
+        store = backend_run(program, _params(args.param), backend=args.backend,
+                            par_jobs=getattr(args, "par_jobs", None))
     for name, arr in store.arrays.items():
         print(f"{name} =")
         with np.printoptions(precision=4, suppress=True, linewidth=100):
@@ -223,7 +225,8 @@ def cmd_bench(args) -> int:
     program = _load_flexible(args.file)
     params = _params(args.param) or {p: 40 for p in program.params}
     backends = tuple(args.backend) if args.backend else BACKENDS
-    rows = bench_backends(program, params, backends=backends, repeat=args.repeat)
+    rows = bench_backends(program, params, backends=backends, repeat=args.repeat,
+                          par_jobs=getattr(args, "par_jobs", None))
     print(f"program {program.name}  params {params}  (best of {args.repeat})")
     print(f"{'backend':<12} {'seconds':>12} {'speedup':>9}  ok")
     failed = False
@@ -402,7 +405,7 @@ def cmd_report(args) -> int:
 
 #: kept in sync with :data:`repro.explain.PHASES` (literal here so the
 #: argparse setup does not import the tune stack on every CLI start)
-_EXPLAIN_PHASES = ("legality", "complete", "vectorize", "tune")
+_EXPLAIN_PHASES = ("legality", "complete", "vectorize", "wavefront", "tune")
 
 
 def _cmd_explain(args) -> int:
@@ -417,6 +420,10 @@ def cmd_fuzz(args) -> int:
     shrunk to minimal repros and serialized into the corpus."""
     from repro.fuzz import fuzz_run, known_illegal_case
 
+    if getattr(args, "par_jobs", None) is not None:
+        # Exported rather than passed down so the fuzz worker *processes*
+        # inherit the source-par pool size too.
+        os.environ["REPRO_PAR_JOBS"] = str(args.par_jobs)
     inject = {0: known_illegal_case()} if args.inject_illegal else None
     session = fuzz_run(
         args.runs,
@@ -528,6 +535,11 @@ def main(argv: list[str] | None = None) -> int:
         help="execution backend (see docs/BACKENDS.md)",
     )
     p.add_argument(
+        "--par-jobs", type=int, default=None, metavar="N",
+        help="worker count for the source-par backend (default: "
+        "$REPRO_PAR_JOBS, then one per CPU; see docs/PARALLEL.md)",
+    )
+    p.add_argument(
         "--tuned",
         action="store_true",
         help="apply the cached best schedule from `repro tune` "
@@ -552,6 +564,11 @@ def main(argv: list[str] | None = None) -> int:
         help="backend to time (repeatable; default: all)",
     )
     p.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    p.add_argument(
+        "--par-jobs", type=int, default=None, metavar="N",
+        help="worker count for the source-par backend (default: "
+        "$REPRO_PAR_JOBS, then one per CPU; see docs/PARALLEL.md)",
+    )
     p.add_argument("--json", metavar="PATH", help="also write the table as JSON")
     p.set_defaults(fn=cmd_bench)
 
@@ -659,9 +676,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--backend",
         action="append",
-        choices=("compiled", "source", "source-vec"),
+        choices=("compiled", "source", "source-vec", "source-par"),
         help="also cross-check every legal case's execution against this "
         "backend (repeatable; see docs/BACKENDS.md)",
+    )
+    p.add_argument(
+        "--par-jobs", type=int, default=None, metavar="N",
+        help="worker count for source-par cross-checks (exported as "
+        "REPRO_PAR_JOBS so fuzz worker processes inherit it)",
     )
     p.set_defaults(fn=cmd_fuzz)
 

@@ -7,7 +7,8 @@ from repro.kernels.factorizations import (
 )
 from repro.kernels.generator import random_program
 from repro.kernels.stencils import (
-    blur_2d, gauss_seidel_1d, gemver_like, jacobi_1d, sweep_pair, syrk_like,
+    blur_2d, gauss_seidel_1d, gemver_like, jacobi_1d, seidel_2d, sweep_pair,
+    syrk_like,
 )
 
 __all__ = [
@@ -15,6 +16,6 @@ __all__ = [
     "running_example", "augmentation_example", "lu_factorization", "lu",
     "triangular_solve", "trmm", "forward_substitution", "matmul",
     "random_program",
-    "jacobi_1d", "gauss_seidel_1d", "blur_2d", "gemver_like", "sweep_pair",
-    "syrk_like",
+    "jacobi_1d", "gauss_seidel_1d", "blur_2d", "gemver_like", "seidel_2d",
+    "sweep_pair", "syrk_like",
 ]

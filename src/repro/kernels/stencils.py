@@ -12,8 +12,8 @@ from repro.ir.builder import nest
 from repro.ir.parser import parse_program
 
 __all__ = [
-    "jacobi_1d", "gauss_seidel_1d", "blur_2d", "gemver_like", "sweep_pair",
-    "syrk_like",
+    "jacobi_1d", "gauss_seidel_1d", "blur_2d", "gemver_like", "seidel_2d",
+    "sweep_pair", "syrk_like",
 ]
 
 
@@ -50,6 +50,26 @@ def gauss_seidel_1d() -> Program:
         enddo
         """,
         "gauss_seidel_1d",
+    )
+
+
+def seidel_2d() -> Program:
+    """In-place 2-D Gauss-Seidel sweep: both loops carry dependences,
+    so neither vectorizes as written — but ``skew(I,J,1)`` makes ``J``
+    DOALL, exposing the diagonal wavefronts the ``source-par`` backend
+    executes in parallel (each front's accesses are array diagonals,
+    which only the flat-view renderer can express)."""
+    return parse_program(
+        """
+        param N
+        real A(0:N+1,0:N+1)
+        do I = 1..N
+          do J = 1..N
+            S1: A(I,J) = (A(I-1,J) + A(I,J-1) + A(I,J)) / 3
+          enddo
+        enddo
+        """,
+        "seidel_2d",
     )
 
 

@@ -79,7 +79,7 @@ class TestBenchBackends:
         )
         assert [r.backend for r in rows] == ["reference", "source", "source-vec"]
         ref = rows[0]
-        assert ref.speedup is None and ref.ok is None and ref.seconds > 0
+        assert ref.speedup is None and ref.ok is True and ref.seconds > 0
         for r in rows[1:]:
             assert r.ok is True and r.speedup > 0 and not r.error
 
