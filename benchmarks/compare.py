@@ -53,7 +53,16 @@ with bit-exact outputs.  Like the scaling section it is opt-in at
 collection time (``REPRO_BENCH_WAVEFRONT=1`` or
 ``REPRO_BENCH_SCALING=1``), so a result without it passes vacuously.
 
-A seventh, opt-in gate (``--trend BENCH_history.jsonl``) checks the fresh
+A seventh gate reads the fresh ``service`` table (the E20
+transformation-service comparison, see benchmarks/bench_service.py and
+benchmarks/emit.py): every latency row must show the warm daemon path
+serving at least ``SERVICE_MIN_SPEEDUP`` (5x) faster than a cold CLI
+subprocess, and the concurrent-client throughput row must have
+completed without request errors.  Opt-in at collection time
+(``REPRO_BENCH_SERVICE=1``, the CI service-smoke job), so a result
+without it passes vacuously.
+
+An eighth, opt-in gate (``--trend BENCH_history.jsonl``) checks the fresh
 run's backend/tune metrics against the *rolling median* of prior ledger
 snapshots (see benchmarks/history.py): any metric more than 25% worse
 than its trend fails.  Point-to-point factor gates miss slow drift — a
@@ -74,7 +83,8 @@ from pathlib import Path
 __all__ = [
     "Comparison", "compare_results", "backend_gate", "backend_table",
     "tune_gate", "tune_table", "scaling_gate", "scaling_table",
-    "wavefront_gate", "wavefront_table", "trend_gate", "main",
+    "wavefront_gate", "wavefront_table", "service_gate", "service_table",
+    "trend_gate", "main",
 ]
 
 DEFAULT_FACTOR = 2.0
@@ -82,6 +92,7 @@ DEFAULT_MIN_NS = 1_000_000  # ignore sub-millisecond timings entirely
 TUNE_MIN_SPEEDUP = 0.95  # tuned-vs-default floor; slack for timer noise only
 SCALING_MIN_SPEEDUP = 1.2  # E18 floor: tuning must actually win, not tie
 WAVEFRONT_MIN_SPEEDUP = 1.2  # E19 floor: source-par must beat scalar source
+SERVICE_MIN_SPEEDUP = 5.0  # E20 floor: warm daemon vs cold CLI subprocess
 
 
 @dataclass(frozen=True)
@@ -336,6 +347,61 @@ def wavefront_table(fresh: dict) -> str:
     return "\n".join(lines)
 
 
+def service_gate(fresh: dict) -> list[str]:
+    """Absolute checks on the E20 service table; returns failures.
+
+    Latency rows (flagged ``gate``) must show the warm daemon at least
+    ``SERVICE_MIN_SPEEDUP`` faster than the cold CLI subprocess; the
+    throughput row must have completed without request errors.
+    """
+    failures = []
+    for row in fresh.get("service", []):
+        name = f"{row.get('kernel')}/{row.get('op')}"
+        if row.get("error"):
+            failures.append(f"{name}: service bench error: {row['error']}")
+            continue
+        if row.get("ok") is not True:
+            failures.append(f"{name}: service bench row not ok")
+        elif row.get("op") == "throughput":
+            if not (isinstance(row.get("rps"), (int, float)) and row["rps"] > 0):
+                failures.append(f"{name}: no throughput measured")
+        elif row.get("gate") and not (
+            isinstance(row.get("speedup"), (int, float))
+            and row["speedup"] >= SERVICE_MIN_SPEEDUP
+        ):
+            failures.append(
+                f"{name}: warm daemon only {row.get('speedup')}x vs the "
+                f"cold CLI (floor {SERVICE_MIN_SPEEDUP})"
+            )
+    return failures
+
+
+def service_table(fresh: dict) -> str:
+    """The E20 table as a GitHub-flavoured markdown summary."""
+    rows = fresh.get("service", [])
+    if not rows:
+        return ""
+    lines = [
+        "| kernel | op | cold s | warm s | speedup | req/s | ok |",
+        "|---|---|---:|---:|---:|---:|---|",
+    ]
+    for r in rows:
+        cold = f"{r['cold_seconds']:.4f}" if isinstance(
+            r.get("cold_seconds"), (int, float)) else "-"
+        warm = f"{r['warm_seconds']:.6f}" if isinstance(
+            r.get("warm_seconds"), (int, float)) else "-"
+        speed = f"{r['speedup']:.1f}x" if isinstance(
+            r.get("speedup"), (int, float)) else "-"
+        rps = f"{r['rps']:.0f}" if isinstance(
+            r.get("rps"), (int, float)) else "-"
+        ok = {True: "yes", False: "NO", None: "-"}[r.get("ok")]
+        lines.append(
+            f"| {r.get('kernel')} | {r.get('op')} | {cold} | {warm} "
+            f"| {speed} | {rps} | {ok} |"
+        )
+    return "\n".join(lines)
+
+
 def trend_gate(
     fresh: dict,
     history_path: Path,
@@ -466,6 +532,14 @@ def main(argv: list[str] | None = None) -> int:
     for failure in wavefront_failures:
         print(f"  [WAVEFRONT FAIL] {failure}")
 
+    service_failures = service_gate(fresh)
+    svtable = service_table(fresh)
+    if svtable:
+        print("\ntransformation service warm vs cold (E20):")
+        print(svtable)
+    for failure in service_failures:
+        print(f"  [SERVICE FAIL] {failure}")
+
     trend_fails: list[str] = []
     if args.trend is not None:
         trend_fails, trend_report = trend_gate(
@@ -489,15 +563,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.summary is not None and wtable:
         with args.summary.open("a") as f:
             f.write("\n### Wavefront source-par vs source (E19)\n\n" + wtable + "\n")
+    if args.summary is not None and svtable:
+        with args.summary.open("a") as f:
+            f.write(
+                "\n### Transformation service warm vs cold (E20)\n\n"
+                + svtable + "\n"
+            )
 
     if (regressions or backend_failures or tune_failures or scaling_failures
-            or wavefront_failures or trend_fails):
+            or wavefront_failures or service_failures or trend_fails):
         print(
             f"FAIL: {len(regressions)} metric(s) regressed beyond "
             f"{args.factor:.1f}x, {len(backend_failures)} backend gate "
             f"failure(s), {len(tune_failures)} tune gate failure(s), "
             f"{len(scaling_failures)} scaling gate failure(s), "
             f"{len(wavefront_failures)} wavefront gate failure(s), "
+            f"{len(service_failures)} service gate failure(s), "
             f"{len(trend_fails)} trend gate failure(s)",
             file=sys.stderr,
         )

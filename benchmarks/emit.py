@@ -25,8 +25,8 @@ from pathlib import Path
 __all__ = [
     "collect_pipeline_counters", "collect_backend_speedups",
     "collect_tune_results", "collect_scaling_results",
-    "collect_wavefront_results", "collect_benchmark_stats",
-    "write_bench_result",
+    "collect_wavefront_results", "collect_service_results",
+    "collect_benchmark_stats", "write_bench_result",
 ]
 
 RESULT_NAME = "BENCH_result.json"
@@ -291,6 +291,164 @@ def collect_wavefront_results() -> list[dict]:
     return rows
 
 
+#: E20 measurement shape: warm latencies are per-request medians over
+#: this many requests against a primed daemon; cold latencies are
+#: medians over this many full CLI subprocess invocations.
+SERVICE_WARM_REPEAT = 20
+SERVICE_COLD_REPEAT = 3
+SERVICE_CLIENTS = 8
+SERVICE_CLIENT_REQUESTS = 25
+
+
+def collect_service_results() -> list[dict]:
+    """The transformation-service comparison (E20): per-request latency
+    of a *warm* daemon (shard map and result caches primed, engine
+    memos hot) against *cold* one-shot CLI subprocesses that pay
+    interpreter start-up, parse, and a from-scratch analysis every
+    time, plus sustained request throughput under
+    :data:`SERVICE_CLIENTS` concurrent clients.  ``compare.py`` gates
+    the latency rows on the warm path clearing
+    :data:`benchmarks.compare.SERVICE_MIN_SPEEDUP` (5x).
+
+    Opt-in via ``REPRO_BENCH_SERVICE=1`` (the CI service-smoke job) —
+    the cold side forks real subprocesses, so this section costs tens
+    of seconds.
+    """
+    import os
+
+    if os.environ.get("REPRO_BENCH_SERVICE", "0") != "1":
+        return []
+    import statistics
+    import subprocess
+    import tempfile
+    import threading
+    import time
+
+    from repro.ir import program_to_str
+    from repro.kernels import cholesky, seidel_2d, trmm
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServiceServer
+
+    repo = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo / "src")
+
+    def cold_seconds(argv: list[str]) -> float:
+        times = []
+        for _ in range(SERVICE_COLD_REPEAT):
+            t0 = time.perf_counter()
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", *argv],
+                capture_output=True, text=True, env=env, cwd=str(repo),
+            )
+            times.append(time.perf_counter() - t0)
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"cold CLI failed: {proc.stderr.strip()[:200]}"
+                )
+        return statistics.median(times)
+
+    def warm_seconds(request) -> float:
+        request()  # prime the shard + result caches
+        times = []
+        for _ in range(SERVICE_WARM_REPEAT):
+            t0 = time.perf_counter()
+            request()
+            times.append(time.perf_counter() - t0)
+        return statistics.median(times)
+
+    rows: list[dict] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        server = ServiceServer(port=0, tune_dir=os.path.join(tmp, "tune"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(server.url, timeout=120.0)
+        client.wait_ready(timeout=15.0)
+        try:
+            sources: dict[str, str] = {}
+            workload: list[tuple[str, str, list[str], object]] = []
+            for factory in (cholesky, trmm, seidel_2d):
+                program = factory()
+                src = program_to_str(program)
+                sources[program.name] = src
+                path = os.path.join(tmp, f"{program.name}.loop")
+                Path(path).write_text(src)
+                workload.append((
+                    program.name, "analyze", ["deps", path],
+                    lambda src=src: client.analyze(src),
+                ))
+            chol_path = os.path.join(tmp, "cholesky.loop")
+            workload.append((
+                "cholesky", "transform",
+                ["transform", chol_path, "skew(I,K,1)"],
+                lambda: client.transform(sources["cholesky"], "skew(I,K,1)"),
+            ))
+
+            for kernel, op, argv, request in workload:
+                try:
+                    cold_s = cold_seconds(argv)
+                    warm_s = warm_seconds(request)
+                    rows.append({
+                        "kernel": kernel, "op": op,
+                        "cold_seconds": cold_s, "warm_seconds": warm_s,
+                        "speedup": cold_s / warm_s if warm_s else None,
+                        "gate": True, "ok": True, "error": "",
+                    })
+                except Exception as exc:
+                    rows.append({
+                        "kernel": kernel, "op": op,
+                        "cold_seconds": None, "warm_seconds": None,
+                        "speedup": None, "gate": True, "ok": False,
+                        "error": str(exc),
+                    })
+
+            # sustained throughput: every client hammers the full warm
+            # mix, so the number reflects lock contention and the HTTP
+            # layer, not analysis cost
+            try:
+                errors: list[str] = []
+                lock = threading.Lock()
+
+                def hammer():
+                    for i in range(SERVICE_CLIENT_REQUESTS):
+                        _, _, _, request = workload[i % len(workload)]
+                        try:
+                            request()
+                        except Exception as exc:
+                            with lock:
+                                errors.append(str(exc))
+
+                threads = [
+                    threading.Thread(target=hammer)
+                    for _ in range(SERVICE_CLIENTS)
+                ]
+                t0 = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                elapsed = time.perf_counter() - t0
+                total = SERVICE_CLIENTS * SERVICE_CLIENT_REQUESTS
+                rows.append({
+                    "kernel": "mixed", "op": "throughput",
+                    "rps": total / elapsed if elapsed else None,
+                    "requests": total, "clients": SERVICE_CLIENTS,
+                    "gate": False, "ok": not errors,
+                    "error": "; ".join(errors[:3]),
+                })
+            except Exception as exc:
+                rows.append({
+                    "kernel": "mixed", "op": "throughput", "rps": None,
+                    "requests": 0, "clients": SERVICE_CLIENTS,
+                    "gate": False, "ok": False, "error": str(exc),
+                })
+        finally:
+            server.request_shutdown()
+            thread.join(10)
+            server.close()
+    return rows
+
+
 def collect_benchmark_stats(config) -> list[dict]:
     """Per-benchmark timing stats from pytest-benchmark, if it ran."""
     bsession = getattr(config, "_benchmarksession", None)
@@ -333,6 +491,7 @@ def write_bench_result(config, path: str | Path | None = None) -> Path:
         "tune": collect_tune_results(),
         "scaling": collect_scaling_results(),
         "wavefront": collect_wavefront_results(),
+        "service": collect_service_results(),
     }
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     try:

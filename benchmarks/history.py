@@ -27,12 +27,16 @@ Row schema (one JSON object per line)::
         "scaling:<kernel>@<n>:speedup": ...,
         "wavefront:<kernel>@<n>:source_seconds": ...,
         "wavefront:<kernel>@<n>:par_seconds": ...,
-        "wavefront:<kernel>@<n>:speedup": ...
+        "wavefront:<kernel>@<n>:speedup": ...,
+        "service:<kernel>/<op>:cold_seconds": ...,
+        "service:<kernel>/<op>:warm_seconds": ...,
+        "service:<kernel>/<op>:speedup": ...,
+        "service:throughput:rps": ...
       }
     }
 
-Only the backend (E16), tune (E17), scaling (E18) and wavefront (E19)
-tables feed the ledger — they are
+Only the backend (E16), tune (E17), scaling (E18), wavefront (E19) and
+service (E20) tables feed the ledger — they are
 the medians-of-medians the repo actually optimises for; pytest-benchmark
 means and one-shot span timings stay in ``BENCH_result.json`` under the
 existing 2x factor gate.
@@ -115,6 +119,17 @@ def metrics_from_result(payload: dict) -> dict[str, float]:
     for row in payload.get("wavefront", []):
         name = f"wavefront:{row.get('kernel')}@{row.get('n')}"
         for key in ("source_seconds", "par_seconds", "speedup"):
+            if isinstance(row.get(key), (int, float)):
+                metrics[f"{name}:{key}"] = float(row[key])
+    for row in payload.get("service", []):
+        if row.get("op") == "throughput":
+            # "rps" deliberately avoids the "seconds" suffix: higher is
+            # better, so the trend gate treats a drop as the regression
+            if isinstance(row.get("rps"), (int, float)):
+                metrics["service:throughput:rps"] = float(row["rps"])
+            continue
+        name = f"service:{row.get('kernel')}/{row.get('op')}"
+        for key in ("cold_seconds", "warm_seconds", "speedup"):
             if isinstance(row.get(key), (int, float)):
                 metrics[f"{name}:{key}"] = float(row[key])
     return metrics

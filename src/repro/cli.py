@@ -18,17 +18,28 @@ explain     decision provenance: why legality / completion /
             vectorization / tuning accepted or rejected each candidate
 fuzz        differential fuzzing of the pipeline against the trace
             oracles, with shrinking and a regression corpus
+serve       run the transformation service daemon (docs/SERVICE.md)
 
 The pipeline commands (deps, check, transform, complete, run, report)
 accept ``--profile`` (print a hierarchical span tree and metrics table
 to stderr) and ``--trace-json PATH`` (write the spans and metrics as
 JSON lines); see :mod:`repro.obs` and docs/OBSERVABILITY.md.
 
+The service-backed commands (deps, check, transform, complete, run,
+tune, explain) accept ``--remote URL`` (or ``$REPRO_REMOTE``) to execute
+against a running ``repro serve`` daemon instead of in-process; output
+is byte-identical either way because both paths render through
+:mod:`repro.api` (docs/SERVICE.md).
+
 Transformation specs are semicolon-separated elementary transformations;
 structural ``tile``/``fuse`` ops rewrite the program and must come first
 (docs/TILING.md)::
 
     tile(I,16); fuse(J); permute(I,J); skew(I,J,-1); align(S1,I,1)
+
+The heavy lifting for every command lives in :mod:`repro.api` — the
+shared pipeline-driving layer the service daemon calls too; this module
+is only argument parsing and printing.
 """
 
 from __future__ import annotations
@@ -37,64 +48,35 @@ import argparse
 import os
 import sys
 
-import numpy as np
-
-from repro import obs
+from repro import api, obs
 from repro.analysis import parallel_loops
-from repro.codegen import generate_code
-from repro.codegen.simplify import simplify_program
-from repro.completion import complete_transformation
-from repro.dependence import analyze_dependences, refine_dependences
+from repro.api import load_file as _load
+from repro.api import load_flexible as _load_flexible
+from repro.api import parse_params as _params
+from repro.dependence import analyze_dependences
 from repro.instance import Layout, symbolic_vector
-from repro.interp import execute
-from repro.ir import Program, parse_program, program_to_str
-from repro.legality import check_legality
+from repro.ir import program_to_str
 from repro.linalg import IntMatrix
-from repro.polyhedra import System, ge, var
 from repro.backend import BACKENDS as _BACKEND_CHOICES
-from repro.transform.spec import parse_schedule, parse_spec
+from repro.transform.spec import parse_spec
 from repro.util.errors import ReproError
 
 __all__ = ["main", "parse_spec"]
 
 
-def _load(path: str):
-    with open(path) as f:
-        src = f.read()
-    return parse_program(src, path)
+def _remote_url(args) -> str | None:
+    """The daemon URL this invocation targets, if any (--remote flag or
+    the REPRO_REMOTE environment variable)."""
+    url = getattr(args, "remote", None)
+    if url:
+        return url
+    return os.environ.get("REPRO_REMOTE") or None
 
 
-def _load_flexible(name: str):
-    """Resolve a program argument: a file path, a path missing its
-    ``.loop`` extension, or a bundled kernel name (``repro.kernels``)."""
-    import os
+def _client(url: str):
+    from repro.service.client import ServiceClient
 
-    for candidate in (name, name + ".loop"):
-        if os.path.isfile(candidate):
-            return _load(candidate)
-    base = os.path.basename(name)
-    from repro import kernels
-
-    factory = getattr(kernels, base, None)
-    if callable(factory) and not base.startswith("_"):
-        try:
-            program = factory()
-        except TypeError:
-            program = None
-        if isinstance(program, Program):
-            return program
-    raise ReproError(f"no such file or bundled kernel: {name!r}")
-
-
-def _params(pairs: list[str]) -> dict[str, int]:
-    out = {}
-    for p in pairs or []:
-        for item in p.split(","):
-            if not item:
-                continue
-            k, _, v = item.partition("=")
-            out[k.strip()] = int(v)
-    return out
+    return ServiceClient(url)
 
 
 def cmd_show(args) -> int:
@@ -112,63 +94,68 @@ def cmd_show(args) -> int:
 
 def cmd_deps(args) -> int:
     program = _load(args.file)
-    deps = analyze_dependences(program, jobs=args.jobs)
-    if args.refine:
-        samples = [_params([s]) or {"N": 6} for s in (args.param or ["N=6", "N=9"])]
-        deps = refine_dependences(program, deps, samples=samples)
-    print(deps.to_str())
-    print()
-    print(deps.summary())
+    url = _remote_url(args)
+    if url:
+        result = api.AnalyzeResult.from_payload(
+            _client(url).analyze(
+                program_to_str(program),
+                refine=args.refine,
+                sample_params=list(args.param or []),
+                jobs=args.jobs,
+            )
+        )
+    else:
+        result = api.analyze_op(
+            program, refine=args.refine, sample_param_texts=args.param,
+            jobs=args.jobs,
+        )
+    print(result.render())
     return 0
 
 
 def cmd_check(args) -> int:
     program = _load(args.file)
-    schedule = parse_schedule(program, args.spec)
-    if schedule.is_structural:
-        verdict = "legal" if schedule.structural_legal else "ILLEGAL"
-        print(f"structural prefix {'; '.join(schedule.structural)}: {verdict}")
-    report = check_legality(schedule.layout, schedule.matrix, schedule.deps)
-    print(report)
-    return 0 if report.legal and schedule.structural_legal else 1
+    url = _remote_url(args)
+    if url:
+        result = api.CheckResult.from_payload(
+            _client(url).check(program_to_str(program), args.spec)
+        )
+    else:
+        result = api.check_op(program, args.spec)
+    print(result.render())
+    return result.exit_code
 
 
 def cmd_transform(args) -> int:
     program = _load(args.file)
-    schedule = parse_schedule(program, args.spec)
-    if not schedule.structural_legal:
-        raise ReproError(
-            f"structural prefix {'; '.join(schedule.structural)} fails the "
-            "Theorem-2 fusion test"
+    url = _remote_url(args)
+    if url:
+        result = api.TransformResult.from_payload(
+            _client(url).transform(
+                program_to_str(program), args.spec, simplify=args.simplify
+            )
         )
-    g = generate_code(schedule.program, schedule.matrix, schedule.deps)
-    out = g.program
-    if args.simplify:
-        assume = System([ge(var(p), 1) for p in program.params])
-        out = simplify_program(out, assume)
-    text = program_to_str(out)
+    else:
+        result = api.transform_op(program, args.spec, simplify=args.simplify)
     if args.output:
         with open(args.output, "w") as f:
-            f.write(text + "\n")
+            f.write(result.render() + "\n")
         print(f"wrote {args.output}")
     else:
-        print(text)
+        print(result.render())
     return 0
 
 
 def cmd_complete(args) -> int:
     program = _load(args.file)
-    layout = Layout(program)
-    deps = analyze_dependences(program, jobs=args.jobs)
-    n = layout.dimension
-    pos = layout.loop_index_by_var(args.lead)
-    partial = [[1 if j == pos else 0 for j in range(n)]]
-    result = complete_transformation(program, partial, deps, layout=layout)
-    print("completed matrix:")
-    print(result.matrix)
-    g = generate_code(program, result.matrix, deps)
-    print()
-    print(program_to_str(g.program))
+    url = _remote_url(args)
+    if url:
+        result = api.CompleteResult.from_payload(
+            _client(url).complete(program_to_str(program), args.lead)
+        )
+    else:
+        result = api.complete_op(program, args.lead, jobs=args.jobs)
+    print(result.render())
     return 0
 
 
@@ -189,31 +176,37 @@ def _tuned_program(program, params, cache_dir):
 
 def cmd_run(args) -> int:
     program = _load_flexible(args.file)
-    trace = None
+    url = _remote_url(args)
+    banner = ""
     if getattr(args, "tuned", False):
+        if url:
+            raise ReproError(
+                "--tuned is a local-cache feature; tune through the daemon "
+                "(repro tune --remote) and run the materialized schedule"
+            )
         from repro.tune.driver import DEFAULT_PARAM
 
         params = _params(args.param) or {p: DEFAULT_PARAM for p in program.params}
         program, entry = _tuned_program(program, params, args.cache_dir)
         w = entry["winner"]
-        print(f"applying tuned schedule: {w['description']} "
-              f"(measured {w['seconds']:.6f}s on {entry['backend']})")
+        banner = (f"applying tuned schedule: {w['description']} "
+                  f"(measured {w['seconds']:.6f}s on {entry['backend']})")
         args.param = [f"{k}={v}" for k, v in params.items()]
-    if args.backend == "reference":
-        store, trace = execute(program, _params(args.param), trace=args.trace)
+    if url:
+        result = api.RunResult.from_payload(
+            _client(url).run(
+                program_to_str(program), _params(args.param),
+                backend=args.backend, trace=args.trace,
+                par_jobs=getattr(args, "par_jobs", None),
+            )
+        )
     else:
-        if args.trace:
-            raise ReproError("--trace requires --backend reference")
-        from repro.backend import run as backend_run
-
-        store = backend_run(program, _params(args.param), backend=args.backend,
-                            par_jobs=getattr(args, "par_jobs", None))
-    for name, arr in store.arrays.items():
-        print(f"{name} =")
-        with np.printoptions(precision=4, suppress=True, linewidth=100):
-            print(arr)
-    if trace is not None:
-        print(f"\n{len(trace)} statement instances executed")
+        result = api.run_op(
+            program, _params(args.param), backend=args.backend,
+            par_jobs=getattr(args, "par_jobs", None), trace=args.trace,
+        )
+    result.tuned_banner = banner
+    print(result.render())
     return 0
 
 
@@ -263,12 +256,10 @@ def cmd_tune(args) -> int:
     """Autotune a program: search the legal transformation space, rank
     with the static cost model, measure the top survivors on the chosen
     backend, and persist the winner (docs/AUTOTUNING.md)."""
-    from repro.tune import TuneStore, tune
     from repro.transform.tiling import TILE_LADDER
 
     program = _load_flexible(args.file)
     params = _params(args.param) or None
-    store = TuneStore(args.cache_dir) if args.cache_dir else TuneStore()
     tile_sizes = None
     if args.tile_sizes:
         tile_sizes = tuple(
@@ -276,16 +267,12 @@ def cmd_tune(args) -> int:
         )
     elif args.tile:
         tile_sizes = TILE_LADDER
-    result = tune(
-        program,
-        params,
+    opts = dict(
         backend=args.backend,
         beam_width=args.beam,
         depth=args.depth,
         top_k=args.top_k,
         repeat=args.repeat,
-        jobs=args.jobs,
-        store=store,
         use_cache=not args.no_cache,
         force=args.force,
         include_structural=args.structural,
@@ -293,61 +280,25 @@ def cmd_tune(args) -> int:
         max_candidates=args.max_candidates,
         cross_check=args.cross_check,
     )
-    print(f"program {program.name}  params {result.params}  backend {result.backend}")
-    if result.from_cache:
-        print(f"cache: HIT ({result.cache_path}) — search skipped")
+    url = _remote_url(args)
+    if url:
+        outcome = api.TuneOutcome.from_payload(
+            _client(url).tune(
+                program_to_str(program), params, name=program.name, **opts
+            )
+        )
     else:
-        print(f"cache: MISS — enumerated {result.enumerated} candidates, "
-              f"pruned {result.pruned} illegal before execution, "
-              f"scored {result.scored}")
-        if result.cache_path:
-            print(f"cached winner -> {result.cache_path}")
-    print(f"{'':2}{'schedule':<36} {'score':>8} {'seconds':>12} {'vs default':>11}  ok")
-    failed = False
-    ordered = sorted(
-        result.rows,
-        key=lambda r: (r.seconds is None, r.seconds if r.seconds is not None else 0.0),
-    )
-    for r in ordered:
-        mark = "*" if r is result.best else " "
-        if r.error:
-            print(f"{mark} {r.description:<36} {'-':>8} {'-':>12} {'-':>11}  error: {r.error}")
-            failed = True
-            continue
-        score = f"{r.score:.4f}" if r.score is not None else "-"
-        vs = (f"{result.baseline_seconds / r.seconds:.3f}x"
-              if result.baseline_seconds and r.seconds else "-")
-        ok = "-" if r.ok is None else ("yes" if r.ok else "NO")
-        print(f"{mark} {r.description:<36} {score:>8} {r.seconds:>12.6f} {vs:>11}  {ok}")
-        if r.ok is False:
-            failed = True
-    if result.best is not None:
-        speed = f"  ({result.speedup:.3f}x vs default order)" if result.speedup else ""
-        print(f"winner: {result.best.description}{speed}")
-    else:
-        print("winner: none (no candidate survived measurement)")
-        failed = True
+        outcome = api.tune_op(
+            program, params, cache_dir=args.cache_dir, jobs=args.jobs, **opts
+        )
+    print(outcome.render())
     if args.json:
         import json
 
-        payload = {
-            "program": program.name,
-            "params": result.params,
-            "backend": result.backend,
-            "from_cache": result.from_cache,
-            "cache_key": result.cache_key,
-            "cache_path": result.cache_path,
-            "enumerated": result.enumerated,
-            "pruned": result.pruned,
-            "scored": result.scored,
-            "baseline_seconds": result.baseline_seconds,
-            "speedup": result.speedup,
-            "rows": [r.to_json(winner=(r is result.best)) for r in result.rows],
-        }
         with open(args.json, "w") as f:
-            json.dump(payload, f, indent=2)
+            json.dump(outcome.to_payload(), f, indent=2)
         print(f"wrote {args.json}")
-    return 1 if failed else 0
+    return 0 if outcome.ok else 1
 
 
 def cmd_report(args) -> int:
@@ -409,6 +360,19 @@ _EXPLAIN_PHASES = ("legality", "complete", "vectorize", "wavefront", "tune")
 
 
 def _cmd_explain(args) -> int:
+    url = _remote_url(args)
+    if url:
+        program = _load_flexible(args.file)
+        result = api.ExplainResult.from_payload(
+            _client(url).explain(
+                program_to_str(program), name=program.name,
+                phase=args.phase, spec=args.spec, lead=args.lead,
+                params=_params(args.param), as_json=args.json,
+                verbose=args.verbose,
+            )
+        )
+        print(result.render())
+        return result.exit_code
     from repro.explain import cmd_explain
 
     return cmd_explain(args)
@@ -434,6 +398,7 @@ def cmd_fuzz(args) -> int:
         inject=inject,
         strict_illegal=args.strict_illegal,
         backends=tuple(args.backend or ()),
+        service=args.service or "",
     )
     print(session.summary())
     if not session.ok:
@@ -454,6 +419,20 @@ def cmd_parallel(args) -> int:
         tag = "DOALL" if m.is_parallel else f"carries {', '.join(m.carried)}"
         print(f"loop {m.var}: {tag}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the transformation service daemon (docs/SERVICE.md)."""
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        max_shards=args.shards,
+        job_workers=args.job_workers,
+        trace_json=args.trace_json,
+        tune_dir=args.tune_dir,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -488,12 +467,23 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = one per CPU; results are identical to serial runs)",
     )
 
+    # remote-daemon targeting shared by the service-backed commands
+    remoteflags = argparse.ArgumentParser(add_help=False)
+    remoteflags.add_argument(
+        "--remote",
+        metavar="URL",
+        default=None,
+        help="execute against a running `repro serve` daemon at URL "
+        "(default: $REPRO_REMOTE; see docs/SERVICE.md)",
+    )
+
     p = sub.add_parser("show", help="print program, layout and instance vectors")
     p.add_argument("file")
     p.set_defaults(fn=cmd_show)
 
     p = sub.add_parser(
-        "deps", help="print the dependence matrix", parents=[obsflags, jobsflags]
+        "deps", help="print the dependence matrix",
+        parents=[obsflags, jobsflags, remoteflags],
     )
     p.add_argument("file")
     p.add_argument("--refine", action="store_true", help="value-based refinement")
@@ -501,14 +491,16 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_deps)
 
     p = sub.add_parser(
-        "check", help="check a transformation spec for legality", parents=[obsflags, jobsflags]
+        "check", help="check a transformation spec for legality",
+        parents=[obsflags, jobsflags, remoteflags],
     )
     p.add_argument("file")
     p.add_argument("spec", help='e.g. "permute(I,J); skew(I,J,-1)"')
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
-        "transform", help="generate code for a legal spec", parents=[obsflags, jobsflags]
+        "transform", help="generate code for a legal spec",
+        parents=[obsflags, jobsflags, remoteflags],
     )
     p.add_argument("file")
     p.add_argument("spec")
@@ -517,13 +509,16 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_transform)
 
     p = sub.add_parser(
-        "complete", help="complete a partial transformation", parents=[obsflags, jobsflags]
+        "complete", help="complete a partial transformation",
+        parents=[obsflags, jobsflags, remoteflags],
     )
     p.add_argument("file")
     p.add_argument("--lead", required=True, help="loop variable to scan outermost")
     p.set_defaults(fn=cmd_complete)
 
-    p = sub.add_parser("run", help="interpret a program", parents=[obsflags])
+    p = sub.add_parser(
+        "run", help="interpret a program", parents=[obsflags, remoteflags]
+    )
     p.add_argument("file")
     p.add_argument("-p", "--param", "--params", action="append", dest="param",
                    help="e.g. N=8 or N=8,M=4")
@@ -575,7 +570,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser(
         "tune",
         help="autotune: search legal schedules, measure, cache the winner",
-        parents=[obsflags, jobsflags],
+        parents=[obsflags, jobsflags, remoteflags],
     )
     p.add_argument("file", help="a .loop file (extension optional) or bundled kernel name")
     p.add_argument("-p", "--param", "--params", action="append", dest="param",
@@ -681,6 +676,14 @@ def main(argv: list[str] | None = None) -> int:
         "backend (repeatable; see docs/BACKENDS.md)",
     )
     p.add_argument(
+        "--service",
+        metavar="URL",
+        default=None,
+        help="also cross-check every case's source program against a "
+        "running `repro serve` daemon (warm-path oracle; see "
+        "docs/SERVICE.md)",
+    )
+    p.add_argument(
         "--par-jobs", type=int, default=None, metavar="N",
         help="worker count for source-par cross-checks (exported as "
         "REPRO_PAR_JOBS so fuzz worker processes inherit it)",
@@ -691,7 +694,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain",
         help="decision provenance: why each phase accepted or rejected "
         "(see docs/OBSERVABILITY.md)",
-        parents=[obsflags, jobsflags],
+        parents=[obsflags, jobsflags, remoteflags],
     )
     p.add_argument("file", help="a .loop file (extension optional) or bundled kernel name")
     p.add_argument(
@@ -738,15 +741,38 @@ def main(argv: list[str] | None = None) -> int:
                    help="tuning cache directory (default: .repro_tune or $REPRO_TUNE_DIR)")
     p.set_defaults(fn=cmd_report)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the transformation service daemon (docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1; the daemon is "
+                   "designed for local-socket use)")
+    p.add_argument("--port", type=int, default=7521,
+                   help="TCP port (default 7521; 0 picks a free port)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="max warm program shards before LRU eviction "
+                   "(default 64, or $REPRO_SERVICE_SHARDS)")
+    p.add_argument("--job-workers", type=int, default=2, metavar="N",
+                   help="async job-queue worker threads (default 2)")
+    p.add_argument("--trace-json", metavar="PATH",
+                   help="stream the daemon's spans/events/metrics as JSON "
+                   "lines to PATH (flushed on SIGTERM/SIGINT)")
+    p.add_argument("--tune-dir", default=None, metavar="DIR",
+                   help="the daemon's tuning cache directory (default: "
+                   ".repro_tune or $REPRO_TUNE_DIR)")
+    p.set_defaults(fn=cmd_serve)
+
     args = parser.parse_args(argv)
     profile = getattr(args, "profile", False)
     trace_json = getattr(args, "trace_json", None)
     # `report` always collects metrics for its metrics section and
     # `explain` needs the decision events; the other commands only pay
-    # for observability when asked.
+    # for observability when asked.  `serve` manages its own long-lived
+    # session (including the trace sink) inside the daemon.
     want_obs = (
         profile or trace_json is not None or args.command in ("report", "explain")
-    )
+    ) and args.command != "serve"
 
     mem = None
     sess = None
@@ -758,8 +784,11 @@ def main(argv: list[str] | None = None) -> int:
                 sinks.append(obs.JsonlSink(trace_json))
             sess = obs.install(*sinks)
         try:
-            with obs.span(f"cli.{args.command}", file=getattr(args, "file", None)):
-                return args.fn(args)
+            from repro.obs.lifecycle import flush_on_signals
+
+            with flush_on_signals():
+                with obs.span(f"cli.{args.command}", file=getattr(args, "file", None)):
+                    return args.fn(args)
         finally:
             if sess is not None:
                 obs.uninstall()

@@ -19,6 +19,7 @@ wrote, so explaining a tuning run never re-searches or re-measures.
 from __future__ import annotations
 
 import json
+from contextvars import ContextVar
 
 from repro import obs
 from repro.instance import Layout
@@ -26,15 +27,24 @@ from repro.ir import program_to_str
 from repro.tune.ranking import RankReport, rank_report
 from repro.util.errors import ReproError
 
-__all__ = ["cmd_explain", "PHASES", "render_tune_ranking"]
+__all__ = ["cmd_explain", "explain_program", "PHASES", "render_tune_ranking"]
 
 #: Phases ``--phase`` accepts, in pipeline order.
 PHASES = ("legality", "complete", "vectorize", "wavefront", "tune")
 
+#: Index into the session's event list where the current explain run
+#: started.  The CLI installs a fresh session per command so this is 0
+#: there; the long-lived service daemon shares one session across many
+#: requests, and slicing from the marker keeps each explain's narrative
+#: scoped to the events *it* emitted rather than the daemon's lifetime.
+_EVENTS_START: ContextVar[int] = ContextVar("repro_explain_events_start", default=0)
+
 
 def _phase_events(phase: str):
     sess = obs.current_session()
-    return [ev for ev in (sess.events if sess else []) if ev.kind == phase]
+    start = _EVENTS_START.get()
+    events = sess.events[start:] if sess else []
+    return [ev for ev in events if ev.kind == phase]
 
 
 # -- phase drivers: each runs one pipeline stage and returns a narrative ----
@@ -193,11 +203,29 @@ def _explain_tune(program, args) -> tuple[str, dict | None]:
 
 def cmd_explain(args) -> int:
     """Render decision provenance for one phase (or every runnable one)."""
-    from repro.cli import _load_flexible, _params
+    from repro.api import load_flexible, parse_params
 
-    program = _load_flexible(args.file)
-    args.params = _params(args.param)
+    program = load_flexible(args.file)
+    args.params = parse_params(args.param)
+    return explain_program(program, args)
 
+
+def explain_program(program, args) -> int:
+    """Drive the explain phases for an already-loaded program.
+
+    ``args`` needs: ``phase``, ``spec``, ``lead``, ``params`` (a dict),
+    ``cache_dir``, ``json``, ``verbose`` and ``jobs`` — the CLI
+    namespace or the service's :func:`repro.api.explain_op` shim.
+    """
+    sess = obs.current_session()
+    token = _EVENTS_START.set(len(sess.events) if sess else 0)
+    try:
+        return _explain_program_inner(program, args)
+    finally:
+        _EVENTS_START.reset(token)
+
+
+def _explain_program_inner(program, args) -> int:
     phases = [args.phase] if args.phase else [
         p
         for p in PHASES

@@ -36,9 +36,13 @@ __all__ = [
 ]
 
 #: Contract violations: the pipeline produced wrong code for a
-#: transformation it accepted (or was told to accept), crashed, or an
-#: execution backend disagreed with the reference interpreter.
-DIVERGENCE_VERDICTS = ("divergence-oracle", "divergence-crash", "divergence-backend")
+#: transformation it accepted (or was told to accept), crashed, an
+#: execution backend disagreed with the reference interpreter, or the
+#: warm service daemon's output differed from the cold local pipeline.
+DIVERGENCE_VERDICTS = (
+    "divergence-oracle", "divergence-crash", "divergence-backend",
+    "divergence-service",
+)
 
 #: Outcomes that uphold the two-sided contract.
 PASS_VERDICTS = (
@@ -64,6 +68,7 @@ class FuzzCase:
     claim_legal: bool = False           # force codegen as if legal (injection)
     note: str = ""                      # free-form provenance
     backends: tuple[str, ...] = ()      # cross-backend differential oracle
+    service: str = ""                   # warm-daemon differential oracle (URL)
 
     def params_dict(self) -> dict[str, int]:
         return dict(self.params)
@@ -73,7 +78,8 @@ class FuzzCase:
         p = ", ".join(f"{k}={v}" for k, v in self.params)
         claimed = " [claimed legal]" if self.claim_legal else ""
         vs = f" [vs {', '.join(self.backends)}]" if self.backends else ""
-        return f"{t} @ {{{p}}}{claimed}{vs}"
+        svc = " [vs service]" if self.service else ""
+        return f"{t} @ {{{p}}}{claimed}{vs}{svc}"
 
     def with_(self, **changes) -> "FuzzCase":
         return replace(self, **changes)
@@ -143,6 +149,13 @@ def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
         if detail is not None:
             counter("fuzz.divergences")
             return CaseResult(case, "divergence-backend", f"source program: {detail}")
+
+    # -- warm-service oracle on the source program ---------------------
+    if case.service:
+        detail = _service_divergence(program, case.params_dict(), case.service)
+        if detail is not None:
+            counter("fuzz.divergences")
+            return CaseResult(case, "divergence-service", detail)
 
     layout = Layout(program)
     deps = analyze_dependences(program, layout=layout)
@@ -299,6 +312,49 @@ def _backend_divergence(program, params: dict, backends: tuple[str, ...]) -> str
             for k, v in ref.scalars.items()
         ):
             return f"backend {b}: scalar values differ from reference"
+    return None
+
+
+def _service_divergence(program, params: dict, url: str) -> str | None:
+    """Warm-daemon differential oracle (``repro fuzz --service URL``).
+
+    Sends the case's source program to a running ``repro serve`` daemon
+    and *byte-compares* the rendered analyze and run outputs against the
+    local in-process pipeline — the service contract is that warm-path
+    results are identical to cold runs (docs/SERVICE.md).  A program the
+    local reference execution rejects is a skip (the daemon must then
+    reject it too).
+    """
+    from repro.api import AnalyzeResult, RunResult, analyze_op, run_op
+    from repro.ir import program_to_str
+    from repro.service.client import ServiceClient
+    from repro.util.errors import ServiceError
+
+    src = program_to_str(program)
+    client = ServiceClient(url)
+    counter("fuzz.service_checks")
+    local_analyze = analyze_op(program).render()
+    try:
+        remote_analyze = AnalyzeResult.from_payload(client.analyze(src)).render()
+    except ServiceError as exc:
+        return f"service analyze raised (local analyze succeeded): {exc}"
+    if remote_analyze != local_analyze:
+        return "service analyze output differs from local pipeline"
+    try:
+        local_run = run_op(program, params).render()
+    except ReproError:
+        counter("fuzz.service_skips")
+        try:
+            client.run(src, params)
+        except ServiceError:
+            return None
+        return "service ran a program the local reference execution rejects"
+    try:
+        remote_run = RunResult.from_payload(client.run(src, params)).render()
+    except ServiceError as exc:
+        return f"service run raised (local run succeeded): {exc}"
+    if remote_run != local_run:
+        return "service run output differs from local reference execution"
     return None
 
 

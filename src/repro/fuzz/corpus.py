@@ -50,6 +50,11 @@ def expected_for(result: CaseResult) -> str:
         # a lowering bug: correct behaviour is simply that no backend
         # disagrees with the reference, whatever the legality verdict
         return "backend-equivalent"
+    if result.verdict == "divergence-service":
+        # service divergences need a live daemon to reproduce; the
+        # committed repro (which does not persist the transient daemon
+        # URL) replays the local pipeline and must stay non-divergent
+        return "no-divergence"
     if result.case.claim_legal:
         # the case was forced past legality; correct behaviour is for the
         # legality test to reject it and the oracles to confirm

@@ -71,6 +71,7 @@ def fuzz_run(
     max_shrink_attempts: int = 400,
     progress: Callable[[int, CaseResult], None] | None = None,
     backends: tuple[str, ...] = (),
+    service: str = "",
 ) -> FuzzSession:
     """Run ``runs`` sampled cases; shrink and serialize any divergence.
 
@@ -82,13 +83,19 @@ def fuzz_run(
     additionally executes its source (and, when legal, generated)
     program through the named backends and compares against the
     reference interpreter; disagreements are ``divergence-backend``.
+
+    ``service`` arms the warm-daemon oracle: every case's source program
+    is also sent to the ``repro serve`` daemon at this URL, and its
+    analyze/run outputs must be byte-identical to the local pipeline;
+    disagreements are ``divergence-service`` (docs/SERVICE.md).
     """
     inject = dict(inject or {})
     backends = tuple(backends)
     session = FuzzSession(runs=runs, seed=seed)
     with span("fuzz.run", runs=runs, seed=seed):
         results = _run_all(
-            runs, seed, inject, strict_illegal, resolve_jobs(jobs), backends
+            runs, seed, inject, strict_illegal, resolve_jobs(jobs), backends,
+            service,
         )
         for index, result in enumerate(results):
             session.verdict_counts[result.verdict] = (
@@ -145,11 +152,13 @@ def _minimize(result: CaseResult, strict_illegal: bool,
 
 def _case_at(
     seed: int, index: int, inject: Mapping[int, FuzzCase],
-    backends: tuple[str, ...] = (),
+    backends: tuple[str, ...] = (), service: str = "",
 ) -> FuzzCase:
     case = inject[index] if index in inject else sample_case(seed, index)
     if backends and not case.backends:
         case = case.with_(backends=backends)
+    if service and not case.service:
+        case = case.with_(service=service)
     return case
 
 
@@ -160,11 +169,15 @@ def _run_all(
     strict_illegal: bool,
     jobs: int,
     backends: tuple[str, ...],
+    service: str = "",
 ) -> list[CaseResult]:
     indices = list(range(runs))
     if jobs <= 1 or runs < 2:
         return [
-            run_case(_case_at(seed, i, inject, backends), strict_illegal=strict_illegal)
+            run_case(
+                _case_at(seed, i, inject, backends, service),
+                strict_illegal=strict_illegal,
+            )
             for i in indices
         ]
     chunks = chunk_round_robin(runs, jobs)
@@ -172,7 +185,7 @@ def _run_all(
         (i, _case_payload(c)) for i, c in sorted(inject.items())
     )
     tasks = [
-        (seed, tuple(chunk), inject_items, strict_illegal, backends)
+        (seed, tuple(chunk), inject_items, strict_illegal, backends, service)
         for chunk in chunks
     ]
     by_index: dict[int, CaseResult] = {}
@@ -187,7 +200,7 @@ def _run_all(
 def _case_payload(case: FuzzCase) -> tuple:
     return (
         case.program_src, case.kind, case.spec, case.lead, case.params,
-        case.claim_legal, case.note, case.backends,
+        case.claim_legal, case.note, case.backends, case.service,
     )
 
 
@@ -195,7 +208,7 @@ def _case_from_payload(p: tuple) -> FuzzCase:
     return FuzzCase(
         program_src=p[0], kind=p[1], spec=p[2], lead=p[3],
         params=tuple(tuple(x) for x in p[4]), claim_legal=p[5], note=p[6],
-        backends=tuple(p[7]),
+        backends=tuple(p[7]), service=p[8] if len(p) > 8 else "",
     )
 
 
@@ -216,12 +229,14 @@ def _run_chunk(task: tuple) -> tuple[list[tuple[int, tuple]], dict]:
     picklable payloads (the oracle report dicts stay worker-side) and
     the metrics payload bundles counter/gauge/histogram deltas for the
     parent to merge."""
-    seed, indices, inject_items, strict_illegal, backends = task
+    seed, indices, inject_items, strict_illegal, backends, service = (
+        task if len(task) > 5 else (*task, "")
+    )
     inject = {i: _case_from_payload(p) for i, p in inject_items}
     out: list[tuple[int, tuple]] = []
     with capture_counters() as cap:
         for index in indices:
-            case = _case_at(seed, index, inject, tuple(backends))
+            case = _case_at(seed, index, inject, tuple(backends), service)
             result = run_case(case, strict_illegal=strict_illegal)
             out.append((index, _result_payload(result)))
     return out, cap.metrics

@@ -1,0 +1,73 @@
+"""Sink lifecycle on abnormal exit.
+
+A ``JsonlSink`` buffers up to :data:`~repro.obs.sinks.JsonlSink.FLUSH_EVERY`
+records between flushes.  A plain SIGTERM (the default action) kills the
+process without unwinding ``finally`` blocks, so a long CLI run — a
+``--jobs`` fan-out parent that owns the trace sink, or the service
+daemon — would leave a truncated trace artifact behind.
+
+:func:`flush_on_signals` converts SIGTERM/SIGINT into ordinary Python
+exceptions *after* flushing the installed observability session, so the
+normal ``obs.uninstall()`` cleanup (which flushes and closes every sink)
+still runs and trace files always end on a record boundary.  Signal
+handlers can only be installed from the main thread; anywhere else the
+context manager is a no-op, which keeps it safe inside worker threads
+and pool workers.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+
+from repro.obs import core
+
+__all__ = ["flush_current_session", "flush_on_signals"]
+
+
+def flush_current_session() -> None:
+    """Flush every sink of the installed session (best effort)."""
+    sess = core.current_session()
+    if sess is None:
+        return
+    for sink in sess.sinks:
+        try:
+            sink.flush()
+        except Exception:  # pragma: no cover - sink already broken
+            pass
+
+
+@contextmanager
+def flush_on_signals(signums: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT)):
+    """Within the block, SIGTERM/SIGINT flush the obs session and then
+    raise ``SystemExit(128 + signum)`` / ``KeyboardInterrupt`` so that
+    ``finally`` cleanup (``obs.uninstall()``, sink ``close()``) runs.
+
+    Previous handlers are restored on exit.  No-op outside the main
+    thread (the only place Python allows signal handlers).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        flush_current_session()
+        if signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        raise SystemExit(128 + signum)
+
+    previous: dict[int, object] = {}
+    for signum in signums:
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platform
+            pass
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass

@@ -1,0 +1,29 @@
+"""Transformation-as-a-service: a persistent daemon over the pipeline.
+
+The one-shot CLI cold-starts Python, re-parses the program, and rebuilds
+the memoized Fourier–Motzkin engine cache on every invocation.  The
+service keeps all of that warm in one long-lived process and exposes the
+full pipeline — analyze / check / transform / complete / run / tune /
+explain — over HTTP on a local socket:
+
+* :mod:`repro.service.protocol` — versioned, typed request/response
+  dataclasses and the JSON wire codec;
+* :mod:`repro.service.engine_pool` — per-program shards (keyed by
+  :func:`repro.api.program_key`) with bounded LRU eviction, per-shard
+  locks, per-shard result caches, and in-flight request coalescing;
+* :mod:`repro.service.jobs` — an async job queue (submit / poll /
+  result / cancel) so long tunes never block a request thread;
+* :mod:`repro.service.server` — the threaded daemon (``repro serve``)
+  with graceful SIGTERM/SIGINT shutdown and a ``/metrics`` endpoint;
+* :mod:`repro.service.client` — the HTTP client the CLI's ``--remote``
+  flag (and the fuzzer's ``--service`` oracle) uses.
+
+Warm-path results are byte-identical to cold CLI runs: both front ends
+drive :mod:`repro.api` and render through the same result dataclasses.
+See docs/SERVICE.md.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import PROTOCOL_VERSION, Response
+
+__all__ = ["ServiceClient", "PROTOCOL_VERSION", "Response"]

@@ -1,0 +1,201 @@
+"""Async job queue: long operations off the request threads.
+
+A tune over a big search space (or any pipeline op a client chooses to
+background) runs for seconds to minutes; holding an HTTP request open
+that long wastes a request thread and trips client timeouts.  ``submit``
+enqueues the op and returns a job id immediately; ``poll`` reports
+status; ``result`` returns the finished payload (or the failure);
+``cancel`` withdraws a job that has not started yet — a running pipeline
+op has no safe preemption point, so cancelling one only marks it
+ignored.
+
+Statuses: ``pending`` → ``running`` → ``done`` | ``error``, or
+``pending`` → ``cancelled``.  Finished jobs are kept in a bounded ring
+(``MAX_FINISHED``) so a long-lived daemon cannot leak job records.
+
+Counters: ``service.jobs.submitted`` / ``.completed`` / ``.failed`` /
+``.cancelled``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs import counter
+from repro.util.errors import ServiceError
+
+__all__ = ["Job", "JobQueue", "MAX_FINISHED"]
+
+#: Finished job records retained before the oldest are dropped.
+MAX_FINISHED = 256
+
+
+@dataclass
+class Job:
+    id: str
+    op: str
+    args: dict[str, Any]
+    status: str = "pending"
+    result: dict | None = None
+    error: str | None = None
+    error_kind: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def describe(self) -> dict:
+        return {
+            "job_id": self.id,
+            "op": self.op,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "error_kind": self.error_kind,
+        }
+
+
+class JobQueue:
+    """Worker threads draining a FIFO of pipeline ops."""
+
+    def __init__(self, handler: Callable[[str, dict], dict], workers: int = 2):
+        self._handler = handler
+        self._queue: queue.Queue[str | None] = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._stopping = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"repro-job-{i}", daemon=True
+            )
+            for i in range(max(1, workers))
+        ]
+        for t in self._workers:
+            t.start()
+
+    # -- client-facing operations ---------------------------------------
+
+    def submit(self, op: str, args: dict[str, Any]) -> str:
+        with self._lock:
+            if self._stopping:
+                raise ServiceError("daemon is shutting down; job rejected")
+            job_id = f"job-{next(self._seq)}"
+            job = Job(id=job_id, op=op, args=dict(args))
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._prune_locked()
+        counter("service.jobs.submitted")
+        self._queue.put(job_id)
+        return job_id
+
+    def poll(self, job_id: str) -> dict:
+        return self._get(job_id).describe()
+
+    def result(self, job_id: str) -> dict:
+        """The finished payload; raises while pending/running, relays
+        the failure for error/cancelled jobs."""
+        job = self._get(job_id)
+        if job.status in ("pending", "running"):
+            raise ServiceError(
+                f"job {job_id} is {job.status}; poll until done", kind="JobPending"
+            )
+        if job.status == "cancelled":
+            raise ServiceError(f"job {job_id} was cancelled", kind="JobCancelled")
+        if job.status == "error":
+            raise ServiceError(
+                job.error or f"job {job_id} failed",
+                kind=job.error_kind or "ServiceError",
+            )
+        return job.result or {}
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a pending job; returns whether it was cancelled."""
+        job = self._get(job_id)
+        with self._lock:
+            if job.status != "pending":
+                return False
+            job.status = "cancelled"
+            job.finished_at = time.time()
+            job.done_event.set()
+        counter("service.jobs.cancelled")
+        return True
+
+    def wait(self, job_id: str, timeout: float | None = None) -> bool:
+        """Block until the job finishes (server-side helper for tests)."""
+        return self._get(job_id).done_event.wait(timeout)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def stop(self, wait: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop accepting work and (optionally) drain the workers."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        for _ in self._workers:
+            self._queue.put(None)
+        if wait:
+            for t in self._workers:
+                t.join(timeout)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            jobs = [self._jobs[j].describe() for j in self._order]
+        by_status: dict[str, int] = {}
+        for j in jobs:
+            by_status[j["status"]] = by_status.get(j["status"], 0) + 1
+        return {"jobs": len(jobs), "by_status": by_status}
+
+    # -- internals -------------------------------------------------------
+
+    def _get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}", kind="JobUnknown")
+        return job
+
+    def _prune_locked(self) -> None:
+        finished = [
+            j for j in self._order
+            if self._jobs[j].status in ("done", "error", "cancelled")
+        ]
+        while len(finished) > MAX_FINISHED:
+            victim = finished.pop(0)
+            self._order.remove(victim)
+            del self._jobs[victim]
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.status != "pending":
+                    continue  # cancelled or pruned while queued
+                job.status = "running"
+            try:
+                result = self._handler(job.op, job.args)
+            except Exception as exc:  # noqa: BLE001 - relayed to the client
+                with self._lock:
+                    job.status = "error"
+                    job.error = str(exc)
+                    job.error_kind = type(exc).__name__
+                    job.finished_at = time.time()
+                counter("service.jobs.failed")
+            else:
+                with self._lock:
+                    job.status = "done"
+                    job.result = result
+                    job.finished_at = time.time()
+                counter("service.jobs.completed")
+            finally:
+                job.done_event.set()

@@ -90,3 +90,19 @@ class BackendError(ReproError):
 class TuneError(ReproError):
     """Raised by the schedule autotuner (no cached entry for --tuned,
     no measurable candidate survived, ...)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the transformation service (protocol violation, daemon
+    unreachable, remote pipeline failure surfaced to the client, ...).
+
+    Attributes
+    ----------
+    kind:
+        The remote error class name (e.g. ``"ParseError"``) when the
+        error is a relayed pipeline failure, else ``"ServiceError"``.
+    """
+
+    def __init__(self, message: str, kind: str = "ServiceError"):
+        self.kind = kind
+        super().__init__(message)

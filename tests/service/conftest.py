@@ -1,0 +1,46 @@
+"""Shared daemon fixtures: an in-process ``ServiceServer`` per test."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceServer
+from repro.util.errors import ServiceError
+
+
+@pytest.fixture()
+def make_daemon(tmp_path):
+    """Factory: boot an in-process daemon and hand back (server, client).
+
+    Every daemon gets an isolated tune cache under the test's tmp dir
+    and is drained and closed at teardown regardless of test outcome.
+    """
+    started: list[tuple[ServiceServer, threading.Thread]] = []
+
+    def boot(**kwargs) -> tuple[ServiceServer, ServiceClient]:
+        kwargs.setdefault("tune_dir", str(tmp_path / f"tune{len(started)}"))
+        server = ServiceServer(port=0, **kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        started.append((server, thread))
+        client = ServiceClient(server.url, timeout=60.0)
+        client.wait_ready(timeout=10.0)
+        return server, client
+
+    yield boot
+
+    for server, thread in started:
+        try:
+            ServiceClient(server.url, timeout=5.0).shutdown()
+        except ServiceError:
+            server.request_shutdown()
+        thread.join(10)
+        server.close()
+
+
+@pytest.fixture()
+def daemon(make_daemon):
+    return make_daemon()

@@ -1,0 +1,169 @@
+"""Engine pool: canonical sharding, LRU eviction, caching, coalescing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.engine_pool import EnginePool
+
+SRC = "param N\nreal A(0:N)\ndo I = 1, N\n  S1: A(I) = f(I)\nenddo"
+#: same program, different surface syntax (whitespace)
+SRC_VARIANT = "param N\nreal A(0:N)\ndo I = 1,N\n  S1:A(I) = f(I)\nenddo"
+
+
+def prog(n: int) -> str:
+    return f"param N\nreal A{n}(0:N)\ndo I = 1, N\n  S1: A{n}(I) = f(I)\nenddo"
+
+
+def test_equal_programs_share_a_shard_across_formatting():
+    pool = EnginePool(max_shards=8)
+    a = pool.shard_for(SRC)
+    b = pool.shard_for(SRC_VARIANT)
+    assert a is b
+    assert pool.stats["shard_hits"] == 1 and pool.stats["shard_misses"] == 1
+
+
+def test_distinct_programs_get_distinct_shards():
+    pool = EnginePool(max_shards=8)
+    assert pool.shard_for(prog(1)) is not pool.shard_for(prog(2))
+    assert pool.shard_count() == 2
+
+
+def test_lru_eviction_bounds_the_shard_map():
+    pool = EnginePool(max_shards=2)
+    s1 = pool.shard_for(prog(1))
+    pool.shard_for(prog(2))
+    pool.shard_for(prog(3))  # evicts prog(1)
+    assert pool.shard_count() == 2
+    assert pool.stats["shard_evictions"] == 1
+    s1_again = pool.shard_for(prog(1))  # re-parse, new shard object
+    assert s1_again is not s1
+
+
+def test_lru_order_is_recency_not_insertion():
+    pool = EnginePool(max_shards=2)
+    s1 = pool.shard_for(prog(1))
+    pool.shard_for(prog(2))
+    assert pool.shard_for(prog(1)) is s1  # touch 1 -> 2 is now LRU
+    pool.shard_for(prog(3))  # evicts prog(2)
+    assert pool.shard_for(prog(1)) is s1  # still warm
+
+
+def test_compute_caches_results_per_signature():
+    pool = EnginePool()
+    shard = pool.shard_for(SRC)
+    calls = []
+
+    def fn():
+        calls.append(1)
+        return {"v": len(calls)}
+
+    p1, cached1, _ = pool.compute(shard, ("op", ()), fn)
+    p2, cached2, _ = pool.compute(shard, ("op", ()), fn)
+    p3, cached3, _ = pool.compute(shard, ("op", ("x",)), fn)
+    assert (p1, cached1) == ({"v": 1}, False)
+    assert (p2, cached2) == ({"v": 1}, True)  # no second call
+    assert (p3, cached3) == ({"v": 2}, False)  # different signature
+    assert pool.stats["cache_hits"] == 1 and pool.stats["cache_misses"] == 2
+
+
+def test_shard_result_cache_is_bounded_lru():
+    pool = EnginePool(max_results_per_shard=2)
+    shard = pool.shard_for(SRC)
+    for i in range(3):
+        pool.compute(shard, ("op", (i,)), lambda i=i: {"v": i})
+    assert shard.cache_len() == 2
+    assert shard.cached(("op", (0,))) is None  # oldest evicted
+    assert shard.cached(("op", (2,))) == {"v": 2}
+
+
+def test_identical_inflight_requests_coalesce():
+    pool = EnginePool()
+    shard = pool.shard_for(SRC)
+    started = threading.Event()
+    release = threading.Event()
+    calls = []
+
+    def slow():
+        calls.append(1)
+        started.set()
+        release.wait(5)
+        return {"v": "shared"}
+
+    results = []
+
+    def worker():
+        results.append(pool.compute(shard, ("op", ()), slow))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    threads[0].start()
+    assert started.wait(5)
+    for t in threads[1:]:
+        t.start()
+    # followers are registered before we release the leader
+    deadline = threading.Event()
+    for _ in range(100):
+        if pool.stats["coalesced"] == 3:
+            break
+        deadline.wait(0.02)
+    release.set()
+    for t in threads:
+        t.join(5)
+    assert len(calls) == 1, "leader computed exactly once"
+    payloads = sorted((p["v"], coalesced) for p, _, coalesced in results)
+    assert [p for p, _ in payloads] == ["shared"] * 4
+    assert sum(1 for _, c in payloads if c) == 3
+    assert pool.stats["coalesced"] == 3
+
+
+def test_leader_failure_propagates_to_followers():
+    pool = EnginePool()
+    shard = pool.shard_for(SRC)
+    started = threading.Event()
+    release = threading.Event()
+
+    def boom():
+        started.set()
+        release.wait(5)
+        raise ValueError("leader failed")
+
+    errors = []
+
+    def worker():
+        try:
+            pool.compute(shard, ("op", ()), boom)
+        except ValueError as exc:
+            errors.append(str(exc))
+
+    threads = [threading.Thread(target=worker) for _ in range(3)]
+    threads[0].start()
+    assert started.wait(5)
+    for t in threads[1:]:
+        t.start()
+    for _ in range(100):
+        if pool.stats["coalesced"] == 2:
+            break
+        threading.Event().wait(0.02)
+    release.set()
+    for t in threads:
+        t.join(5)
+    assert errors == ["leader failed"] * 3
+    # a failed flight is not cached; the next request recomputes
+    with pytest.raises(ValueError):
+        release.clear()
+        started.clear()
+        release.set()
+        pool.compute(shard, ("op", ()), lambda: (_ for _ in ()).throw(ValueError("x")))
+
+
+def test_snapshot_shape():
+    pool = EnginePool(max_shards=4)
+    shard = pool.shard_for(SRC)
+    pool.compute(shard, ("op", ()), lambda: {"v": 1})
+    snap = pool.snapshot()
+    assert snap["shard_count"] == 1 and snap["max_shards"] == 4
+    assert snap["shards"][0]["results"] == 1
+    for key in ("shard_hits", "cache_misses", "coalesced"):
+        assert key in snap

@@ -1,0 +1,134 @@
+"""Async job queue: lifecycle, failures, cancellation, draining."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.jobs import JobQueue
+from repro.util.errors import ServiceError
+
+
+def test_submit_poll_result_roundtrip():
+    q = JobQueue(lambda op, args: {"op": op, **args}, workers=1)
+    try:
+        jid = q.submit("analyze", {"x": 1})
+        assert jid.startswith("job-")
+        assert q.wait(jid, 5)
+        assert q.poll(jid)["status"] == "done"
+        assert q.result(jid) == {"op": "analyze", "x": 1}
+    finally:
+        q.stop()
+
+
+def test_failed_job_relays_error_kind():
+    def handler(op, args):
+        raise ValueError("kaput")
+
+    q = JobQueue(handler, workers=1)
+    try:
+        jid = q.submit("analyze", {})
+        assert q.wait(jid, 5)
+        assert q.poll(jid)["status"] == "error"
+        with pytest.raises(ServiceError, match="kaput") as exc_info:
+            q.result(jid)
+        assert exc_info.value.kind == "ValueError"
+    finally:
+        q.stop()
+
+
+def test_result_while_pending_raises_job_pending():
+    gate = threading.Event()
+    q = JobQueue(lambda op, args: gate.wait(5) and {}, workers=1)
+    try:
+        jid = q.submit("analyze", {})
+        with pytest.raises(ServiceError) as exc_info:
+            q.result(jid)
+        assert exc_info.value.kind == "JobPending"
+    finally:
+        gate.set()
+        q.stop()
+
+
+def test_cancel_pending_job_never_runs():
+    gate = threading.Event()
+    ran = []
+
+    def handler(op, args):
+        ran.append(args.get("n"))
+        gate.wait(5)
+        return {}
+
+    q = JobQueue(handler, workers=1)
+    try:
+        blocker = q.submit("analyze", {"n": 0})  # occupies the only worker
+        victim = q.submit("analyze", {"n": 1})
+        assert q.cancel(victim) is True
+        assert q.poll(victim)["status"] == "cancelled"
+        with pytest.raises(ServiceError) as exc_info:
+            q.result(victim)
+        assert exc_info.value.kind == "JobCancelled"
+        gate.set()
+        assert q.wait(blocker, 5)
+        # give the worker a moment to (incorrectly) pick up the victim
+        time.sleep(0.05)
+        assert ran == [0], "cancelled job must never execute"
+    finally:
+        gate.set()
+        q.stop()
+
+
+def test_cancel_running_or_done_job_fails():
+    started = threading.Event()
+    gate = threading.Event()
+
+    def handler(op, args):
+        started.set()
+        gate.wait(5)
+        return {}
+
+    q = JobQueue(handler, workers=1)
+    try:
+        jid = q.submit("analyze", {})
+        assert started.wait(5)
+        assert q.cancel(jid) is False  # running
+        gate.set()
+        assert q.wait(jid, 5)
+        assert q.cancel(jid) is False  # done
+        assert q.poll(jid)["status"] == "done"
+    finally:
+        gate.set()
+        q.stop()
+
+
+def test_unknown_job_id():
+    q = JobQueue(lambda op, args: {}, workers=1)
+    try:
+        with pytest.raises(ServiceError) as exc_info:
+            q.poll("job-999")
+        assert exc_info.value.kind == "JobUnknown"
+    finally:
+        q.stop()
+
+
+def test_stop_drains_and_rejects_new_work():
+    q = JobQueue(lambda op, args: {"ok": True}, workers=2)
+    jids = [q.submit("analyze", {"n": i}) for i in range(5)]
+    q.stop(wait=True)
+    for jid in jids:
+        assert q.poll(jid)["status"] == "done"
+    with pytest.raises(ServiceError, match="shutting down"):
+        q.submit("analyze", {})
+
+
+def test_snapshot_counts_by_status():
+    q = JobQueue(lambda op, args: {}, workers=1)
+    try:
+        jid = q.submit("analyze", {})
+        assert q.wait(jid, 5)
+        snap = q.snapshot()
+        assert snap["jobs"] == 1 and snap["by_status"]["done"] == 1
+    finally:
+        q.stop()
