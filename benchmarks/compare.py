@@ -62,7 +62,15 @@ completed without request errors.  Opt-in at collection time
 (``REPRO_BENCH_SERVICE=1``, the CI service-smoke job), so a result
 without it passes vacuously.
 
-An eighth, opt-in gate (``--trend BENCH_history.jsonl``) checks the fresh
+An eighth gate reads the fresh ``symbolic`` table (the E21
+fractal-oracle consultation zoo, see benchmarks/bench_symbolic.py and
+benchmarks/emit.py): every consultation's verdict must match its
+committed expectation (the certified rescues stay certified, the
+cholesky recurrence stays a mismatch), and every emitted certificate
+must re-verify.  Consultations are milliseconds, so the section is
+collected unconditionally; its ``check_seconds`` feed the trend ledger.
+
+A ninth, opt-in gate (``--trend BENCH_history.jsonl``) checks the fresh
 run's backend/tune metrics against the *rolling median* of prior ledger
 snapshots (see benchmarks/history.py): any metric more than 25% worse
 than its trend fails.  Point-to-point factor gates miss slow drift — a
@@ -84,7 +92,7 @@ __all__ = [
     "Comparison", "compare_results", "backend_gate", "backend_table",
     "tune_gate", "tune_table", "scaling_gate", "scaling_table",
     "wavefront_gate", "wavefront_table", "service_gate", "service_table",
-    "trend_gate", "main",
+    "symbolic_gate", "symbolic_table", "trend_gate", "main",
 ]
 
 DEFAULT_FACTOR = 2.0
@@ -402,6 +410,51 @@ def service_table(fresh: dict) -> str:
     return "\n".join(lines)
 
 
+def symbolic_gate(fresh: dict) -> list[str]:
+    """Absolute checks on the E21 symbolic-oracle table; returns
+    failures.  Every consultation must reach its committed verdict, and
+    a row that produced a certificate must have re-verified it — a
+    certificate that cannot be checked is worse than a rejection."""
+    failures = []
+    for row in fresh.get("symbolic", []):
+        name = f"{row.get('kernel')}/{row.get('spec')}"
+        if row.get("error"):
+            failures.append(f"{name}: oracle error: {row['error']}")
+            continue
+        if row.get("verdict") != row.get("expected"):
+            failures.append(
+                f"{name}: verdict {row.get('verdict')!r}, expected "
+                f"{row.get('expected')!r}"
+            )
+        elif row.get("verified") is False:
+            failures.append(f"{name}: emitted certificate failed re-verification")
+        elif row.get("ok") is not True:
+            failures.append(f"{name}: row not marked ok")
+    return failures
+
+
+def symbolic_table(fresh: dict) -> str:
+    """The E21 table as a GitHub-flavoured markdown summary."""
+    rows = fresh.get("symbolic", [])
+    if not rows:
+        return ""
+    lines = [
+        "| kernel | spec | verdict | check ms | sizes | verified | ok |",
+        "|---|---|---|---:|---|---|---|",
+    ]
+    for r in rows:
+        ms = f"{r['check_seconds'] * 1e3:.2f}" if isinstance(
+            r.get("check_seconds"), (int, float)) else "-"
+        sizes = ",".join(str(s) for s in r["sizes"]) if r.get("sizes") else "-"
+        verified = {True: "yes", False: "NO", None: "-"}[r.get("verified")]
+        ok = {True: "yes", False: "NO", None: "-"}[r.get("ok")]
+        lines.append(
+            f"| {r.get('kernel')} | {r.get('spec')} | {r.get('verdict')} "
+            f"| {ms} | {sizes} | {verified} | {ok} |"
+        )
+    return "\n".join(lines)
+
+
 def trend_gate(
     fresh: dict,
     history_path: Path,
@@ -540,6 +593,14 @@ def main(argv: list[str] | None = None) -> int:
     for failure in service_failures:
         print(f"  [SERVICE FAIL] {failure}")
 
+    symbolic_failures = symbolic_gate(fresh)
+    sytable = symbolic_table(fresh)
+    if sytable:
+        print("\nfractal symbolic oracle consultations (E21):")
+        print(sytable)
+    for failure in symbolic_failures:
+        print(f"  [SYMBOLIC FAIL] {failure}")
+
     trend_fails: list[str] = []
     if args.trend is not None:
         trend_fails, trend_report = trend_gate(
@@ -569,9 +630,16 @@ def main(argv: list[str] | None = None) -> int:
                 "\n### Transformation service warm vs cold (E20)\n\n"
                 + svtable + "\n"
             )
+    if args.summary is not None and sytable:
+        with args.summary.open("a") as f:
+            f.write(
+                "\n### Fractal symbolic oracle consultations (E21)\n\n"
+                + sytable + "\n"
+            )
 
     if (regressions or backend_failures or tune_failures or scaling_failures
-            or wavefront_failures or service_failures or trend_fails):
+            or wavefront_failures or service_failures or symbolic_failures
+            or trend_fails):
         print(
             f"FAIL: {len(regressions)} metric(s) regressed beyond "
             f"{args.factor:.1f}x, {len(backend_failures)} backend gate "
@@ -579,6 +647,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{len(scaling_failures)} scaling gate failure(s), "
             f"{len(wavefront_failures)} wavefront gate failure(s), "
             f"{len(service_failures)} service gate failure(s), "
+            f"{len(symbolic_failures)} symbolic gate failure(s), "
             f"{len(trend_fails)} trend gate failure(s)",
             file=sys.stderr,
         )

@@ -26,7 +26,8 @@ __all__ = [
     "collect_pipeline_counters", "collect_backend_speedups",
     "collect_tune_results", "collect_scaling_results",
     "collect_wavefront_results", "collect_service_results",
-    "collect_benchmark_stats", "write_bench_result",
+    "collect_symbolic_results", "collect_benchmark_stats",
+    "write_bench_result",
 ]
 
 RESULT_NAME = "BENCH_result.json"
@@ -449,6 +450,69 @@ def collect_service_results() -> list[dict]:
     return rows
 
 
+#: E21 rescue zoo: (kernel factory name, spec, expected verdict).  The
+#: mismatch row keeps the oracle honest — a broken normalizer that
+#: certifies everything shows up here before it shows up in the fuzzer.
+SYMBOLIC_ZOO = (
+    ("syrk", "reverse(K)", "symbolic-legal"),
+    ("syrk", "tile(K,2); reverse(KT)", "symbolic-legal"),
+    ("trsv", "reverse(J)", "symbolic-legal"),
+    ("cholesky", "reverse(K)", "mismatch"),
+)
+SYMBOLIC_REPEAT = 3
+
+
+def collect_symbolic_results() -> list[dict]:
+    """The fractal-oracle consultation table (E21): per-appeal latency
+    and verdict for the rescue zoo, plus the oracle's own counters from
+    one instrumented pass.  ``compare.py`` gates every row on the
+    verdict matching the committed expectation and on certified rows
+    carrying a certificate that re-verifies — cheap enough (milliseconds
+    per consultation) to run unconditionally, like the backend table."""
+    import statistics
+    import time
+
+    from repro import obs
+    from repro.kernels import cholesky, syrk, trsv
+    from repro.symbolic import prove_schedule, verify_certificate
+
+    factories = {"syrk": syrk, "trsv": trsv, "cholesky": cholesky}
+    rows = []
+    for kernel, spec, expected in SYMBOLIC_ZOO:
+        program = factories[kernel]()
+        try:
+            with obs.session() as sess:
+                times = []
+                for _ in range(SYMBOLIC_REPEAT):
+                    t0 = time.perf_counter()
+                    out = prove_schedule(program, spec)
+                    times.append(time.perf_counter() - t0)
+                attempts = sess.counters.get("symbolic.attempts", 0)
+            verified = None
+            if out.certificate is not None:
+                verified = verify_certificate(program, out.certificate)
+            rows.append({
+                "kernel": kernel,
+                "spec": spec,
+                "verdict": out.verdict,
+                "expected": expected,
+                "check_seconds": statistics.median(times),
+                "sizes": list(out.certificate.sizes) if out.certificate else None,
+                "attempts": attempts,
+                "verified": verified,
+                "ok": out.verdict == expected and verified is not False,
+                "error": "",
+            })
+        except Exception as exc:
+            rows.append({
+                "kernel": kernel, "spec": spec, "verdict": None,
+                "expected": expected, "check_seconds": None, "sizes": None,
+                "attempts": None, "verified": None, "ok": False,
+                "error": str(exc),
+            })
+    return rows
+
+
 def collect_benchmark_stats(config) -> list[dict]:
     """Per-benchmark timing stats from pytest-benchmark, if it ran."""
     bsession = getattr(config, "_benchmarksession", None)
@@ -492,6 +556,7 @@ def write_bench_result(config, path: str | Path | None = None) -> Path:
         "scaling": collect_scaling_results(),
         "wavefront": collect_wavefront_results(),
         "service": collect_service_results(),
+        "symbolic": collect_symbolic_results(),
     }
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     try:

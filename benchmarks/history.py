@@ -31,12 +31,13 @@ Row schema (one JSON object per line)::
         "service:<kernel>/<op>:cold_seconds": ...,
         "service:<kernel>/<op>:warm_seconds": ...,
         "service:<kernel>/<op>:speedup": ...,
-        "service:throughput:rps": ...
+        "service:throughput:rps": ...,
+        "symbolic:<kernel>/<spec>:check_seconds": ...
       }
     }
 
-Only the backend (E16), tune (E17), scaling (E18), wavefront (E19) and
-service (E20) tables feed the ledger — they are
+Only the backend (E16), tune (E17), scaling (E18), wavefront (E19),
+service (E20) and symbolic-oracle (E21) tables feed the ledger — they are
 the medians-of-medians the repo actually optimises for; pytest-benchmark
 means and one-shot span timings stay in ``BENCH_result.json`` under the
 existing 2x factor gate.
@@ -132,6 +133,10 @@ def metrics_from_result(payload: dict) -> dict[str, float]:
         for key in ("cold_seconds", "warm_seconds", "speedup"):
             if isinstance(row.get(key), (int, float)):
                 metrics[f"{name}:{key}"] = float(row[key])
+    for row in payload.get("symbolic", []):
+        name = f"symbolic:{row.get('kernel')}/{row.get('spec')}"
+        if isinstance(row.get("check_seconds"), (int, float)):
+            metrics[f"{name}:check_seconds"] = float(row["check_seconds"])
     return metrics
 
 

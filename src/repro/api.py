@@ -35,7 +35,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.ir import Program, parse_program, program_to_str
-from repro.util.errors import ReproError
+from repro.util.errors import LegalityError, ReproError
 
 __all__ = [
     "load_file", "load_flexible", "parse_params", "resolve_run_params",
@@ -148,16 +148,32 @@ class AnalyzeResult:
 
 @dataclass
 class CheckResult:
-    """Legality verdict for a transformation spec (``repro check``)."""
+    """Legality verdict for a transformation spec (``repro check``).
+
+    Exit codes are part of the scripting contract: ``0`` accepted
+    (Theorem-2 legal, or rescued by a symbolic certificate), ``1``
+    rejected verdict, while *raised* errors map to ``2`` (analysis/
+    usage) or ``3`` (an illegal transformation rejected as an error,
+    ``error_kind="LegalityError"``) in :func:`repro.cli.main`.
+    """
 
     legal: bool
     report_text: str
     structural: tuple[str, ...] = ()
     structural_legal: bool = True
+    oracle: str = "theorem-2"
+    symbolic_verdict: str | None = None
+    certificate: dict | None = None
+
+    @property
+    def accepted(self) -> bool:
+        return (self.legal and self.structural_legal) or (
+            self.symbolic_verdict == "symbolic-legal"
+        )
 
     @property
     def exit_code(self) -> int:
-        return 0 if self.legal and self.structural_legal else 1
+        return 0 if self.accepted else 1
 
     def to_payload(self) -> dict:
         return {
@@ -165,6 +181,9 @@ class CheckResult:
             "report_text": self.report_text,
             "structural": list(self.structural),
             "structural_legal": self.structural_legal,
+            "oracle": self.oracle,
+            "symbolic_verdict": self.symbolic_verdict,
+            "certificate": self.certificate,
         }
 
     @classmethod
@@ -172,6 +191,8 @@ class CheckResult:
         return cls(
             bool(p["legal"]), p["report_text"],
             tuple(p.get("structural", ())), bool(p.get("structural_legal", True)),
+            p.get("oracle", "theorem-2"), p.get("symbolic_verdict"),
+            p.get("certificate"),
         )
 
     def render(self) -> str:
@@ -182,6 +203,11 @@ class CheckResult:
                 f"structural prefix {'; '.join(self.structural)}: {verdict}"
             )
         lines.append(self.report_text)
+        if self.symbolic_verdict == "symbolic-legal":
+            lines.append(
+                "verdict: SYMBOLIC-LEGAL — rejected by Theorem 2, certified "
+                "equivalent by the fractal symbolic oracle"
+            )
         return "\n".join(lines)
 
 
@@ -342,15 +368,18 @@ class TuneOutcome:
         )
         for r in ordered:
             mark = "*" if r.get("winner") else " "
+            desc = r["description"] + (
+                " [symbolic]" if r.get("legality") == "symbolic" else ""
+            )
             if r.get("error"):
-                print(f"{mark} {r['description']:<36} {'-':>8} {'-':>12} "
+                print(f"{mark} {desc:<36} {'-':>8} {'-':>12} "
                       f"{'-':>11}  error: {r['error']}", file=out)
                 continue
             score = f"{r['score']:.4f}" if r.get("score") is not None else "-"
             vs = (f"{self.baseline_seconds / r['seconds']:.3f}x"
                   if self.baseline_seconds and r.get("seconds") else "-")
             ok = "-" if r.get("ok") is None else ("yes" if r["ok"] else "NO")
-            print(f"{mark} {r['description']:<36} {score:>8} "
+            print(f"{mark} {desc:<36} {score:>8} "
                   f"{r['seconds']:>12.6f} {vs:>11}  {ok}", file=out)
         winner = next((r for r in self.rows if r.get("winner")), None)
         if winner is not None:
@@ -404,18 +433,27 @@ def analyze_op(
     return AnalyzeResult(deps.to_str(), deps.summary(), refined=refine)
 
 
-def check_op(program: Program, spec: str) -> CheckResult:
-    """Theorem-2 legality verdict for a transformation spec."""
-    from repro.legality import check_legality
-    from repro.transform.spec import parse_schedule
+def check_op(
+    program: Program, spec: str, *, oracle: str = "theorem-2"
+) -> CheckResult:
+    """Legality verdict for a transformation spec.  ``oracle="symbolic"``
+    appeals Theorem-2 rejections to the fractal symbolic oracle."""
+    from repro.legality import check as legality_check
 
-    schedule = parse_schedule(program, spec)
-    report = check_legality(schedule.layout, schedule.matrix, schedule.deps)
+    report = legality_check(program, spec, oracle=oracle)
+    cert = (
+        report.symbolic.certificate
+        if report.symbolic is not None and report.symbolic.certificate
+        else None
+    )
     return CheckResult(
         legal=report.legal,
         report_text=str(report),
-        structural=tuple(schedule.structural) if schedule.is_structural else (),
-        structural_legal=schedule.structural_legal,
+        structural=report.structural,
+        structural_legal=report.structural_legal,
+        oracle=report.oracle,
+        symbolic_verdict=report.symbolic.verdict if report.symbolic else None,
+        certificate=cert.to_payload() if cert else None,
     )
 
 
@@ -430,7 +468,7 @@ def transform_op(
 
     schedule = parse_schedule(program, spec)
     if not schedule.structural_legal:
-        raise ReproError(
+        raise LegalityError(
             f"structural prefix {'; '.join(schedule.structural)} fails the "
             "Theorem-2 fusion test"
         )
@@ -502,6 +540,7 @@ def tune_op(
     tile_sizes: Sequence[int] | None = None,
     max_candidates: int | None = None,
     cross_check: str = "full",
+    symbolic: bool = False,
 ) -> TuneOutcome:
     """Autotune ``program`` and return a wire-friendly outcome."""
     from repro.tune import TuneStore, tune
@@ -523,6 +562,7 @@ def tune_op(
         tile_sizes=tuple(tile_sizes) if tile_sizes else None,
         max_candidates=max_candidates,
         cross_check=cross_check,
+        symbolic=symbolic,
     )
     return TuneOutcome(
         program=program.name,

@@ -59,7 +59,12 @@ from repro.ir import program_to_str
 from repro.linalg import IntMatrix
 from repro.backend import BACKENDS as _BACKEND_CHOICES
 from repro.transform.spec import parse_spec
-from repro.util.errors import ReproError
+from repro.util.errors import LegalityError, ReproError
+
+#: exit codes shared with scripts and CI: 0 accepted, 1 rejected
+#: verdict, 2 analysis/usage error, 3 illegal transformation rejected
+#: as an error (``error_kind="LegalityError"`` over the service wire)
+EXIT_ILLEGAL_TRANSFORM = 3
 
 __all__ = ["main", "parse_spec"]
 
@@ -115,13 +120,16 @@ def cmd_deps(args) -> int:
 
 def cmd_check(args) -> int:
     program = _load(args.file)
+    oracle = "symbolic" if args.symbolic else "theorem-2"
     url = _remote_url(args)
     if url:
         result = api.CheckResult.from_payload(
-            _client(url).check(program_to_str(program), args.spec)
+            _client(url).check(
+                program_to_str(program), args.spec, symbolic=args.symbolic
+            )
         )
     else:
-        result = api.check_op(program, args.spec)
+        result = api.check_op(program, args.spec, oracle=oracle)
     print(result.render())
     return result.exit_code
 
@@ -279,6 +287,7 @@ def cmd_tune(args) -> int:
         tile_sizes=tile_sizes,
         max_candidates=args.max_candidates,
         cross_check=args.cross_check,
+        symbolic=args.symbolic,
     )
     url = _remote_url(args)
     if url:
@@ -356,7 +365,9 @@ def cmd_report(args) -> int:
 
 #: kept in sync with :data:`repro.explain.PHASES` (literal here so the
 #: argparse setup does not import the tune stack on every CLI start)
-_EXPLAIN_PHASES = ("legality", "complete", "vectorize", "wavefront", "tune")
+_EXPLAIN_PHASES = (
+    "legality", "symbolic", "complete", "vectorize", "wavefront", "tune"
+)
 
 
 def _cmd_explain(args) -> int:
@@ -382,23 +393,28 @@ def cmd_fuzz(args) -> int:
     """Differential fuzzing: random nests × random transformations,
     cross-checked against the trace-equivalence oracles; failures are
     shrunk to minimal repros and serialized into the corpus."""
-    from repro.fuzz import fuzz_run, known_illegal_case
+    from repro.fuzz import fuzz_run, known_illegal_case, known_unsound_case
 
     if getattr(args, "par_jobs", None) is not None:
         # Exported rather than passed down so the fuzz worker *processes*
         # inherit the source-par pool size too.
         os.environ["REPRO_PAR_JOBS"] = str(args.par_jobs)
-    inject = {0: known_illegal_case()} if args.inject_illegal else None
+    inject = {}
+    if args.inject_illegal:
+        inject[0] = known_illegal_case()
+    if args.inject_unsound:
+        inject[len(inject)] = known_unsound_case()
     session = fuzz_run(
         args.runs,
         args.seed,
         jobs=args.jobs,
         corpus_dir=args.corpus,
         minimize=args.minimize,
-        inject=inject,
+        inject=inject or None,
         strict_illegal=args.strict_illegal,
         backends=tuple(args.backend or ()),
         service=args.service or "",
+        symbolic=args.symbolic,
     )
     print(session.summary())
     if not session.ok:
@@ -496,6 +512,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("file")
     p.add_argument("spec", help='e.g. "permute(I,J); skew(I,J,-1)"')
+    p.add_argument(
+        "--symbolic",
+        action="store_true",
+        help="on a Theorem-2 rejection, consult the fractal symbolic "
+        "oracle for an equivalence certificate (docs/SYMBOLIC.md)",
+    )
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
@@ -629,6 +651,13 @@ def main(argv: list[str] | None = None) -> int:
         "(full) or at model-capped params (model; keeps huge-N tuning "
         "runs affordable, timing still happens at the real params)",
     )
+    p.add_argument(
+        "--symbolic",
+        action="store_true",
+        help="appeal Theorem-2 rejections to the fractal symbolic oracle; "
+        "certified candidates re-enter the beam marked legality=symbolic "
+        "(docs/SYMBOLIC.md)",
+    )
     p.add_argument("--json", metavar="PATH", help="also write the table as JSON")
     p.set_defaults(fn=cmd_tune)
 
@@ -667,6 +696,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="treat rejected-but-equivalent transformations (legality "
         "precision gaps) as divergences",
+    )
+    p.add_argument(
+        "--symbolic",
+        action="store_true",
+        help="consult the fractal symbolic oracle on every Theorem-2 "
+        "rejection; certified schedules are then cross-checked for "
+        "output equivalence across backends (docs/SYMBOLIC.md)",
+    )
+    p.add_argument(
+        "--inject-unsound",
+        action="store_true",
+        help="inject a case whose symbolic certificate is deliberately "
+        "fabricated — the differential oracle must flag it (harness "
+        "self-test for a lying oracle)",
     )
     p.add_argument(
         "--backend",
@@ -801,6 +844,13 @@ def main(argv: list[str] | None = None) -> int:
                     )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        # an illegal transformation rejected as an error is a different
+        # failure class than a parse/analysis error: scripts get exit 3,
+        # locally via LegalityError, remotely via the relayed error_kind
+        if isinstance(exc, LegalityError) or (
+            getattr(exc, "kind", None) == "LegalityError"
+        ):
+            return EXIT_ILLEGAL_TRANSFORM
         return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)

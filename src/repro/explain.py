@@ -30,7 +30,7 @@ from repro.util.errors import ReproError
 __all__ = ["cmd_explain", "explain_program", "PHASES", "render_tune_ranking"]
 
 #: Phases ``--phase`` accepts, in pipeline order.
-PHASES = ("legality", "complete", "vectorize", "wavefront", "tune")
+PHASES = ("legality", "symbolic", "complete", "vectorize", "wavefront", "tune")
 
 #: Index into the session's event list where the current explain run
 #: started.  The CLI installs a fresh session per command so this is 0
@@ -72,6 +72,40 @@ def _explain_legality(program, args) -> tuple[str, list]:
         f"{len(report.unsatisfied())} unsatisfied of {len(report.statuses)} dependences)"
     )
     return head + "\n" + obs.render_events(events, kind="legality"), events
+
+
+def _explain_symbolic(program, args) -> tuple[str, list]:
+    from repro.legality import check
+
+    if not args.spec:
+        raise ReproError(
+            "explain --phase symbolic needs --spec (the Theorem-2-rejected "
+            'transformation to appeal, e.g. --spec "reverse(K)")'
+        )
+    report = check(program, args.spec, oracle="symbolic")
+    if report.legal and report.structural_legal:
+        head = (
+            f"spec: {args.spec}\n"
+            "verdict: LEGAL by Theorem 2 — the symbolic oracle was not "
+            "consulted (it only hears appeals of projection-test rejections)"
+        )
+    elif report.symbolic_legal:
+        cert = report.symbolic.certificate
+        head = (
+            f"spec: {args.spec}\n"
+            "verdict: SYMBOLIC-LEGAL — rejected by the Theorem-2 projection "
+            "test, certified equivalent by the fractal symbolic oracle\n"
+            f"certificate: {cert.summary()}"
+        )
+    else:
+        head = (
+            f"spec: {args.spec}\n"
+            f"verdict: {report.symbolic.verdict.upper()} — "
+            f"{report.symbolic.reason}"
+        )
+    events = _phase_events("legality") + _phase_events("symbolic")
+    body = obs.render_events(_phase_events("symbolic"), kind="symbolic")
+    return head + "\n" + body, events
 
 
 def _explain_complete(program, args) -> tuple[str, list]:
@@ -229,7 +263,8 @@ def _explain_program_inner(program, args) -> int:
     phases = [args.phase] if args.phase else [
         p
         for p in PHASES
-        if (p != "legality" or args.spec) and (p != "complete" or args.lead)
+        if (p not in ("legality", "symbolic") or args.spec)
+        and (p != "complete" or args.lead)
     ]
 
     sections: list[tuple[str, str]] = []
@@ -249,6 +284,7 @@ def _explain_program_inner(program, args) -> int:
         else:
             fn = {
                 "legality": _explain_legality,
+                "symbolic": _explain_symbolic,
                 "complete": _explain_complete,
                 "vectorize": _explain_vectorize,
                 "wavefront": _explain_wavefront,

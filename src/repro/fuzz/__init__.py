@@ -24,7 +24,8 @@ See docs/FUZZING.md.
 """
 
 from repro.fuzz.case import (
-    DIVERGENCE_VERDICTS, CaseResult, FuzzCase, known_illegal_case, run_case,
+    DIVERGENCE_VERDICTS, PASS_VERDICTS, CaseResult, FuzzCase,
+    known_illegal_case, known_symbolic_case, known_unsound_case, run_case,
 )
 from repro.fuzz.corpus import (
     case_from_dict, case_to_dict, load_corpus, replay_entry, save_repro,
@@ -35,7 +36,8 @@ from repro.fuzz.shrink import case_size, shrink_case
 
 __all__ = [
     "FuzzCase", "CaseResult", "run_case", "known_illegal_case",
-    "DIVERGENCE_VERDICTS",
+    "known_symbolic_case", "known_unsound_case",
+    "DIVERGENCE_VERDICTS", "PASS_VERDICTS",
     "sample_case", "sample_spec",
     "shrink_case", "case_size",
     "save_repro", "load_corpus", "replay_entry", "case_to_dict",

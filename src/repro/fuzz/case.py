@@ -32,16 +32,18 @@ from repro.util.errors import CompletionError, ReproError
 
 __all__ = [
     "FuzzCase", "CaseResult", "run_case", "known_illegal_case",
+    "known_symbolic_case", "known_unsound_case",
     "DIVERGENCE_VERDICTS", "PASS_VERDICTS",
 ]
 
 #: Contract violations: the pipeline produced wrong code for a
 #: transformation it accepted (or was told to accept), crashed, an
-#: execution backend disagreed with the reference interpreter, or the
-#: warm service daemon's output differed from the cold local pipeline.
+#: execution backend disagreed with the reference interpreter, the
+#: warm service daemon's output differed from the cold local pipeline,
+#: or a symbolic certificate was contradicted by concrete execution.
 DIVERGENCE_VERDICTS = (
     "divergence-oracle", "divergence-crash", "divergence-backend",
-    "divergence-service",
+    "divergence-service", "divergence-symbolic",
 )
 
 #: Outcomes that uphold the two-sided contract.
@@ -53,6 +55,8 @@ PASS_VERDICTS = (
     "spec-rejected",         # spec not expressible on this layout
     "completion-rejected",   # no legal completion in the candidate fragment
     "codegen-skipped",       # legal, but codegen hit a documented limit
+    "symbolic-legal",        # Thm-2-rejected, certified, output-equivalent
+    "unsound-caught",        # fabricated certificate flagged by the oracles
 )
 
 
@@ -69,6 +73,8 @@ class FuzzCase:
     note: str = ""                      # free-form provenance
     backends: tuple[str, ...] = ()      # cross-backend differential oracle
     service: str = ""                   # warm-daemon differential oracle (URL)
+    symbolic: bool = False              # consult fractal oracle on rejection
+    unsound: bool = False               # fabricate the certificate (self-test)
 
     def params_dict(self) -> dict[str, int]:
         return dict(self.params)
@@ -79,7 +85,9 @@ class FuzzCase:
         claimed = " [claimed legal]" if self.claim_legal else ""
         vs = f" [vs {', '.join(self.backends)}]" if self.backends else ""
         svc = " [vs service]" if self.service else ""
-        return f"{t} @ {{{p}}}{claimed}{vs}{svc}"
+        sym = " [unsound]" if self.unsound else (
+            " [symbolic]" if self.symbolic else "")
+        return f"{t} @ {{{p}}}{claimed}{vs}{svc}{sym}"
 
     def with_(self, **changes) -> "FuzzCase":
         return replace(self, **changes)
@@ -118,6 +126,46 @@ def known_illegal_case(n: int = 6) -> FuzzCase:
         params=(("N", n),),
         claim_legal=True,
         note="injected known-illegal reversal of a flow dependence",
+    )
+
+
+def known_symbolic_case(n: int = 5, m: int = 4) -> FuzzCase:
+    """The canonical symbolic rescue: reversing syrk's reduction loop.
+    Theorem 2 must reject it (the accumulation's self-dependence flips),
+    the fractal oracle certifies it (pure reassociation), and the forced
+    run must be output-equivalent — verdict ``symbolic-legal``."""
+    src = (
+        "param N, M\n"
+        "real C(N,N), A(N,M)\n"
+        "do I = 1..N\n"
+        "  do J = 1..I\n"
+        "    do K = 1..M\n"
+        "      S1: C(I,J) = C(I,J) + A(I,K)*A(J,K)\n"
+        "    enddo\n"
+        "  enddo\n"
+        "enddo"
+    )
+    return FuzzCase(
+        program_src=src,
+        kind="spec",
+        spec="reverse(K)",
+        params=(("M", m), ("N", n)),
+        symbolic=True,
+        note="syrk reduction reversal: Theorem-2-illegal, symbolically legal",
+    )
+
+
+def known_unsound_case(n: int = 6) -> FuzzCase:
+    """Forced-unsound self-test: the known-illegal reversal, but with a
+    *fabricated* symbolic certificate injected instead of a real proof.
+    The differential oracles must contradict the lying certificate —
+    verdict ``unsound-caught`` — demonstrating the fuzzer would detect a
+    buggy symbolic oracle."""
+    return known_illegal_case(n).with_(
+        claim_legal=False,
+        symbolic=True,
+        unsound=True,
+        note="injected fabricated symbolic certificate (forced-unsound self-test)",
     )
 
 
@@ -253,6 +301,13 @@ def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
     rep = check_equivalence(
         program, g.program, case.params_dict(), env_map=oracle_env_map(g)
     )
+
+    # -- symbolic rescue: every certificate is cross-checked ------------
+    if (case.symbolic or case.unsound) and case.kind == "spec":
+        rescued = _judge_symbolic(case, program, g, rep)
+        if rescued is not None:
+            return rescued
+
     if not rep["ok"]:
         counter("fuzz.illegal_confirmed")
         return CaseResult(
@@ -269,6 +324,87 @@ def _run_case_inner(case: FuzzCase, strict_illegal: bool) -> CaseResult:
     return CaseResult(
         case, "illegal-unconfirmed",
         "rejected transformation is equivalent on this input (precision gap)",
+        legal=False, oracle=rep,
+    )
+
+
+def _judge_symbolic(case: FuzzCase, program, g, rep: dict) -> CaseResult | None:
+    """Side 2 with the fractal oracle armed (``repro fuzz --symbolic``).
+
+    Consults :func:`repro.symbolic.prove_schedule` on the Theorem-2
+    rejection.  No certificate → ``None`` (the normal forced-run
+    classification proceeds).  A certificate is *never* trusted bare:
+    the forced run must be output-equivalent — judged on
+    ``outputs_close`` and the instance multiset only, because a
+    reassociated reduction legitimately reorders the dependence trace —
+    and, when the case names backends, every backend must agree on the
+    generated code too.  A contradicted certificate is
+    ``divergence-symbolic``; for a deliberately fabricated one
+    (``case.unsound``) contradiction is the *expected* outcome
+    (``unsound-caught``) and survival is the divergence.
+    """
+    from repro.symbolic import prove_schedule
+    from repro.util.errors import SymbolicError
+
+    counter("fuzz.symbolic_consults")
+    try:
+        outcome = prove_schedule(program, case.spec, unsound=case.unsound)
+    except SymbolicError as exc:
+        if case.unsound:
+            counter("fuzz.divergences")
+            return CaseResult(
+                case, "divergence-symbolic",
+                f"forced-unsound injection did not produce a certificate: {exc}",
+                legal=False,
+            )
+        counter("fuzz.symbolic_skips")
+        return None
+    if outcome is None or not outcome.legal:
+        if case.unsound:
+            counter("fuzz.divergences")
+            return CaseResult(
+                case, "divergence-symbolic",
+                "forced-unsound injection did not produce a certificate: "
+                + (outcome.reason if outcome is not None else "no outcome"),
+                legal=False,
+            )
+        counter("fuzz.symbolic_unrescued")
+        return None
+
+    equivalent = bool(rep["outputs_close"]) and bool(rep["same_instances"])
+    why = _oracle_detail(rep) if not equivalent else ""
+    if equivalent and case.backends:
+        detail = _backend_divergence(g.program, case.params_dict(), case.backends)
+        if detail is not None:
+            equivalent = False
+            why = f"generated program: {detail}"
+
+    cert = outcome.certificate
+    summary = cert.summary() if cert is not None else "(no certificate)"
+    if case.unsound:
+        if equivalent:
+            counter("fuzz.divergences")
+            return CaseResult(
+                case, "divergence-symbolic",
+                "fabricated certificate evaded the differential oracle "
+                f"({summary})",
+                legal=False, oracle=rep,
+            )
+        counter("fuzz.unsound_caught")
+        return CaseResult(
+            case, "unsound-caught",
+            f"fabricated certificate contradicted by execution: {why}",
+            legal=False, oracle=rep,
+        )
+    if equivalent:
+        counter("fuzz.symbolic_rescues")
+        return CaseResult(
+            case, "symbolic-legal", summary, legal=False, oracle=rep,
+        )
+    counter("fuzz.divergences")
+    return CaseResult(
+        case, "divergence-symbolic",
+        f"certificate contradicted by execution: {why} ({summary})",
         legal=False, oracle=rep,
     )
 

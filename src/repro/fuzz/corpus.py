@@ -22,6 +22,12 @@ pipeline behaviour on this input is:
   ones (e.g. a rejected transformation that merely needed a clean
   rejection); it replays green as long as the case produces any
   non-divergent verdict.
+* ``"symbolic-legal"`` — the transformation is Theorem-2-illegal but
+  the fractal symbolic oracle must certify it and the forced run must
+  be output-equivalent (verdict ``symbolic-legal``); for a case with
+  ``unsound`` set the fabricated certificate must instead be
+  contradicted by execution (verdict ``unsound-caught``).  See
+  docs/SYMBOLIC.md.
 
 ``tests/fuzz/test_corpus_replay.py`` replays every committed file on
 every tier-1 run.  See docs/FUZZING.md for the triage workflow.
@@ -55,6 +61,11 @@ def expected_for(result: CaseResult) -> str:
         # committed repro (which does not persist the transient daemon
         # URL) replays the local pipeline and must stay non-divergent
         return "no-divergence"
+    if result.verdict == "divergence-symbolic":
+        # a contradicted (or evading) certificate: correct behaviour is
+        # for the symbolic path to resolve cleanly — a sound certificate
+        # confirmed by execution, or a fabricated one caught
+        return "symbolic-legal"
     if result.case.claim_legal:
         # the case was forced past legality; correct behaviour is for the
         # legality test to reject it and the oracles to confirm
@@ -75,6 +86,8 @@ def case_to_dict(case: FuzzCase, *, expect: str, detail: str = "",
         "claim_legal": case.claim_legal,
         "note": case.note,
         "backends": list(case.backends),
+        "symbolic": case.symbolic,
+        "unsound": case.unsound,
         "detail": detail,
         "seed": seed,
         "shrink_steps": shrink_steps,
@@ -95,6 +108,8 @@ def case_from_dict(d: dict) -> tuple[FuzzCase, str]:
         claim_legal=bool(d.get("claim_legal", False)),
         note=d.get("note", ""),
         backends=tuple(d.get("backends", ())),
+        symbolic=bool(d.get("symbolic", False)),
+        unsound=bool(d.get("unsound", False)),
     )
     return case, d.get("expect", "equivalent")
 
@@ -158,6 +173,12 @@ def replay_entry(case: FuzzCase, expect: str) -> tuple[bool, str]:
         # benign verdict (pass, rejection, precision gap, ...)
         result = run_case(case)
         return not result.divergent, f"{result.verdict}: {result.detail}"
+    if expect == "symbolic-legal":
+        # the rescue contract: certified and confirmed by execution — or,
+        # for a forced-unsound injection, the lie caught by execution
+        result = run_case(case)
+        want = "unsound-caught" if case.unsound else "symbolic-legal"
+        return result.verdict == want, f"{result.verdict}: {result.detail}"
     if expect == "illegal-flagged":
         # side A: legality must reject it (no claim override)
         honest = run_case(case.with_(claim_legal=False))

@@ -72,6 +72,7 @@ def fuzz_run(
     progress: Callable[[int, CaseResult], None] | None = None,
     backends: tuple[str, ...] = (),
     service: str = "",
+    symbolic: bool = False,
 ) -> FuzzSession:
     """Run ``runs`` sampled cases; shrink and serialize any divergence.
 
@@ -88,6 +89,12 @@ def fuzz_run(
     is also sent to the ``repro serve`` daemon at this URL, and its
     analyze/run outputs must be byte-identical to the local pipeline;
     disagreements are ``divergence-service`` (docs/SERVICE.md).
+
+    ``symbolic`` arms the fractal symbolic oracle on every Theorem-2
+    rejection: certified schedules are forced through codegen and
+    cross-checked for output equivalence (``symbolic-legal`` on success,
+    ``divergence-symbolic`` on a contradicted certificate); see
+    docs/SYMBOLIC.md.
     """
     inject = dict(inject or {})
     backends = tuple(backends)
@@ -95,7 +102,7 @@ def fuzz_run(
     with span("fuzz.run", runs=runs, seed=seed):
         results = _run_all(
             runs, seed, inject, strict_illegal, resolve_jobs(jobs), backends,
-            service,
+            service, symbolic,
         )
         for index, result in enumerate(results):
             session.verdict_counts[result.verdict] = (
@@ -153,12 +160,15 @@ def _minimize(result: CaseResult, strict_illegal: bool,
 def _case_at(
     seed: int, index: int, inject: Mapping[int, FuzzCase],
     backends: tuple[str, ...] = (), service: str = "",
+    symbolic: bool = False,
 ) -> FuzzCase:
     case = inject[index] if index in inject else sample_case(seed, index)
     if backends and not case.backends:
         case = case.with_(backends=backends)
     if service and not case.service:
         case = case.with_(service=service)
+    if symbolic and case.kind == "spec" and not case.symbolic:
+        case = case.with_(symbolic=True)
     return case
 
 
@@ -170,12 +180,13 @@ def _run_all(
     jobs: int,
     backends: tuple[str, ...],
     service: str = "",
+    symbolic: bool = False,
 ) -> list[CaseResult]:
     indices = list(range(runs))
     if jobs <= 1 or runs < 2:
         return [
             run_case(
-                _case_at(seed, i, inject, backends, service),
+                _case_at(seed, i, inject, backends, service, symbolic),
                 strict_illegal=strict_illegal,
             )
             for i in indices
@@ -185,7 +196,8 @@ def _run_all(
         (i, _case_payload(c)) for i, c in sorted(inject.items())
     )
     tasks = [
-        (seed, tuple(chunk), inject_items, strict_illegal, backends, service)
+        (seed, tuple(chunk), inject_items, strict_illegal, backends, service,
+         symbolic)
         for chunk in chunks
     ]
     by_index: dict[int, CaseResult] = {}
@@ -201,6 +213,7 @@ def _case_payload(case: FuzzCase) -> tuple:
     return (
         case.program_src, case.kind, case.spec, case.lead, case.params,
         case.claim_legal, case.note, case.backends, case.service,
+        case.symbolic, case.unsound,
     )
 
 
@@ -209,6 +222,8 @@ def _case_from_payload(p: tuple) -> FuzzCase:
         program_src=p[0], kind=p[1], spec=p[2], lead=p[3],
         params=tuple(tuple(x) for x in p[4]), claim_legal=p[5], note=p[6],
         backends=tuple(p[7]), service=p[8] if len(p) > 8 else "",
+        symbolic=bool(p[9]) if len(p) > 9 else False,
+        unsound=bool(p[10]) if len(p) > 10 else False,
     )
 
 
@@ -229,14 +244,19 @@ def _run_chunk(task: tuple) -> tuple[list[tuple[int, tuple]], dict]:
     picklable payloads (the oracle report dicts stay worker-side) and
     the metrics payload bundles counter/gauge/histogram deltas for the
     parent to merge."""
-    seed, indices, inject_items, strict_illegal, backends, service = (
-        task if len(task) > 5 else (*task, "")
-    )
+    task = tuple(task)
+    if len(task) == 5:
+        task = (*task, "", False)
+    elif len(task) == 6:
+        task = (*task, False)
+    seed, indices, inject_items, strict_illegal, backends, service, symbolic = task
     inject = {i: _case_from_payload(p) for i, p in inject_items}
     out: list[tuple[int, tuple]] = []
     with capture_counters() as cap:
         for index in indices:
-            case = _case_at(seed, index, inject, tuple(backends), service)
+            case = _case_at(
+                seed, index, inject, tuple(backends), service, symbolic
+            )
             result = run_case(case, strict_illegal=strict_illegal)
             out.append((index, _result_payload(result)))
     return out, cap.metrics

@@ -10,6 +10,7 @@ from repro.kernels.stencils import (
     blur_2d, gauss_seidel_1d, gemver_like, jacobi_1d, seidel_2d, sweep_pair,
     syrk_like,
 )
+from repro.kernels.zoo import fdtd_1d, syrk, trsv
 
 __all__ = [
     "simplified_cholesky", "cholesky", "cholesky_variant", "CHOLESKY_VARIANTS",
@@ -18,4 +19,5 @@ __all__ = [
     "random_program",
     "jacobi_1d", "gauss_seidel_1d", "blur_2d", "gemver_like", "seidel_2d",
     "sweep_pair", "syrk_like",
+    "syrk", "trsv", "fdtd_1d",
 ]

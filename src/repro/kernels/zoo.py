@@ -1,0 +1,86 @@
+"""PolyBench-style kernel-zoo additions: syrk, trsv, fdtd_1d.
+
+These three close specific gaps in the corpus (ROADMAP "kernel zoo"):
+
+* :func:`syrk` — a *rectangular* symmetric rank-k update (``N × M``,
+  unlike the square :func:`~repro.kernels.stencils.syrk_like`).  Its
+  ``K`` accumulation loop is the symbolic oracle's flagship: reversing
+  or blocking-and-reversing it (``reverse(K)``,
+  ``tile(K,4); reverse(KT)``) flips the reduction's self-dependence,
+  so the Theorem-2 projection test *must* reject — yet the schedule
+  only reassociates a sum, and the fractal oracle certifies it
+  (docs/SYMBOLIC.md).
+* :func:`trsv` — triangular solve with a single right-hand side, an
+  imperfect nest whose inner dot-product reduction is likewise
+  rescue-eligible.
+* :func:`fdtd_1d` — a 1-D finite-difference time-domain sweep: two
+  leapfrogged field updates per time step, classic fusion/skewing
+  material.  Interchanging time with space (``permute(S,I)``) is
+  illegal by *every* oracle — the symbolic comparison produces a
+  definitive store mismatch, a useful honesty check on the rescuer.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast import Program
+from repro.ir.parser import parse_program
+
+__all__ = ["syrk", "trsv", "fdtd_1d"]
+
+
+def syrk() -> Program:
+    """Rectangular symmetric rank-k update: C += A·Aᵀ on the lower
+    triangle, accumulating over ``M`` rank-1 contributions."""
+    return parse_program(
+        """
+        param N, M
+        real C(N,N), A(N,M)
+        do I = 1..N
+          do J = 1..I
+            do K = 1..M
+              S1: C(I,J) = C(I,J) + A(I,K)*A(J,K)
+            enddo
+          enddo
+        enddo
+        """,
+        "syrk",
+    )
+
+
+def trsv() -> Program:
+    """Forward triangular solve L·x = b, one right-hand side: gather
+    the dot product of the solved prefix, then divide by the pivot."""
+    return parse_program(
+        """
+        param N
+        real L(N,N), B(N), X(N)
+        do I = 1..N
+          S1: X(I) = B(I)
+          do J = 1..I-1
+            S2: X(I) = X(I) - L(I,J)*X(J)
+          enddo
+          S3: X(I) = X(I) / L(I,I)
+        enddo
+        """,
+        "trsv",
+    )
+
+
+def fdtd_1d() -> Program:
+    """1-D finite-difference time-domain: leapfrog E/H field updates
+    over ``T`` time steps."""
+    return parse_program(
+        """
+        param N, T
+        real E(0:N), H(0:N)
+        do S = 1..T
+          do I = 1..N-1
+            S1: E(I) = E(I) - (H(I) - H(I-1)) / 2
+          enddo
+          do J = 0..N-1
+            S2: H(J) = H(J) - (E(J+1) - E(J)) / 2
+          enddo
+        enddo
+        """,
+        "fdtd_1d",
+    )

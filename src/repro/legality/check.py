@@ -19,6 +19,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING, Sequence
+
 from repro.dependence.depvector import DependenceMatrix, DepVector
 from repro.dependence.entry import DepEntry, zip_dot
 from repro.instance.layout import Layout
@@ -27,7 +29,14 @@ from repro.linalg.intmat import IntMatrix
 from repro.obs import counter, event, timed
 from repro.util.errors import CodegenError, LegalityError
 
-__all__ = ["LegalityReport", "DepStatus", "check_legality", "lex_status", "assert_legal"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir import Program
+    from repro.symbolic import SymbolicOutcome
+
+__all__ = [
+    "LegalityReport", "DepStatus", "check_legality", "lex_status",
+    "assert_legal", "check",
+]
 
 
 class DepStatus(enum.Enum):
@@ -44,6 +53,23 @@ class LegalityReport:
     legal: bool
     structure: NewStructure | None
     statuses: list[tuple[DepVector, DepStatus]] = field(default_factory=list)
+    #: structural tile/fuse prefix of the spec, when :func:`check` ran one
+    structural: tuple[str, ...] = ()
+    structural_legal: bool = True
+    #: which oracle produced the final word: "theorem-2" or "symbolic"
+    oracle: str = "theorem-2"
+    #: fractal-oracle outcome when the symbolic fallback was consulted
+    symbolic: "SymbolicOutcome | None" = None
+
+    @property
+    def symbolic_legal(self) -> bool:
+        return self.symbolic is not None and self.symbolic.legal
+
+    @property
+    def accepted(self) -> bool:
+        """Final verdict across oracles: Theorem-2 legal, or rescued by
+        a symbolic-equivalence certificate."""
+        return (self.legal and self.structural_legal) or self.symbolic_legal
 
     @property
     def violations(self) -> list[DepVector]:
@@ -60,6 +86,15 @@ class LegalityReport:
         lines = [head]
         for d, s in self.statuses:
             lines.append(f"  {s.value:24s} {d}")
+        if self.symbolic is not None:
+            if self.symbolic.legal:
+                lines.append("symbolic oracle: SYMBOLIC-LEGAL")
+                lines.append(f"  {self.symbolic.certificate.summary()}")
+            else:
+                lines.append(
+                    f"symbolic oracle: {self.symbolic.verdict.upper()} "
+                    f"({self.symbolic.reason})"
+                )
         return "\n".join(lines)
 
 
@@ -163,4 +198,57 @@ def assert_legal(layout: Layout, matrix: IntMatrix, deps: DependenceMatrix) -> L
     if not report.legal:
         bad = "; ".join(str(d) for d in report.violations) or "block structure"
         raise LegalityError(f"transformation is illegal: {bad}")
+    return report
+
+
+def check(
+    program: "Program",
+    spec: str,
+    *,
+    oracle: str = "theorem-2",
+    sizes: Sequence[int] | None = None,
+    unsound: bool = False,
+) -> LegalityReport:
+    """Spec-level legality with optional symbolic fallback.
+
+    Runs the Definition-6 projection test on ``spec``; with
+    ``oracle="symbolic"``, a Theorem-2 (or structural-fusion) rejection
+    is appealed to the fractal symbolic oracle (:mod:`repro.symbolic`),
+    which may rescue the schedule with an equivalence
+    :class:`~repro.symbolic.Certificate`.  ``unsound=True`` forwards the
+    fuzzer's forced-unsound injection mode — never use it outside
+    fuzzing/tests.
+    """
+    if oracle not in ("theorem-2", "symbolic"):
+        raise LegalityError(f"unknown legality oracle {oracle!r}")
+    from repro.transform.spec import parse_schedule
+
+    schedule = parse_schedule(program, spec)
+    report = check_legality(schedule.layout, schedule.matrix, schedule.deps)
+    report.structural = tuple(schedule.structural) if schedule.is_structural else ()
+    report.structural_legal = schedule.structural_legal
+    if oracle == "symbolic" and not (report.legal and report.structural_legal):
+        from repro.symbolic import prove_schedule
+
+        outcome = prove_schedule(program, spec, sizes=sizes, unsound=unsound)
+        report.oracle = "symbolic"
+        report.symbolic = outcome
+        if outcome.legal:
+            counter("legality.symbolic_rescues")
+            event(
+                "legality", "symbolic-legal",
+                "Theorem-2 rejection overturned by a symbolic-equivalence "
+                "certificate",
+                program=program.name, spec=spec,
+                certificate=outcome.certificate.summary(),
+                sizes=",".join(map(str, outcome.certificate.sizes)),
+                depth=outcome.certificate.depth,
+            )
+        else:
+            event(
+                "legality", "info",
+                f"symbolic oracle could not rescue the schedule "
+                f"({outcome.verdict})",
+                program=program.name, spec=spec, detail=outcome.reason,
+            )
     return report

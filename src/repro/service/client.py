@@ -94,8 +94,8 @@ class ServiceClient:
             sample_params=tuple(sample_params or ()), jobs=jobs,
         )
 
-    def check(self, program: str, spec: str) -> dict:
-        return self.request("check", program=program, spec=spec)
+    def check(self, program: str, spec: str, symbolic: bool = False) -> dict:
+        return self.request("check", program=program, spec=spec, symbolic=symbolic)
 
     def transform(self, program: str, spec: str, *, simplify: bool = False) -> dict:
         return self.request(

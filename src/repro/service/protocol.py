@@ -57,11 +57,16 @@ class AnalyzeRequest:
 
 @dataclass(frozen=True)
 class CheckRequest:
-    """Legality verdict for a transformation spec (``repro check``)."""
+    """Legality verdict for a transformation spec (``repro check``).
+
+    ``symbolic=True`` appeals a Theorem-2 rejection to the fractal
+    symbolic oracle (docs/SYMBOLIC.md); the field defaults off so
+    pre-symbolic clients keep working unchanged."""
 
     op: ClassVar[str] = "check"
     program: str
     spec: str = ""
+    symbolic: bool = False
 
 
 @dataclass(frozen=True)
@@ -116,6 +121,10 @@ class TuneRequest:
     tile_sizes: tuple[int, ...] | None = None
     max_candidates: int | None = None
     cross_check: str = "full"
+    #: Appeal Theorem-2 rejections to the fractal symbolic oracle
+    #: (docs/SYMBOLIC.md).  Defaults off, so requests serialized by
+    #: older clients keep their exact meaning.
+    symbolic: bool = False
 
 
 @dataclass(frozen=True)

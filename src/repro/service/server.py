@@ -182,7 +182,8 @@ class ReproService:
                 jobs=req.jobs,
             ).to_payload()
         if op == "check":
-            return api.check_op(program, req.spec).to_payload()
+            oracle = "symbolic" if getattr(req, "symbolic", False) else "theorem-2"
+            return api.check_op(program, req.spec, oracle=oracle).to_payload()
         if op == "transform":
             return api.transform_op(
                 program, req.spec, simplify=req.simplify
@@ -222,6 +223,7 @@ class ReproService:
                 tile_sizes=req.tile_sizes,
                 max_candidates=req.max_candidates,
                 cross_check=req.cross_check,
+                symbolic=getattr(req, "symbolic", False),
             ).to_payload()
         if op == "explain":
             return self._explain(req, program)

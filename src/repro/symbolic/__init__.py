@@ -1,0 +1,32 @@
+"""Fractal symbolic legality oracle (system S21).
+
+A second legality oracle consulted when the Theorem-2 projection test
+rejects a transformation: it symbolically executes the original and
+transformed programs at small bound sizes over *uninterpreted* initial
+array contents, normalizes every value under associativity/
+commutativity/distributivity, and compares final stores — simplifying
+the pair fractally (shrinking bounds, one level per blowup) until the
+comparison is direct.  A success is a checkable :class:`Certificate`;
+anything else is a definitive mismatch or an honest "unknown", never a
+guess.  See docs/SYMBOLIC.md; the approach follows Mateev, Menon &
+Pingali, *Fractal Symbolic Analysis* (PAPERS.md).
+
+Entry points: ``repro check FILE SPEC --symbolic`` on the CLI,
+:func:`repro.legality.check` with ``oracle="symbolic"`` in code, and
+:func:`prove_schedule` directly.
+"""
+
+from repro.symbolic.exec import Limits, symbolic_execute
+from repro.symbolic.fractal import (
+    DEFAULT_SIZES, MIN_SIZES, SIZE_FLOOR, Certificate, SymbolicOutcome,
+    prove_equivalent, prove_schedule, verify_certificate,
+)
+from repro.symbolic.normalize import RULES, SymVal, render, rule_log, size
+from repro.symbolic.state import StateDiff, SymState
+
+__all__ = [
+    "Certificate", "SymbolicOutcome", "prove_equivalent", "prove_schedule",
+    "verify_certificate", "symbolic_execute", "Limits",
+    "SymState", "StateDiff", "SymVal", "render", "size", "rule_log", "RULES",
+    "DEFAULT_SIZES", "MIN_SIZES", "SIZE_FLOOR",
+]

@@ -1,0 +1,180 @@
+"""Bounded symbolic executor for straight-line and bounded-loop code.
+
+Mirrors the concrete interpreter (:mod:`repro.interp.executor`) with the
+array store replaced by a :class:`~repro.symbolic.state.SymState`:
+parameters are bound to small concrete integers, so loop bounds, guard
+conditions and subscripts all evaluate concretely and the nest unrolls
+fully, while array contents remain uninterpreted atoms combined through
+the AC-normalizing constructors of :mod:`repro.symbolic.normalize`.
+
+The executor is *bounded* on purpose: ``max_instances`` caps the number
+of statement instances and ``max_nodes`` caps the size of any one stored
+value and of the whole store.  Exceeding either raises
+:class:`~repro.util.errors.SymbolicBlowupError`, which the fractal
+driver treats as "simplify further" (smaller size, deeper level), never
+as a verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.ir.ast import Guard, Loop, Node, Program, Statement
+from repro.ir.expr import (
+    ArrayRef, BinOp, Call, Expr, FloatLit, IntLit, UnaryOp, VarRef,
+)
+from repro.obs import counter
+from repro.symbolic.normalize import (
+    SymVal, num, s_add, s_call, s_div, s_mod, s_mul, s_neg, s_sub, size,
+)
+from repro.symbolic.state import SymState
+from repro.util.errors import SymbolicBlowupError, SymbolicError
+
+__all__ = ["symbolic_execute", "Limits"]
+
+
+class Limits:
+    """Blowup bounds for one symbolic execution."""
+
+    def __init__(self, max_instances: int = 20_000, max_nodes: int = 20_000,
+                 max_value_nodes: int = 4_000):
+        self.max_instances = max_instances
+        self.max_nodes = max_nodes
+        self.max_value_nodes = max_value_nodes
+        self.instances = 0
+
+
+def symbolic_execute(
+    program: Program,
+    params: Mapping[str, int],
+    *,
+    limits: Limits | None = None,
+) -> SymState:
+    """Symbolically run ``program`` with every parameter bound to the
+    concrete integers in ``params``; returns the final symbolic store."""
+    limits = limits or Limits()
+    missing = [p for p in program.params if p not in params]
+    if missing:
+        raise SymbolicError(f"unbound parameters for symbolic execution: {missing}")
+    state = SymState()
+    env: dict[str, int] = {p: int(params[p]) for p in params}
+    for node in program.body:
+        _run(node, env, state, limits)
+    counter("symbolic.instances", limits.instances)
+    return state
+
+
+def _run(node: Node, env: dict[str, int], state: SymState, limits: Limits) -> None:
+    if isinstance(node, Statement):
+        limits.instances += 1
+        if limits.instances > limits.max_instances:
+            raise SymbolicBlowupError(
+                f"symbolic instance budget {limits.max_instances} exhausted"
+            )
+        value = _eval(node.rhs, env, state)
+        if size(value) > limits.max_value_nodes:
+            raise SymbolicBlowupError(
+                f"symbolic value exceeds {limits.max_value_nodes} nodes"
+            )
+        if isinstance(node.lhs, ArrayRef):
+            idx = tuple(_eval_int(s, env) for s in node.lhs.subscripts)
+            state.store_array(node.lhs.array, idx, value)
+        else:
+            state.store_scalar(node.lhs.name, value)
+        if state.nodes > limits.max_nodes:
+            raise SymbolicBlowupError(
+                f"symbolic store exceeds {limits.max_nodes} nodes"
+            )
+        return
+    if isinstance(node, Loop):
+        lo = node.lower.eval(env)
+        hi = node.upper.eval(env)
+        rng = range(lo, hi + 1, node.step) if node.step > 0 else range(lo, hi - 1, node.step)
+        saved = env.get(node.var, _MISSING)
+        for v in rng:
+            env[node.var] = v
+            for child in node.body:
+                _run(child, env, state, limits)
+        if saved is _MISSING:
+            env.pop(node.var, None)
+        else:
+            env[node.var] = saved
+        return
+    if isinstance(node, Guard):
+        if all(c.satisfied_by(env) for c in node.conditions):
+            for child in node.body:
+                _run(child, env, state, limits)
+        return
+    raise SymbolicError(f"cannot symbolically execute {type(node).__name__}")
+
+
+_MISSING = object()
+
+
+def _eval(e: Expr, env: Mapping[str, int], state: SymState) -> SymVal:
+    if isinstance(e, IntLit):
+        return num(e.value)
+    if isinstance(e, FloatLit):
+        return num(e.value)
+    if isinstance(e, VarRef):
+        if e.name in env:
+            return num(env[e.name])
+        got = state.load_scalar(e.name)
+        if got is None:
+            raise SymbolicError(f"unbound variable {e.name!r} in symbolic execution")
+        return got
+    if isinstance(e, ArrayRef):
+        idx = tuple(_eval_int(s, env) for s in e.subscripts)
+        return state.load_array(e.array, idx)
+    if isinstance(e, UnaryOp):
+        return s_neg(_eval(e.operand, env, state))
+    if isinstance(e, BinOp):
+        left = _eval(e.left, env, state)
+        right = _eval(e.right, env, state)
+        if e.op == "+":
+            return s_add(left, right)
+        if e.op == "-":
+            return s_sub(left, right)
+        if e.op == "*":
+            return s_mul(left, right)
+        if e.op == "/":
+            try:
+                return s_div(left, right)
+            except ZeroDivisionError:
+                raise SymbolicError("symbolic division by constant zero") from None
+        if e.op == "%":
+            return s_mod(left, right)
+        raise SymbolicError(f"unknown operator {e.op!r}")  # pragma: no cover
+    if isinstance(e, Call):
+        return s_call(e.func, tuple(_eval(a, env, state) for a in e.args))
+    raise SymbolicError(f"cannot symbolically evaluate {e!r}")
+
+
+def _eval_int(e: Expr, env: Mapping[str, int]) -> int:
+    """Subscripts must be concrete during symbolic execution: a
+    data-dependent subscript (array read inside a subscript) makes the
+    touched cell set symbolic, which this oracle does not model."""
+    if isinstance(e, IntLit):
+        return e.value
+    if isinstance(e, VarRef):
+        if e.name in env:
+            return env[e.name]
+        raise SymbolicError(f"symbolic subscript variable {e.name!r}")
+    if isinstance(e, UnaryOp):
+        return -_eval_int(e.operand, env)
+    if isinstance(e, BinOp):
+        left = _eval_int(e.left, env)
+        right = _eval_int(e.right, env)
+        if e.op == "+":
+            return left + right
+        if e.op == "-":
+            return left - right
+        if e.op == "*":
+            return left * right
+        if e.op == "/":
+            if right == 0 or left % right:
+                raise SymbolicError(f"non-integer subscript division {e}")
+            return left // right
+        if e.op == "%":
+            return left % right
+    raise SymbolicError(f"data-dependent or non-integer subscript {e}")

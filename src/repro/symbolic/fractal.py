@@ -1,0 +1,287 @@
+"""The fractal simplification loop and its certificates.
+
+Strategy (after Mateev/Menon/Pingali, *Fractal Symbolic Analysis*): to
+decide whether a transformed program is equivalent to its original, try
+to compare the two **directly** — symbolically execute both at a small
+concrete size and compare final stores up to AC-normalization.  When
+the direct comparison is too hard (the symbolic store blows past its
+budget), *simplify the pair* and recurse: shrink the loop bounds one
+step (a bounded form of the paper's peeling/splitting — every loop
+loses its last iterations, yielding a strictly simpler program pair)
+and try again, one level deeper.  The loop terminates because sizes
+shrink toward the floor; the result is either
+
+* a :class:`Certificate` — the sizes proved equivalent, the store
+  locations matched, the rewrite rules the normalizer fired, and how
+  deep the simplification had to go; or
+* a **mismatch** — a concrete location whose symbolic values differ
+  (definitive: the atoms are uninterpreted, so the programs compute
+  different functions of the initial arrays at that size); or
+* a definitive **unknown** — the pair never became simple enough, or
+  uses features the executor cannot model.
+
+Because array atoms are uninterpreted, a certificate at size *s* covers
+*every* initial array content at that size.  Generalizing from the
+certified sizes to all sizes is the oracle's documented leap of faith
+(docs/SYMBOLIC.md); the differential fuzzer re-checks every certificate
+numerically at other sizes, and the forced-unsound injection mode
+asserts that a lying certificate would be caught.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.ir import Program
+from repro.obs import counter, event, gauge, histogram, span
+from repro.symbolic.exec import Limits, symbolic_execute
+from repro.symbolic.normalize import rule_log
+from repro.util.errors import ReproError, SymbolicBlowupError, SymbolicError
+
+__all__ = [
+    "Certificate", "SymbolicOutcome", "prove_equivalent", "prove_schedule",
+    "verify_certificate", "DEFAULT_SIZES", "MIN_SIZES", "SIZE_FLOOR",
+]
+
+#: Bound sizes tried, largest first; the fractal descent moves right.
+DEFAULT_SIZES: tuple[int, ...] = (5, 4, 3, 2)
+#: A certificate needs at least this many distinct sizes proved equal.
+MIN_SIZES = 2
+#: Never shrink below this (size-1 nests degenerate too far to say much).
+SIZE_FLOOR = 2
+
+#: Note marker carried by fabricated certificates (fuzz hardening mode).
+UNSOUND_NOTE = "UNSOUND-INJECTION: fabricated certificate, no comparison ran"
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A checkable record of one successful symbolic-equivalence proof."""
+
+    program: str
+    spec: str
+    sizes: tuple[int, ...]        #: bound sizes proved equivalent
+    cells: int                    #: store locations matched at the largest size
+    rules: tuple[str, ...]        #: normalizer rewrite rules that fired
+    depth: int                    #: fractal simplification levels descended
+    attempts: int                 #: symbolic executions performed
+    store_nodes: int              #: largest symbolic store seen (node count)
+    note: str = ""
+
+    @property
+    def unsound_injection(self) -> bool:
+        return self.note.startswith("UNSOUND-INJECTION")
+
+    def summary(self) -> str:
+        head = (
+            f"certified at sizes {list(self.sizes)}: {self.cells} store "
+            f"locations matched, fractal depth {self.depth}, "
+            f"{self.attempts} symbolic executions"
+        )
+        rules = f"; rules: {', '.join(self.rules)}" if self.rules else ""
+        note = f"; {self.note}" if self.note else ""
+        return head + rules + note
+
+    def to_payload(self) -> dict:
+        return {
+            "program": self.program, "spec": self.spec,
+            "sizes": list(self.sizes), "cells": self.cells,
+            "rules": list(self.rules), "depth": self.depth,
+            "attempts": self.attempts, "store_nodes": self.store_nodes,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_payload(cls, p: Mapping[str, Any]) -> "Certificate":
+        return cls(
+            program=p["program"], spec=p["spec"],
+            sizes=tuple(int(s) for s in p["sizes"]), cells=int(p["cells"]),
+            rules=tuple(p["rules"]), depth=int(p["depth"]),
+            attempts=int(p["attempts"]),
+            store_nodes=int(p.get("store_nodes", 0)), note=p.get("note", ""),
+        )
+
+
+@dataclass
+class SymbolicOutcome:
+    """Verdict of one oracle consultation."""
+
+    verdict: str                      #: "symbolic-legal" | "mismatch" | "unknown"
+    reason: str
+    certificate: Certificate | None = None
+    diff: str = ""                    #: first diverging location (mismatch only)
+    sizes_tried: list[int] = field(default_factory=list)
+
+    @property
+    def legal(self) -> bool:
+        return self.verdict == "symbolic-legal"
+
+
+def _params_at(program: Program, s: int) -> dict[str, int]:
+    """Bind every parameter near ``s`` (staggered so multi-parameter
+    nests are not checked only on the degenerate square case)."""
+    return {p: s + i for i, p in enumerate(sorted(program.params))}
+
+
+def prove_equivalent(
+    original: Program,
+    transformed: Program,
+    *,
+    sizes: Sequence[int] | None = None,
+    min_sizes: int = MIN_SIZES,
+    limits: Limits | None = None,
+    spec: str = "",
+) -> SymbolicOutcome:
+    """Run the fractal loop on a matched program pair."""
+    plan = sorted(set(sizes or DEFAULT_SIZES), reverse=True)
+    if any(s < SIZE_FLOOR for s in plan):
+        raise SymbolicError(f"sizes below the floor {SIZE_FLOOR}: {plan}")
+    certified: list[int] = []
+    tried: list[int] = []
+    depth = 0
+    attempts = 0
+    peak_nodes = 0
+    cells = 0
+    rules: set[str] = set()
+    for s in plan:
+        tried.append(s)
+        attempts += 2
+        try:
+            with rule_log() as log:
+                a = symbolic_execute(original, _params_at(original, s),
+                                     limits=limits or Limits())
+                b = symbolic_execute(transformed, _params_at(original, s),
+                                     limits=limits or Limits())
+            rules.update(log.rules)
+            peak_nodes = max(peak_nodes, a.nodes, b.nodes)
+        except SymbolicBlowupError as exc:
+            # too hard at this size: descend a level and try the next,
+            # strictly simpler pair (the bounded peel/split step)
+            depth += 1
+            counter("symbolic.blowups")
+            event("symbolic", "info", f"size {s} blew up; simplifying",
+                  size=s, detail=str(exc), depth=depth)
+            continue
+        except SymbolicError as exc:
+            return SymbolicOutcome(
+                "unknown", f"not symbolically executable: {exc}",
+                sizes_tried=tried,
+            )
+        diff = a.diff(b)
+        if diff is not None:
+            event("symbolic", "reject",
+                  "symbolic stores diverge (definitive mismatch)",
+                  size=s, location=diff.describe())
+            return SymbolicOutcome(
+                "mismatch",
+                f"symbolic stores diverge at size {s}: {diff.describe()}",
+                diff=diff.describe(), sizes_tried=tried,
+            )
+        if not certified:
+            cells = len(a)
+        certified.append(s)
+        event("symbolic", "accept", "symbolic stores match",
+              size=s, cells=len(a), nodes=a.nodes)
+    if len(certified) >= min_sizes:
+        cert = Certificate(
+            program=original.name, spec=spec, sizes=tuple(certified),
+            cells=cells, rules=tuple(sorted(rules)), depth=depth,
+            attempts=attempts, store_nodes=peak_nodes,
+        )
+        return SymbolicOutcome(
+            "symbolic-legal", "all compared sizes match", certificate=cert,
+            sizes_tried=tried,
+        )
+    return SymbolicOutcome(
+        "unknown",
+        f"only {len(certified)} of the required {min_sizes} sizes became "
+        "simple enough for direct comparison",
+        sizes_tried=tried,
+    )
+
+
+def _realize_pair(program: Program, spec: str) -> tuple[Program, Program]:
+    """The matched pair for a schedule: the user's program and the code
+    the pipeline would generate for ``spec`` with the legality gate off."""
+    from repro.codegen import generate_code
+    from repro.transform.spec import parse_schedule
+
+    schedule = parse_schedule(program, spec)
+    g = generate_code(
+        schedule.program, schedule.matrix, schedule.deps, require_legal=False
+    )
+    return program, g.program
+
+
+def prove_schedule(
+    program: Program,
+    spec: str,
+    *,
+    sizes: Sequence[int] | None = None,
+    unsound: bool = False,
+) -> SymbolicOutcome:
+    """Consult the oracle for one transformation spec.
+
+    ``unsound=True`` is the fuzz-hardening mode: it fabricates a lying
+    certificate without comparing anything, so the differential fuzzer
+    can assert it would catch an oracle that cheats.  Never set it
+    outside fuzzing/tests.
+    """
+    counter("symbolic.attempts")
+    t0 = time.perf_counter_ns()
+    try:
+        with span("symbolic.check", program=program.name, spec=spec):
+            if unsound:
+                counter("symbolic.unsound_injections")
+                cert = Certificate(
+                    program=program.name, spec=spec, sizes=(0,), cells=0,
+                    rules=(), depth=0, attempts=0, store_nodes=0,
+                    note=UNSOUND_NOTE,
+                )
+                return SymbolicOutcome(
+                    "symbolic-legal", "forced-unsound injection",
+                    certificate=cert,
+                )
+            try:
+                original, transformed = _realize_pair(program, spec)
+            except ReproError as exc:
+                return SymbolicOutcome(
+                    "unknown", f"cannot realize transformed program: {exc}"
+                )
+            outcome = prove_equivalent(
+                original, transformed, sizes=sizes, spec=spec
+            )
+            if outcome.legal:
+                counter("symbolic.certificates")
+                gauge("symbolic.last_depth", outcome.certificate.depth)
+                histogram("symbolic.fallback_depth", outcome.certificate.depth)
+            elif outcome.verdict == "mismatch":
+                counter("symbolic.mismatches")
+            else:
+                counter("symbolic.unknowns")
+            return outcome
+    finally:
+        histogram("symbolic.check_ns", time.perf_counter_ns() - t0)
+
+
+def verify_certificate(
+    program: Program, cert: Certificate, *, spec: str | None = None
+) -> bool:
+    """Re-run the comparison a certificate claims.  A genuine
+    certificate reproduces; a fabricated one (forced-unsound mode) does
+    not — this is what makes certificates *checkable* artifacts rather
+    than trust-me booleans."""
+    if cert.unsound_injection or not cert.sizes or min(cert.sizes) < SIZE_FLOOR:
+        return False
+    use_spec = cert.spec if spec is None else spec
+    try:
+        original, transformed = _realize_pair(program, use_spec)
+        outcome = prove_equivalent(
+            original, transformed,
+            sizes=cert.sizes, min_sizes=len(cert.sizes), spec=use_spec,
+        )
+    except ReproError:
+        return False
+    return outcome.legal and set(outcome.certificate.sizes) >= set(cert.sizes)

@@ -1,0 +1,312 @@
+"""Commutativity/associativity-aware normal form for symbolic values.
+
+The fractal oracle (docs/SYMBOLIC.md) decides "are these two programs
+equivalent?" by symbolically executing both and comparing final stores.
+For that comparison to see through legal-but-reordering schedules —
+reversed or blocked reductions, interchanged accumulation loops — the
+symbolic values must be *canonical under the ring axioms* the oracle is
+allowed to assume:
+
+* associativity and commutativity of ``+`` and ``*``;
+* distribution of ``*`` over ``+``;
+* exact folding of numeric constants;
+* additive/multiplicative identities and the zero annihilator.
+
+Values are immutable nested tuples (hashable, directly comparable):
+
+``("num", v)``
+    a numeric constant (float).
+``("init", name, idx)``
+    the uninterpreted initial content of array cell ``name[idx]`` —
+    the atoms of the algebra.  Symbolic equality of two stores over
+    these atoms therefore holds for *every* initial array content.
+``("sum", c0, ((t1, c1), (t2, c2), ...))``
+    ``c0 + Σ ci·ti`` with non-zero coefficients and canonically sorted,
+    pairwise-distinct terms ``ti`` (never themselves sums or numbers).
+``("prod", ((f1, e1), ...))``
+    ``Π fi^ei`` with positive integer exponents and sorted, distinct
+    factors (never prods, sums with one term, or numbers).
+``("div", num, den)`` / ``("mod", a, b)``
+    division and modulus are *not* reassociated: they stay opaque
+    binary atoms (den never a number — those fold into coefficients).
+``("call", fn, (a1, ...))``
+    an uninterpreted intrinsic application (sqrt, f, g, ...): equal
+    iff the normalized arguments are equal.
+
+Every rewrite the normalizer actually fires is recorded in the ambient
+rule log (:func:`rule_log`), which the fractal driver snapshots into the
+certificate — the "accepted rewrite steps" of Mateev/Menon/Pingali.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from typing import Iterable
+
+__all__ = [
+    "SymVal", "num", "init_cell", "s_add", "s_neg", "s_sub", "s_mul",
+    "s_div", "s_mod", "s_call", "size", "render", "rule_log", "RULES",
+]
+
+SymVal = tuple  # nested tuples; see module docstring
+
+#: Every rewrite rule the normalizer can apply, for documentation and
+#: for validating certificates that claim a subset.
+RULES: tuple[str, ...] = (
+    "flatten-assoc-add", "sort-comm-add", "fold-const-add",
+    "drop-zero-term", "flatten-assoc-mul", "sort-comm-mul",
+    "fold-const-mul", "mul-by-zero", "drop-unit-factor",
+    "distribute-mul-over-add", "combine-like-terms", "combine-exponents",
+    "div-by-const", "neg-as-scale",
+)
+
+#: Ambient log of rules fired since :func:`rule_log` installed it.
+_RULELOG: ContextVar[set | None] = ContextVar("symbolic_rulelog", default=None)
+
+
+class rule_log:
+    """Context manager installing a fresh rule log; ``.rules`` afterwards
+    holds the sorted tuple of rewrite rules that actually fired."""
+
+    def __init__(self):
+        self.rules: tuple[str, ...] = ()
+        self._set: set[str] = set()
+        self._token = None
+
+    def __enter__(self) -> "rule_log":
+        self._token = _RULELOG.set(self._set)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _RULELOG.reset(self._token)
+        self.rules = tuple(sorted(self._set))
+
+
+def _fired(rule: str) -> None:
+    log = _RULELOG.get()
+    if log is not None:
+        log.add(rule)
+
+
+# ---------------------------------------------------------------------------
+# constructors
+# ---------------------------------------------------------------------------
+
+def num(v: float) -> SymVal:
+    return ("num", float(v))
+
+
+def init_cell(name: str, idx: tuple[int, ...]) -> SymVal:
+    """The uninterpreted initial value of one array cell."""
+    return ("init", name, tuple(int(i) for i in idx))
+
+
+def _is_num(v: SymVal) -> bool:
+    return v[0] == "num"
+
+
+def _term_key(t: SymVal):
+    # canonical tuples repr deterministically; a string key gives a
+    # total order across heterogeneous nested shapes
+    return repr(t)
+
+
+def _as_terms(v: SymVal) -> tuple[float, list[tuple[SymVal, float]]]:
+    """Decompose a value into (constant, [(term, coeff), ...])."""
+    if _is_num(v):
+        return v[1], []
+    if v[0] == "sum":
+        return v[1], list(v[2])
+    return 0.0, [(v, 1.0)]
+
+
+def _make_sum(const: float, terms: Iterable[tuple[SymVal, float]]) -> SymVal:
+    merged: dict[str, tuple[SymVal, float]] = {}
+    for t, c in terms:
+        k = _term_key(t)
+        if k in merged:
+            _fired("combine-like-terms")
+            merged[k] = (t, merged[k][1] + c)
+        else:
+            merged[k] = (t, c)
+    kept = [(t, c) for t, c in merged.values() if c != 0.0]
+    if len(kept) < len(merged):
+        _fired("drop-zero-term")
+    kept.sort(key=lambda tc: _term_key(tc[0]))
+    if not kept:
+        return num(const)
+    if const == 0.0 and len(kept) == 1 and kept[0][1] == 1.0:
+        return kept[0][0]
+    return ("sum", float(const), tuple(kept))
+
+
+def s_add(a: SymVal, b: SymVal) -> SymVal:
+    if _is_num(a) and _is_num(b):
+        _fired("fold-const-add")
+        return num(a[1] + b[1])
+    ca, ta = _as_terms(a)
+    cb, tb = _as_terms(b)
+    if a[0] == "sum" or b[0] == "sum":
+        _fired("flatten-assoc-add")
+    _fired("sort-comm-add")
+    return _make_sum(ca + cb, ta + tb)
+
+
+def s_neg(a: SymVal) -> SymVal:
+    _fired("neg-as-scale")
+    return s_mul(num(-1.0), a)
+
+
+def s_sub(a: SymVal, b: SymVal) -> SymVal:
+    return s_add(a, s_neg(b))
+
+
+def _as_factors(v: SymVal) -> list[tuple[SymVal, int]]:
+    if v[0] == "prod":
+        return list(v[1])
+    return [(v, 1)]
+
+
+def _make_prod(coeff: float, factors: Iterable[tuple[SymVal, int]]) -> SymVal:
+    merged: dict[str, tuple[SymVal, int]] = {}
+    for f, e in factors:
+        k = _term_key(f)
+        if k in merged:
+            _fired("combine-exponents")
+            merged[k] = (f, merged[k][1] + e)
+        else:
+            merged[k] = (f, e)
+    kept = sorted(
+        ((f, e) for f, e in merged.values() if e != 0),
+        key=lambda fe: _term_key(fe[0]),
+    )
+    if not kept:
+        return num(coeff)
+    if len(kept) == 1 and kept[0][1] == 1:
+        bare: SymVal = kept[0][0]
+    else:
+        bare = ("prod", tuple(kept))
+    if coeff == 1.0:
+        return bare
+    if coeff == 0.0:
+        _fired("mul-by-zero")
+        return num(0.0)
+    return ("sum", 0.0, ((bare, float(coeff)),))
+
+
+def s_mul(a: SymVal, b: SymVal) -> SymVal:
+    if _is_num(a) and _is_num(b):
+        _fired("fold-const-mul")
+        return num(a[1] * b[1])
+    if _is_num(a) or _is_num(b):
+        c, x = (a[1], b) if _is_num(a) else (b[1], a)
+        if c == 0.0:
+            _fired("mul-by-zero")
+            return num(0.0)
+        if c == 1.0:
+            _fired("drop-unit-factor")
+            return x
+        const, terms = _as_terms(x)
+        _fired("fold-const-mul")
+        return _make_sum(const * c, [(t, tc * c) for t, tc in terms])
+    if a[0] == "sum" or b[0] == "sum":
+        # distribute (c0 + Σ ci·ti)(d0 + Σ dj·uj) term by term
+        _fired("distribute-mul-over-add")
+        ca, ta = _as_terms(a)
+        cb, tb = _as_terms(b)
+        acc = num(ca * cb)
+        for t, c in ta:
+            acc = s_add(acc, s_mul(num(c * cb), t) if cb != 0.0 else num(0.0))
+        for u, d in tb:
+            acc = s_add(acc, s_mul(num(ca * d), u) if ca != 0.0 else num(0.0))
+        for t, c in ta:
+            for u, d in tb:
+                prod = _make_prod(1.0, _as_factors(t) + _as_factors(u))
+                acc = s_add(acc, s_mul(num(c * d), prod))
+        return acc
+    if a[0] == "prod" or b[0] == "prod":
+        _fired("flatten-assoc-mul")
+    _fired("sort-comm-mul")
+    return _make_prod(1.0, _as_factors(a) + _as_factors(b))
+
+
+def s_div(a: SymVal, b: SymVal) -> SymVal:
+    if _is_num(b):
+        if b[1] == 0.0:
+            raise ZeroDivisionError("symbolic division by constant zero")
+        _fired("div-by-const")
+        return s_mul(num(1.0 / b[1]), a)
+    if _is_num(a) and a[1] == 0.0:
+        return num(0.0)
+    return ("div", a, b)
+
+
+def s_mod(a: SymVal, b: SymVal) -> SymVal:
+    if _is_num(a) and _is_num(b) and b[1] != 0.0:
+        return num(a[1] % b[1])
+    return ("mod", a, b)
+
+
+def s_call(fn: str, args: tuple[SymVal, ...]) -> SymVal:
+    if all(_is_num(a) for a in args):
+        from repro.ir.expr import BUILTIN_FUNCTIONS
+
+        try:
+            return num(float(BUILTIN_FUNCTIONS[fn](*(a[1] for a in args))))
+        except (ValueError, KeyError, ZeroDivisionError):
+            pass
+    return ("call", fn, tuple(args))
+
+
+# ---------------------------------------------------------------------------
+# measurement and rendering
+# ---------------------------------------------------------------------------
+
+def size(v: SymVal) -> int:
+    """Node count of a normalized value (the blowup metric)."""
+    tag = v[0]
+    if tag in ("num", "init"):
+        return 1
+    if tag == "sum":
+        return 1 + sum(size(t) for t, _ in v[2])
+    if tag == "prod":
+        return 1 + sum(size(f) for f, _ in v[1])
+    if tag in ("div", "mod"):
+        return 1 + size(v[1]) + size(v[2])
+    if tag == "call":
+        return 1 + sum(size(a) for a in v[2])
+    raise ValueError(f"unknown symbolic tag {tag!r}")
+
+
+def render(v: SymVal, limit: int = 120) -> str:
+    """Human-readable rendering, truncated for certificates/events."""
+    s = _render(v)
+    return s if len(s) <= limit else s[: limit - 1] + "…"
+
+
+def _fmt_num(x: float) -> str:
+    return str(int(x)) if float(x).is_integer() else f"{x:g}"
+
+
+def _render(v: SymVal) -> str:
+    tag = v[0]
+    if tag == "num":
+        return _fmt_num(v[1])
+    if tag == "init":
+        return f"{v[1]}₀({', '.join(map(str, v[2]))})"
+    if tag == "sum":
+        parts = [] if v[1] == 0.0 else [_fmt_num(v[1])]
+        for t, c in v[2]:
+            parts.append(_render(t) if c == 1.0 else f"{_fmt_num(c)}·{_render(t)}")
+        return "(" + " + ".join(parts) + ")"
+    if tag == "prod":
+        return "·".join(
+            _render(f) if e == 1 else f"{_render(f)}^{e}" for f, e in v[1]
+        )
+    if tag == "div":
+        return f"({_render(v[1])} / {_render(v[2])})"
+    if tag == "mod":
+        return f"({_render(v[1])} % {_render(v[2])})"
+    if tag == "call":
+        return f"{v[1]}({', '.join(_render(a) for a in v[2])})"
+    return repr(v)

@@ -1,0 +1,99 @@
+"""Symbolic store and state over the loop-nest IR.
+
+A :class:`SymState` maps *locations* — concrete array cells and scalar
+names — to normalized symbolic values (:mod:`repro.symbolic.normalize`).
+Loop variables and parameters are always concrete integers during
+symbolic execution (the executor binds parameters to small sizes), so
+every subscript resolves to a concrete cell; only the *data* flowing
+through the nest stays symbolic.
+
+Reading a cell that was never written yields its uninterpreted initial
+atom ``name₀(idx)``.  Two states are equivalent iff every location they
+jointly mention holds the same normalized value — a claim that, because
+the atoms are uninterpreted, holds for **all** initial array contents at
+the executed size, not just sampled ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.symbolic.normalize import SymVal, init_cell, render, size
+
+__all__ = ["SymState", "StateDiff"]
+
+#: A location: ("arr", name, idx-tuple) or ("scalar", name).
+Loc = tuple
+
+
+@dataclass
+class StateDiff:
+    """First divergence between two symbolic states, for diagnostics."""
+
+    loc: Loc
+    left: SymVal
+    right: SymVal
+
+    def describe(self) -> str:
+        if self.loc[0] == "arr":
+            where = f"{self.loc[1]}({', '.join(map(str, self.loc[2]))})"
+        else:
+            where = self.loc[1]
+        return f"{where}: {render(self.left)} ≠ {render(self.right)}"
+
+
+@dataclass
+class SymState:
+    """Mutable symbolic store produced by one symbolic execution."""
+
+    values: dict[Loc, SymVal] = field(default_factory=dict)
+    #: running node total across all stored values (blowup accounting)
+    nodes: int = 0
+
+    def load_array(self, name: str, idx: tuple[int, ...]) -> SymVal:
+        loc = ("arr", name, idx)
+        got = self.values.get(loc)
+        return got if got is not None else init_cell(name, idx)
+
+    def store_array(self, name: str, idx: tuple[int, ...], value: SymVal) -> None:
+        self._store(("arr", name, idx), value)
+
+    def load_scalar(self, name: str) -> SymVal | None:
+        return self.values.get(("scalar", name))
+
+    def store_scalar(self, name: str, value: SymVal) -> None:
+        self._store(("scalar", name), value)
+
+    def _store(self, loc: Loc, value: SymVal) -> None:
+        old = self.values.get(loc)
+        if old is not None:
+            self.nodes -= size(old)
+        self.values[loc] = value
+        self.nodes += size(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def locations(self) -> Iterator[Loc]:
+        return iter(self.values)
+
+    def diff(self, other: "SymState") -> StateDiff | None:
+        """First location where the two states disagree, or ``None`` if
+        they are equivalent.  A location written by only one side is
+        compared against its uninterpreted initial atom, so a redundant
+        self-assignment never counts as a divergence."""
+        for loc in sorted(set(self.values) | set(other.values), key=repr):
+            left = self._value_at(loc)
+            right = other._value_at(loc)
+            if left != right:
+                return StateDiff(loc, left, right)
+        return None
+
+    def _value_at(self, loc: Loc) -> SymVal:
+        got = self.values.get(loc)
+        if got is not None:
+            return got
+        if loc[0] == "arr":
+            return init_cell(loc[1], loc[2])
+        return ("init", "$scalar:" + loc[1], ())

@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 
-def realize(candidate: Candidate) -> Program:
+def realize(candidate: Candidate, *, require_legal: bool = True) -> Program:
     """Generate + simplify the candidate's transformed program.
 
     Simplification (§5.5 standard optimizations) is not cosmetic here:
@@ -63,10 +63,14 @@ def realize(candidate: Candidate) -> Program:
     Scoring or measuring the raw codegen output would systematically
     penalize *every* transformed schedule against the guard-free
     original program.  ``generate_code`` re-asserts Theorem-2 legality,
-    so this never executes an unchecked schedule.
+    so this never executes an unchecked schedule —
+    ``require_legal=False`` is reserved for candidates the fractal
+    symbolic oracle has certified instead (docs/SYMBOLIC.md).
     """
     ctx = candidate.context
-    generated = generate_code(ctx.program, candidate.matrix, ctx.deps)
+    generated = generate_code(
+        ctx.program, candidate.matrix, ctx.deps, require_legal=require_legal
+    )
     return simplify_program(generated.program)
 
 #: Default per-parameter size for the model execution; large enough for
@@ -242,6 +246,7 @@ def score_candidate(
     *,
     capacity_lines: int = CAPACITY_LINES,
     realized: Program | None = None,
+    require_legal: bool = True,
 ) -> CostReport:
     """Score a legality-checked candidate.  Raises :class:`ReproError`
     (never returns a junk score) when code generation or the model
@@ -249,10 +254,13 @@ def score_candidate(
 
     ``realized`` lets the caller pass an already realized program so
     codegen is not repeated between scoring and measurement.
+    ``require_legal=False`` is for symbolically-certified candidates
+    (``tune --symbolic``) whose matrices fail the Theorem-2 gate.
     """
     ctx = candidate.context
     with span("tune.score", candidate=candidate.description):
-        program = realized if realized is not None else realize(candidate)
+        program = (realized if realized is not None
+                   else realize(candidate, require_legal=require_legal))
         cap = MODEL_PARAM
         if ctx.tile is not None:
             cap = min(2 * ctx.tile[1], TILED_MODEL_CAP)

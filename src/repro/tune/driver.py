@@ -22,7 +22,10 @@ Two invariants the tests pin:
   legality-checked *before* the cost model interprets it and before the
   measured backend runs it; ``TuneResult.executed`` is the audit trail
   (program text + matrix of everything that ran) so the property tests
-  can re-verify each entry independently;
+  can re-verify each entry independently.  With ``symbolic=True`` the
+  gate widens: a Theorem-2 rejection may instead carry a fractal-oracle
+  certificate (``legality="symbolic"``, docs/SYMBOLIC.md) — certified,
+  not unchecked;
 * **the tuned schedule is never slower than the default order** — the
   default order is itself measured as a candidate, so the winner is at
   worst the program the user already had.
@@ -104,6 +107,14 @@ BLOCKED_SLOTS = 2
 #: never survive ranking to be measured.
 WAVEFRONT_SLOTS = 2
 
+#: Extra beam/measurement slots reserved for the best *rescued*
+#: (Theorem-2-illegal, symbolically certified) candidates when
+#: ``tune --symbolic`` is on.  Rescued schedules are typically
+#: reassociated reductions whose static score ties the legal orders, so
+#: without a reserved slot they would rarely survive ranking and the
+#: rescue would never be measured (or cross-checked).
+SYMBOLIC_SLOTS = 1
+
 #: Parameter cap for the reference cross-check in ``cross_check="model"``
 #: mode (full-size interpretation is infeasible past N≈128: the
 #: reference interpreter visits every statement instance).
@@ -122,6 +133,7 @@ class TunedRow:
     ok: bool | None          # outputs match the reference interpreter
     error: str = ""
     baseline: bool = False   # the untransformed default order
+    legality: str = "theorem-2"   # "theorem-2" | "symbolic" (rescued)
     candidate: Candidate | None = field(default=None, repr=False, compare=False)
 
     @property
@@ -138,6 +150,7 @@ class TunedRow:
             "ok": self.ok,
             "error": self.error,
             "baseline": self.baseline,
+            "legality": self.legality,
             "winner": winner,
         }
 
@@ -174,15 +187,21 @@ class TuneResult:
         return self.best is not None and not any(r.failed for r in self.rows)
 
 
-def _assess(cand: Candidate, params: Mapping[str, int], audit: list[dict]):
+def _assess(cand: Candidate, params: Mapping[str, int], audit: list[dict],
+            symbolic: bool = False):
     """Legality-gate then statically score one candidate.
 
-    Returns ``("scored", cand, cost)``, ``("pruned", ...)`` for illegal
-    candidates (never executed), or ``("infeasible", ...)`` when codegen
-    or the model execution fails.
+    Returns ``("scored", cand, cost)``, ``("rescued", cand, cost)`` for
+    a Theorem-2-illegal candidate the fractal symbolic oracle certified
+    (``symbolic=True`` only), ``("pruned", ...)`` for illegal candidates
+    (never executed), or ``("infeasible", ...)`` when codegen or the
+    model execution fails.
     """
     report = check_legality(cand.context.layout, cand.matrix, cand.context.deps)
-    if not report.legal:
+    rescued = False
+    if not report.legal and symbolic:
+        rescued = _symbolic_rescue(cand)
+    if not report.legal and not rescued:
         counter("tune.candidates.pruned")
         bad = report.violations
         event(
@@ -194,7 +213,7 @@ def _assess(cand: Candidate, params: Mapping[str, int], audit: list[dict]):
         return ("pruned", cand, None)
     try:
         audit.append(_audit_record(cand, "score"))
-        cost = score_candidate(cand, params)
+        cost = score_candidate(cand, params, require_legal=not rescued)
     except ReproError as exc:
         counter("tune.candidates.infeasible")
         event(
@@ -203,7 +222,37 @@ def _assess(cand: Candidate, params: Mapping[str, int], audit: list[dict]):
             candidate=cand.description, detail=str(exc),
         )
         return ("infeasible", cand, None)
-    return ("scored", cand, cost)
+    return ("rescued" if rescued else "scored", cand, cost)
+
+
+def _symbolic_rescue(cand: Candidate) -> bool:
+    """Appeal a Theorem-2 rejection to the fractal symbolic oracle
+    (``tune --symbolic``).  True only when the oracle *certifies* the
+    candidate's generated code equivalent to its context program; every
+    rescued candidate is additionally cross-checked against the
+    reference interpreter at measurement time, so a wrong certificate
+    still fails loudly before the winner persists."""
+    from repro.symbolic import prove_equivalent
+    from repro.util.errors import SymbolicError
+
+    ctx = cand.context
+    try:
+        transformed = realize(cand, require_legal=False)
+        outcome = prove_equivalent(
+            ctx.program, transformed, spec=cand.description
+        )
+    except (SymbolicError, ReproError):
+        return False
+    if not outcome.legal:
+        return False
+    counter("tune.candidates.rescued")
+    event(
+        "tune", "accept",
+        "Theorem-2-illegal but certified by the fractal symbolic oracle",
+        candidate=cand.description,
+        certificate=outcome.certificate.summary(),
+    )
+    return True
 
 
 def _audit_record(cand: Candidate, stage: str) -> dict:
@@ -234,12 +283,17 @@ def _stratified(
     width: int,
     blocked_slots: int,
     wavefront_slots: int = 0,
+    symbolic_slots: int = 0,
+    rescued_keys: frozenset | set = frozenset(),
 ) -> list[tuple[Candidate, CostReport]]:
     """The top ``width`` candidates, plus up to ``blocked_slots`` of the
     best blocked candidates when none made the cut on score alone, plus
     up to ``wavefront_slots`` of the best wavefront candidates likewise
     (both strata are cost-model blind spots: cache payoff and parallel
-    payoff respectively)."""
+    payoff respectively), plus up to ``symbolic_slots`` of the best
+    symbolically rescued candidates (whose payoff — a legal-looking
+    schedule Theorem 2 cannot admit — the score cannot express at
+    all)."""
     head = ranked[:width]
     if blocked_slots and not any(_is_blocked(c) for c, _ in head):
         head = head + [
@@ -251,6 +305,15 @@ def _stratified(
             item for item in ranked
             if _is_wavefront(item[0]) and id(item[0]) not in taken
         ][:wavefront_slots]
+    if symbolic_slots and not any(
+        c.canonical_key() in rescued_keys for c, _ in head
+    ):
+        taken = {id(item[0]) for item in head}
+        head = head + [
+            item for item in ranked
+            if item[0].canonical_key() in rescued_keys
+            and id(item[0]) not in taken
+        ][:symbolic_slots]
     return head
 
 
@@ -272,6 +335,7 @@ def tune(
     tile_sizes: Sequence[int] | None = None,
     max_candidates: int | None = None,
     cross_check: str = "full",
+    symbolic: bool = False,
 ) -> TuneResult:
     """Find the fastest legal schedule of ``program`` at ``params``.
 
@@ -301,6 +365,14 @@ def tune(
     (reference at sizes capped to :data:`CROSS_CHECK_CAP` — required
     past N≈128, where full interpretation is infeasible; timing still
     happens at the real sizes).
+
+    ``symbolic`` widens the search space: candidates the Theorem-2 test
+    rejects are appealed to the fractal symbolic oracle
+    (docs/SYMBOLIC.md), and certified ones — reassociated reductions,
+    typically — re-enter the beam marked ``legality="symbolic"``.
+    Nothing *uncertified* ever executes, and every rescued candidate is
+    still cross-checked against the reference interpreter before it can
+    win.
     """
     if cross_check not in ("full", "model"):
         raise TuneError(f"cross_check must be 'full' or 'model', got {cross_check!r}")
@@ -320,6 +392,7 @@ def tune(
     cap = resolve_max_candidates(max_candidates)
     blocked_slots = BLOCKED_SLOTS if tile_sizes else 0
     wavefront_slots = WAVEFRONT_SLOTS if backend == "source-par" else 0
+    symbolic_slots = SYMBOLIC_SLOTS if symbolic else 0
     with span("tune.search", program=program.name, backend=backend):
         candidates = enumerate_candidates(
             program,
@@ -333,17 +406,21 @@ def tune(
         root_identity = candidates[0]  # identity of the original context
 
         outcomes = map_in_threads(
-            lambda c: _assess(c, params, audit), candidates, jobs=resolve_jobs(jobs)
+            lambda c: _assess(c, params, audit, symbolic), candidates,
+            jobs=resolve_jobs(jobs)
         )
         pruned = sum(1 for s, *_ in outcomes if s == "pruned")
         pool: dict[tuple, tuple[Candidate, CostReport]] = {}
+        rescued_keys: set[tuple] = set()
         for status, cand, cost in outcomes:
-            if status == "scored":
+            if status in ("scored", "rescued"):
                 pool[cand.canonical_key()] = (cand, cost)
+                if status == "rescued":
+                    rescued_keys.add(cand.canonical_key())
 
         beam = _stratified(
             sorted(pool.values(), key=_rank_key), beam_width, blocked_slots,
-            wavefront_slots,
+            wavefront_slots, symbolic_slots, rescued_keys,
         )
         elem_cache: dict[int, list[Candidate]] = {}
         for _level in range(1, max(1, depth)):
@@ -374,7 +451,7 @@ def tune(
                 list(fresh.values()), cap, f"beam-level-{_level}"
             )
             outcomes = map_in_threads(
-                lambda c: _assess(c, params, audit),
+                lambda c: _assess(c, params, audit, symbolic),
                 level_cands,
                 jobs=resolve_jobs(jobs),
             )
@@ -382,16 +459,18 @@ def tune(
             counter("tune.candidates.enumerated", len(level_cands))
             pruned += sum(1 for s, *_ in outcomes if s == "pruned")
             for status, cand, cost in outcomes:
-                if status == "scored":
+                if status in ("scored", "rescued"):
                     pool[cand.canonical_key()] = (cand, cost)
+                    if status == "rescued":
+                        rescued_keys.add(cand.canonical_key())
             beam = _stratified(
                 sorted(pool.values(), key=_rank_key), beam_width, blocked_slots,
-                wavefront_slots,
+                wavefront_slots, symbolic_slots, rescued_keys,
             )
 
         ranked = sorted(pool.values(), key=_rank_key)
         survivors = _stratified(ranked, max(1, top_k), blocked_slots,
-                                wavefront_slots)
+                                wavefront_slots, symbolic_slots, rescued_keys)
         cut = {c.canonical_key() for c, _ in survivors}
         for rank, (cand, cost) in enumerate(ranked, 1):
             selected = cand.canonical_key() in cut
@@ -444,13 +523,15 @@ def tune(
         for cand, cost in survivors:
             if cand.canonical_key() == identity_key:
                 continue  # already measured as the baseline
+            is_rescued = cand.canonical_key() in rescued_keys
             row = TunedRow(
                 cand.description, cand.kind, cand.context.origin + cand.steps,
                 cost.score, None, None, candidate=cand,
+                legality="symbolic" if is_rescued else "theorem-2",
             )
             rows.append(row)
             try:
-                tuned_prog = realize(cand)
+                tuned_prog = realize(cand, require_legal=not is_rescued)
             except ReproError as exc:
                 counter("tune.measure_errors")
                 row.error = str(exc)
@@ -623,6 +704,7 @@ def _entry_from_result(result: TuneResult) -> dict:
             "seconds": best.seconds,
             "score": best.score,
             "baseline": best.baseline,
+            "legality": best.legality,
             "context_program": program_to_str(winner_ctx.program),
             "matrix": [list(r) for r in best.candidate.matrix.rows()],
         },
@@ -644,6 +726,7 @@ def _result_from_entry(
             r.get("description", "?"), r.get("kind", ""),
             tuple(r.get("steps", ())), r.get("score"), r.get("seconds"),
             r.get("ok"), r.get("error", ""), bool(r.get("baseline")),
+            r.get("legality", "theorem-2"),
         )
         rows.append(row)
         if r.get("winner"):
@@ -693,6 +776,23 @@ def apply_entry(entry: dict):
     prog = parse_program(winner["context_program"], entry.get("program", "tuned"))
     matrix = IntMatrix([[int(x) for x in row] for row in winner["matrix"]])
     deps = analyze_dependences(prog)
-    generated = generate_code(prog, matrix, deps)
-    tuned = simplify_program(generated.program)
+    if winner.get("legality") == "symbolic":
+        # a rescued winner fails the Theorem-2 gate by construction; the
+        # fractal oracle must re-certify the regenerated code or this
+        # entry is rejected — never trust a serialized "symbolic" label
+        from repro.symbolic import prove_equivalent
+
+        generated = generate_code(prog, matrix, deps, require_legal=False)
+        tuned = simplify_program(generated.program)
+        outcome = prove_equivalent(
+            prog, tuned, spec=winner.get("description", "")
+        )
+        if not outcome.legal:
+            raise TuneError(
+                "cached symbolic winner failed re-certification: "
+                f"{outcome.verdict}: {outcome.reason}"
+            )
+    else:
+        generated = generate_code(prog, matrix, deps)
+        tuned = simplify_program(generated.program)
     return tuned.with_body(tuned.body, name=(entry.get("program", "program") + "_tuned"))

@@ -62,6 +62,18 @@ class LegalityError(TransformError):
     the caller asked for an exception rather than a verdict."""
 
 
+class SymbolicError(ReproError):
+    """Raised by the fractal symbolic oracle when a program cannot be
+    symbolically executed at all (unbound scalar, data-dependent
+    subscript, constant division by zero, ...)."""
+
+
+class SymbolicBlowupError(SymbolicError):
+    """Raised when a symbolic execution exceeds its instance or
+    expression-size budget; the fractal driver responds by simplifying
+    (smaller bound sizes, deeper level) rather than giving a verdict."""
+
+
 class CodegenError(ReproError):
     """Raised when code generation fails (non-block-structured matrix,
     unbounded loop after transformation, ...)."""

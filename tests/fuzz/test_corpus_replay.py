@@ -35,6 +35,7 @@ class TestReplay:
         assert record["schema"] == SCHEMA
         assert expect in (
             "equivalent", "illegal-flagged", "backend-equivalent", "no-divergence",
+            "symbolic-legal",
         )
         assert case.program_src.strip()
         assert case.kind in ("spec", "complete")

@@ -101,8 +101,10 @@ class TestCommands:
         assert "do J" in open(dest).read()
 
     def test_transform_illegal_errors(self, loopfile, capsys):
+        # illegal-transform is the distinct exit code 3, so scripts can
+        # tell "your schedule is illegal" from analysis/usage errors (2)
         rc = main(["transform", loopfile, "permute(I,J)"])
-        assert rc == 2
+        assert rc == 3
         assert "error" in capsys.readouterr().err
 
     def test_run(self, loopfile, capsys):

@@ -181,6 +181,29 @@ def test_metrics_endpoint(daemon):
     assert raw["pool"]["shard_count"] == 1
 
 
+def test_symbolic_check_served_and_counted(daemon):
+    """A symbolic appeal over the wire: byte-identical to local, and the
+    oracle's counters/histograms surface in /metrics.  The in-process
+    daemon shares this test's obs session (`repro serve` installs its
+    own), so the /metrics snapshot sees the handler thread's counters."""
+    from repro import obs
+    from repro.kernels import syrk
+
+    _, client = daemon
+    syrk_src = program_to_str(syrk())
+    local = api.check_op(syrk(), "reverse(K)", oracle="symbolic")
+    with obs.session():
+        remote = api.CheckResult.from_payload(
+            client.check(syrk_src, "reverse(K)", symbolic=True)
+        )
+        m = client.metrics()
+    assert remote.render() == local.render()
+    assert remote.accepted and remote.exit_code == 0
+    assert m["counters"].get("symbolic.attempts", 0) >= 1
+    assert m["counters"].get("symbolic.certificates", 0) >= 1
+    assert "symbolic.check_ns" in m["histograms"]
+
+
 def test_tune_via_daemon_matches_cached_local_tune(daemon):
     server, client = daemon
     opts = dict(backend="reference", beam_width=2, depth=1, top_k=1,

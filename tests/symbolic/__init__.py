@@ -1,0 +1,1 @@
+"""Tests for the fractal symbolic legality oracle (system S21)."""

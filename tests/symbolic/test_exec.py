@@ -1,0 +1,104 @@
+"""Bounded symbolic executor: unrolled nests over uninterpreted atoms."""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.symbolic import Limits, symbolic_execute
+from repro.symbolic.normalize import init_cell
+from repro.util.errors import SymbolicBlowupError, SymbolicError
+
+SUM = """
+param N
+real A(N), S(1)
+do I = 1, N
+  S1: S(1) = S(1) + A(I)
+enddo
+"""
+
+SUM_REV = """
+param N
+real A(N), S(1)
+do I = 1, N
+  S1: S(1) = S(1) + A(N + 1 - I)
+enddo
+"""
+
+RECURRENCE = """
+param N
+real A(0:N)
+do I = 1, N
+  S1: A(I) = A(I - 1) + f(I)
+enddo
+"""
+
+RECURRENCE_REV = """
+param N
+real A(0:N)
+do I = 1, N
+  S1: A(N + 1 - I) = A(N - I) + f(N + 1 - I)
+enddo
+"""
+
+
+def run(src, n=4, limits=None):
+    return symbolic_execute(parse_program(src, "t"), {"N": n}, limits=limits)
+
+
+class TestExecution:
+    def test_reduction_store_shape(self):
+        state = run(SUM, n=3)
+        assert len(state) == 1
+        v = state.load_array("S", (1,))
+        # S₀(1) + A₀(1) + A₀(2) + A₀(3), all unit coefficients
+        assert v[0] == "sum"
+        terms = {t for t, c in v[2] if c == 1.0}
+        assert init_cell("S", (1,)) in terms
+        assert {init_cell("A", (i,)) for i in (1, 2, 3)} <= terms
+
+    def test_reversed_reduction_is_identical(self):
+        assert run(SUM, 4).diff(run(SUM_REV, 4)) is None
+
+    def test_reversed_recurrence_differs(self):
+        diff = run(RECURRENCE, 4).diff(run(RECURRENCE_REV, 4))
+        assert diff is not None
+        assert diff.loc[0] == "arr"
+        assert diff.describe()
+
+    def test_equivalence_is_per_size(self):
+        # at every size, for ALL initial contents — so N=2 and N=3 both hold
+        for n in (2, 3, 5):
+            assert run(SUM, n).diff(run(SUM_REV, n)) is None
+
+    def test_unbound_parameter_raises(self):
+        with pytest.raises(SymbolicError, match="unbound parameters"):
+            symbolic_execute(parse_program(SUM, "t"), {})
+
+    def test_guards_respected(self):
+        src = """
+        param N
+        real A(N)
+        do I = 1, N
+          S1: A(I) = f(I)
+        enddo
+        """
+        state = run(src, n=2)
+        assert len(state) == 2
+
+
+class TestLimits:
+    def test_instance_budget(self):
+        with pytest.raises(SymbolicBlowupError, match="instance budget"):
+            run(SUM, n=4, limits=Limits(max_instances=2))
+
+    def test_store_budget(self):
+        with pytest.raises(SymbolicBlowupError, match="store exceeds"):
+            run(SUM, n=4, limits=Limits(max_nodes=2))
+
+    def test_value_budget(self):
+        with pytest.raises(SymbolicBlowupError, match="nodes"):
+            run(SUM, n=4, limits=Limits(max_value_nodes=2))
+
+    def test_instances_counted(self):
+        lim = Limits()
+        run(SUM, n=4, limits=lim)
+        assert lim.instances == 4

@@ -1,0 +1,98 @@
+"""The fractal loop: verdicts, certificates, and the unsound self-test."""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.kernels import cholesky, fdtd_1d, syrk, trsv
+from repro.symbolic import (
+    Certificate, Limits, MIN_SIZES, SIZE_FLOOR, prove_equivalent,
+    prove_schedule, verify_certificate,
+)
+from repro.symbolic.fractal import UNSOUND_NOTE
+from repro.util.errors import SymbolicError
+
+
+class TestProveSchedule:
+    def test_syrk_reverse_k_certified(self):
+        out = prove_schedule(syrk(), "reverse(K)")
+        assert out.verdict == "symbolic-legal"
+        cert = out.certificate
+        assert cert is not None
+        assert len(cert.sizes) >= MIN_SIZES
+        assert min(cert.sizes) >= SIZE_FLOOR
+        assert not cert.unsound_injection
+        assert "certified at sizes" in cert.summary()
+
+    def test_syrk_blocked_reverse_certified(self):
+        out = prove_schedule(syrk(), "tile(K,2); reverse(KT)")
+        assert out.legal
+
+    def test_trsv_reverse_j_certified(self):
+        out = prove_schedule(trsv(), "reverse(J)")
+        assert out.legal
+
+    def test_cholesky_reverse_k_mismatch(self):
+        out = prove_schedule(cholesky(), "reverse(K)")
+        assert out.verdict == "mismatch"
+        assert out.certificate is None
+        assert out.diff  # a concrete diverging location is named
+
+    def test_fdtd_time_space_interchange_mismatch(self):
+        out = prove_schedule(fdtd_1d(), "permute(S,I)")
+        assert out.verdict == "mismatch"
+
+    def test_unparseable_spec_is_unknown(self):
+        out = prove_schedule(syrk(), "reverse(NOPE)")
+        assert out.verdict == "unknown"
+        assert not out.legal
+
+
+class TestProveEquivalent:
+    def test_size_floor_enforced(self):
+        p = syrk()
+        with pytest.raises(SymbolicError, match="floor"):
+            prove_equivalent(p, p, sizes=(1,))
+
+    def test_blowup_descends_then_reports_unknown(self):
+        # budget so small every size blows up: honest unknown, no guess
+        p = parse_program(
+            "param N\nreal A(N), S(1)\n"
+            "do I = 1, N\n  S1: S(1) = S(1) + A(I)\nenddo",
+            "t",
+        )
+        out = prove_equivalent(p, p, limits=Limits(max_instances=1))
+        assert out.verdict == "unknown"
+        assert "simple enough" in out.reason
+
+    def test_identity_certifies_with_rules(self):
+        p = syrk()
+        out = prove_equivalent(p, p)
+        assert out.legal
+        assert out.certificate.attempts >= 2 * MIN_SIZES
+
+
+class TestCertificates:
+    def test_payload_roundtrip(self):
+        out = prove_schedule(syrk(), "reverse(K)")
+        cert = out.certificate
+        assert Certificate.from_payload(cert.to_payload()) == cert
+
+    def test_genuine_certificate_verifies(self):
+        out = prove_schedule(syrk(), "reverse(K)")
+        assert verify_certificate(syrk(), out.certificate)
+
+    def test_fabricated_certificate_fails_verification(self):
+        out = prove_schedule(syrk(), "reverse(K)", unsound=True)
+        assert out.legal  # the lie *looks* legal...
+        cert = out.certificate
+        assert cert.unsound_injection
+        assert cert.note == UNSOUND_NOTE
+        assert not verify_certificate(syrk(), cert)  # ...but cannot be checked
+
+    def test_wrong_spec_certificate_fails_verification(self):
+        out = prove_schedule(syrk(), "reverse(K)")
+        lying = Certificate.from_payload(
+            {**out.certificate.to_payload(), "spec": "reverse(K)"}
+        )
+        # re-prove under a spec that mismatches: cholesky's reversal
+        assert not verify_certificate(cholesky(), lying)

@@ -1,0 +1,138 @@
+"""The oracle wired through legality, api, CLI, fuzz, and tune."""
+
+import pytest
+
+from repro.api import CheckResult, check_op
+from repro.cli import EXIT_ILLEGAL_TRANSFORM, main
+from repro.fuzz import known_symbolic_case, known_unsound_case, run_case
+from repro.kernels import cholesky, syrk
+from repro.legality import check
+from repro.service.protocol import CheckRequest, TuneRequest
+from repro.tune.driver import tune
+
+SYRK = "examples/syrk.loop"
+FDTD = "examples/fdtd_1d.loop"
+
+
+class TestLegalityCheck:
+    def test_theorem2_oracle_still_rejects(self):
+        report = check(syrk(), "reverse(K)")
+        assert not report.legal
+        assert report.oracle == "theorem-2"
+        assert not report.accepted
+
+    def test_symbolic_oracle_rescues(self):
+        report = check(syrk(), "reverse(K)", oracle="symbolic")
+        assert not report.legal          # Theorem-2 verdict is preserved
+        assert report.symbolic_legal     # ...but the appeal succeeded
+        assert report.accepted
+        assert report.symbolic.certificate is not None
+        assert "SYMBOLIC-LEGAL" in str(report).upper() or "symbolic" in str(report)
+
+    def test_symbolic_oracle_mismatch_stays_rejected(self):
+        report = check(cholesky(), "reverse(K)", oracle="symbolic")
+        assert not report.accepted
+        assert report.symbolic.verdict == "mismatch"
+
+    def test_unknown_oracle_name_rejected(self):
+        with pytest.raises(Exception, match="oracle"):
+            check(syrk(), "reverse(K)", oracle="astrology")
+
+
+class TestApi:
+    def test_check_op_payload_roundtrip(self):
+        res = check_op(syrk(), "reverse(K)", oracle="symbolic")
+        assert res.accepted and not res.legal
+        back = CheckResult.from_payload(res.to_payload())
+        assert back.accepted == res.accepted
+        assert back.certificate == res.certificate
+        assert back.symbolic_verdict == "symbolic-legal"
+        assert "SYMBOLIC-LEGAL" in back.render()
+
+    def test_check_op_default_oracle_unchanged(self):
+        res = check_op(syrk(), "reverse(K)")
+        assert not res.accepted
+        assert res.symbolic_verdict is None
+
+
+class TestCliExitCodes:
+    def test_legal_is_zero(self):
+        assert main(["check", SYRK, "permute(J,K)"]) == 0
+
+    def test_rejected_is_one(self):
+        assert main(["check", SYRK, "reverse(K)"]) == 1
+
+    def test_symbolic_rescue_is_zero(self):
+        assert main(["check", SYRK, "reverse(K)", "--symbolic"]) == 0
+
+    def test_symbolic_mismatch_is_one(self):
+        assert main(["check", FDTD, "permute(S,I)", "--symbolic"]) == 1
+
+    def test_analysis_error_is_two(self):
+        assert main(["check", SYRK, "reverse(NOPE)"]) == 2
+
+    def test_illegal_transform_is_three(self):
+        assert EXIT_ILLEGAL_TRANSFORM == 3
+        assert main(["transform", SYRK, "reverse(K)"]) == 3
+
+    def test_explain_symbolic_phase_renders_certificate(self, capsys):
+        assert main(
+            ["explain", SYRK, "--phase", "symbolic", "--spec", "reverse(K)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SYMBOLIC-LEGAL" in out
+        assert "certified at sizes" in out
+
+
+class TestFuzzIntegration:
+    def test_known_symbolic_case_passes(self):
+        result = run_case(known_symbolic_case())
+        assert result.verdict == "symbolic-legal"
+        assert not result.divergent
+        assert "certified at sizes" in result.detail
+
+    def test_symbolic_flag_off_keeps_old_verdict(self):
+        result = run_case(known_symbolic_case().with_(symbolic=False))
+        assert result.verdict in ("illegal-confirmed", "illegal-unconfirmed")
+
+    def test_unsound_injection_is_caught(self):
+        result = run_case(known_unsound_case())
+        assert result.verdict == "unsound-caught"
+        assert not result.divergent
+
+    def test_contradicted_certificate_diverges(self):
+        # an unsound (fabricated) certificate on a case where execution
+        # disproves it, but with the self-test marker off: the fuzzer
+        # must treat the surviving lie as a divergence
+        case = known_unsound_case().with_(unsound=False)
+        result = run_case(case)
+        # without the fabricated certificate the real oracle refuses the
+        # recurrence reversal, so the honest path classifies it
+        assert result.verdict in ("illegal-confirmed", "illegal-rejected")
+
+
+class TestTuneIntegration:
+    def test_symbolic_tune_measures_rescued_candidate(self):
+        r = tune(
+            syrk(), {"N": 8, "M": 8}, use_cache=False, symbolic=True,
+            depth=1, beam_width=4, top_k=2, repeat=1, backend="source",
+        )
+        rescued = [row for row in r.rows if row.legality == "symbolic"]
+        assert rescued, "a rescued candidate must reach measurement"
+        assert all(row.ok for row in rescued)
+        assert r.pruned == 0  # every illegal syrk candidate is rescuable
+
+    def test_default_tune_still_prunes(self):
+        r = tune(
+            syrk(), {"N": 8, "M": 8}, use_cache=False,
+            depth=1, beam_width=4, top_k=2, repeat=1, backend="source",
+        )
+        assert r.pruned == 3
+        assert all(row.legality == "theorem-2" for row in r.rows)
+
+
+class TestServiceProtocol:
+    def test_requests_default_symbolic_off(self):
+        # wire-compat: requests serialized by older clients keep meaning
+        assert CheckRequest(program="p", spec="s").symbolic is False
+        assert TuneRequest(program="p").symbolic is False

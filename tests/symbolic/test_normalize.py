@@ -1,0 +1,118 @@
+"""AC-normal form: the ring axioms the oracle is allowed to assume."""
+
+import pytest
+
+from repro.symbolic import RULES, render, rule_log, size
+from repro.symbolic.normalize import (
+    init_cell, num, s_add, s_call, s_div, s_mod, s_mul, s_neg, s_sub,
+)
+
+A = init_cell("A", (1,))
+B = init_cell("B", (2,))
+C = init_cell("C", (3,))
+
+
+class TestRingAxioms:
+    def test_add_commutes(self):
+        assert s_add(A, B) == s_add(B, A)
+
+    def test_add_associates(self):
+        assert s_add(s_add(A, B), C) == s_add(A, s_add(B, C))
+
+    def test_mul_commutes(self):
+        assert s_mul(A, B) == s_mul(B, A)
+
+    def test_mul_associates(self):
+        assert s_mul(s_mul(A, B), C) == s_mul(A, s_mul(B, C))
+
+    def test_mul_distributes_over_add(self):
+        left = s_mul(s_add(A, B), C)
+        right = s_add(s_mul(A, C), s_mul(B, C))
+        assert left == right
+
+    def test_reversed_reduction_normalizes_equal(self):
+        # the oracle's whole reason to exist: a + b + c == c + b + a
+        fwd = s_add(s_add(A, B), C)
+        rev = s_add(s_add(C, B), A)
+        assert fwd == rev
+
+
+class TestIdentitiesAndFolding:
+    def test_constants_fold(self):
+        assert s_add(num(2), num(3)) == num(5)
+        assert s_mul(num(2), num(3)) == num(6)
+
+    def test_zero_is_additive_identity(self):
+        assert s_add(A, num(0)) == A
+
+    def test_one_is_multiplicative_identity(self):
+        assert s_mul(A, num(1)) == A
+
+    def test_zero_annihilates(self):
+        assert s_mul(A, num(0)) == num(0)
+
+    def test_sub_cancels(self):
+        assert s_sub(A, A) == num(0)
+
+    def test_combine_like_terms(self):
+        assert s_add(A, A) == s_mul(num(2), A)
+
+    def test_combine_exponents(self):
+        assert s_mul(A, A) == ("prod", ((A, 2),))
+
+    def test_neg_is_scale_by_minus_one(self):
+        assert s_add(A, s_neg(A)) == num(0)
+
+
+class TestOpaqueOperators:
+    def test_div_by_const_becomes_scale(self):
+        assert s_div(A, num(2)) == s_mul(num(0.5), A)
+
+    def test_div_by_symbol_stays_opaque(self):
+        v = s_div(A, B)
+        assert v[0] == "div"
+        # and is NOT reassociated: (a/b)/c != a/(b/c) structurally
+        assert s_div(v, C) != s_div(A, s_div(B, C))
+
+    def test_div_by_constant_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            s_div(A, num(0))
+
+    def test_mod_folds_numbers_only(self):
+        assert s_mod(num(7), num(3)) == num(1)
+        assert s_mod(A, num(3))[0] == "mod"
+
+    def test_call_folds_all_numeric(self):
+        assert s_call("sqrt", (num(4),)) == num(2)
+
+    def test_call_uninterpreted_on_symbols(self):
+        v = s_call("f", (A,))
+        assert v == ("call", "f", (A,))
+        assert v != s_call("g", (A,))
+
+
+class TestAccounting:
+    def test_size_counts_nodes(self):
+        assert size(A) == 1
+        assert size(s_add(A, B)) == 3  # sum node + two atoms
+
+    def test_render_truncates(self):
+        v = A
+        for i in range(50):
+            v = s_add(v, init_cell("A", (i + 10,)))
+        assert len(render(v, limit=40)) <= 40
+
+    def test_rule_log_records_fired_rules(self):
+        with rule_log() as log:
+            s_add(s_add(A, B), C)
+            s_mul(s_add(A, B), C)
+        assert log.rules
+        assert set(log.rules) <= set(RULES)
+        assert "distribute-mul-over-add" in log.rules
+
+    def test_rule_log_is_scoped(self):
+        with rule_log() as outer:
+            with rule_log() as inner:
+                s_add(num(1), num(2))
+            assert "fold-const-add" in inner.rules
+        assert "fold-const-add" not in outer.rules
